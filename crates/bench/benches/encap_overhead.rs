@@ -1,0 +1,40 @@
+//! Bench + regeneration for C1 (encapsulation overhead, paper §3.2):
+//! both the byte overhead table and the per-packet processing cost the
+//! paper says encapsulation "requires" on top of the 20 bytes.
+
+use criterion::{black_box, Criterion};
+use mosquitonet_testbed::{experiments, report};
+use mosquitonet_wire::{ipip, IpProto, Ipv4Header, Ipv4Packet};
+use std::net::Ipv4Addr;
+
+fn packet(payload: usize) -> Ipv4Packet {
+    Ipv4Packet::new(
+        Ipv4Header::new(
+            Ipv4Addr::new(36, 8, 0, 7),
+            Ipv4Addr::new(36, 135, 0, 9),
+            IpProto::Udp,
+        ),
+        vec![0xABu8; payload].into(),
+    )
+}
+
+fn main() {
+    println!("{}", report::render_c1(&experiments::run_c1()));
+    let mut c = Criterion::default().configure_from_args().sample_size(60);
+    let ha = Ipv4Addr::new(36, 135, 0, 1);
+    let coa = Ipv4Addr::new(36, 8, 0, 42);
+    for payload in [64usize, 512, 1452] {
+        let inner = packet(payload);
+        c.bench_function(&format!("encapsulate/{payload}B"), |b| {
+            b.iter(|| ipip::encapsulate(black_box(&inner), ha, coa))
+        });
+        let outer = ipip::encapsulate(&inner, ha, coa);
+        c.bench_function(&format!("decapsulate/{payload}B"), |b| {
+            b.iter(|| ipip::decapsulate(black_box(&outer)).expect("valid"))
+        });
+        c.bench_function(&format!("serialize_parse_roundtrip/{payload}B"), |b| {
+            b.iter(|| Ipv4Packet::parse(&black_box(&inner).to_bytes()).expect("valid"))
+        });
+    }
+    c.final_summary();
+}

@@ -1,0 +1,20 @@
+//! Bench + regeneration for Figure 6 (device-switch loss, paper §4).
+
+use criterion::Criterion;
+use mosquitonet_testbed::experiments::{self, Fig6Scenario};
+use mosquitonet_testbed::report;
+
+fn main() {
+    println!("{}", report::render_fig6(&experiments::run_fig6(10, 1996)));
+    let mut c = Criterion::default()
+        .configure_from_args()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(15));
+    c.bench_function("fig6/hot_wired_to_wireless/2_iterations", |b| {
+        b.iter(|| experiments::run_fig6_scenario(Fig6Scenario::HotWiredToWireless, 2, 7))
+    });
+    c.bench_function("fig6/cold_wireless_to_wired/2_iterations", |b| {
+        b.iter(|| experiments::run_fig6_scenario(Fig6Scenario::ColdWirelessToWired, 2, 7))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,16 @@
+//! Bench + regeneration for Figure 7 (registration time-line, paper §4).
+
+use criterion::Criterion;
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    println!("{}", report::render_fig7(&experiments::run_fig7(10, 1996)));
+    let mut c = Criterion::default()
+        .configure_from_args()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(10));
+    c.bench_function("fig7_registration/3_runs", |b| {
+        b.iter(|| experiments::run_fig7(3, 7))
+    });
+    c.final_summary();
+}

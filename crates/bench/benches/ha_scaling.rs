@@ -1,0 +1,25 @@
+//! Bench + regeneration for A2 (home-agent scaling) and the A1/A3
+//! ablation tables.
+
+use criterion::Criterion;
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    println!(
+        "{}",
+        report::render_a2(&experiments::run_a2(
+            &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512],
+            1996
+        ))
+    );
+    println!("{}", report::render_a1(&experiments::run_a1(10, 1996)));
+    println!("{}", report::render_a3(&experiments::run_a3(1996)));
+    let mut c = Criterion::default()
+        .configure_from_args()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(10));
+    c.bench_function("a2_ha_scaling/burst_of_64", |b| {
+        b.iter(|| experiments::run_a2(&[64], 7))
+    });
+    c.final_summary();
+}

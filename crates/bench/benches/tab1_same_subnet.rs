@@ -1,0 +1,19 @@
+//! Bench + regeneration for Table 1 (same-subnet switch loss, paper §4).
+//!
+//! Prints the paper-format table once, then measures the cost of
+//! regenerating it at a reduced iteration count.
+
+use criterion::Criterion;
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    println!("{}", report::render_tab1(&experiments::run_tab1(20, 1996)));
+    let mut c = Criterion::default()
+        .configure_from_args()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(10));
+    c.bench_function("tab1_same_subnet/3_iterations", |b| {
+        b.iter(|| experiments::run_tab1(3, 7))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,1 @@
+//! Criterion benchmarks live in benches/; this lib is intentionally empty.

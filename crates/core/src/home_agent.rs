@@ -1,0 +1,315 @@
+//! The home agent (§3.1, §3.4).
+//!
+//! On an accepted registration the home agent becomes the mobile host's
+//! stand-in on the home subnet: it adds a proxy-ARP entry so it receives
+//! packets for the home address, broadcasts a gratuitous ARP "to void any
+//! stale ARP cache entries on hosts in the same subnet", installs a VIF
+//! tunnel route (every packet for the home address is IP-in-IP
+//! encapsulated to the care-of address), and records a mobility binding.
+//! Deregistration and binding expiry undo all of it.
+//!
+//! Request processing is charged the calibrated
+//! [`HA_PROCESSING`](crate::timing::HA_PROCESSING) delay (Figure 7's
+//! 1.48 ms) between receipt and reply.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+use mosquitonet_sim::SimDuration;
+use mosquitonet_stack::{Effect, IfaceId, Module, ModuleCtx, SocketId};
+use mosquitonet_wire::Cidr;
+
+use crate::binding::{BindOutcome, BindingTable};
+use crate::messages::{
+    classify, BindingUpdate, MessageKind, RegistrationReply, RegistrationRequest, ReplyCode,
+    REGISTRATION_PORT,
+};
+use crate::timing::HA_PROCESSING;
+
+const TOKEN_SWEEP: u64 = 1;
+const TOKEN_PENDING_BASE: u64 = 0x1000;
+const SWEEP_INTERVAL: SimDuration = SimDuration::from_secs(1);
+
+/// Home agent configuration.
+#[derive(Clone, Debug)]
+pub struct HomeAgentConfig {
+    /// The agent's own address (what mobile hosts register with).
+    pub addr: Ipv4Addr,
+    /// The interface on the home subnet (where proxy ARP operates).
+    pub home_iface: IfaceId,
+    /// The home subnet; only addresses inside it are served.
+    pub home_subnet: Cidr,
+    /// Processing time charged per registration (Figure 7: 1.48 ms).
+    pub processing_delay: SimDuration,
+    /// Cap on granted lifetimes, seconds.
+    pub max_lifetime: u16,
+    /// Per-mobile-host authentication keys (home address → (SPI, key)).
+    pub auth_keys: HashMap<Ipv4Addr, (u32, u64)>,
+    /// Refuse unauthenticated registrations. Off by default, like the
+    /// paper's implementation.
+    pub require_auth: bool,
+    /// Send a binding update to the previous care-of address when a host
+    /// moves — enables the previous-foreign-agent forwarding of §5.1.
+    pub notify_previous: bool,
+}
+
+impl HomeAgentConfig {
+    /// A default configuration for `addr` serving `home_subnet` via
+    /// `home_iface`.
+    pub fn new(addr: Ipv4Addr, home_iface: IfaceId, home_subnet: Cidr) -> HomeAgentConfig {
+        HomeAgentConfig {
+            addr,
+            home_iface,
+            home_subnet,
+            processing_delay: HA_PROCESSING,
+            max_lifetime: 600,
+            auth_keys: HashMap::new(),
+            require_auth: false,
+            notify_previous: false,
+        }
+    }
+}
+
+struct PendingRequest {
+    request: RegistrationRequest,
+    reply_to: (Ipv4Addr, u16),
+}
+
+/// The home agent module.
+pub struct HomeAgent {
+    cfg: HomeAgentConfig,
+    /// The mobility binding table.
+    pub bindings: BindingTable,
+    sock: Option<SocketId>,
+    pending: HashMap<u64, PendingRequest>,
+    next_pending: u64,
+    /// The single Pentium-90 CPU: registration service is serialized, so
+    /// a burst of N requests completes in ~N × processing_delay (the A2
+    /// scaling experiment measures exactly this).
+    busy_until: mosquitonet_sim::SimTime,
+    /// Requests fully processed (accepted or denied).
+    pub processed: u64,
+    /// Registrations accepted.
+    pub accepted: u64,
+    /// Registrations denied (any code).
+    pub denied: u64,
+}
+
+impl HomeAgent {
+    /// Creates a home agent with `cfg`.
+    pub fn new(cfg: HomeAgentConfig) -> HomeAgent {
+        HomeAgent {
+            cfg,
+            bindings: BindingTable::new(),
+            sock: None,
+            pending: HashMap::new(),
+            next_pending: TOKEN_PENDING_BASE,
+            busy_until: mosquitonet_sim::SimTime::ZERO,
+            processed: 0,
+            accepted: 0,
+            denied: 0,
+        }
+    }
+
+    /// The configuration (primarily for tests/experiments).
+    pub fn config(&self) -> &HomeAgentConfig {
+        &self.cfg
+    }
+
+    fn reply(
+        &mut self,
+        ctx: &mut ModuleCtx<'_>,
+        to: (Ipv4Addr, u16),
+        code: ReplyCode,
+        lifetime: u16,
+        req: &RegistrationRequest,
+    ) {
+        self.processed += 1;
+        if code == ReplyCode::Accepted {
+            self.accepted += 1;
+        } else {
+            self.denied += 1;
+        }
+        let reply = RegistrationReply {
+            code,
+            lifetime,
+            home_addr: req.home_addr,
+            home_agent: self.cfg.addr,
+            ident: req.ident,
+        };
+        ctx.fx
+            .send_udp(self.sock.expect("bound"), to, reply.to_bytes());
+    }
+
+    fn process(&mut self, ctx: &mut ModuleCtx<'_>, token: u64) {
+        let Some(PendingRequest {
+            request: req,
+            reply_to,
+        }) = self.pending.remove(&token)
+        else {
+            return;
+        };
+        // Are we the right home agent for this address?
+        if req.home_agent != self.cfg.addr || !self.cfg.home_subnet.contains(req.home_addr) {
+            self.reply(ctx, reply_to, ReplyCode::DeniedUnknownHome, 0, &req);
+            return;
+        }
+        // Authentication, when configured.
+        if self.cfg.require_auth {
+            let ok = self
+                .cfg
+                .auth_keys
+                .get(&req.home_addr)
+                .is_some_and(|&(_spi, key)| req.verify(key));
+            if !ok {
+                self.reply(ctx, reply_to, ReplyCode::DeniedAuth, 0, &req);
+                return;
+            }
+        }
+
+        if req.is_deregistration() {
+            match self.bindings.unbind(req.home_addr, req.ident) {
+                Some(_removed) => {
+                    ctx.core.tunnels.remove(&req.home_addr);
+                    ctx.core
+                        .arp_mut(self.cfg.home_iface)
+                        .remove_proxy(req.home_addr);
+                    ctx.fx.trace(format!("deregistered {}", req.home_addr));
+                    self.reply(ctx, reply_to, ReplyCode::Accepted, 0, &req);
+                }
+                None if self.bindings.last_ident(req.home_addr) >= req.ident
+                    && self.bindings.get(req.home_addr, ctx.now).is_some() =>
+                {
+                    self.reply(ctx, reply_to, ReplyCode::DeniedIdent, 0, &req);
+                }
+                None => {
+                    // No binding: deregistration is idempotent.
+                    self.reply(ctx, reply_to, ReplyCode::Accepted, 0, &req);
+                }
+            }
+            return;
+        }
+
+        let granted = req.lifetime.min(self.cfg.max_lifetime);
+        let outcome = self.bindings.bind(
+            req.home_addr,
+            req.care_of,
+            SimDuration::from_secs(u64::from(granted)),
+            req.ident,
+            ctx.now,
+        );
+        match outcome {
+            BindOutcome::ReplayRejected => {
+                self.reply(ctx, reply_to, ReplyCode::DeniedIdent, 0, &req);
+            }
+            BindOutcome::Created => {
+                ctx.core.tunnels.insert(req.home_addr, req.care_of);
+                ctx.core
+                    .arp_mut(self.cfg.home_iface)
+                    .add_proxy(req.home_addr);
+                // Void stale neighbor caches: the home address is now here.
+                ctx.fx.push(Effect::GratuitousArp {
+                    iface: self.cfg.home_iface,
+                    addr: req.home_addr,
+                });
+                ctx.fx.trace(format!(
+                    "registered {} at care-of {}",
+                    req.home_addr, req.care_of
+                ));
+                self.reply(ctx, reply_to, ReplyCode::Accepted, granted, &req);
+            }
+            BindOutcome::Moved { previous } => {
+                ctx.core.tunnels.insert(req.home_addr, req.care_of);
+                ctx.fx.trace(format!(
+                    "moved {} from {} to {}",
+                    req.home_addr, previous, req.care_of
+                ));
+                if self.cfg.notify_previous {
+                    let update = BindingUpdate {
+                        lifetime: 10,
+                        home_addr: req.home_addr,
+                        new_care_of: req.care_of,
+                    };
+                    ctx.fx.send_udp(
+                        self.sock.expect("bound"),
+                        (previous, REGISTRATION_PORT),
+                        update.to_bytes(),
+                    );
+                }
+                self.reply(ctx, reply_to, ReplyCode::Accepted, granted, &req);
+            }
+            BindOutcome::Refreshed => {
+                self.reply(ctx, reply_to, ReplyCode::Accepted, granted, &req);
+            }
+        }
+    }
+}
+
+impl Module for HomeAgent {
+    fn name(&self) -> &'static str {
+        "home-agent"
+    }
+
+    fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        self.sock = ctx.udp_bind(None, REGISTRATION_PORT);
+        assert!(self.sock.is_some(), "registration port busy");
+        ctx.fx.set_timer(SWEEP_INTERVAL, TOKEN_SWEEP);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, token: u64) {
+        if token == TOKEN_SWEEP {
+            for (home, binding) in self.bindings.sweep_expired(ctx.now) {
+                ctx.core.tunnels.remove(&home);
+                ctx.core.arp_mut(self.cfg.home_iface).remove_proxy(home);
+                ctx.fx.trace(format!(
+                    "binding expired: {home} (was at {})",
+                    binding.care_of
+                ));
+            }
+            ctx.fx.set_timer(SWEEP_INTERVAL, TOKEN_SWEEP);
+        } else {
+            self.process(ctx, token);
+        }
+    }
+
+    fn on_udp(
+        &mut self,
+        ctx: &mut ModuleCtx<'_>,
+        _sock: SocketId,
+        src: (Ipv4Addr, u16),
+        _dst: Ipv4Addr,
+        payload: &Bytes,
+    ) {
+        if classify(payload) != Some(MessageKind::Request) {
+            return;
+        }
+        let Ok(request) = RegistrationRequest::parse(payload) else {
+            return;
+        };
+        // Model the Pentium-90's 1.48 ms of registration service time,
+        // serialized on its single CPU.
+        let token = self.next_pending;
+        self.next_pending += 1;
+        self.pending.insert(
+            token,
+            PendingRequest {
+                request,
+                reply_to: src,
+            },
+        );
+        let start = if self.busy_until > ctx.now {
+            self.busy_until
+        } else {
+            ctx.now
+        };
+        let finish = start + self.cfg.processing_delay;
+        self.busy_until = finish;
+        ctx.fx.set_timer(finish - ctx.now, token);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,49 @@
+//! MosquitoNet's contribution: agentless mobile IP.
+//!
+//! This crate implements the system of *"Supporting Mobility in
+//! MosquitoNet"* (Baker, Zhao, Cheshire, Stone — USENIX 1996) on top of
+//! the `mosquitonet-stack` host stack:
+//!
+//! * [`RegistrationRequest`]/[`RegistrationReply`] — the registration
+//!   protocol (UDP 434), with identification-based replay protection and
+//!   an optional authentication extension.
+//! * [`HomeAgent`] — proxy ARP + gratuitous ARP + VIF tunnel routes +
+//!   the mobility [`BindingTable`], charging Figure 7's 1.48 ms per
+//!   registration.
+//! * [`MobileHost`] — the mobile host as *its own* foreign agent: care-of
+//!   acquisition (static or DHCP), registration with retry, hot/cold
+//!   device switching with the paper's exact step sequence and a recorded
+//!   [`RegistrationTimeline`], and the [`MobilePolicyTable`] plugged into
+//!   the stack's `route_override` hook (the `ip_rt_route()` override of
+//!   §3.3) to choose among the four send modes of §3.2.
+//! * [`ForeignAgent`]/[`FaMobileHost`] — the IETF-style baseline the
+//!   paper compares against, including previous-FA forwarding (§5.1).
+//!
+//! The VIF itself — the virtual encapsulating interface of §3.3 — is a
+//! stack mechanism: `HostCore::add_vif` creates the address-holding
+//! pseudo-interface and `HostCore::tunnels` holds the encapsulating
+//! routes; this crate decides *when* they apply.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binding;
+mod foreign_agent;
+mod home_agent;
+mod messages;
+mod mobile;
+mod policy;
+pub mod timing;
+
+pub use binding::{BindOutcome, Binding, BindingTable};
+pub use foreign_agent::{FaMobileHost, ForeignAgent, ForeignAgentConfig, ADVERTISE_INTERVAL};
+pub use home_agent::{HomeAgent, HomeAgentConfig};
+pub use messages::{
+    classify, keyed_digest, AgentAdvertisement, AuthExtension, BindingUpdate, MessageKind,
+    RegistrationReply, RegistrationRequest, ReplyCode, REGISTRATION_PORT,
+};
+pub use mobile::{
+    AddressPlan, AutoSwitchConfig, Candidate, MobileHost, MobileHostConfig, RegistrationTimeline,
+    SwitchPlan, SwitchStyle, PROBE_TIMEOUT,
+};
+pub use policy::{MobilePolicyTable, PolicyEntry, SendMode};

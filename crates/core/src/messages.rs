@@ -1,0 +1,543 @@
+//! The MosquitoNet registration protocol wire format.
+//!
+//! Modeled on the IETF Mobile IP draft the paper based its implementation
+//! on (Perkins, "IP Mobility Support", July 1995 — later RFC 2002):
+//! registration requests and replies on UDP port 434, an identification
+//! field for replay protection, and an optional authentication extension.
+//! The paper implemented no authentication ("We do not yet implement any
+//! special security measures", §2) but names the requirement (§5.1), so
+//! the extension is here and off by default.
+//!
+//! A *binding update* message (used by the foreign-agent baseline's
+//! previous-FA forwarding, §5.1 "Packet loss") and the FA's *agent
+//! advertisement* are also defined here.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+use mosquitonet_wire::WireError;
+
+/// UDP port for registration traffic (RFC 2002's 434).
+pub const REGISTRATION_PORT: u16 = 434;
+
+/// Fixed length of a registration request (without extensions).
+pub const REQUEST_LEN: usize = 24;
+
+/// Fixed length of a registration reply (without extensions).
+pub const REPLY_LEN: usize = 20;
+
+/// Length of the optional authentication extension.
+pub const AUTH_EXT_LEN: usize = 14;
+
+/// Reply codes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReplyCode {
+    /// Registration accepted.
+    Accepted,
+    /// Denied: identification did not advance (replay suspected).
+    DeniedIdent,
+    /// Denied: authentication missing or wrong.
+    DeniedAuth,
+    /// Denied: this agent is not the home agent for that address.
+    DeniedUnknownHome,
+    /// Denied: requested lifetime too long (reply carries the cap).
+    DeniedLifetime,
+}
+
+impl ReplyCode {
+    fn number(self) -> u8 {
+        match self {
+            ReplyCode::Accepted => 0,
+            ReplyCode::DeniedIdent => 133,
+            ReplyCode::DeniedAuth => 131,
+            ReplyCode::DeniedUnknownHome => 136,
+            ReplyCode::DeniedLifetime => 134,
+        }
+    }
+
+    fn from_number(n: u8) -> Result<ReplyCode, WireError> {
+        Ok(match n {
+            0 => ReplyCode::Accepted,
+            133 => ReplyCode::DeniedIdent,
+            131 => ReplyCode::DeniedAuth,
+            136 => ReplyCode::DeniedUnknownHome,
+            134 => ReplyCode::DeniedLifetime,
+            other => {
+                return Err(WireError::UnknownValue {
+                    field: "reply code",
+                    value: u16::from(other),
+                })
+            }
+        })
+    }
+}
+
+/// The optional authentication extension: a keyed digest over the message
+/// body.
+///
+/// The digest is a keyed FNV-1a-64 — an interface-compatible stand-in for
+/// the draft's keyed-MD5, *not* cryptographically secure (the paper
+/// implemented no authentication at all; this extension exists to exercise
+/// the protocol path the paper prescribes for production use).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AuthExtension {
+    /// Security parameter index selecting the key.
+    pub spi: u32,
+    /// Keyed digest over the message body.
+    pub digest: u64,
+}
+
+/// Computes the keyed digest over `body` with `key`.
+pub fn keyed_digest(body: &[u8], spi: u32, key: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ key;
+    let mut mix = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for &b in body {
+        mix(b);
+    }
+    for b in spi.to_be_bytes() {
+        mix(b);
+    }
+    for b in key.to_be_bytes() {
+        mix(b);
+    }
+    h
+}
+
+/// A registration request (type 1): "please forward my packets to this
+/// care-of address".
+///
+/// With `lifetime == 0` (or `care_of == home_addr`) this is a
+/// *deregistration* — the mobile host has come home.
+///
+/// # Examples
+///
+/// ```
+/// use mosquitonet_core::RegistrationRequest;
+/// use std::net::Ipv4Addr;
+///
+/// let req = RegistrationRequest {
+///     lifetime: 300,
+///     home_addr: Ipv4Addr::new(36, 135, 0, 9),
+///     home_agent: Ipv4Addr::new(36, 135, 0, 1),
+///     care_of: Ipv4Addr::new(36, 8, 0, 42),
+///     ident: 1,
+///     auth: None,
+/// }
+/// .sign(7, 0xdead_beef);
+/// let parsed = RegistrationRequest::parse(&req.to_bytes()).unwrap();
+/// assert!(parsed.verify(0xdead_beef));
+/// assert!(!parsed.is_deregistration());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RegistrationRequest {
+    /// Requested binding lifetime in seconds (0 = deregister).
+    pub lifetime: u16,
+    /// The mobile host's permanent home address.
+    pub home_addr: Ipv4Addr,
+    /// The home agent being addressed.
+    pub home_agent: Ipv4Addr,
+    /// The care-of address — in MosquitoNet, the mobile host's own
+    /// temporary address ("we have collocated a simple foreign agent on
+    /// the mobile host itself", §2).
+    pub care_of: Ipv4Addr,
+    /// Monotonically increasing value for replay protection.
+    pub ident: u64,
+    /// Optional authentication.
+    pub auth: Option<AuthExtension>,
+}
+
+impl RegistrationRequest {
+    /// True when this request de-registers the mobile host.
+    pub fn is_deregistration(&self) -> bool {
+        self.lifetime == 0 || self.care_of == self.home_addr
+    }
+
+    fn body_bytes(&self) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(REQUEST_LEN + AUTH_EXT_LEN);
+        buf.put_u8(1); // type
+        buf.put_u8(0); // flags (reserved)
+        buf.put_u16(self.lifetime);
+        buf.put_slice(&self.home_addr.octets());
+        buf.put_slice(&self.home_agent.octets());
+        buf.put_slice(&self.care_of.octets());
+        buf.put_u64(self.ident);
+        buf
+    }
+
+    /// Serializes; if `auth` is present its digest must already be set
+    /// (use [`RegistrationRequest::sign`]).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = self.body_bytes();
+        if let Some(a) = self.auth {
+            buf.put_u8(32); // extension type
+            buf.put_u8(AUTH_EXT_LEN as u8);
+            buf.put_u32(a.spi);
+            buf.put_u64(a.digest);
+        }
+        buf.freeze()
+    }
+
+    /// Attaches an authentication extension computed with `key`.
+    pub fn sign(mut self, spi: u32, key: u64) -> RegistrationRequest {
+        let body = self.body_bytes();
+        self.auth = Some(AuthExtension {
+            spi,
+            digest: keyed_digest(&body, spi, key),
+        });
+        self
+    }
+
+    /// Verifies the attached extension against `key`.
+    pub fn verify(&self, key: u64) -> bool {
+        match self.auth {
+            None => false,
+            Some(a) => keyed_digest(&self.body_bytes(), a.spi, key) == a.digest,
+        }
+    }
+
+    /// Parses from bytes.
+    pub fn parse(buf: &[u8]) -> Result<RegistrationRequest, WireError> {
+        if buf.len() < REQUEST_LEN {
+            return Err(WireError::Truncated {
+                needed: REQUEST_LEN,
+                got: buf.len(),
+            });
+        }
+        if buf[0] != 1 {
+            return Err(WireError::UnknownValue {
+                field: "registration type",
+                value: u16::from(buf[0]),
+            });
+        }
+        let auth = parse_auth(&buf[REQUEST_LEN..])?;
+        Ok(RegistrationRequest {
+            lifetime: u16::from_be_bytes([buf[2], buf[3]]),
+            home_addr: Ipv4Addr::new(buf[4], buf[5], buf[6], buf[7]),
+            home_agent: Ipv4Addr::new(buf[8], buf[9], buf[10], buf[11]),
+            care_of: Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]),
+            ident: u64::from_be_bytes([
+                buf[16], buf[17], buf[18], buf[19], buf[20], buf[21], buf[22], buf[23],
+            ]),
+            auth,
+        })
+    }
+}
+
+fn parse_auth(rest: &[u8]) -> Result<Option<AuthExtension>, WireError> {
+    if rest.is_empty() {
+        return Ok(None);
+    }
+    if rest.len() < AUTH_EXT_LEN || rest[0] != 32 || rest[1] != AUTH_EXT_LEN as u8 {
+        return Err(WireError::BadLength);
+    }
+    Ok(Some(AuthExtension {
+        spi: u32::from_be_bytes([rest[2], rest[3], rest[4], rest[5]]),
+        digest: u64::from_be_bytes([
+            rest[6], rest[7], rest[8], rest[9], rest[10], rest[11], rest[12], rest[13],
+        ]),
+    }))
+}
+
+/// A registration reply (type 3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RegistrationReply {
+    /// Acceptance or denial.
+    pub code: ReplyCode,
+    /// Granted lifetime in seconds (may be shorter than requested).
+    pub lifetime: u16,
+    /// The home address the reply concerns.
+    pub home_addr: Ipv4Addr,
+    /// The replying home agent.
+    pub home_agent: Ipv4Addr,
+    /// Echo of the request's identification.
+    pub ident: u64,
+}
+
+impl RegistrationReply {
+    /// Serializes to bytes.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(REPLY_LEN);
+        buf.put_u8(3);
+        buf.put_u8(self.code.number());
+        buf.put_u16(self.lifetime);
+        buf.put_slice(&self.home_addr.octets());
+        buf.put_slice(&self.home_agent.octets());
+        buf.put_u64(self.ident);
+        buf.freeze()
+    }
+
+    /// Parses from bytes.
+    pub fn parse(buf: &[u8]) -> Result<RegistrationReply, WireError> {
+        if buf.len() < REPLY_LEN {
+            return Err(WireError::Truncated {
+                needed: REPLY_LEN,
+                got: buf.len(),
+            });
+        }
+        if buf[0] != 3 {
+            return Err(WireError::UnknownValue {
+                field: "registration type",
+                value: u16::from(buf[0]),
+            });
+        }
+        Ok(RegistrationReply {
+            code: ReplyCode::from_number(buf[1])?,
+            lifetime: u16::from_be_bytes([buf[2], buf[3]]),
+            home_addr: Ipv4Addr::new(buf[4], buf[5], buf[6], buf[7]),
+            home_agent: Ipv4Addr::new(buf[8], buf[9], buf[10], buf[11]),
+            ident: u64::from_be_bytes([
+                buf[12], buf[13], buf[14], buf[15], buf[16], buf[17], buf[18], buf[19],
+            ]),
+        })
+    }
+}
+
+/// A binding update (type 4): the home agent tells a *previous* foreign
+/// agent where the mobile host went, enabling in-flight forwarding (§5.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BindingUpdate {
+    /// Grace period during which the old agent forwards, in seconds.
+    pub lifetime: u16,
+    /// The mobile host's home address.
+    pub home_addr: Ipv4Addr,
+    /// Its new care-of address.
+    pub new_care_of: Ipv4Addr,
+}
+
+impl BindingUpdate {
+    /// Serializes to bytes.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(12);
+        buf.put_u8(4);
+        buf.put_u8(0);
+        buf.put_u16(self.lifetime);
+        buf.put_slice(&self.home_addr.octets());
+        buf.put_slice(&self.new_care_of.octets());
+        buf.freeze()
+    }
+
+    /// Parses from bytes.
+    pub fn parse(buf: &[u8]) -> Result<BindingUpdate, WireError> {
+        if buf.len() < 12 {
+            return Err(WireError::Truncated {
+                needed: 12,
+                got: buf.len(),
+            });
+        }
+        if buf[0] != 4 {
+            return Err(WireError::UnknownValue {
+                field: "registration type",
+                value: u16::from(buf[0]),
+            });
+        }
+        Ok(BindingUpdate {
+            lifetime: u16::from_be_bytes([buf[2], buf[3]]),
+            home_addr: Ipv4Addr::new(buf[4], buf[5], buf[6], buf[7]),
+            new_care_of: Ipv4Addr::new(buf[8], buf[9], buf[10], buf[11]),
+        })
+    }
+}
+
+/// A foreign agent's periodic advertisement (type 16), broadcast on the
+/// visited LAN so mobile hosts can discover it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AgentAdvertisement {
+    /// Monotonic sequence number.
+    pub seq: u16,
+    /// The advertising foreign agent's address (= care-of address offered).
+    pub agent_addr: Ipv4Addr,
+}
+
+impl AgentAdvertisement {
+    /// Serializes to bytes.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u8(16);
+        buf.put_u8(0);
+        buf.put_u16(self.seq);
+        buf.put_slice(&self.agent_addr.octets());
+        buf.freeze()
+    }
+
+    /// Parses from bytes.
+    pub fn parse(buf: &[u8]) -> Result<AgentAdvertisement, WireError> {
+        if buf.len() < 8 {
+            return Err(WireError::Truncated {
+                needed: 8,
+                got: buf.len(),
+            });
+        }
+        if buf[0] != 16 {
+            return Err(WireError::UnknownValue {
+                field: "registration type",
+                value: u16::from(buf[0]),
+            });
+        }
+        Ok(AgentAdvertisement {
+            seq: u16::from_be_bytes([buf[2], buf[3]]),
+            agent_addr: Ipv4Addr::new(buf[4], buf[5], buf[6], buf[7]),
+        })
+    }
+}
+
+/// Classifies a registration-port datagram by its type byte.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MessageKind {
+    /// A [`RegistrationRequest`].
+    Request,
+    /// A [`RegistrationReply`].
+    Reply,
+    /// A [`BindingUpdate`].
+    Update,
+    /// An [`AgentAdvertisement`].
+    Advertisement,
+}
+
+/// Peeks at the message type without a full parse.
+pub fn classify(buf: &[u8]) -> Option<MessageKind> {
+    match buf.first()? {
+        1 => Some(MessageKind::Request),
+        3 => Some(MessageKind::Reply),
+        4 => Some(MessageKind::Update),
+        16 => Some(MessageKind::Advertisement),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> RegistrationRequest {
+        RegistrationRequest {
+            lifetime: 300,
+            home_addr: Ipv4Addr::new(36, 135, 0, 9),
+            home_agent: Ipv4Addr::new(36, 135, 0, 1),
+            care_of: Ipv4Addr::new(36, 8, 0, 42),
+            ident: 0x1122_3344_5566_7788,
+            auth: None,
+        }
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let r = request();
+        assert_eq!(RegistrationRequest::parse(&r.to_bytes()).unwrap(), r);
+        assert!(!r.is_deregistration());
+    }
+
+    #[test]
+    fn deregistration_detection() {
+        let mut r = request();
+        r.lifetime = 0;
+        assert!(r.is_deregistration());
+        let mut r2 = request();
+        r2.care_of = r2.home_addr;
+        assert!(r2.is_deregistration());
+    }
+
+    #[test]
+    fn signed_request_round_trips_and_verifies() {
+        let r = request().sign(7, 0xdead_beef);
+        let back = RegistrationRequest::parse(&r.to_bytes()).unwrap();
+        assert_eq!(back, r);
+        assert!(back.verify(0xdead_beef));
+        assert!(!back.verify(0xdead_beee), "wrong key fails");
+    }
+
+    #[test]
+    fn tampered_signed_request_fails_verification() {
+        let r = request().sign(7, 0xdead_beef);
+        let mut bytes = r.to_bytes().to_vec();
+        bytes[12] ^= 0x01; // flip a care-of bit
+        let back = RegistrationRequest::parse(&bytes).unwrap();
+        assert!(!back.verify(0xdead_beef));
+    }
+
+    #[test]
+    fn unsigned_request_never_verifies() {
+        assert!(!request().verify(0));
+    }
+
+    #[test]
+    fn reply_round_trip_all_codes() {
+        for code in [
+            ReplyCode::Accepted,
+            ReplyCode::DeniedIdent,
+            ReplyCode::DeniedAuth,
+            ReplyCode::DeniedUnknownHome,
+            ReplyCode::DeniedLifetime,
+        ] {
+            let r = RegistrationReply {
+                code,
+                lifetime: 120,
+                home_addr: Ipv4Addr::new(36, 135, 0, 9),
+                home_agent: Ipv4Addr::new(36, 135, 0, 1),
+                ident: 42,
+            };
+            assert_eq!(RegistrationReply::parse(&r.to_bytes()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn binding_update_round_trip() {
+        let u = BindingUpdate {
+            lifetime: 10,
+            home_addr: Ipv4Addr::new(36, 135, 0, 9),
+            new_care_of: Ipv4Addr::new(36, 40, 0, 3),
+        };
+        assert_eq!(BindingUpdate::parse(&u.to_bytes()).unwrap(), u);
+    }
+
+    #[test]
+    fn advertisement_round_trip() {
+        let a = AgentAdvertisement {
+            seq: 17,
+            agent_addr: Ipv4Addr::new(36, 8, 0, 4),
+        };
+        assert_eq!(AgentAdvertisement::parse(&a.to_bytes()).unwrap(), a);
+    }
+
+    #[test]
+    fn classify_dispatches_by_type() {
+        assert_eq!(classify(&request().to_bytes()), Some(MessageKind::Request));
+        let reply = RegistrationReply {
+            code: ReplyCode::Accepted,
+            lifetime: 0,
+            home_addr: Ipv4Addr::UNSPECIFIED,
+            home_agent: Ipv4Addr::UNSPECIFIED,
+            ident: 0,
+        };
+        assert_eq!(classify(&reply.to_bytes()), Some(MessageKind::Reply));
+        assert_eq!(classify(&[99]), None);
+        assert_eq!(classify(&[]), None);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_type_and_truncation() {
+        let mut bytes = request().to_bytes().to_vec();
+        bytes[0] = 3;
+        assert!(RegistrationRequest::parse(&bytes).is_err());
+        assert!(matches!(
+            RegistrationRequest::parse(&bytes[..10]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn digest_depends_on_key_spi_and_body() {
+        let body = b"registration body";
+        let d1 = keyed_digest(body, 1, 100);
+        assert_ne!(d1, keyed_digest(body, 1, 101), "key matters");
+        assert_ne!(d1, keyed_digest(body, 2, 100), "spi matters");
+        assert_ne!(
+            d1,
+            keyed_digest(b"registration bodz", 1, 100),
+            "body matters"
+        );
+        assert_eq!(d1, keyed_digest(body, 1, 100), "deterministic");
+    }
+}

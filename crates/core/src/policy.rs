@@ -1,0 +1,224 @@
+//! The Mobile Policy Table (§3.2–3.3).
+//!
+//! "Our modified `ip_rt_route()` uses its Mobile Policy Table combined with
+//! the usual routing table lookup to determine how the packet should be
+//! treated." The table maps destination prefixes to one of the paper's
+//! four send modes, answering the three questions of §3.2: tunnel or
+//! direct, encapsulate or not, home or local source address.
+//!
+//! The table also caches probe results: "If we find that we cannot use the
+//! optimization, through failed attempts to 'ping' a correspondent host,
+//! then we can revert to using the unoptimized route. We can cache this
+//! information for further use in the Mobile Policy Table."
+
+use std::net::Ipv4Addr;
+
+use mosquitonet_wire::Cidr;
+
+/// How to send a mobile-IP-subject packet while away from home.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SendMode {
+    /// The basic protocol: home source address, encapsulated, through the
+    /// home agent. "Simple and always works" (§3.2).
+    ReverseTunnel,
+    /// The triangle-route optimization: home source address, sent directly
+    /// to the correspondent. Fails through transit-traffic filters.
+    Triangle,
+    /// Direct to the correspondent but encapsulated with the local source
+    /// address on the outer header — filter-safe, requires the
+    /// correspondent to decapsulate IP-in-IP.
+    DirectEncap,
+    /// The mobile host's *local role*: local source address, no mobility
+    /// support at all (web fetches, network-management replies).
+    DirectLocal,
+}
+
+/// One policy entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PolicyEntry {
+    /// Destinations it covers.
+    pub dest: Cidr,
+    /// How to send to them.
+    pub mode: SendMode,
+    /// True when this entry was learned dynamically (probe result) rather
+    /// than configured; dynamic entries are replaced freely.
+    pub learned: bool,
+}
+
+/// The Mobile Policy Table: longest-prefix-match over [`PolicyEntry`]s
+/// with a configurable default mode.
+///
+/// # Examples
+///
+/// ```
+/// use mosquitonet_core::{MobilePolicyTable, SendMode};
+/// use std::net::Ipv4Addr;
+///
+/// let mut mpt = MobilePolicyTable::new(SendMode::ReverseTunnel);
+/// mpt.set("36.8.0.0/24".parse().unwrap(), SendMode::Triangle);
+/// assert_eq!(mpt.lookup(Ipv4Addr::new(36, 8, 0, 7)), SendMode::Triangle);
+/// assert_eq!(mpt.lookup(Ipv4Addr::new(192, 0, 2, 1)), SendMode::ReverseTunnel);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MobilePolicyTable {
+    entries: Vec<PolicyEntry>,
+    default_mode: SendMode,
+}
+
+impl MobilePolicyTable {
+    /// Creates a table whose default is `default_mode`.
+    pub fn new(default_mode: SendMode) -> MobilePolicyTable {
+        MobilePolicyTable {
+            entries: Vec::new(),
+            default_mode,
+        }
+    }
+
+    /// The default mode for unmatched destinations.
+    pub fn default_mode(&self) -> SendMode {
+        self.default_mode
+    }
+
+    /// Changes the default mode.
+    pub fn set_default(&mut self, mode: SendMode) {
+        self.default_mode = mode;
+    }
+
+    /// Installs a configured policy for a prefix (replacing any previous
+    /// entry for the same prefix).
+    pub fn set(&mut self, dest: Cidr, mode: SendMode) {
+        self.entries.retain(|e| e.dest != dest);
+        self.entries.push(PolicyEntry {
+            dest,
+            mode,
+            learned: false,
+        });
+    }
+
+    /// Caches a probe-learned policy for one host.
+    pub fn learn(&mut self, host: Ipv4Addr, mode: SendMode) {
+        let dest = Cidr::host(host);
+        self.entries.retain(|e| e.dest != dest);
+        self.entries.push(PolicyEntry {
+            dest,
+            mode,
+            learned: true,
+        });
+    }
+
+    /// Drops all learned entries (e.g. after moving to a new network,
+    /// where the old probe results no longer apply).
+    pub fn forget_learned(&mut self) {
+        self.entries.retain(|e| !e.learned);
+    }
+
+    /// Removes the entry for a prefix; returns whether one existed.
+    pub fn remove(&mut self, dest: Cidr) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.dest != dest);
+        self.entries.len() != before
+    }
+
+    /// Longest-prefix-match lookup, falling back to the default mode.
+    pub fn lookup(&self, dst: Ipv4Addr) -> SendMode {
+        self.entries
+            .iter()
+            .filter(|e| e.dest.contains(dst))
+            .max_by_key(|e| e.dest.prefix_len())
+            .map(|e| e.mode)
+            .unwrap_or(self.default_mode)
+    }
+
+    /// All entries (diagnostics).
+    pub fn entries(&self) -> &[PolicyEntry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Cidr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn default_applies_when_no_entry_matches() {
+        let mpt = MobilePolicyTable::new(SendMode::ReverseTunnel);
+        assert_eq!(
+            mpt.lookup(Ipv4Addr::new(1, 2, 3, 4)),
+            SendMode::ReverseTunnel
+        );
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut mpt = MobilePolicyTable::new(SendMode::ReverseTunnel);
+        mpt.set(c("36.0.0.0/8"), SendMode::Triangle);
+        mpt.set(c("36.8.0.0/24"), SendMode::DirectEncap);
+        mpt.learn(Ipv4Addr::new(36, 8, 0, 7), SendMode::ReverseTunnel);
+        assert_eq!(mpt.lookup(Ipv4Addr::new(36, 1, 1, 1)), SendMode::Triangle);
+        assert_eq!(
+            mpt.lookup(Ipv4Addr::new(36, 8, 0, 100)),
+            SendMode::DirectEncap
+        );
+        assert_eq!(
+            mpt.lookup(Ipv4Addr::new(36, 8, 0, 7)),
+            SendMode::ReverseTunnel
+        );
+    }
+
+    #[test]
+    fn learned_entries_forgettable_configured_stay() {
+        let mut mpt = MobilePolicyTable::new(SendMode::ReverseTunnel);
+        mpt.set(c("36.8.0.0/24"), SendMode::Triangle);
+        mpt.learn(Ipv4Addr::new(36, 8, 0, 7), SendMode::ReverseTunnel);
+        assert_eq!(mpt.entries().len(), 2);
+        mpt.forget_learned();
+        assert_eq!(mpt.entries().len(), 1);
+        assert_eq!(mpt.lookup(Ipv4Addr::new(36, 8, 0, 7)), SendMode::Triangle);
+    }
+
+    #[test]
+    fn set_replaces_same_prefix() {
+        let mut mpt = MobilePolicyTable::new(SendMode::ReverseTunnel);
+        mpt.set(c("36.8.0.0/24"), SendMode::Triangle);
+        mpt.set(c("36.8.0.0/24"), SendMode::DirectLocal);
+        assert_eq!(mpt.entries().len(), 1);
+        assert_eq!(
+            mpt.lookup(Ipv4Addr::new(36, 8, 0, 1)),
+            SendMode::DirectLocal
+        );
+    }
+
+    #[test]
+    fn learn_replaces_previous_learning() {
+        let mut mpt = MobilePolicyTable::new(SendMode::ReverseTunnel);
+        let ch = Ipv4Addr::new(36, 8, 0, 7);
+        mpt.learn(ch, SendMode::Triangle);
+        mpt.learn(ch, SendMode::ReverseTunnel);
+        assert_eq!(mpt.entries().len(), 1);
+        assert_eq!(mpt.lookup(ch), SendMode::ReverseTunnel);
+    }
+
+    #[test]
+    fn remove_entry() {
+        let mut mpt = MobilePolicyTable::new(SendMode::ReverseTunnel);
+        mpt.set(c("36.8.0.0/24"), SendMode::Triangle);
+        assert!(mpt.remove(c("36.8.0.0/24")));
+        assert!(!mpt.remove(c("36.8.0.0/24")));
+        assert_eq!(
+            mpt.lookup(Ipv4Addr::new(36, 8, 0, 1)),
+            SendMode::ReverseTunnel
+        );
+    }
+
+    #[test]
+    fn set_default_changes_fallback() {
+        let mut mpt = MobilePolicyTable::new(SendMode::ReverseTunnel);
+        mpt.set_default(SendMode::Triangle);
+        assert_eq!(mpt.default_mode(), SendMode::Triangle);
+        assert_eq!(mpt.lookup(Ipv4Addr::new(9, 9, 9, 9)), SendMode::Triangle);
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests for the mobile-IP data structures: the binding
+//! table's replay discipline, the Mobile Policy Table against a naive
+//! model, and registration-message robustness.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+use mosquitonet_core::{
+    classify, AgentAdvertisement, BindOutcome, BindingTable, BindingUpdate, MobilePolicyTable,
+    RegistrationReply, RegistrationRequest, ReplyCode, SendMode,
+};
+use mosquitonet_sim::{SimDuration, SimTime};
+use mosquitonet_wire::Cidr;
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    (0u8..4, 0u8..8).prop_map(|(c, d)| Ipv4Addr::new(10, 0, c, d))
+}
+
+fn arb_mode() -> impl Strategy<Value = SendMode> {
+    prop_oneof![
+        Just(SendMode::ReverseTunnel),
+        Just(SendMode::Triangle),
+        Just(SendMode::DirectEncap),
+        Just(SendMode::DirectLocal),
+    ]
+}
+
+proptest! {
+    /// For any sequence of bind attempts on one home address, the accepted
+    /// identification sequence is strictly increasing, and the binding's
+    /// care-of address always reflects the latest *accepted* bind.
+    #[test]
+    fn binding_idents_strictly_increase(
+        ops in proptest::collection::vec((any::<u64>(), arb_addr()), 1..60),
+    ) {
+        let home = Ipv4Addr::new(36, 135, 0, 9);
+        let mut bt = BindingTable::new();
+        let mut model_last: u64 = 0;
+        let mut model_coa: Option<Ipv4Addr> = None;
+        let life = SimDuration::from_secs(1_000);
+        for (i, (ident, coa)) in ops.into_iter().enumerate() {
+            let now = SimTime::from_nanos(i as u64);
+            let outcome = bt.bind(home, coa, life, ident, now);
+            let should_accept = model_coa.is_none() || ident > model_last;
+            match outcome {
+                BindOutcome::ReplayRejected => prop_assert!(!should_accept),
+                _ => {
+                    prop_assert!(should_accept, "accepted non-advancing ident");
+                    model_last = ident;
+                    model_coa = Some(coa);
+                }
+            }
+            prop_assert_eq!(bt.get(home, now).map(|b| b.care_of), model_coa);
+            prop_assert_eq!(bt.last_ident(home), model_last.max(
+                if model_coa.is_some() { model_last } else { 0 }
+            ));
+        }
+    }
+
+    /// Sweeping at time T removes exactly the bindings with expiry <= T.
+    #[test]
+    fn sweep_is_exact(
+        hosts in proptest::collection::vec((arb_addr(), 1u64..100), 1..30),
+        sweep_at in 0u64..120,
+    ) {
+        let mut bt = BindingTable::new();
+        let coa = Ipv4Addr::new(36, 8, 0, 42);
+        let mut expiries = std::collections::HashMap::new();
+        for (home, life_secs) in hosts {
+            bt.bind(home, coa, SimDuration::from_secs(life_secs), 1, SimTime::ZERO);
+            // Later duplicates overwrite in the model the same way bind
+            // refreshes (same ident -> rejected; so only first counts).
+            expiries.entry(home).or_insert(life_secs);
+        }
+        let t = SimTime::ZERO + SimDuration::from_secs(sweep_at);
+        let swept = bt.sweep_expired(t);
+        for (home, _) in &swept {
+            prop_assert!(expiries[home] <= sweep_at);
+        }
+        let swept_set: std::collections::HashSet<_> =
+            swept.iter().map(|(h, _)| *h).collect();
+        for (home, life) in &expiries {
+            prop_assert_eq!(swept_set.contains(home), *life <= sweep_at);
+        }
+    }
+
+    /// The policy table agrees with a naive longest-prefix model.
+    #[test]
+    fn policy_table_matches_model(
+        sets in proptest::collection::vec((arb_addr(), 8u8..=32, arb_mode()), 0..20),
+        learns in proptest::collection::vec((arb_addr(), arb_mode()), 0..10),
+        lookups in proptest::collection::vec(arb_addr(), 1..20),
+    ) {
+        let mut mpt = MobilePolicyTable::new(SendMode::ReverseTunnel);
+        let mut model: Vec<(Cidr, SendMode)> = Vec::new();
+        for (addr, len, mode) in sets {
+            let dest = Cidr::new(addr, len);
+            model.retain(|(d, _)| *d != dest);
+            model.push((dest, mode));
+            mpt.set(dest, mode);
+        }
+        for (host, mode) in learns {
+            let dest = Cidr::host(host);
+            model.retain(|(d, _)| *d != dest);
+            model.push((dest, mode));
+            mpt.learn(host, mode);
+        }
+        for dst in lookups {
+            let want = model
+                .iter()
+                .filter(|(d, _)| d.contains(dst))
+                .max_by_key(|(d, _)| d.prefix_len())
+                .map(|(_, m)| *m)
+                .unwrap_or(SendMode::ReverseTunnel);
+            prop_assert_eq!(mpt.lookup(dst), want);
+        }
+    }
+
+    /// forget_learned leaves configured entries untouched.
+    #[test]
+    fn forget_learned_spares_configured(
+        sets in proptest::collection::vec((arb_addr(), 8u8..=32, arb_mode()), 0..15),
+        learns in proptest::collection::vec((arb_addr(), arb_mode()), 0..15),
+    ) {
+        let mut mpt = MobilePolicyTable::new(SendMode::ReverseTunnel);
+        for (addr, len, mode) in &sets {
+            mpt.set(Cidr::new(*addr, *len), *mode);
+        }
+        for (host, mode) in &learns {
+            mpt.learn(*host, *mode);
+        }
+        mpt.forget_learned();
+        prop_assert!(mpt.entries().iter().all(|e| !e.learned));
+        // Every surviving entry was configured.
+        for e in mpt.entries() {
+            prop_assert!(sets.iter().any(|(a, l, _)| Cidr::new(*a, *l) == e.dest));
+        }
+    }
+
+    /// Registration requests round-trip for arbitrary field values, signed
+    /// or not; verification accepts exactly the signing key.
+    #[test]
+    fn request_round_trip_and_auth(
+        lifetime in any::<u16>(),
+        home in arb_addr(),
+        ha in arb_addr(),
+        coa in arb_addr(),
+        ident in any::<u64>(),
+        spi in any::<u32>(),
+        key in any::<u64>(),
+        wrong in any::<u64>(),
+    ) {
+        let plain = RegistrationRequest {
+            lifetime, home_addr: home, home_agent: ha, care_of: coa, ident, auth: None,
+        };
+        prop_assert_eq!(RegistrationRequest::parse(&plain.to_bytes()).unwrap(), plain);
+        let signed = plain.sign(spi, key);
+        let back = RegistrationRequest::parse(&signed.to_bytes()).unwrap();
+        prop_assert_eq!(back, signed);
+        prop_assert!(back.verify(key));
+        if wrong != key {
+            prop_assert!(!back.verify(wrong));
+        }
+    }
+
+    /// All message parsers tolerate arbitrary bytes without panicking, and
+    /// classify() agrees with whichever parser succeeds.
+    #[test]
+    fn parsers_never_panic_and_classify_is_consistent(
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let req = RegistrationRequest::parse(&data);
+        let rep = RegistrationReply::parse(&data);
+        let upd = BindingUpdate::parse(&data);
+        let adv = AgentAdvertisement::parse(&data);
+        match classify(&data) {
+            Some(mosquitonet_core::MessageKind::Request) => {
+                prop_assert!(rep.is_err() && upd.is_err() && adv.is_err());
+            }
+            Some(mosquitonet_core::MessageKind::Reply) => {
+                prop_assert!(req.is_err() && upd.is_err() && adv.is_err());
+            }
+            Some(mosquitonet_core::MessageKind::Update) => {
+                prop_assert!(req.is_err() && rep.is_err() && adv.is_err());
+            }
+            Some(mosquitonet_core::MessageKind::Advertisement) => {
+                prop_assert!(req.is_err() && rep.is_err() && upd.is_err());
+            }
+            None => {
+                prop_assert!(req.is_err() && rep.is_err() && upd.is_err() && adv.is_err());
+            }
+        }
+    }
+
+    /// Reply round-trips for every code.
+    #[test]
+    fn reply_round_trip(
+        code_idx in 0usize..5,
+        lifetime in any::<u16>(),
+        home in arb_addr(),
+        ha in arb_addr(),
+        ident in any::<u64>(),
+    ) {
+        let code = [
+            ReplyCode::Accepted,
+            ReplyCode::DeniedIdent,
+            ReplyCode::DeniedAuth,
+            ReplyCode::DeniedUnknownHome,
+            ReplyCode::DeniedLifetime,
+        ][code_idx];
+        let r = RegistrationReply { code, lifetime, home_addr: home, home_agent: ha, ident };
+        prop_assert_eq!(RegistrationReply::parse(&r.to_bytes()).unwrap(), r);
+    }
+}

@@ -1,0 +1,30 @@
+//! Simplified DHCP for MosquitoNet care-of address acquisition.
+//!
+//! The paper's mobile host "needs to acquire a temporary care-of IP address
+//! from the new network (perhaps dynamically via DHCP)" (§3.1). This crate
+//! provides the subset needed for that, plus the knob the §5.1 security
+//! discussion turns on: the server's address-reuse policy ("a well-written
+//! DHCP server would avoid reassigning the same IP address for as long as
+//! possible").
+//!
+//! Three layers:
+//!
+//! * [`DhcpMessage`] — a compact binary wire format (DISCOVER / OFFER /
+//!   REQUEST / ACK / NAK / RELEASE) on UDP 67/68.
+//! * [`DhcpServer`] — a [`Module`](mosquitonet_stack::Module) serving one
+//!   pool on one interface, with lease expiry and a configurable
+//!   [`ReusePolicy`].
+//! * [`DhcpClientMachine`] — a pure state machine (embedded by the mobile
+//!   host manager, which needs to drive acquisition as one step of a
+//!   hand-off) and [`DhcpClientModule`], a standalone module wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod messages;
+mod server;
+
+pub use client::{ClientEvent, DhcpClientMachine, DhcpClientModule, Lease};
+pub use messages::{DhcpMessage, DhcpOp, DHCP_CLIENT_PORT, DHCP_SERVER_PORT};
+pub use server::{DhcpServer, ReusePolicy};

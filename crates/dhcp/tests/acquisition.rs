@@ -1,0 +1,260 @@
+//! End-to-end DHCP over a simulated Ethernet: broadcast discovery, lease
+//! grant, interface configuration, renewal, and the address-reuse policies.
+
+use std::net::Ipv4Addr;
+
+use mosquitonet_dhcp::{DhcpClientModule, DhcpServer, ReusePolicy};
+use mosquitonet_link::presets;
+use mosquitonet_sim::{Sim, SimDuration};
+use mosquitonet_stack::{self as stack, HostId, IfaceId, ModuleId, NetSim, Network};
+use mosquitonet_wire::MacAddr;
+
+fn ip(s: &str) -> Ipv4Addr {
+    s.parse().unwrap()
+}
+
+struct Bed {
+    sim: NetSim,
+    client: HostId,
+    client_if: IfaceId,
+    client_mid: ModuleId,
+    server: HostId,
+    server_mid: ModuleId,
+}
+
+fn bed(policy: ReusePolicy, lease_secs: u64) -> Bed {
+    let mut net = Network::new();
+    let server = net.add_host("dhcp-server");
+    let client = net.add_host("visitor");
+    let lan = net.add_lan(presets::ethernet_lan("net-36-8"));
+    let s_if = net
+        .host_mut(server)
+        .core
+        .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(1)));
+    let c_if = net
+        .host_mut(client)
+        .core
+        .add_iface(presets::pcmcia_ethernet("eth0", MacAddr::from_index(2)));
+    net.host_mut(server)
+        .core
+        .iface_mut(s_if)
+        .add_addr(ip("36.8.0.2"), "36.8.0.0/24".parse().unwrap());
+    net.host_mut(server).core.routes.add(stack::RouteEntry {
+        dest: "36.8.0.0/24".parse().unwrap(),
+        gateway: None,
+        iface: s_if,
+        metric: 0,
+    });
+    let mut srv = DhcpServer::new(
+        s_if,
+        "36.8.0.0/24".parse().unwrap(),
+        40,
+        45,
+        ip("36.8.0.1"),
+        ip("36.8.0.2"),
+        SimDuration::from_secs(lease_secs),
+    );
+    srv.policy = policy;
+    let server_mid = net.host_mut(server).add_module(Box::new(srv));
+    let client_mid = net
+        .host_mut(client)
+        .add_module(Box::new(DhcpClientModule::new(c_if)));
+    net.attach(server, s_if, lan);
+    net.attach(client, c_if, lan);
+    let mut sim = Sim::new(net);
+    stack::bring_iface_up(&mut sim, server, s_if);
+    stack::bring_iface_up(&mut sim, client, c_if);
+    sim.run();
+    Bed {
+        sim,
+        client,
+        client_if: c_if,
+        client_mid,
+        server,
+        server_mid,
+    }
+}
+
+#[test]
+fn client_acquires_and_configures_address() {
+    let mut b = bed(ReusePolicy::LeastRecentlyUsed, 600);
+    stack::start(&mut b.sim);
+    b.sim.run_for(SimDuration::from_secs(5));
+    let client: &mut DhcpClientModule = b
+        .sim
+        .world_mut()
+        .host_mut(b.client)
+        .module_mut(b.client_mid)
+        .unwrap();
+    let lease = client.lease().expect("lease acquired");
+    assert!(lease.subnet.contains(lease.addr));
+    assert_eq!(lease.router, ip("36.8.0.1"));
+    assert_eq!(client.acquisitions, 1);
+    // The interface got the address and routes were installed.
+    let core = &b.sim.world().host(b.client).core;
+    assert!(core.iface(b.client_if).has_addr(lease.addr));
+    assert!(
+        core.routes.lookup(ip("36.8.0.200")).is_some(),
+        "subnet route"
+    );
+    assert_eq!(
+        core.routes.lookup(ip("8.8.8.8")).unwrap().gateway,
+        Some(ip("36.8.0.1")),
+        "default route via announced router"
+    );
+    let server: &mut DhcpServer = b
+        .sim
+        .world_mut()
+        .host_mut(b.server)
+        .module_mut(b.server_mid)
+        .unwrap();
+    assert_eq!(server.granted, 1);
+}
+
+#[test]
+fn renewal_keeps_the_same_address() {
+    let mut b = bed(ReusePolicy::LeastRecentlyUsed, 20);
+    stack::start(&mut b.sim);
+    b.sim.run_for(SimDuration::from_secs(5));
+    let first = {
+        let client: &mut DhcpClientModule = b
+            .sim
+            .world_mut()
+            .host_mut(b.client)
+            .module_mut(b.client_mid)
+            .unwrap();
+        client.lease().expect("initial lease").addr
+    };
+    // Run past several renewal cycles (renew at lease/2 = 10 s).
+    b.sim.run_for(SimDuration::from_secs(60));
+    let client: &mut DhcpClientModule = b
+        .sim
+        .world_mut()
+        .host_mut(b.client)
+        .module_mut(b.client_mid)
+        .unwrap();
+    let lease = client.lease().expect("still bound");
+    assert_eq!(lease.addr, first, "renewal preserved the address");
+    assert!(client.acquisitions >= 3, "several renew cycles completed");
+    // And the lease is still active server-side.
+    let now = b.sim.now();
+    let server: &mut DhcpServer = b
+        .sim
+        .world_mut()
+        .host_mut(b.server)
+        .module_mut(b.server_mid)
+        .unwrap();
+    assert_eq!(
+        server.lease_holder(first, now),
+        Some(MacAddr::from_index(2))
+    );
+}
+
+#[test]
+fn expired_lease_is_swept_server_side() {
+    let mut b = bed(ReusePolicy::LeastRecentlyUsed, 20);
+    stack::start(&mut b.sim);
+    b.sim.run_for(SimDuration::from_secs(5));
+    let addr = {
+        let client: &mut DhcpClientModule = b
+            .sim
+            .world_mut()
+            .host_mut(b.client)
+            .module_mut(b.client_mid)
+            .unwrap();
+        client.lease().unwrap().addr
+    };
+    // Kill the client's interface so it cannot renew; wait past expiry.
+    b.sim
+        .world_mut()
+        .host_mut(b.client)
+        .core
+        .iface_mut(b.client_if)
+        .device
+        .bring_down();
+    b.sim.run_for(SimDuration::from_secs(60));
+    let now = b.sim.now();
+    let server: &mut DhcpServer = b
+        .sim
+        .world_mut()
+        .host_mut(b.server)
+        .module_mut(b.server_mid)
+        .unwrap();
+    assert_eq!(
+        server.lease_holder(addr, now),
+        None,
+        "lease expired and swept"
+    );
+}
+
+#[test]
+fn conflicting_request_gets_a_nak_and_client_restarts() {
+    // Client A holds a lease; a second client REQUESTs the same address
+    // out of the blue. The server NAKs; the intruder's machine restarts
+    // discovery and ends up with a different address.
+    let mut b = bed(ReusePolicy::LeastRecentlyUsed, 600);
+    stack::start(&mut b.sim);
+    b.sim.run_for(SimDuration::from_secs(5));
+    let held = {
+        let client: &mut DhcpClientModule = b
+            .sim
+            .world_mut()
+            .host_mut(b.client)
+            .module_mut(b.client_mid)
+            .unwrap();
+        client.lease().expect("lease").addr
+    };
+
+    // The intruder joins the LAN and runs the standard client; the server
+    // (whose pool remembers A's binding) must never offer A's address.
+    let (intruder, intruder_mid, i_if) = {
+        let net = b.sim.world_mut();
+        let h = net.add_host("intruder");
+        let ifc = net
+            .host_mut(h)
+            .core
+            .add_iface(mosquitonet_link::presets::wired_ethernet(
+                "eth0",
+                MacAddr::from_index(99),
+            ));
+        let mid = net
+            .host_mut(h)
+            .add_module(Box::new(DhcpClientModule::new(ifc)));
+        (h, mid, ifc)
+    };
+    {
+        let net = b.sim.world_mut();
+        let lan = net
+            .host(b.server)
+            .core
+            .iface(stack::IfaceId(0))
+            .lan
+            .unwrap();
+        net.attach(intruder, i_if, lan);
+    }
+    stack::bring_iface_up(&mut b.sim, intruder, i_if);
+    b.sim.run_for(SimDuration::from_secs(1));
+    stack::dispatch(&mut b.sim, intruder, intruder_mid, |m, ctx| m.on_start(ctx));
+    b.sim.run_for(SimDuration::from_secs(5));
+
+    let got = {
+        let c: &mut DhcpClientModule = b
+            .sim
+            .world_mut()
+            .host_mut(intruder)
+            .module_mut(intruder_mid)
+            .unwrap();
+        c.lease().expect("intruder leased something").addr
+    };
+    assert_ne!(got, held, "the held address was not reassigned");
+    // And the original holder keeps its lease.
+    let now = b.sim.now();
+    let server: &mut DhcpServer = b
+        .sim
+        .world_mut()
+        .host_mut(b.server)
+        .module_mut(b.server_mid)
+        .unwrap();
+    assert_eq!(server.lease_holder(held, now), Some(MacAddr::from_index(2)));
+    assert!(server.active_leases(now) >= 2);
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for DHCP: message robustness and server-side
+//! lease-allocation invariants.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+use mosquitonet_dhcp::{DhcpMessage, DhcpOp};
+use mosquitonet_wire::MacAddr;
+
+fn arb_op() -> impl Strategy<Value = DhcpOp> {
+    prop_oneof![
+        Just(DhcpOp::Discover),
+        Just(DhcpOp::Offer),
+        Just(DhcpOp::Request),
+        Just(DhcpOp::Ack),
+        Just(DhcpOp::Nak),
+        Just(DhcpOp::Release),
+    ]
+}
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+proptest! {
+    /// Every well-formed message round-trips bit-exactly.
+    #[test]
+    fn message_round_trips(
+        op in arb_op(),
+        xid in any::<u32>(),
+        mac in any::<[u8; 6]>(),
+        yiaddr in arb_addr(),
+        server in arb_addr(),
+        prefix_len in 0u8..=32,
+        router in arb_addr(),
+        lease_secs in any::<u32>(),
+    ) {
+        let m = DhcpMessage {
+            op,
+            xid,
+            client_mac: MacAddr(mac),
+            yiaddr,
+            server,
+            prefix_len,
+            router,
+            lease_secs,
+        };
+        prop_assert_eq!(DhcpMessage::parse(&m.to_bytes()).unwrap(), m);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parse_never_panics(data in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let _ = DhcpMessage::parse(&data);
+    }
+
+    /// Single-bit corruption of the op or prefix fields is always caught
+    /// or yields a *different* well-formed message — never a panic.
+    #[test]
+    fn bitflips_are_tolerated(
+        xid in any::<u32>(),
+        mac in any::<[u8; 6]>(),
+        bit in 0usize..(30 * 8),
+    ) {
+        let m = DhcpMessage::discover(xid, MacAddr(mac));
+        let mut bytes = m.to_bytes().to_vec();
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        let _ = DhcpMessage::parse(&bytes); // must not panic
+    }
+
+    /// Request-from-offer preserves every binding-relevant field.
+    #[test]
+    fn request_preserves_offer(
+        xid in any::<u32>(),
+        mac in any::<[u8; 6]>(),
+        yiaddr in arb_addr(),
+        server in arb_addr(),
+        prefix_len in 0u8..=32,
+        router in arb_addr(),
+        lease_secs in any::<u32>(),
+    ) {
+        let offer = DhcpMessage {
+            op: DhcpOp::Offer,
+            xid,
+            client_mac: MacAddr(mac),
+            yiaddr,
+            server,
+            prefix_len,
+            router,
+            lease_secs,
+        };
+        let req = DhcpMessage::request(xid, MacAddr(mac), &offer);
+        prop_assert_eq!(req.op, DhcpOp::Request);
+        prop_assert_eq!(req.yiaddr, offer.yiaddr);
+        prop_assert_eq!(req.server, offer.server);
+        prop_assert_eq!(req.router, offer.router);
+        prop_assert_eq!(req.prefix_len, offer.prefix_len);
+        prop_assert_eq!(req.lease_secs, offer.lease_secs);
+        prop_assert_eq!(req.subnet(), offer.subnet());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the link layer: frame round-trips, the
+//! transmit queue's FIFO discipline, and medium delay bounds.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use mosquitonet_link::{presets, EtherType, Frame};
+use mosquitonet_sim::{SimDuration, SimRng, SimTime};
+use mosquitonet_wire::MacAddr;
+
+proptest! {
+    /// Frames round-trip for arbitrary addresses and payloads.
+    #[test]
+    fn frame_round_trips(
+        dst in any::<[u8; 6]>(),
+        src in any::<[u8; 6]>(),
+        is_arp in any::<bool>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let f = Frame::new(
+            MacAddr(dst),
+            MacAddr(src),
+            if is_arp { EtherType::Arp } else { EtherType::Ipv4 },
+            Bytes::from(payload),
+        );
+        prop_assert_eq!(Frame::parse(&f.to_bytes()).unwrap(), f);
+    }
+
+    /// Frame parsing never panics on random bytes.
+    #[test]
+    fn frame_parse_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Frame::parse(&data);
+    }
+
+    /// The transmit queue serializes: for any arrival pattern, completion
+    /// times are strictly increasing and each frame takes at least its
+    /// own serialization time after the later of (arrival, predecessor
+    /// completion).
+    #[test]
+    fn transmit_queue_is_fifo_and_work_conserving(
+        arrivals in proptest::collection::vec((0u64..1_000_000, 40usize..1_500), 1..50),
+    ) {
+        let mut dev = presets::metricom_radio("strip0", MacAddr::from_index(1));
+        let ready = dev.begin_bring_up(SimTime::ZERO);
+        dev.poll(ready);
+        let mut arrivals = arrivals;
+        arrivals.sort_by_key(|(t, _)| *t);
+        let mut last_done = SimTime::ZERO;
+        for (t_ns, len) in arrivals {
+            let now = SimTime::from_nanos(t_ns).max_sim(ready);
+            let delay = dev.schedule_tx(now, len);
+            let done = now + delay;
+            let earliest_start = if last_done > now { last_done } else { now };
+            let expected = earliest_start + dev.tx_time(len);
+            prop_assert_eq!(done, expected, "work-conserving FIFO schedule");
+            prop_assert!(done > last_done);
+            last_done = done;
+        }
+    }
+
+    /// Medium delays always fall within [base - jitter, base + jitter].
+    #[test]
+    fn lan_delay_within_bounds(seed in any::<u64>(), draws in 1usize..200) {
+        let cell = presets::radio_cell("cell");
+        let mut rng = SimRng::new(seed);
+        let base = presets::RADIO_PROPAGATION_BASE.as_nanos();
+        let jitter = presets::RADIO_PROPAGATION_JITTER.as_nanos();
+        for _ in 0..draws {
+            let d = cell.draw_delay(&mut rng).as_nanos();
+            prop_assert!(d >= base - jitter && d <= base + jitter);
+        }
+    }
+
+    /// tx_time is monotone in frame length and linear in the rate model.
+    #[test]
+    fn tx_time_monotone(len_a in 1usize..1_500, len_b in 1usize..1_500) {
+        let dev = presets::pcmcia_ethernet("eth0", MacAddr::from_index(1));
+        let (short, long) = if len_a <= len_b { (len_a, len_b) } else { (len_b, len_a) };
+        prop_assert!(dev.tx_time(short) <= dev.tx_time(long));
+        let ser = dev.tx_time(long) - dev.tx_fixed_overhead;
+        let expected = SimDuration::from_secs_f64(long as f64 * 8.0 / presets::ETHERNET_RATE_BPS as f64);
+        let diff = ser.as_nanos().abs_diff(expected.as_nanos());
+        prop_assert!(diff <= 1, "serialization within rounding of len*8/rate");
+    }
+}
+
+/// Helper: `SimTime::max` (std `Ord::max` works, alias for readability).
+trait MaxSim {
+    fn max_sim(self, other: Self) -> Self;
+}
+impl MaxSim for SimTime {
+    fn max_sim(self, other: Self) -> Self {
+        if self > other {
+            self
+        } else {
+            other
+        }
+    }
+}

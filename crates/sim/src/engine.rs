@@ -1,0 +1,415 @@
+//! The discrete-event engine: a future-event queue over a user world.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+/// Identifier of a scheduled event, usable to cancel it before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+type EventFn<W> = Box<dyn FnOnce(&mut Sim<W>)>;
+
+struct QueuedEvent<W> {
+    at: SimTime,
+    id: EventId,
+    run: EventFn<W>,
+}
+
+/// Key ordering: earliest time first; FIFO among same-time events (ids
+/// are allocated in scheduling order).
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey {
+    at: SimTime,
+    id: EventId,
+}
+
+/// A discrete-event simulation over a world of type `W`.
+///
+/// `Sim` owns the world, the virtual clock, a deterministic RNG, and a
+/// [`Trace`] for experiment instrumentation. Event handlers receive
+/// `&mut Sim<W>` and may mutate the world and schedule further events.
+///
+/// Events scheduled for the same instant fire in scheduling (FIFO) order,
+/// which keeps runs reproducible regardless of heap internals.
+pub struct Sim<W> {
+    now: SimTime,
+    /// One counter serves both as the next [`EventId`] and as the FIFO
+    /// tie-break among same-time events (ids are handed out in scheduling
+    /// order, so they are the same ordering).
+    next_id: u64,
+    queue: BinaryHeap<Reverse<HeapEntry<W>>>,
+    /// Ids of events still in the queue and not cancelled.
+    queued: HashSet<EventId>,
+    /// Ids cancelled while queued; their heap entries are skipped lazily.
+    cancelled: HashSet<EventId>,
+    world: W,
+    rng: SimRng,
+    trace: Trace,
+    events_executed: u64,
+}
+
+struct HeapEntry<W>(QueuedEvent<W>);
+
+impl<W> PartialEq for HeapEntry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<W> Eq for HeapEntry<W> {}
+impl<W> PartialOrd for HeapEntry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for HeapEntry<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+impl<W> HeapEntry<W> {
+    fn key(&self) -> EventKey {
+        EventKey {
+            at: self.0.at,
+            id: self.0.id,
+        }
+    }
+}
+
+impl<W> Sim<W> {
+    /// Creates a simulation over `world` with the default RNG seed.
+    pub fn new(world: W) -> Self {
+        Self::with_seed(world, 0x6d6f_7371_7569_746f) // "mosquito"
+    }
+
+    /// Creates a simulation over `world` with an explicit RNG seed.
+    ///
+    /// Two simulations built with the same world state and seed execute
+    /// identically, event for event.
+    pub fn with_seed(world: W, seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            next_id: 0,
+            queue: BinaryHeap::new(),
+            queued: HashSet::new(),
+            cancelled: HashSet::new(),
+            world,
+            rng: SimRng::new(seed),
+            trace: Trace::new(),
+            events_executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// The deterministic random number generator for this run.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Split borrow: the world and the RNG together, for code that draws
+    /// randomness while holding world state.
+    pub fn world_and_rng(&mut self) -> (&mut W, &mut SimRng) {
+        (&mut self.world, &mut self.rng)
+    }
+
+    /// The experiment trace log.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Exclusive access to the trace log.
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.events_executed
+    }
+
+    /// Number of events currently pending (cancelled events excluded).
+    pub fn pending_events(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past; a discrete-event simulation must never
+    /// travel backwards.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim<W>) + 'static) -> EventId {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at:?} < {:?}",
+            self.now
+        );
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.queued.insert(id);
+        self.queue.push(Reverse(HeapEntry(QueuedEvent {
+            at,
+            id,
+            run: Box::new(f),
+        })));
+        id
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut Sim<W>) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired. Cancelling an already
+    /// executed (or already cancelled) event returns `false` and is harmless.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // Lazy deletion: the heap entry stays but is skipped when popped.
+        if self.queued.remove(&id) {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pop_runnable(&mut self) -> Option<QueuedEvent<W>> {
+        while let Some(Reverse(HeapEntry(ev))) = self.queue.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            self.queued.remove(&ev.id);
+            return Some(ev);
+        }
+        None
+    }
+
+    /// Runs a single event if one is pending. Returns `false` when idle.
+    pub fn step(&mut self) -> bool {
+        match self.pop_runnable() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now);
+                self.now = ev.at;
+                self.events_executed += 1;
+                (ev.run)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event queue is exhausted.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events until (and including) those scheduled at `deadline`,
+    /// then advances the clock to `deadline` even if the queue drained early.
+    ///
+    /// Events scheduled after `deadline` remain queued.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        // Not a `while let`: the borrow from `peek` must end before
+        // `pop_runnable` can take `&mut self`.
+        #[allow(clippy::while_let_loop)]
+        loop {
+            let Some(Reverse(entry)) = self.queue.peek() else {
+                break;
+            };
+            if entry.0.at > deadline {
+                break;
+            }
+            // The peeked entry may have been cancelled; pop_runnable skips
+            // those and may drain the queue entirely.
+            let Some(ev) = self.pop_runnable() else {
+                break;
+            };
+            if ev.at > deadline {
+                // The runnable event (after skipping cancelled ones) is past
+                // the deadline; push it back untouched.
+                self.queued.insert(ev.id);
+                self.queue.push(Reverse(HeapEntry(ev)));
+                break;
+            }
+            self.now = ev.at;
+            self.events_executed += 1;
+            (ev.run)(self);
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `span` of virtual time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+
+    /// Consumes the simulation and returns the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(());
+        for (label, ms) in [("c", 30u64), ("a", 10), ("b", 20)] {
+            let order = Rc::clone(&order);
+            sim.schedule_in(SimDuration::from_millis(ms), move |_| {
+                order.borrow_mut().push(label);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_events_fire_fifo() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(());
+        for i in 0..100 {
+            let order = Rc::clone(&order);
+            sim.schedule_at(SimTime::from_nanos(42), move |_| {
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut sim = Sim::new(0u32);
+        fn tick(sim: &mut Sim<u32>) {
+            *sim.world_mut() += 1;
+            if *sim.world() < 5 {
+                sim.schedule_in(SimDuration::from_millis(1), tick);
+            }
+        }
+        sim.schedule_in(SimDuration::from_millis(1), tick);
+        sim.run();
+        assert_eq!(*sim.world(), 5);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Sim::new(0u32);
+        let id = sim.schedule_in(SimDuration::from_millis(1), |sim| {
+            *sim.world_mut() += 1;
+        });
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double cancel reports false");
+        sim.run();
+        assert_eq!(*sim.world(), 0);
+        assert_eq!(sim.events_executed(), 0);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut sim = Sim::new(());
+        assert!(!sim.cancel(EventId(999)));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut sim = Sim::new(Vec::<u64>::new());
+        for ms in [5u64, 10, 15, 20] {
+            sim.schedule_in(SimDuration::from_millis(ms), move |sim| {
+                sim.world_mut().push(ms);
+            });
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(12));
+        assert_eq!(*sim.world(), vec![5, 10]);
+        assert_eq!(sim.now().as_millis(), 12);
+        assert_eq!(sim.pending_events(), 2);
+        sim.run();
+        assert_eq!(*sim.world(), vec![5, 10, 15, 20]);
+    }
+
+    #[test]
+    fn run_until_inclusive_of_deadline_events() {
+        let mut sim = Sim::new(0u32);
+        sim.schedule_in(SimDuration::from_millis(10), |sim| *sim.world_mut() += 1);
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(10));
+        assert_eq!(*sim.world(), 1);
+    }
+
+    #[test]
+    fn run_until_skips_cancelled_heads() {
+        let mut sim = Sim::new(0u32);
+        let id = sim.schedule_in(SimDuration::from_millis(1), |sim| *sim.world_mut() += 100);
+        sim.schedule_in(SimDuration::from_millis(2), |sim| *sim.world_mut() += 1);
+        sim.cancel(id);
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(5));
+        assert_eq!(*sim.world(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Sim::new(());
+        sim.schedule_in(SimDuration::from_millis(5), |sim| {
+            sim.schedule_at(SimTime::from_nanos(0), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_runs() {
+        fn run(seed: u64) -> Vec<u64> {
+            let mut sim = Sim::with_seed(Vec::new(), seed);
+            fn tick(sim: &mut Sim<Vec<u64>>) {
+                let jitter = sim.rng().range_u64(0..1000);
+                sim.world_mut().push(jitter);
+                if sim.world().len() < 20 {
+                    sim.schedule_in(SimDuration::from_nanos(jitter + 1), tick);
+                }
+            }
+            sim.schedule_in(SimDuration::ZERO, tick);
+            sim.run();
+            sim.into_world()
+        }
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn run_for_advances_relative_span() {
+        let mut sim = Sim::new(());
+        sim.run_for(SimDuration::from_secs(1));
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(sim.now().as_millis(), 3000);
+    }
+}

@@ -1,0 +1,41 @@
+//! Deterministic discrete-event simulation engine for MosquitoNet.
+//!
+//! The engine is deliberately single-threaded: every experiment in the paper
+//! ("Supporting Mobility in MosquitoNet", USENIX 1996) measures *timing* —
+//! packet-loss windows, device bring-up latency, registration round-trips —
+//! and a single-threaded virtual clock makes those measurements exactly
+//! reproducible from a seed.
+//!
+//! The central type is [`Sim`], which owns a user-supplied *world* (the
+//! network state) together with a future-event queue. Events are boxed
+//! closures receiving `&mut Sim<W>`, so handlers can inspect the world,
+//! mutate it, and schedule further events.
+//!
+//! # Examples
+//!
+//! ```
+//! use mosquitonet_sim::{Sim, SimTime, SimDuration};
+//!
+//! let mut sim = Sim::new(0u64); // the world here is just a counter
+//! sim.schedule_in(SimDuration::from_millis(5), |sim| {
+//!     *sim.world_mut() += 1;
+//! });
+//! sim.run();
+//! assert_eq!(*sim.world(), 1);
+//! assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_millis(5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod rng;
+mod stats;
+mod time;
+mod trace;
+
+pub use engine::{EventId, Sim};
+pub use rng::SimRng;
+pub use stats::{Histogram, Summary};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEntry, TraceKind};

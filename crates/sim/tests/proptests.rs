@@ -1,0 +1,144 @@
+//! Property-based tests for the simulation engine and statistics.
+
+use proptest::prelude::*;
+
+use mosquitonet_sim::{Histogram, Sim, SimDuration, SimTime, Summary};
+
+proptest! {
+    /// Events always execute in nondecreasing time order, FIFO among ties.
+    #[test]
+    fn events_execute_in_time_then_fifo_order(delays in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut sim = Sim::new(Vec::<(u64, usize)>::new());
+        for (idx, &d) in delays.iter().enumerate() {
+            sim.schedule_in(SimDuration::from_nanos(d), move |sim| {
+                let t = sim.now().as_nanos();
+                sim.world_mut().push((t, idx));
+            });
+        }
+        sim.run();
+        let log = sim.into_world();
+        prop_assert_eq!(log.len(), delays.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO among same-time events");
+            }
+        }
+        // Each event fired exactly at its scheduled time.
+        for (t, idx) in log {
+            prop_assert_eq!(t, delays[idx]);
+        }
+    }
+
+    /// Cancelling a random subset prevents exactly those events.
+    #[test]
+    fn cancellation_is_exact(
+        delays in proptest::collection::vec(1u64..1_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut sim = Sim::new(Vec::<usize>::new());
+        let mut ids = Vec::new();
+        for (idx, &d) in delays.iter().enumerate() {
+            ids.push(sim.schedule_in(SimDuration::from_nanos(d), move |sim| {
+                sim.world_mut().push(idx);
+            }));
+        }
+        let mut expected: Vec<usize> = Vec::new();
+        for (idx, id) in ids.into_iter().enumerate() {
+            if cancel_mask[idx] {
+                sim.cancel(id);
+            } else {
+                expected.push(idx);
+            }
+        }
+        sim.run();
+        let mut fired = sim.into_world();
+        fired.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(fired, expected);
+    }
+
+    /// `run_until` is equivalent to `run` filtered by deadline, and the
+    /// remainder still executes afterwards.
+    #[test]
+    fn run_until_partitions_execution(
+        delays in proptest::collection::vec(0u64..1_000, 1..100),
+        deadline in 0u64..1_000,
+    ) {
+        let mut sim = Sim::new(Vec::<u64>::new());
+        for &d in &delays {
+            sim.schedule_in(SimDuration::from_nanos(d), move |sim| {
+                sim.world_mut().push(d);
+            });
+        }
+        sim.run_until(SimTime::from_nanos(deadline));
+        let early: Vec<u64> = sim.world().clone();
+        prop_assert!(early.iter().all(|&t| t <= deadline));
+        sim.run();
+        let all = sim.into_world();
+        prop_assert_eq!(all.len(), delays.len());
+    }
+
+    /// Welford mean/stddev match the naive two-pass computation.
+    #[test]
+    fn summary_matches_naive(samples in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let s = Summary::from_samples(&samples);
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.stddev() - var.sqrt()).abs() <= 1e-6 * var.sqrt().max(1.0));
+        prop_assert_eq!(s.count(), samples.len() as u64);
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min(), Some(min));
+        prop_assert_eq!(s.max(), Some(max));
+    }
+
+    /// Merging summaries in any split equals the single-pass result.
+    #[test]
+    fn summary_merge_any_split(
+        samples in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        split in any::<proptest::sample::Index>(),
+    ) {
+        let k = split.index(samples.len());
+        let whole = Summary::from_samples(&samples);
+        let mut merged = Summary::from_samples(&samples[..k]);
+        merged.merge(&Summary::from_samples(&samples[k..]));
+        prop_assert!((whole.mean() - merged.mean()).abs() < 1e-9 * whole.mean().abs().max(1.0));
+        prop_assert!((whole.stddev() - merged.stddev()).abs() < 1e-6);
+    }
+
+    /// Histogram counts are conserved: in-range + overflow = total.
+    #[test]
+    fn histogram_conserves_counts(
+        values in proptest::collection::vec(0usize..40, 0..300),
+        buckets in 1usize..20,
+    ) {
+        let mut h = Histogram::new(buckets);
+        for &v in &values {
+            h.record(v);
+        }
+        let in_range: u64 = h.buckets().iter().sum();
+        prop_assert_eq!(in_range + h.overflow(), h.total());
+        prop_assert_eq!(h.total(), values.len() as u64);
+        for v in 0..=buckets {
+            let expected = values.iter().filter(|&&x| x == v).count() as u64;
+            prop_assert_eq!(h.count(v), expected);
+        }
+    }
+
+    /// Seeded RNG streams are reproducible and the range contract holds.
+    #[test]
+    fn rng_reproducible_and_in_range(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+        use mosquitonet_sim::SimRng;
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..100 {
+            let x = a.range_u64(lo..lo + span);
+            let y = b.range_u64(lo..lo + span);
+            prop_assert_eq!(x, y);
+            prop_assert!((lo..lo + span).contains(&x));
+        }
+    }
+}

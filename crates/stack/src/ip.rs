@@ -1,0 +1,713 @@
+//! The IP layer: output with source selection and override hooks, input,
+//! forwarding, VIF tunneling, ICMP, and transport dispatch.
+//!
+//! The output path reproduces the paper's §3.3 decision structure:
+//!
+//! 1. A packet whose source address is pinned to a specific interface is
+//!    "outside the scope of mobile IP" — it goes straight out.
+//! 2. Otherwise the (overridden) route lookup runs: modules' `route_override`
+//!    hooks — where `mosquitonet-core` plugs in the Mobile Policy Table —
+//!    get first claim, exactly like the modified `ip_rt_route()`.
+//! 3. A VIF tunnel entry (the home agent's per-mobile-host route) triggers
+//!    IP-in-IP encapsulation, after which the outer packet is routed
+//!    normally — "we can consider IP-within-IP to have delivered a new
+//!    packet to IP, which treats the packet based on the same set of rules
+//!    as before" (§3.3).
+//! 4. Failing all of those, the plain kernel routing table answers.
+
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+use mosquitonet_link::{EtherType, Frame};
+use mosquitonet_sim::TraceKind;
+use mosquitonet_wire::{
+    ipip, IcmpMessage, IpProto, Ipv4Header, Ipv4Packet, TcpSegment, UdpDatagram, UnreachableCode,
+};
+
+use crate::host::{Host, HostId};
+use crate::iface::IfaceId;
+use crate::proto::{EncapSpec, ModuleId, RouteDecision, SendOptions, SourceSel};
+use crate::tcp::{ConnId, TcpOut, TcpTable};
+use crate::udp::SocketId;
+use crate::world::{self, NetSim};
+
+/// Maximum decapsulation nesting accepted on input.
+const MAX_DECAP_DEPTH: u32 = 4;
+
+/// Picks the source address a packet leaving `iface` toward `dst` should
+/// carry: an address on the subnet containing `dst` if one is configured,
+/// else the interface's primary address.
+fn iface_src(host: &Host, iface: IfaceId, dst: Ipv4Addr) -> Ipv4Addr {
+    let ifc = host.core.iface(iface);
+    ifc.subnet_containing(dst)
+        .map(|a| a.addr)
+        .or_else(|| ifc.primary_addr())
+        .unwrap_or(Ipv4Addr::UNSPECIFIED)
+}
+
+/// The full output-path route resolution (`ip_rt_route()` with the §3.3
+/// extensions). Returns `None` when there is no route.
+pub(crate) fn resolve_route(
+    host: &mut Host,
+    dst: Ipv4Addr,
+    src_sel: SourceSel,
+    forced_iface: Option<IfaceId>,
+) -> Option<RouteDecision> {
+    // Forced interface: mobile-aware applications addressing a device
+    // directly bypass every table.
+    if let Some(iface) = forced_iface {
+        let src = match src_sel {
+            SourceSel::Addr(a) => a,
+            SourceSel::Unspecified => iface_src(host, iface, dst),
+        };
+        return Some(RouteDecision {
+            iface,
+            src,
+            next_hop: dst,
+            encap: None,
+        });
+    }
+
+    // Module hooks (Mobile Policy Table) — first claim wins.
+    for idx in 0..host.modules.len() {
+        if let Some(mut module) = host.take_module(ModuleId(idx)) {
+            let decision = module.route_override(&host.core, dst, src_sel);
+            host.put_module(ModuleId(idx), module);
+            if let Some(d) = decision {
+                return Some(d);
+            }
+        }
+    }
+
+    // VIF tunnel entries (the home agent's encapsulating routes).
+    if let Some(&care_of) = host.core.tunnels.get(&dst) {
+        let rt = host.core.routes.lookup(care_of)?;
+        let outer_src = iface_src(host, rt.iface, care_of);
+        let src = match src_sel {
+            SourceSel::Addr(a) => a,
+            SourceSel::Unspecified => outer_src,
+        };
+        return Some(RouteDecision {
+            iface: rt.iface,
+            src,
+            next_hop: rt.gateway.unwrap_or(care_of),
+            encap: Some(EncapSpec {
+                outer_src,
+                outer_dst: care_of,
+            }),
+        });
+    }
+
+    // The unmodified kernel routing table.
+    let rt = host.core.routes.lookup(dst)?;
+    let src = match src_sel {
+        SourceSel::Addr(a) => a,
+        SourceSel::Unspecified => iface_src(host, rt.iface, dst),
+    };
+    Some(RouteDecision {
+        iface: rt.iface,
+        src,
+        next_hop: rt.gateway.unwrap_or(dst),
+        encap: None,
+    })
+}
+
+/// Sends a UDP datagram from `sock`.
+pub fn udp_send(
+    sim: &mut NetSim,
+    host: HostId,
+    sock: SocketId,
+    dst: (Ipv4Addr, u16),
+    payload: Bytes,
+    opts: SendOptions,
+) {
+    let (decision, src_port) = {
+        let h = &mut sim.world_mut().hosts[host.0];
+        let Some(s) = h.core.udp.get(sock) else {
+            return; // closed socket
+        };
+        let src_port = s.port;
+        // A socket bound to a concrete address pins the source (§3.3's
+        // "outside the scope of mobile IP" case), unless the caller pinned
+        // one explicitly.
+        let src_sel = match (opts.src, s.local_addr) {
+            (SourceSel::Addr(a), _) => SourceSel::Addr(a),
+            (SourceSel::Unspecified, Some(a)) => SourceSel::Addr(a),
+            (SourceSel::Unspecified, None) => SourceSel::Unspecified,
+        };
+        // Local destination: deliver without touching the wire.
+        if h.core.is_local_addr(dst.0) {
+            let src = match src_sel {
+                SourceSel::Addr(a) => a,
+                SourceSel::Unspecified => dst.0,
+            };
+            let dgram = UdpDatagram::new(src_port, dst.1, payload);
+            let bytes = dgram.to_bytes(src, dst.0);
+            let mut header = Ipv4Header::new(src, dst.0, IpProto::Udp);
+            header.ident = h.core.next_ident();
+            let pkt = Ipv4Packet::new(header, bytes);
+            let proc = h.core.proc_delay;
+            sim.schedule_in(proc, move |sim| ip_input(sim, host, None, pkt, 0));
+            return;
+        }
+        match resolve_route(h, dst.0, src_sel, opts.iface) {
+            Some(d) => (d, src_port),
+            None => {
+                h.core.stats.dropped_no_route += 1;
+                return;
+            }
+        }
+    };
+    let dgram = UdpDatagram::new(src_port, dst.1, payload);
+    let bytes = dgram.to_bytes(decision.src, dst.0);
+    let mut header = Ipv4Header::new(decision.src, dst.0, IpProto::Udp);
+    if let Some(ttl) = opts.ttl {
+        header.ttl = ttl;
+    }
+    header.ident = sim.world_mut().hosts[host.0].core.next_ident();
+    send_resolved(sim, host, Ipv4Packet::new(header, bytes), decision);
+}
+
+/// Sends a raw IP packet (used for ICMP and by module effects). A packet
+/// with an unspecified source engages source selection and the mobility
+/// hooks; a concrete source is honored as-is.
+pub fn ip_send_packet(sim: &mut NetSim, host: HostId, mut packet: Ipv4Packet, opts: SendOptions) {
+    let dst = packet.header.dst;
+    let src_sel = if packet.header.src.is_unspecified() {
+        opts.src
+    } else {
+        SourceSel::Addr(packet.header.src)
+    };
+    // Loopback.
+    if sim.world().hosts[host.0].core.is_local_addr(dst) {
+        if packet.header.src.is_unspecified() {
+            packet.header.src = dst;
+        }
+        let proc = sim.world().hosts[host.0].core.proc_delay;
+        sim.schedule_in(proc, move |sim| ip_input(sim, host, None, packet, 0));
+        return;
+    }
+    let decision = {
+        let h = &mut sim.world_mut().hosts[host.0];
+        match resolve_route(h, dst, src_sel, opts.iface) {
+            Some(d) => d,
+            None => {
+                h.core.stats.dropped_no_route += 1;
+                return;
+            }
+        }
+    };
+    packet.header.src = decision.src;
+    send_resolved(sim, host, packet, decision);
+}
+
+/// Sends a packet along a resolved decision, encapsulating if requested.
+fn send_resolved(sim: &mut NetSim, host: HostId, packet: Ipv4Packet, decision: RouteDecision) {
+    sim.world_mut().hosts[host.0].core.stats.ip_output += 1;
+    let out_packet = if let Some(encap) = decision.encap {
+        sim.world_mut().hosts[host.0].core.stats.encapsulated += 1;
+        ipip::encapsulate(&packet, encap.outer_src, encap.outer_dst)
+    } else {
+        packet
+    };
+    ip_transmit(sim, host, decision.iface, out_packet, decision.next_hop);
+}
+
+/// Link-layer transmission: broadcast detection, ARP resolution, parking.
+pub(crate) fn ip_transmit(
+    sim: &mut NetSim,
+    host: HostId,
+    iface: IfaceId,
+    packet: Ipv4Packet,
+    next_hop: Ipv4Addr,
+) {
+    let (my_mac, dst_mac, solicit) = {
+        let h = &mut sim.world_mut().hosts[host.0];
+        let ifc = h.core.iface(iface);
+        let my_mac = ifc.device.mac();
+        let broadcast = next_hop == Ipv4Addr::BROADCAST
+            || packet.header.dst == Ipv4Addr::BROADCAST
+            || packet.header.dst.is_multicast()
+            || ifc.is_subnet_broadcast(next_hop);
+        if broadcast {
+            (my_mac, Some(mosquitonet_wire::MacAddr::BROADCAST), None)
+        } else if let Some(mac) = h.core.arp[iface.0].lookup(next_hop) {
+            (my_mac, Some(mac), None)
+        } else {
+            let generation = h.core.arp[iface.0].park(next_hop, packet.clone());
+            (my_mac, None, generation)
+        }
+    };
+    match dst_mac {
+        Some(mac) => {
+            let frame = Frame::new(mac, my_mac, EtherType::Ipv4, packet.to_bytes());
+            world::transmit_frame(sim, host, iface, frame);
+        }
+        None => {
+            if let Some(generation) = solicit {
+                world::arp_solicit(sim, host, iface, next_hop, generation);
+            }
+        }
+    }
+}
+
+/// IP input: local delivery or forwarding.
+///
+/// `iface` is `None` for loopback-delivered packets; `depth` counts
+/// decapsulation nesting.
+pub fn ip_input(
+    sim: &mut NetSim,
+    host: HostId,
+    iface: Option<IfaceId>,
+    packet: Ipv4Packet,
+    depth: u32,
+) {
+    let (local, broadcast, forwarding) = {
+        let core = &mut sim.world_mut().hosts[host.0].core;
+        core.stats.ip_input += 1;
+        (
+            core.is_local_addr(packet.header.dst),
+            core.is_broadcast_addr(packet.header.dst),
+            core.forwarding,
+        )
+    };
+    // Link-local multicast: deliver to members on the arriving interface;
+    // silently ignore otherwise. Never forwarded (multicast routing is out
+    // of scope — see DESIGN.md).
+    if packet.header.dst.is_multicast() {
+        let member = sim.world().hosts[host.0]
+            .core
+            .is_multicast_member(iface, packet.header.dst);
+        if member {
+            local_deliver(sim, host, iface, packet, depth);
+        }
+        return;
+    }
+    if local || broadcast {
+        local_deliver(sim, host, iface, packet, depth);
+    } else if forwarding {
+        forward(sim, host, iface, packet);
+    } else {
+        sim.world_mut().hosts[host.0].core.stats.dropped_not_local += 1;
+        if sim.trace().is_enabled() {
+            let name = sim.world().hosts[host.0].core.name.clone();
+            let detail = format!(
+                "not local, not forwarding: {} -> {}",
+                packet.header.src, packet.header.dst
+            );
+            let now = sim.now();
+            sim.trace_mut()
+                .record(now, TraceKind::PacketDropped, name, detail);
+        }
+    }
+}
+
+/// The forwarding path (routers, home agents, foreign agents).
+fn forward(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, mut packet: Ipv4Packet) {
+    // TTL.
+    if packet.header.ttl <= 1 {
+        sim.world_mut().hosts[host.0].core.stats.dropped_ttl += 1;
+        let quote = packet.invoking_quote();
+        icmp_error(
+            sim,
+            host,
+            packet.header.src,
+            IcmpMessage::TimeExceeded { invoking: quote },
+        );
+        return;
+    }
+    packet.header.ttl -= 1;
+
+    // VIF tunnel entries: the home agent's "all packets for the mobile
+    // host's home IP address must be encapsulated" routes (§3.1).
+    let tunnel = sim.world().hosts[host.0]
+        .core
+        .tunnels
+        .get(&packet.header.dst)
+        .copied();
+    if let Some(care_of) = tunnel {
+        let (rt, outer_src) = {
+            let h = &sim.world().hosts[host.0];
+            match h.core.routes.lookup(care_of) {
+                Some(rt) => {
+                    let src = iface_src(h, rt.iface, care_of);
+                    (rt, src)
+                }
+                None => {
+                    sim.world_mut().hosts[host.0].core.stats.dropped_no_route += 1;
+                    return;
+                }
+            }
+        };
+        let core = &mut sim.world_mut().hosts[host.0].core;
+        core.stats.forwarded += 1;
+        core.stats.encapsulated += 1;
+        if sim.trace().is_enabled() {
+            let name = sim.world().hosts[host.0].core.name.clone();
+            let detail = format!("tunnel {} -> care-of {}", packet.header.dst, care_of);
+            let now = sim.now();
+            sim.trace_mut()
+                .record(now, TraceKind::Mobility, name, detail);
+        }
+        let outer = ipip::encapsulate(&packet, outer_src, care_of);
+        ip_transmit(sim, host, rt.iface, outer, rt.gateway.unwrap_or(care_of));
+        return;
+    }
+
+    // Plain forwarding.
+    let rt = match sim.world().hosts[host.0]
+        .core
+        .routes
+        .lookup(packet.header.dst)
+    {
+        Some(rt) => rt,
+        None => {
+            sim.world_mut().hosts[host.0].core.stats.dropped_no_route += 1;
+            let quote = packet.invoking_quote();
+            icmp_error(
+                sim,
+                host,
+                packet.header.src,
+                IcmpMessage::DestUnreachable {
+                    code: UnreachableCode::Net,
+                    invoking: quote,
+                },
+            );
+            return;
+        }
+    };
+
+    // Transit-traffic filter (§3.2): a security-conscious router drops
+    // packets leaving through an upstream interface whose source address is
+    // not local to the site.
+    {
+        let core = &sim.world().hosts[host.0].core;
+        if core.transit_filter
+            && core.upstream_ifaces.contains(&rt.iface)
+            && !core
+                .local_subnets()
+                .iter()
+                .any(|s| s.contains(packet.header.src))
+        {
+            sim.world_mut().hosts[host.0].core.stats.dropped_filter += 1;
+            if sim.trace().is_enabled() {
+                let name = sim.world().hosts[host.0].core.name.clone();
+                let detail = format!(
+                    "transit filter: src {} not local, egress upstream",
+                    packet.header.src
+                );
+                let now = sim.now();
+                sim.trace_mut()
+                    .record(now, TraceKind::PacketDropped, name, detail);
+            }
+            return;
+        }
+    }
+
+    // ICMP redirect: forwarding back out the arrival interface tells the
+    // on-link sender about the better gateway (§5.2's third transparency
+    // problem arises exactly here).
+    if let Some(in_if) = in_iface {
+        let send_redirect = {
+            let core = &sim.world().hosts[host.0].core;
+            core.send_redirects
+                && in_if == rt.iface
+                && core
+                    .iface(in_if)
+                    .subnet_containing(packet.header.src)
+                    .is_some()
+        };
+        if send_redirect {
+            sim.world_mut().hosts[host.0].core.stats.redirects_sent += 1;
+            let gw = rt.gateway.unwrap_or(packet.header.dst);
+            let quote = packet.invoking_quote();
+            icmp_error(
+                sim,
+                host,
+                packet.header.src,
+                IcmpMessage::Redirect {
+                    gateway: gw,
+                    invoking: quote,
+                },
+            );
+        }
+    }
+
+    sim.world_mut().hosts[host.0].core.stats.forwarded += 1;
+    let next_hop = rt.gateway.unwrap_or(packet.header.dst);
+    ip_transmit(sim, host, rt.iface, packet, next_hop);
+}
+
+/// Sends an ICMP error/notification from this host to `dst`.
+fn icmp_error(sim: &mut NetSim, host: HostId, dst: Ipv4Addr, msg: IcmpMessage) {
+    if dst.is_unspecified() || dst == Ipv4Addr::BROADCAST {
+        return; // never ICMP a broadcast source
+    }
+    let packet = Ipv4Packet::new(
+        Ipv4Header::new(Ipv4Addr::UNSPECIFIED, dst, IpProto::Icmp),
+        msg.to_bytes(),
+    );
+    ip_send_packet(sim, host, packet, SendOptions::default());
+}
+
+/// Delivery to local transports.
+fn local_deliver(
+    sim: &mut NetSim,
+    host: HostId,
+    in_iface: Option<IfaceId>,
+    packet: Ipv4Packet,
+    depth: u32,
+) {
+    sim.world_mut().hosts[host.0].core.stats.delivered += 1;
+    match packet.header.protocol {
+        IpProto::Udp => udp_input(sim, host, &packet),
+        IpProto::Icmp => icmp_input(sim, host, in_iface, &packet),
+        IpProto::Tcp => tcp_input(sim, host, &packet),
+        IpProto::IpIp => ipip_input(sim, host, in_iface, packet, depth),
+        IpProto::Other(mosquitonet_wire::IGMP_PROTO) => igmp_input(sim, host, &packet),
+        IpProto::Other(_) => unclaimed_input(sim, host, &packet),
+    }
+}
+
+fn igmp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet) {
+    // Host-side IGMP subset: reports/queries are traced, not acted on
+    // (there is no multicast router to satisfy).
+    match mosquitonet_wire::IgmpMessage::parse(&packet.payload) {
+        Ok(msg) => {
+            let name = sim.world().hosts[host.0].core.name.clone();
+            let now = sim.now();
+            sim.trace_mut().record(
+                now,
+                TraceKind::PacketDelivered,
+                name,
+                format!("IGMP {msg:?} from {}", packet.header.src),
+            );
+        }
+        Err(_) => {
+            sim.world_mut().hosts[host.0].core.stats.dropped_malformed += 1;
+        }
+    }
+}
+
+fn udp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet) {
+    let dgram = match UdpDatagram::parse(&packet.payload, packet.header.src, packet.header.dst) {
+        Ok(d) => d,
+        Err(_) => {
+            sim.world_mut().hosts[host.0].core.stats.dropped_malformed += 1;
+            return;
+        }
+    };
+    let target = sim.world().hosts[host.0]
+        .core
+        .udp
+        .deliver_to(packet.header.dst, dgram.dst_port);
+    match target {
+        Some(sock) => {
+            let owner = sim.world().hosts[host.0]
+                .core
+                .udp
+                .get(sock)
+                .expect("live")
+                .owner;
+            let src = (packet.header.src, dgram.src_port);
+            let dst_addr = packet.header.dst;
+            let payload = dgram.payload.clone();
+            world::dispatch(sim, host, owner, move |m, ctx| {
+                m.on_udp(ctx, sock, src, dst_addr, &payload);
+            });
+        }
+        None => {
+            // Port unreachable — but never for broadcasts or multicasts
+            // (RFC 1122: ICMP errors are never sent for non-unicast
+            // datagrams).
+            if !non_unicast_dst(sim, host, packet.header.dst) {
+                let quote = packet.invoking_quote();
+                icmp_error(
+                    sim,
+                    host,
+                    packet.header.src,
+                    IcmpMessage::DestUnreachable {
+                        code: UnreachableCode::Port,
+                        invoking: quote,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// True when `dst` must never be replied or errored to: a multicast group
+/// or one of this host's broadcast addresses.
+fn non_unicast_dst(sim: &NetSim, host: HostId, dst: Ipv4Addr) -> bool {
+    dst.is_multicast() || sim.world().hosts[host.0].core.is_broadcast_addr(dst)
+}
+
+fn icmp_input(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, packet: &Ipv4Packet) {
+    let msg = match IcmpMessage::parse(&packet.payload) {
+        Ok(m) => m,
+        Err(_) => {
+            sim.world_mut().hosts[host.0].core.stats.dropped_malformed += 1;
+            return;
+        }
+    };
+    match &msg {
+        IcmpMessage::EchoRequest { .. }
+            // The mobile host's *local role* (§5.2): answer pings addressed
+            // to whichever of our addresses was pinged, sourcing the reply
+            // from that same address. Broadcast and multicast echoes are
+            // never answered (a reply storm from every group member).
+            if !non_unicast_dst(sim, host, packet.header.dst) => {
+                let reply = msg.echo_reply_for().expect("echo request");
+                let reply_pkt = Ipv4Packet::new(
+                    Ipv4Header::new(packet.header.dst, packet.header.src, IpProto::Icmp),
+                    reply.to_bytes(),
+                );
+                ip_send_packet(sim, host, reply_pkt, SendOptions::default());
+            }
+        IcmpMessage::Redirect { gateway, invoking } => {
+            let accept = sim.world().hosts[host.0].core.accept_redirects;
+            if accept {
+                if let (Ok(original), Some(in_if)) = (Ipv4Packet::parse_header_prefix(invoking), in_iface)
+                {
+                    let core = &mut sim.world_mut().hosts[host.0].core;
+                    core.routes.add(crate::route::RouteEntry {
+                        dest: mosquitonet_wire::Cidr::host(original.dst),
+                        gateway: Some(*gateway),
+                        iface: in_if,
+                        metric: 0,
+                    });
+                    core.stats.redirects_accepted += 1;
+                }
+            }
+        }
+        _ => {}
+    }
+    // All ICMP (including echo replies and unreachables) is visible to
+    // modules — reachability probes live there.
+    let from = packet.header.src;
+    let modules = sim.world().hosts[host.0].module_count();
+    for m in 0..modules {
+        let msg = msg.clone();
+        world::dispatch(sim, host, ModuleId(m), move |module, ctx| {
+            module.on_icmp(ctx, from, &msg);
+        });
+    }
+}
+
+fn ipip_input(
+    sim: &mut NetSim,
+    host: HostId,
+    in_iface: Option<IfaceId>,
+    packet: Ipv4Packet,
+    depth: u32,
+) {
+    let decap_enabled = sim.world().hosts[host.0].core.ipip_decap;
+    if !decap_enabled || depth >= MAX_DECAP_DEPTH {
+        unclaimed_input(sim, host, &packet);
+        return;
+    }
+    match ipip::decapsulate(&packet) {
+        Ok(inner) => {
+            sim.world_mut().hosts[host.0].core.stats.decapsulated += 1;
+            if sim.trace().is_enabled() {
+                let name = sim.world().hosts[host.0].core.name.clone();
+                let detail = format!(
+                    "decapsulated {} -> {} (outer from {})",
+                    inner.header.src, inner.header.dst, packet.header.src
+                );
+                let now = sim.now();
+                sim.trace_mut()
+                    .record(now, TraceKind::Mobility, name, detail);
+            }
+            // "The packet... will take the reverse of the dotted path" —
+            // the inner packet re-enters IP as if freshly received.
+            ip_input(sim, host, in_iface, inner, depth + 1);
+        }
+        Err(_) => {
+            sim.world_mut().hosts[host.0].core.stats.dropped_malformed += 1;
+        }
+    }
+}
+
+fn unclaimed_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet) {
+    let modules = sim.world().hosts[host.0].module_count();
+    for m in 0..modules {
+        let claimed = world::dispatch(sim, host, ModuleId(m), |module, ctx| {
+            module.on_ip_unclaimed(ctx, packet)
+        });
+        if claimed {
+            return;
+        }
+    }
+    // Nobody wanted it.
+    let core = &mut sim.world_mut().hosts[host.0].core;
+    core.stats.unclaimed += 1;
+}
+
+fn tcp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet) {
+    let seg = match TcpSegment::parse(&packet.payload, packet.header.src, packet.header.dst) {
+        Ok(s) => s,
+        Err(_) => {
+            sim.world_mut().hosts[host.0].core.stats.dropped_malformed += 1;
+            return;
+        }
+    };
+    let local = (packet.header.dst, seg.dst_port);
+    let remote = (packet.header.src, seg.src_port);
+    let conn = sim.world().hosts[host.0]
+        .core
+        .tcp
+        .lookup(local.0, local.1, remote.0, remote.1);
+    if let Some(conn) = conn {
+        let out = sim.world_mut().hosts[host.0]
+            .core
+            .tcp
+            .on_segment(conn, &seg);
+        apply_tcp_out(sim, host, conn, out);
+        return;
+    }
+    // Passive open?
+    if seg.flags.syn && !seg.flags.ack {
+        let listener = sim.world().hosts[host.0]
+            .core
+            .tcp
+            .lookup_listener(local.0, local.1);
+        if let Some(l) = listener {
+            let (conn, out) = sim.world_mut().hosts[host.0]
+                .core
+                .tcp
+                .accept(l, local, remote, &seg);
+            apply_tcp_out(sim, host, conn, out);
+            return;
+        }
+    }
+    // No connection, no listener: RST (unless this itself is a RST).
+    if !seg.flags.rst {
+        let rst = TcpTable::rst_for(&seg);
+        let bytes = rst.to_bytes(local.0, remote.0);
+        let pkt = Ipv4Packet::new(Ipv4Header::new(local.0, remote.0, IpProto::Tcp), bytes);
+        ip_send_packet(sim, host, pkt, SendOptions::default());
+    }
+}
+
+/// Applies a [`TcpOut`]: transmit segments, adjust the RTO timer, deliver
+/// events to the owning module.
+pub(crate) fn apply_tcp_out(sim: &mut NetSim, host: HostId, conn: ConnId, out: TcpOut) {
+    let (local, remote, owner) = {
+        let tcb = sim.world().hosts[host.0].core.tcp.get(conn).expect("conn");
+        (tcb.local, tcb.remote, tcb.owner)
+    };
+    for seg in out.send {
+        let bytes = seg.to_bytes(local.0, remote.0);
+        let pkt = Ipv4Packet::new(Ipv4Header::new(local.0, remote.0, IpProto::Tcp), bytes);
+        // The source is the connection's local (home) address; mobility
+        // policy hooks see it and may tunnel or triangle-route it.
+        ip_send_packet(sim, host, pkt, SendOptions::default());
+    }
+    world::set_tcp_timer(sim, host, conn, out.timer);
+    for event in out.events {
+        world::dispatch(sim, host, owner, |m, ctx| {
+            m.on_tcp_event(ctx, conn, &event);
+        });
+    }
+}

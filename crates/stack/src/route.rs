@@ -1,0 +1,226 @@
+//! The kernel routing table.
+//!
+//! Deliberately unchanged by mobility: "To keep the implementation simple,
+//! we have separated out routing decisions and mobility decisions. This
+//! allows us to leave the routing tables unchanged and merely add our
+//! Mobile Policy Table" (§3.3). The Mobile Policy Table lives in
+//! `mosquitonet-core`; this table is plain longest-prefix-match routing.
+
+use std::net::Ipv4Addr;
+
+use mosquitonet_wire::Cidr;
+
+use crate::iface::IfaceId;
+
+/// One routing table entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RouteEntry {
+    /// Destination prefix.
+    pub dest: Cidr,
+    /// Next-hop gateway; `None` for directly-connected destinations.
+    pub gateway: Option<Ipv4Addr>,
+    /// Egress interface.
+    pub iface: IfaceId,
+    /// Tie-breaker among equal-length prefixes (lower wins).
+    pub metric: u32,
+}
+
+/// A longest-prefix-match routing table.
+///
+/// # Examples
+///
+/// ```
+/// use mosquitonet_stack::{RouteTable, RouteEntry, IfaceId};
+/// use std::net::Ipv4Addr;
+///
+/// let mut rt = RouteTable::new();
+/// rt.add(RouteEntry {
+///     dest: "36.135.0.0/24".parse().unwrap(),
+///     gateway: None,
+///     iface: IfaceId(0),
+///     metric: 0,
+/// });
+/// rt.add(RouteEntry {
+///     dest: "0.0.0.0/0".parse().unwrap(),
+///     gateway: Some(Ipv4Addr::new(36, 135, 0, 1)),
+///     iface: IfaceId(0),
+///     metric: 0,
+/// });
+/// let local = rt.lookup(Ipv4Addr::new(36, 135, 0, 50)).unwrap();
+/// assert_eq!(local.gateway, None);
+/// let far = rt.lookup(Ipv4Addr::new(192, 0, 2, 1)).unwrap();
+/// assert_eq!(far.gateway, Some(Ipv4Addr::new(36, 135, 0, 1)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RouteTable {
+    entries: Vec<RouteEntry>,
+}
+
+impl RouteTable {
+    /// Creates an empty table.
+    pub fn new() -> RouteTable {
+        RouteTable::default()
+    }
+
+    /// Adds an entry. An entry with the same prefix and interface replaces
+    /// the previous one (like `route add` after `route del`).
+    pub fn add(&mut self, entry: RouteEntry) {
+        self.entries
+            .retain(|e| !(e.dest == entry.dest && e.iface == entry.iface));
+        self.entries.push(entry);
+    }
+
+    /// Removes all entries for `dest`; returns how many were removed.
+    pub fn remove(&mut self, dest: Cidr) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.dest != dest);
+        before - self.entries.len()
+    }
+
+    /// Removes the entry for `dest` through `iface` specifically (other
+    /// interfaces' routes to the same prefix stay); returns whether one
+    /// was removed.
+    pub fn remove_for_iface(&mut self, dest: Cidr, iface: IfaceId) -> bool {
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| !(e.dest == dest && e.iface == iface));
+        self.entries.len() != before
+    }
+
+    /// Removes all entries through `iface` (interface going away); returns
+    /// how many were removed.
+    pub fn remove_iface(&mut self, iface: IfaceId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.iface != iface);
+        before - self.entries.len()
+    }
+
+    /// Longest-prefix-match lookup with metric tie-break.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<RouteEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.dest.contains(dst))
+            .max_by(|a, b| {
+                // Longer prefix wins; among equals the lower metric wins.
+                a.dest
+                    .prefix_len()
+                    .cmp(&b.dest.prefix_len())
+                    .then(b.metric.cmp(&a.metric))
+            })
+            .copied()
+    }
+
+    /// All entries (diagnostics, `netstat -r` style dumps).
+    pub fn entries(&self) -> &[RouteEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(dest: &str, gw: Option<Ipv4Addr>, iface: usize, metric: u32) -> RouteEntry {
+        RouteEntry {
+            dest: dest.parse().unwrap(),
+            gateway: gw,
+            iface: IfaceId(iface),
+            metric,
+        }
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut rt = RouteTable::new();
+        rt.add(entry("0.0.0.0/0", Some(Ipv4Addr::new(10, 0, 0, 1)), 0, 0));
+        rt.add(entry("36.0.0.0/8", Some(Ipv4Addr::new(10, 0, 0, 2)), 0, 0));
+        rt.add(entry("36.135.0.0/24", None, 1, 0));
+        rt.add(entry(
+            "36.135.0.9/32",
+            Some(Ipv4Addr::new(10, 0, 0, 3)),
+            0,
+            0,
+        ));
+
+        assert_eq!(
+            rt.lookup(Ipv4Addr::new(36, 135, 0, 9)).unwrap().gateway,
+            Some(Ipv4Addr::new(10, 0, 0, 3))
+        );
+        assert_eq!(
+            rt.lookup(Ipv4Addr::new(36, 135, 0, 10)).unwrap().iface,
+            IfaceId(1)
+        );
+        assert_eq!(
+            rt.lookup(Ipv4Addr::new(36, 1, 2, 3)).unwrap().gateway,
+            Some(Ipv4Addr::new(10, 0, 0, 2))
+        );
+        assert_eq!(
+            rt.lookup(Ipv4Addr::new(8, 8, 8, 8)).unwrap().gateway,
+            Some(Ipv4Addr::new(10, 0, 0, 1))
+        );
+    }
+
+    #[test]
+    fn lower_metric_breaks_ties() {
+        let mut rt = RouteTable::new();
+        rt.add(entry("36.135.0.0/24", None, 0, 10));
+        rt.add(entry("36.135.0.0/24", None, 1, 1));
+        assert_eq!(
+            rt.lookup(Ipv4Addr::new(36, 135, 0, 5)).unwrap().iface,
+            IfaceId(1)
+        );
+    }
+
+    #[test]
+    fn no_route_returns_none() {
+        let rt = RouteTable::new();
+        assert!(rt.lookup(Ipv4Addr::new(1, 2, 3, 4)).is_none());
+    }
+
+    #[test]
+    fn same_prefix_same_iface_replaces() {
+        let mut rt = RouteTable::new();
+        rt.add(entry("36.135.0.0/24", None, 0, 0));
+        rt.add(entry(
+            "36.135.0.0/24",
+            Some(Ipv4Addr::new(10, 0, 0, 9)),
+            0,
+            0,
+        ));
+        assert_eq!(rt.len(), 1);
+        assert_eq!(
+            rt.lookup(Ipv4Addr::new(36, 135, 0, 5)).unwrap().gateway,
+            Some(Ipv4Addr::new(10, 0, 0, 9))
+        );
+    }
+
+    #[test]
+    fn remove_by_prefix_and_by_iface() {
+        let mut rt = RouteTable::new();
+        rt.add(entry("36.135.0.0/24", None, 0, 0));
+        rt.add(entry("36.8.0.0/24", None, 1, 0));
+        rt.add(entry("0.0.0.0/0", Some(Ipv4Addr::new(36, 8, 0, 1)), 1, 0));
+        assert_eq!(rt.remove("36.135.0.0/24".parse().unwrap()), 1);
+        assert_eq!(rt.remove_iface(IfaceId(1)), 2);
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn default_route_is_a_fallback_not_a_shadow() {
+        let mut rt = RouteTable::new();
+        rt.add(entry("0.0.0.0/0", Some(Ipv4Addr::new(36, 134, 0, 1)), 2, 0));
+        rt.add(entry("36.134.0.0/16", None, 2, 0));
+        let on_link = rt.lookup(Ipv4Addr::new(36, 134, 3, 3)).unwrap();
+        assert_eq!(on_link.gateway, None, "on-link beats default");
+    }
+}

@@ -1,0 +1,1090 @@
+//! A miniature TCP: handshake, in-order delivery, cumulative ACKs,
+//! go-back-N retransmission, and connection teardown.
+//!
+//! This exists because the paper's whole motivation is that "applications
+//! that run for extended periods of time and build up nontrivial state,
+//! such as remote logins" must survive a network switch (§1). A TCP
+//! connection is identified by its address four-tuple, so as long as the
+//! mobile host's *home* address stays on the connection — which is exactly
+//! what mobile IP arranges — retransmission carries the session across the
+//! hand-off. The implementation is deliberately small: fixed MSS, fixed
+//! window of four segments, no congestion control, no out-of-order
+//! buffering (a dropped segment is simply retransmitted). Those omissions
+//! cost throughput, never correctness, and none of the paper's experiments
+//! measure TCP throughput.
+//!
+//! The table is a pure state machine: every entry point returns a
+//! [`TcpOut`] describing segments to transmit, events for the owning
+//! module, and retransmission-timer operations. The network world performs
+//! them, keeping this module free of scheduling concerns and easy to test
+//! by exchanging segments between two tables in a loop.
+
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+use mosquitonet_sim::SimDuration;
+use mosquitonet_wire::{TcpFlags, TcpSegment};
+
+use crate::proto::ModuleId;
+
+/// Handle to a connection on its host.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ConnId(pub usize);
+
+/// Maximum segment size (payload bytes per segment).
+pub const TCP_MSS: usize = 512;
+
+/// Fixed in-flight window, in segments.
+pub const TCP_WINDOW_SEGS: usize = 4;
+
+/// Initial retransmission timeout.
+pub const TCP_INITIAL_RTO: SimDuration = SimDuration::from_millis(1_000);
+
+/// Cap on the backed-off retransmission timeout.
+pub const TCP_MAX_RTO: SimDuration = SimDuration::from_secs(16);
+
+/// Give up after this many consecutive unanswered retransmissions.
+pub const TCP_MAX_RETRIES: u32 = 12;
+
+/// Connection state (RFC 793 reduced: LISTEN lives in the listener list,
+/// TIME-WAIT collapses to CLOSED since the simulation controls port reuse).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TcpState {
+    /// SYN sent, awaiting SYN+ACK.
+    SynSent,
+    /// SYN received (passive open), SYN+ACK sent.
+    SynRcvd,
+    /// Data flows.
+    Established,
+    /// We closed first; FIN sent, not yet acknowledged.
+    FinWait1,
+    /// Our FIN acknowledged; awaiting the peer's FIN.
+    FinWait2,
+    /// Peer closed first; we may still send.
+    CloseWait,
+    /// We closed after the peer; FIN sent, awaiting its ACK.
+    LastAck,
+    /// Fully closed.
+    Closed,
+}
+
+/// Events delivered to the owning module.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TcpEvent {
+    /// Handshake completed (either direction).
+    Connected,
+    /// In-order payload bytes arrived.
+    Data(Bytes),
+    /// The peer sent FIN; no more data will arrive.
+    PeerClosed,
+    /// The connection is fully closed.
+    Closed,
+    /// The connection was reset (peer RST or retry exhaustion).
+    Reset,
+}
+
+/// Timer instruction accompanying a [`TcpOut`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TimerOp {
+    /// Leave the timer as it is.
+    Keep,
+    /// (Re)arm the retransmission timer for this delay.
+    Arm(SimDuration),
+    /// Disarm the timer.
+    Cancel,
+}
+
+/// What the state machine wants done after an entry point.
+#[derive(Debug)]
+pub struct TcpOut {
+    /// Segments to transmit (in order).
+    pub send: Vec<TcpSegment>,
+    /// Events for the owning module (in order).
+    pub events: Vec<TcpEvent>,
+    /// Retransmission-timer instruction.
+    pub timer: TimerOp,
+}
+
+impl TcpOut {
+    fn new() -> TcpOut {
+        TcpOut {
+            send: Vec::new(),
+            events: Vec::new(),
+            timer: TimerOp::Keep,
+        }
+    }
+}
+
+/// `a < b` in sequence space.
+fn seq_lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// `a <= b` in sequence space.
+fn seq_le(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+/// A segment in the retransmission queue.
+#[derive(Clone, Debug)]
+struct InFlight {
+    seq: u32,
+    payload: Bytes,
+    syn: bool,
+    fin: bool,
+}
+
+impl InFlight {
+    fn seq_len(&self) -> u32 {
+        self.payload.len() as u32 + u32::from(self.syn) + u32::from(self.fin)
+    }
+
+    fn end(&self) -> u32 {
+        self.seq.wrapping_add(self.seq_len())
+    }
+}
+
+/// A transmission control block.
+#[derive(Debug)]
+pub struct Tcb {
+    /// Owning module.
+    pub owner: ModuleId,
+    /// Connection state.
+    pub state: TcpState,
+    /// Local endpoint (for a mobile host in its home role, the *home*
+    /// address — which is what keeps the connection alive across moves).
+    pub local: (Ipv4Addr, u16),
+    /// Remote endpoint.
+    pub remote: (Ipv4Addr, u16),
+    snd_una: u32,
+    snd_nxt: u32,
+    rcv_nxt: u32,
+    send_buf: VecDeque<u8>,
+    inflight: Vec<InFlight>,
+    rto: SimDuration,
+    retries: u32,
+    fin_queued: bool,
+    /// Total payload bytes delivered in order to the application.
+    pub bytes_delivered: u64,
+    /// Total retransmitted segments (experiment instrumentation).
+    pub retransmissions: u64,
+}
+
+impl Tcb {
+    fn flags_base(&self) -> TcpFlags {
+        TcpFlags::ACK
+    }
+
+    fn make_segment(&self, seq: u32, flags: TcpFlags, payload: Bytes) -> TcpSegment {
+        TcpSegment {
+            src_port: self.local.1,
+            dst_port: self.remote.1,
+            seq,
+            ack: if flags.ack { self.rcv_nxt } else { 0 },
+            flags,
+            window: (TCP_WINDOW_SEGS * TCP_MSS) as u16,
+            payload,
+        }
+    }
+
+    fn ack_segment(&self) -> TcpSegment {
+        self.make_segment(self.snd_nxt, TcpFlags::ACK, Bytes::new())
+    }
+
+    /// Moves queued bytes (and a queued FIN) into the window.
+    fn pump(&mut self, out: &mut TcpOut) {
+        while self.inflight.len() < TCP_WINDOW_SEGS && !self.send_buf.is_empty() {
+            let take = self.send_buf.len().min(TCP_MSS);
+            let chunk: Bytes = self.send_buf.drain(..take).collect::<Vec<u8>>().into();
+            let inf = InFlight {
+                seq: self.snd_nxt,
+                payload: chunk.clone(),
+                syn: false,
+                fin: false,
+            };
+            self.snd_nxt = inf.end();
+            let mut flags = self.flags_base();
+            flags.psh = self.send_buf.is_empty();
+            out.send.push(self.make_segment(inf.seq, flags, chunk));
+            self.inflight.push(inf);
+        }
+        if self.fin_queued
+            && self.send_buf.is_empty()
+            && self.inflight.iter().all(|s| !s.fin)
+            && self.inflight.len() < TCP_WINDOW_SEGS
+        {
+            let inf = InFlight {
+                seq: self.snd_nxt,
+                payload: Bytes::new(),
+                syn: false,
+                fin: true,
+            };
+            self.snd_nxt = inf.end();
+            out.send
+                .push(self.make_segment(inf.seq, TcpFlags::FIN_ACK, Bytes::new()));
+            self.inflight.push(inf);
+            self.fin_queued = false;
+        }
+        if self.inflight.is_empty() {
+            out.timer = TimerOp::Cancel;
+        } else if !out.send.is_empty() {
+            out.timer = TimerOp::Arm(self.rto);
+        }
+    }
+
+    /// Processes an acceptable ACK; returns whether it advanced `snd_una`.
+    fn process_ack(&mut self, ack: u32) -> bool {
+        // Acceptable and advancing: snd_una < ack <= snd_nxt.
+        if !(seq_lt(self.snd_una, ack) && seq_le(ack, self.snd_nxt)) {
+            return false;
+        }
+        self.snd_una = ack;
+        self.inflight.retain(|s| !seq_le(s.end(), ack));
+        self.rto = TCP_INITIAL_RTO;
+        self.retries = 0;
+        true
+    }
+}
+
+/// A passive listener.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpListener {
+    /// Module that owns accepted connections.
+    pub owner: ModuleId,
+    /// Bound address (`None` = any local address).
+    pub local_addr: Option<Ipv4Addr>,
+    /// Bound port.
+    pub port: u16,
+}
+
+/// The per-host TCP state.
+#[derive(Debug, Default)]
+pub struct TcpTable {
+    conns: Vec<Tcb>,
+    listeners: Vec<TcpListener>,
+    iss_counter: u32,
+}
+
+impl TcpTable {
+    /// Creates an empty table.
+    pub fn new() -> TcpTable {
+        TcpTable::default()
+    }
+
+    fn next_iss(&mut self) -> u32 {
+        // Deterministic ISS: fine inside a simulation, never reused because
+        // each connection gets a distinct counter value.
+        self.iss_counter = self.iss_counter.wrapping_add(64_000);
+        self.iss_counter
+    }
+
+    /// Read access to a connection.
+    pub fn get(&self, id: ConnId) -> Option<&Tcb> {
+        self.conns.get(id.0)
+    }
+
+    /// Starts listening on `(addr, port)`.
+    pub fn listen(&mut self, owner: ModuleId, local_addr: Option<Ipv4Addr>, port: u16) {
+        self.listeners.push(TcpListener {
+            owner,
+            local_addr,
+            port,
+        });
+    }
+
+    /// Active open: creates a connection and returns the SYN to send.
+    pub fn connect(
+        &mut self,
+        owner: ModuleId,
+        local: (Ipv4Addr, u16),
+        remote: (Ipv4Addr, u16),
+    ) -> (ConnId, TcpOut) {
+        let iss = self.next_iss();
+        let tcb = Tcb {
+            owner,
+            state: TcpState::SynSent,
+            local,
+            remote,
+            snd_una: iss,
+            snd_nxt: iss.wrapping_add(1),
+            rcv_nxt: 0,
+            send_buf: VecDeque::new(),
+            inflight: vec![InFlight {
+                seq: iss,
+                payload: Bytes::new(),
+                syn: true,
+                fin: false,
+            }],
+            rto: TCP_INITIAL_RTO,
+            retries: 0,
+            fin_queued: false,
+            bytes_delivered: 0,
+            retransmissions: 0,
+        };
+        let mut out = TcpOut::new();
+        out.send
+            .push(tcb.make_segment(iss, TcpFlags::SYN, Bytes::new()));
+        out.timer = TimerOp::Arm(tcb.rto);
+        let id = ConnId(self.conns.len());
+        self.conns.push(tcb);
+        (id, out)
+    }
+
+    /// Finds the connection matching a segment addressed to
+    /// `(local_addr, seg.dst_port)` from `(remote_addr, seg.src_port)`.
+    pub fn lookup(
+        &self,
+        local_addr: Ipv4Addr,
+        local_port: u16,
+        remote_addr: Ipv4Addr,
+        remote_port: u16,
+    ) -> Option<ConnId> {
+        self.conns
+            .iter()
+            .position(|c| {
+                c.state != TcpState::Closed
+                    && c.local == (local_addr, local_port)
+                    && c.remote == (remote_addr, remote_port)
+            })
+            .map(ConnId)
+    }
+
+    /// Finds a listener for `(local_addr, port)`.
+    pub fn lookup_listener(&self, local_addr: Ipv4Addr, port: u16) -> Option<TcpListener> {
+        self.listeners
+            .iter()
+            .find(|l| l.port == port && l.local_addr.is_none_or(|a| a == local_addr))
+            .copied()
+    }
+
+    /// Passive open: a SYN arrived at a listener. Creates the connection
+    /// and returns the SYN+ACK.
+    pub fn accept(
+        &mut self,
+        listener: TcpListener,
+        local: (Ipv4Addr, u16),
+        remote: (Ipv4Addr, u16),
+        syn: &TcpSegment,
+    ) -> (ConnId, TcpOut) {
+        debug_assert!(syn.flags.syn && !syn.flags.ack);
+        let iss = self.next_iss();
+        let tcb = Tcb {
+            owner: listener.owner,
+            state: TcpState::SynRcvd,
+            local,
+            remote,
+            snd_una: iss,
+            snd_nxt: iss.wrapping_add(1),
+            rcv_nxt: syn.seq.wrapping_add(1),
+            send_buf: VecDeque::new(),
+            inflight: vec![InFlight {
+                seq: iss,
+                payload: Bytes::new(),
+                syn: true,
+                fin: false,
+            }],
+            rto: TCP_INITIAL_RTO,
+            retries: 0,
+            fin_queued: false,
+            bytes_delivered: 0,
+            retransmissions: 0,
+        };
+        let mut out = TcpOut::new();
+        out.send
+            .push(tcb.make_segment(iss, TcpFlags::SYN_ACK, Bytes::new()));
+        out.timer = TimerOp::Arm(tcb.rto);
+        let id = ConnId(self.conns.len());
+        self.conns.push(tcb);
+        (id, out)
+    }
+
+    /// Queues application data for transmission. Data sent before the
+    /// handshake completes is buffered and flows on establishment.
+    pub fn send(&mut self, id: ConnId, data: &[u8]) -> TcpOut {
+        let mut out = TcpOut::new();
+        let tcb = &mut self.conns[id.0];
+        match tcb.state {
+            TcpState::Established | TcpState::CloseWait => {
+                tcb.send_buf.extend(data);
+                tcb.pump(&mut out);
+            }
+            TcpState::SynSent | TcpState::SynRcvd => {
+                tcb.send_buf.extend(data);
+            }
+            _ => {} // closing or closed: data has nowhere to go
+        }
+        out
+    }
+
+    /// Application close: send FIN once pending data drains.
+    pub fn close(&mut self, id: ConnId) -> TcpOut {
+        let mut out = TcpOut::new();
+        let tcb = &mut self.conns[id.0];
+        match tcb.state {
+            TcpState::Established => {
+                tcb.state = TcpState::FinWait1;
+                tcb.fin_queued = true;
+                tcb.pump(&mut out);
+            }
+            TcpState::CloseWait => {
+                tcb.state = TcpState::LastAck;
+                tcb.fin_queued = true;
+                tcb.pump(&mut out);
+            }
+            TcpState::SynSent | TcpState::SynRcvd => {
+                tcb.state = TcpState::Closed;
+                out.events.push(TcpEvent::Closed);
+                out.timer = TimerOp::Cancel;
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// The retransmission timer fired.
+    pub fn on_rto(&mut self, id: ConnId) -> TcpOut {
+        let mut out = TcpOut::new();
+        let tcb = &mut self.conns[id.0];
+        if tcb.state == TcpState::Closed || tcb.inflight.is_empty() {
+            out.timer = TimerOp::Cancel;
+            return out;
+        }
+        tcb.retries += 1;
+        if tcb.retries > TCP_MAX_RETRIES {
+            tcb.state = TcpState::Closed;
+            out.events.push(TcpEvent::Reset);
+            out.timer = TimerOp::Cancel;
+            return out;
+        }
+        // Go-back-N: retransmit the oldest unacknowledged segment.
+        let seg = tcb.inflight[0].clone();
+        let flags = if seg.syn {
+            if tcb.state == TcpState::SynRcvd {
+                TcpFlags::SYN_ACK
+            } else {
+                TcpFlags::SYN
+            }
+        } else if seg.fin {
+            TcpFlags::FIN_ACK
+        } else {
+            TcpFlags::ACK
+        };
+        out.send.push(tcb.make_segment(seg.seq, flags, seg.payload));
+        tcb.retransmissions += 1;
+        tcb.rto = (tcb.rto * 2).min(TCP_MAX_RTO);
+        out.timer = TimerOp::Arm(tcb.rto);
+        out
+    }
+
+    /// A segment arrived for connection `id`.
+    pub fn on_segment(&mut self, id: ConnId, seg: &TcpSegment) -> TcpOut {
+        let mut out = TcpOut::new();
+        let tcb = &mut self.conns[id.0];
+        if tcb.state == TcpState::Closed {
+            return out;
+        }
+        if seg.flags.rst {
+            tcb.state = TcpState::Closed;
+            out.events.push(TcpEvent::Reset);
+            out.timer = TimerOp::Cancel;
+            return out;
+        }
+
+        match tcb.state {
+            TcpState::SynSent => {
+                if seg.flags.syn && seg.flags.ack && seg.ack == tcb.snd_nxt {
+                    tcb.rcv_nxt = seg.seq.wrapping_add(1);
+                    tcb.process_ack(seg.ack);
+                    tcb.state = TcpState::Established;
+                    out.events.push(TcpEvent::Connected);
+                    out.send.push(tcb.ack_segment());
+                    out.timer = TimerOp::Cancel;
+                    let mut pump_out = TcpOut::new();
+                    tcb.pump(&mut pump_out);
+                    out.send.extend(pump_out.send);
+                    if !matches!(pump_out.timer, TimerOp::Keep) {
+                        out.timer = pump_out.timer;
+                    }
+                }
+                return out;
+            }
+            TcpState::SynRcvd => {
+                if seg.flags.ack && seg.ack == tcb.snd_nxt {
+                    tcb.process_ack(seg.ack);
+                    tcb.state = TcpState::Established;
+                    out.events.push(TcpEvent::Connected);
+                    out.timer = TimerOp::Cancel;
+                    // Fall through: the ACK may carry data.
+                } else if seg.flags.syn && !seg.flags.ack {
+                    // Duplicate SYN: retransmit SYN+ACK.
+                    let iss = tcb.snd_una;
+                    out.send
+                        .push(tcb.make_segment(iss, TcpFlags::SYN_ACK, Bytes::new()));
+                    return out;
+                } else {
+                    return out;
+                }
+            }
+            _ => {}
+        }
+
+        // Acknowledgment processing (Established and later states).
+        if seg.flags.ack {
+            let advanced = tcb.process_ack(seg.ack);
+            if advanced {
+                if tcb.inflight.is_empty() {
+                    out.timer = TimerOp::Cancel;
+                } else {
+                    out.timer = TimerOp::Arm(tcb.rto);
+                }
+                // Our FIN acknowledged?
+                let fin_acked = tcb.inflight.iter().all(|s| !s.fin) && !tcb.fin_queued;
+                match tcb.state {
+                    TcpState::FinWait1 if fin_acked => tcb.state = TcpState::FinWait2,
+                    TcpState::LastAck if fin_acked => {
+                        tcb.state = TcpState::Closed;
+                        out.events.push(TcpEvent::Closed);
+                        out.timer = TimerOp::Cancel;
+                        return out;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // In-order data acceptance.
+        let mut need_ack = false;
+        if !seg.payload.is_empty() {
+            if seg.seq == tcb.rcv_nxt {
+                tcb.rcv_nxt = tcb.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+                tcb.bytes_delivered += seg.payload.len() as u64;
+                out.events.push(TcpEvent::Data(seg.payload.clone()));
+            }
+            // Out-of-order (or duplicate): just re-ACK rcv_nxt.
+            need_ack = true;
+        }
+
+        // A duplicate SYN (e.g. a retransmitted SYN+ACK whose final
+        // handshake ACK was lost) must be re-ACKed or the peer retries
+        // forever.
+        if seg.flags.syn {
+            need_ack = true;
+        }
+
+        // Peer FIN (must be in order).
+        if seg.flags.fin && seg.seq.wrapping_add(seg.payload.len() as u32) == tcb.rcv_nxt {
+            tcb.rcv_nxt = tcb.rcv_nxt.wrapping_add(1);
+            need_ack = true;
+            match tcb.state {
+                TcpState::Established => {
+                    tcb.state = TcpState::CloseWait;
+                    out.events.push(TcpEvent::PeerClosed);
+                }
+                TcpState::FinWait2 => {
+                    tcb.state = TcpState::Closed;
+                    out.events.push(TcpEvent::PeerClosed);
+                    out.events.push(TcpEvent::Closed);
+                    out.timer = TimerOp::Cancel;
+                }
+                TcpState::FinWait1 => {
+                    // Simultaneous close: the peer's FIN arrived while our
+                    // own FIN is still unacknowledged. Keep retransmitting
+                    // ours (LastAck covers "FIN out, awaiting its ACK");
+                    // RFC 793's CLOSING state collapses onto it here since
+                    // the receive side is already finished either way.
+                    let fin_acked = tcb.inflight.iter().all(|s| !s.fin) && !tcb.fin_queued;
+                    if fin_acked {
+                        tcb.state = TcpState::Closed;
+                        out.events.push(TcpEvent::PeerClosed);
+                        out.events.push(TcpEvent::Closed);
+                        out.timer = TimerOp::Cancel;
+                    } else {
+                        tcb.state = TcpState::LastAck;
+                        out.events.push(TcpEvent::PeerClosed);
+                    }
+                }
+                _ => {}
+            }
+        } else if seg.flags.fin {
+            need_ack = true; // out-of-order FIN: re-ACK.
+        }
+
+        if need_ack {
+            out.send.push(tcb.ack_segment());
+        }
+
+        // Window may have opened: push more data.
+        if matches!(
+            tcb.state,
+            TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::LastAck
+        ) {
+            let mut pump_out = TcpOut::new();
+            tcb.pump(&mut pump_out);
+            out.send.extend(pump_out.send);
+            if !matches!(pump_out.timer, TimerOp::Keep) {
+                out.timer = pump_out.timer;
+            }
+        }
+        out
+    }
+
+    /// Builds the RST sent in response to a segment for which no connection
+    /// or listener exists.
+    pub fn rst_for(seg: &TcpSegment) -> TcpSegment {
+        TcpSegment {
+            src_port: seg.dst_port,
+            dst_port: seg.src_port,
+            seq: if seg.flags.ack { seg.ack } else { 0 },
+            ack: seg.seq.wrapping_add(seg.seq_len()),
+            flags: TcpFlags {
+                rst: true,
+                ack: true,
+                ..TcpFlags::default()
+            },
+            window: 0,
+            payload: Bytes::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Ipv4Addr = Ipv4Addr::new(36, 135, 0, 9);
+    const B: Ipv4Addr = Ipv4Addr::new(36, 8, 0, 7);
+
+    /// Drives two tables until neither has segments to exchange.
+    /// Returns all events per side. `drop_nth` drops the n-th segment in
+    /// flight overall (to exercise retransmission via explicit `on_rto`).
+    fn exchange(
+        client: &mut TcpTable,
+        server: &mut TcpTable,
+        cid: ConnId,
+        mut pending_c: Vec<TcpSegment>,
+        mut events_c: Vec<TcpEvent>,
+        events_s: &mut Vec<TcpEvent>,
+    ) -> Vec<TcpEvent> {
+        let mut pending_s: Vec<TcpSegment> = Vec::new();
+        for _ in 0..200 {
+            if pending_c.is_empty() && pending_s.is_empty() {
+                break;
+            }
+            // Client -> server.
+            for seg in std::mem::take(&mut pending_c) {
+                let sid = match server.lookup(B, seg.dst_port, A, seg.src_port) {
+                    Some(id) => id,
+                    None => {
+                        let l = server.lookup_listener(B, seg.dst_port).expect("listener");
+                        let (id, out) =
+                            server.accept(l, (B, seg.dst_port), (A, seg.src_port), &seg);
+                        pending_s.extend(out.send);
+                        events_s.extend(out.events);
+                        // SYN consumed by accept.
+                        assert!(seg.flags.syn);
+                        let _ = id;
+                        continue;
+                    }
+                };
+                let out = server.on_segment(sid, &seg);
+                pending_s.extend(out.send);
+                events_s.extend(out.events);
+            }
+            // Server -> client.
+            for seg in std::mem::take(&mut pending_s) {
+                let out = client.on_segment(cid, &seg);
+                pending_c.extend(out.send);
+                events_c.extend(out.events);
+            }
+        }
+        events_c
+    }
+
+    fn open_pair() -> (TcpTable, TcpTable, ConnId, Vec<TcpEvent>, Vec<TcpEvent>) {
+        let mut client = TcpTable::new();
+        let mut server = TcpTable::new();
+        server.listen(ModuleId(0), None, 513);
+        let (cid, out) = client.connect(ModuleId(0), (A, 1023), (B, 513));
+        let mut events_s = Vec::new();
+        let events_c = exchange(
+            &mut client,
+            &mut server,
+            cid,
+            out.send,
+            vec![],
+            &mut events_s,
+        );
+        (client, server, cid, events_c, events_s)
+    }
+
+    #[test]
+    fn three_way_handshake_connects_both_sides() {
+        let (client, server, cid, events_c, events_s) = open_pair();
+        assert!(events_c.contains(&TcpEvent::Connected));
+        assert!(events_s.contains(&TcpEvent::Connected));
+        assert_eq!(client.get(cid).unwrap().state, TcpState::Established);
+        let sid = server.lookup(B, 513, A, 1023).unwrap();
+        assert_eq!(server.get(sid).unwrap().state, TcpState::Established);
+    }
+
+    #[test]
+    fn data_flows_in_order() {
+        let (mut client, mut server, cid, _, _) = open_pair();
+        let out = client.send(cid, b"hello, remote login");
+        let mut events_s = Vec::new();
+        exchange(
+            &mut client,
+            &mut server,
+            cid,
+            out.send,
+            vec![],
+            &mut events_s,
+        );
+        let data: Vec<u8> = events_s
+            .iter()
+            .filter_map(|e| match e {
+                TcpEvent::Data(d) => Some(d.to_vec()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(data, b"hello, remote login");
+    }
+
+    #[test]
+    fn large_transfer_respects_mss_and_window() {
+        let (mut client, mut server, cid, _, _) = open_pair();
+        let blob: Vec<u8> = (0..5000u32).map(|i| i as u8).collect();
+        let out = client.send(cid, &blob);
+        // Window: at most 4 segments of 512 bytes initially.
+        assert_eq!(out.send.len(), TCP_WINDOW_SEGS);
+        assert!(out.send.iter().all(|s| s.payload.len() <= TCP_MSS));
+        let mut events_s = Vec::new();
+        exchange(
+            &mut client,
+            &mut server,
+            cid,
+            out.send,
+            vec![],
+            &mut events_s,
+        );
+        let total: usize = events_s
+            .iter()
+            .filter_map(|e| match e {
+                TcpEvent::Data(d) => Some(d.len()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total, 5000);
+        let sid = server.lookup(B, 513, A, 1023).unwrap();
+        assert_eq!(server.get(sid).unwrap().bytes_delivered, 5000);
+    }
+
+    #[test]
+    fn lost_segment_is_recovered_by_rto() {
+        let (mut client, mut server, cid, _, _) = open_pair();
+        let out = client.send(cid, b"first");
+        // Drop the segment on the floor. Fire the retransmission timer.
+        drop(out);
+        let rto_out = client.on_rto(cid);
+        assert_eq!(rto_out.send.len(), 1, "oldest segment retransmitted");
+        assert!(matches!(rto_out.timer, TimerOp::Arm(d) if d == TCP_INITIAL_RTO * 2));
+        let mut events_s = Vec::new();
+        exchange(
+            &mut client,
+            &mut server,
+            cid,
+            rto_out.send,
+            vec![],
+            &mut events_s,
+        );
+        let data: Vec<u8> = events_s
+            .iter()
+            .filter_map(|e| match e {
+                TcpEvent::Data(d) => Some(d.to_vec()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(data, b"first");
+        assert_eq!(client.get(cid).unwrap().retransmissions, 1);
+    }
+
+    #[test]
+    fn duplicate_data_is_not_delivered_twice() {
+        let (mut client, mut server, cid, _, _) = open_pair();
+        let out = client.send(cid, b"once");
+        let seg = out.send[0].clone();
+        let sid = server.lookup(B, 513, A, 1023).unwrap();
+        let o1 = server.on_segment(sid, &seg);
+        let o2 = server.on_segment(sid, &seg);
+        let datas = |o: &TcpOut| {
+            o.events
+                .iter()
+                .filter(|e| matches!(e, TcpEvent::Data(_)))
+                .count()
+        };
+        assert_eq!(datas(&o1), 1);
+        assert_eq!(datas(&o2), 0, "duplicate dropped");
+        assert!(!o2.send.is_empty(), "but re-ACKed");
+        let _ = cid;
+    }
+
+    #[test]
+    fn out_of_order_segment_is_reacked_not_delivered() {
+        let (mut client, mut server, cid, _, _) = open_pair();
+        let out = client.send(cid, &vec![7u8; TCP_MSS * 2]);
+        assert!(out.send.len() >= 2);
+        let sid = server.lookup(B, 513, A, 1023).unwrap();
+        // Deliver only the SECOND segment.
+        let o = server.on_segment(sid, &out.send[1]);
+        assert!(o.events.iter().all(|e| !matches!(e, TcpEvent::Data(_))));
+        assert_eq!(o.send.len(), 1, "duplicate ACK asking for the gap");
+        let srv = server.get(sid).unwrap();
+        assert_eq!(srv.bytes_delivered, 0);
+    }
+
+    #[test]
+    fn graceful_close_both_directions() {
+        let (mut client, mut server, cid, _, _) = open_pair();
+        let out = client.close(cid);
+        let mut events_s = Vec::new();
+        let events_c = exchange(
+            &mut client,
+            &mut server,
+            cid,
+            out.send,
+            vec![],
+            &mut events_s,
+        );
+        assert!(events_s.contains(&TcpEvent::PeerClosed));
+        let sid = server.lookup(B, 513, A, 1023);
+        // Server half-closed: now closes its side.
+        let sid = sid.expect("connection still present in CloseWait");
+        assert_eq!(server.get(sid).unwrap().state, TcpState::CloseWait);
+        let out_s = server.close(sid);
+        // Feed server's FIN to client and the final ACK back.
+        let mut pending_c: Vec<TcpSegment> = Vec::new();
+        let mut events_c2 = events_c;
+        for seg in out_s.send {
+            let o = client.on_segment(cid, &seg);
+            pending_c.extend(o.send);
+            events_c2.extend(o.events);
+        }
+        let mut events_s2 = Vec::new();
+        for seg in pending_c {
+            let o = server.on_segment(sid, &seg);
+            events_s2.extend(o.events);
+        }
+        assert!(events_c2.contains(&TcpEvent::Closed));
+        assert!(events_s2.contains(&TcpEvent::Closed));
+        assert_eq!(client.get(cid).unwrap().state, TcpState::Closed);
+        assert_eq!(server.get(sid).unwrap().state, TcpState::Closed);
+    }
+
+    #[test]
+    fn rst_tears_down_immediately() {
+        let (mut client, _server, cid, _, _) = open_pair();
+        let rst = TcpSegment {
+            src_port: 513,
+            dst_port: 1023,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::RST,
+            window: 0,
+            payload: Bytes::new(),
+        };
+        let out = client.on_segment(cid, &rst);
+        assert!(out.events.contains(&TcpEvent::Reset));
+        assert_eq!(client.get(cid).unwrap().state, TcpState::Closed);
+    }
+
+    #[test]
+    fn retry_exhaustion_resets() {
+        let mut client = TcpTable::new();
+        let (cid, _out) = client.connect(ModuleId(0), (A, 1023), (B, 513));
+        let mut reset = false;
+        for _ in 0..=TCP_MAX_RETRIES {
+            let out = client.on_rto(cid);
+            if out.events.contains(&TcpEvent::Reset) {
+                reset = true;
+                break;
+            }
+        }
+        assert!(reset);
+        assert_eq!(client.get(cid).unwrap().state, TcpState::Closed);
+    }
+
+    #[test]
+    fn rto_backs_off_exponentially_with_cap() {
+        let mut client = TcpTable::new();
+        let (cid, _out) = client.connect(ModuleId(0), (A, 1023), (B, 513));
+        let mut last = SimDuration::ZERO;
+        for i in 0..8 {
+            let out = client.on_rto(cid);
+            if let TimerOp::Arm(d) = out.timer {
+                if i > 0 {
+                    assert!(d >= last);
+                }
+                assert!(d <= TCP_MAX_RTO);
+                last = d;
+            }
+        }
+        assert_eq!(last, TCP_MAX_RTO);
+    }
+
+    #[test]
+    fn rst_for_unknown_segment_acks_the_syn() {
+        let syn = TcpSegment {
+            src_port: 1023,
+            dst_port: 9999,
+            seq: 100,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 0,
+            payload: Bytes::new(),
+        };
+        let rst = TcpTable::rst_for(&syn);
+        assert!(rst.flags.rst);
+        assert_eq!(rst.ack, 101);
+        assert_eq!(rst.src_port, 9999);
+        assert_eq!(rst.dst_port, 1023);
+    }
+
+    #[test]
+    fn seq_space_wraps_correctly() {
+        assert!(seq_lt(u32::MAX, 0));
+        assert!(seq_lt(u32::MAX - 5, 3));
+        assert!(!seq_lt(3, u32::MAX - 5));
+        assert!(seq_le(7, 7));
+    }
+
+    #[test]
+    fn simultaneous_close_retransmits_the_unacked_fin() {
+        let (mut client, mut server, cid, _, _) = open_pair();
+        let sid = server.lookup(B, 513, A, 1023).unwrap();
+        // Both sides close at once; the FINs cross in flight.
+        let out_c = client.close(cid);
+        let out_s = server.close(sid);
+        let fin_c = out_c.send[0].clone();
+        let fin_s = out_s.send[0].clone();
+        // Deliver the crossing FINs (neither side has seen an ACK of its
+        // own FIN yet).
+        let o1 = client.on_segment(cid, &fin_s);
+        assert!(o1.events.contains(&TcpEvent::PeerClosed));
+        assert_ne!(
+            client.get(cid).unwrap().state,
+            TcpState::Closed,
+            "client's own FIN still unacknowledged"
+        );
+        let o2 = server.on_segment(sid, &fin_c);
+        // Exchange the resulting ACKs.
+        for seg in o2.send {
+            let o = client.on_segment(cid, &seg);
+            assert!(o.send.is_empty() || o.send.iter().all(|s| !s.flags.fin));
+        }
+        for seg in o1.send {
+            server.on_segment(sid, &seg);
+        }
+        assert_eq!(client.get(cid).unwrap().state, TcpState::Closed);
+        assert_eq!(server.get(sid).unwrap().state, TcpState::Closed);
+    }
+
+    #[test]
+    fn simultaneous_close_survives_a_lost_fin() {
+        let (mut client, mut server, cid, _, _) = open_pair();
+        let sid = server.lookup(B, 513, A, 1023).unwrap();
+        let out_c = client.close(cid);
+        let out_s = server.close(sid);
+        // The client's FIN is LOST; the server's arrives.
+        drop(out_c);
+        client.on_segment(cid, &out_s.send[0]);
+        // The client's retransmission timer must still be live and must
+        // re-send its FIN.
+        let rto = client.on_rto(cid);
+        assert_eq!(rto.send.len(), 1);
+        assert!(rto.send[0].flags.fin, "lost FIN retransmitted");
+        let o = server.on_segment(sid, &rto.send[0]);
+        for seg in o.send {
+            client.on_segment(cid, &seg);
+        }
+        assert_eq!(client.get(cid).unwrap().state, TcpState::Closed);
+        assert_eq!(server.get(sid).unwrap().state, TcpState::Closed);
+    }
+
+    #[test]
+    fn lost_final_handshake_ack_recovers_via_synack_retransmit() {
+        let mut client = TcpTable::new();
+        let mut server = TcpTable::new();
+        server.listen(ModuleId(0), None, 513);
+        let (cid, out) = client.connect(ModuleId(0), (A, 1023), (B, 513));
+        let l = server.lookup_listener(B, 513).unwrap();
+        let (sid, synack_out) = server.accept(l, (B, 513), (A, 1023), &out.send[0]);
+        // The client's final ACK is LOST.
+        let o = client.on_segment(cid, &synack_out.send[0]);
+        assert!(o.events.contains(&TcpEvent::Connected));
+        drop(o);
+        // The server retransmits its SYN+ACK; the Established client must
+        // re-ACK it, completing the server's handshake.
+        let rto = server.on_rto(sid);
+        assert!(rto.send[0].flags.syn && rto.send[0].flags.ack);
+        let o = client.on_segment(cid, &rto.send[0]);
+        assert!(!o.send.is_empty(), "duplicate SYN+ACK re-ACKed");
+        let o2 = server.on_segment(sid, &o.send[0]);
+        assert!(o2.events.contains(&TcpEvent::Connected));
+        assert_eq!(server.get(sid).unwrap().state, TcpState::Established);
+    }
+
+    #[test]
+    fn data_sent_before_establishment_is_buffered() {
+        let mut client = TcpTable::new();
+        let mut server = TcpTable::new();
+        server.listen(ModuleId(0), None, 513);
+        let (cid, out) = client.connect(ModuleId(0), (A, 1023), (B, 513));
+        // Eager write during SYN_SENT.
+        let early = client.send(cid, b"typed before connect finished");
+        assert!(early.send.is_empty(), "nothing on the wire yet");
+        // Complete the handshake; the buffered data flows.
+        let mut events_s = Vec::new();
+        exchange(
+            &mut client,
+            &mut server,
+            cid,
+            out.send,
+            vec![],
+            &mut events_s,
+        );
+        let data: Vec<u8> = events_s
+            .iter()
+            .filter_map(|e| match e {
+                TcpEvent::Data(d) => Some(d.to_vec()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(data, b"typed before connect finished");
+    }
+
+    #[test]
+    fn duplicate_syn_gets_synack_again() {
+        let mut server = TcpTable::new();
+        server.listen(ModuleId(0), None, 513);
+        let syn = TcpSegment {
+            src_port: 1023,
+            dst_port: 513,
+            seq: 500,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 0,
+            payload: Bytes::new(),
+        };
+        let l = server.lookup_listener(B, 513).unwrap();
+        let (sid, out1) = server.accept(l, (B, 513), (A, 1023), &syn);
+        assert!(out1.send[0].flags.syn && out1.send[0].flags.ack);
+        // The SYN+ACK was lost; the client retransmits its SYN.
+        let out2 = server.on_segment(sid, &syn);
+        assert_eq!(out2.send.len(), 1);
+        assert!(out2.send[0].flags.syn && out2.send[0].flags.ack);
+    }
+}

@@ -1,0 +1,188 @@
+//! UDP socket table.
+
+use std::net::Ipv4Addr;
+
+use crate::proto::ModuleId;
+
+/// Handle to a UDP socket on its host.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SocketId(pub usize);
+
+/// First ephemeral port, as era kernels used.
+const EPHEMERAL_BASE: u16 = 1024;
+
+/// One bound UDP socket.
+#[derive(Clone, Copy, Debug)]
+pub struct UdpSocket {
+    /// The module that receives datagrams for this socket.
+    pub owner: ModuleId,
+    /// Bound local address; `None` accepts datagrams to any local address.
+    ///
+    /// A mobile-aware application binding a specific address takes itself
+    /// "outside the scope of mobile IP" (§3.3); an unbound (wildcard)
+    /// socket receives at the home address wherever the host roams.
+    pub local_addr: Option<Ipv4Addr>,
+    /// Bound local port.
+    pub port: u16,
+    /// Closed sockets stay in the table (ids are never reused) but match
+    /// nothing.
+    pub closed: bool,
+}
+
+/// The per-host socket table.
+#[derive(Debug, Default)]
+pub struct UdpTable {
+    sockets: Vec<UdpSocket>,
+    next_ephemeral: u16,
+}
+
+impl UdpTable {
+    /// Creates an empty table.
+    pub fn new() -> UdpTable {
+        UdpTable {
+            sockets: Vec::new(),
+            next_ephemeral: EPHEMERAL_BASE,
+        }
+    }
+
+    /// Binds a socket. A `port` of 0 allocates an ephemeral port.
+    ///
+    /// Returns `None` when the (addr, port) pair is already bound — the
+    /// classic `EADDRINUSE`.
+    pub fn bind(
+        &mut self,
+        owner: ModuleId,
+        local_addr: Option<Ipv4Addr>,
+        port: u16,
+    ) -> Option<SocketId> {
+        let port = if port == 0 {
+            self.alloc_ephemeral()?
+        } else {
+            if self.conflicts(local_addr, port) {
+                return None;
+            }
+            port
+        };
+        let id = SocketId(self.sockets.len());
+        self.sockets.push(UdpSocket {
+            owner,
+            local_addr,
+            port,
+            closed: false,
+        });
+        Some(id)
+    }
+
+    fn conflicts(&self, addr: Option<Ipv4Addr>, port: u16) -> bool {
+        self.sockets.iter().any(|s| {
+            !s.closed
+                && s.port == port
+                && match (s.local_addr, addr) {
+                    (None, _) | (_, None) => true,
+                    (Some(a), Some(b)) => a == b,
+                }
+        })
+    }
+
+    fn alloc_ephemeral(&mut self) -> Option<u16> {
+        for _ in 0..u16::MAX - EPHEMERAL_BASE {
+            let p = self.next_ephemeral;
+            self.next_ephemeral = if self.next_ephemeral == u16::MAX {
+                EPHEMERAL_BASE
+            } else {
+                self.next_ephemeral + 1
+            };
+            if !self.conflicts(None, p) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Closes a socket; its id is retired.
+    pub fn close(&mut self, id: SocketId) {
+        if let Some(s) = self.sockets.get_mut(id.0) {
+            s.closed = true;
+        }
+    }
+
+    /// Socket metadata.
+    pub fn get(&self, id: SocketId) -> Option<&UdpSocket> {
+        self.sockets.get(id.0).filter(|s| !s.closed)
+    }
+
+    /// Finds the socket that should receive a datagram addressed to
+    /// `(dst_addr, dst_port)`. Exact address binds beat wildcard binds.
+    pub fn deliver_to(&self, dst_addr: Ipv4Addr, dst_port: u16) -> Option<SocketId> {
+        let mut wildcard = None;
+        for (i, s) in self.sockets.iter().enumerate() {
+            if s.closed || s.port != dst_port {
+                continue;
+            }
+            match s.local_addr {
+                Some(a) if a == dst_addr => return Some(SocketId(i)),
+                None => wildcard = Some(SocketId(i)),
+                Some(_) => {}
+            }
+        }
+        wildcard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Ipv4Addr = Ipv4Addr::new(36, 135, 0, 9);
+    const B: Ipv4Addr = Ipv4Addr::new(36, 8, 0, 42);
+
+    #[test]
+    fn bind_and_deliver_exact_beats_wildcard() {
+        let mut t = UdpTable::new();
+        let wild = t.bind(ModuleId(0), None, 7).unwrap();
+        let exact = t.bind(ModuleId(1), Some(A), 8).unwrap();
+        assert_eq!(t.deliver_to(A, 7), Some(wild));
+        assert_eq!(t.deliver_to(B, 7), Some(wild));
+        assert_eq!(t.deliver_to(A, 8), Some(exact));
+        assert_eq!(t.deliver_to(B, 8), None);
+    }
+
+    #[test]
+    fn exact_and_wildcard_same_port_conflict() {
+        let mut t = UdpTable::new();
+        t.bind(ModuleId(0), None, 434).unwrap();
+        assert!(t.bind(ModuleId(1), Some(A), 434).is_none());
+        assert!(t.bind(ModuleId(1), None, 434).is_none());
+    }
+
+    #[test]
+    fn different_addresses_same_port_coexist() {
+        let mut t = UdpTable::new();
+        let sa = t.bind(ModuleId(0), Some(A), 99).unwrap();
+        let sb = t.bind(ModuleId(1), Some(B), 99).unwrap();
+        assert_eq!(t.deliver_to(A, 99), Some(sa));
+        assert_eq!(t.deliver_to(B, 99), Some(sb));
+    }
+
+    #[test]
+    fn ephemeral_ports_are_unique() {
+        let mut t = UdpTable::new();
+        let s1 = t.bind(ModuleId(0), None, 0).unwrap();
+        let s2 = t.bind(ModuleId(0), None, 0).unwrap();
+        let p1 = t.get(s1).unwrap().port;
+        let p2 = t.get(s2).unwrap().port;
+        assert_ne!(p1, p2);
+        assert!(p1 >= 1024 && p2 >= 1024);
+    }
+
+    #[test]
+    fn closed_socket_stops_matching() {
+        let mut t = UdpTable::new();
+        let s = t.bind(ModuleId(0), None, 7).unwrap();
+        t.close(s);
+        assert_eq!(t.deliver_to(A, 7), None);
+        assert!(t.get(s).is_none());
+        // Port is free again.
+        assert!(t.bind(ModuleId(1), None, 7).is_some());
+    }
+}

@@ -1,0 +1,679 @@
+//! The network world: hosts wired to LANs under the discrete-event engine.
+//!
+//! This module owns all *scheduling*: frame transmission and delivery,
+//! module timers, TCP retransmission timers, ARP retries, interface power
+//! transitions, and the application of module [`Effect`]s. The IP
+//! forwarding logic itself lives in [`crate::ip`].
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use mosquitonet_link::{Attachment, AttachmentKey, EtherType, Frame, Lan};
+use mosquitonet_sim::{Sim, SimDuration, TraceKind};
+use mosquitonet_wire::{ArpPacket, Ipv4Packet};
+
+use crate::arp::ArpAction;
+use crate::host::{Host, HostId};
+use crate::iface::{IfaceId, LanId};
+use crate::ip;
+use crate::proto::{Effect, Effects, Module, ModuleCtx, ModuleId};
+use crate::tcp::ConnId;
+
+/// Retry interval for unanswered ARP requests (classic 1 s).
+pub const ARP_RETRY_INTERVAL: SimDuration = SimDuration::from_secs(1);
+
+/// The simulation world: all hosts and LANs.
+#[derive(Default)]
+pub struct Network {
+    /// Hosts, indexed by [`HostId`].
+    pub hosts: Vec<Host>,
+    /// LANs, indexed by [`LanId`].
+    pub lans: Vec<Lan>,
+    attach_map: HashMap<AttachmentKey, (HostId, IfaceId)>,
+    attach_keys: HashMap<(HostId, IfaceId), AttachmentKey>,
+    next_key: u64,
+}
+
+/// A simulation over a [`Network`].
+pub type NetSim = Sim<Network>;
+
+impl Network {
+    /// Creates an empty world.
+    pub fn new() -> Network {
+        Network::default()
+    }
+
+    /// Adds a host; returns its handle.
+    pub fn add_host(&mut self, name: impl Into<String>) -> HostId {
+        let id = HostId(self.hosts.len());
+        self.hosts.push(Host::new(id, name));
+        id
+    }
+
+    /// Shared host access.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.0]
+    }
+
+    /// Exclusive host access.
+    pub fn host_mut(&mut self, id: HostId) -> &mut Host {
+        &mut self.hosts[id.0]
+    }
+
+    /// Adds a LAN; returns its handle.
+    pub fn add_lan(&mut self, lan: Lan) -> LanId {
+        let id = LanId(self.lans.len());
+        self.lans.push(lan);
+        id
+    }
+
+    /// Attaches a host interface to a LAN (plugging the cable / entering
+    /// radio range). The interface must not already be attached.
+    pub fn attach(&mut self, host: HostId, iface: IfaceId, lan: LanId) {
+        self.attach_with(host, iface, lan, false);
+    }
+
+    fn attach_with(&mut self, host: HostId, iface: IfaceId, lan: LanId, promiscuous: bool) {
+        assert!(
+            !self.attach_keys.contains_key(&(host, iface)),
+            "{:?}/{:?} already attached",
+            host,
+            iface
+        );
+        let key = AttachmentKey(self.next_key);
+        self.next_key += 1;
+        let mac = self.hosts[host.0].core.iface(iface).device.mac();
+        self.lans[lan.0].attach(Attachment {
+            key,
+            mac,
+            promiscuous,
+        });
+        self.hosts[host.0].core.iface_mut(iface).lan = Some(lan);
+        self.attach_map.insert(key, (host, iface));
+        self.attach_keys.insert((host, iface), key);
+    }
+
+    /// Detaches an interface from its LAN (unplugging / leaving range).
+    pub fn detach(&mut self, host: HostId, iface: IfaceId) {
+        if let Some(key) = self.attach_keys.remove(&(host, iface)) {
+            if let Some(lan) = self.hosts[host.0].core.iface(iface).lan {
+                self.lans[lan.0].detach(key);
+            }
+            self.attach_map.remove(&key);
+            self.hosts[host.0].core.iface_mut(iface).lan = None;
+        }
+    }
+
+    /// Attaches an interface in promiscuous mode: it receives every frame
+    /// on the LAN regardless of destination MAC (a sniffer tap). Combine
+    /// with [`HostCore::capture`](crate::HostCore) on the host to log a
+    /// `tcpdump`-style line per frame.
+    pub fn attach_promiscuous(&mut self, host: HostId, iface: IfaceId, lan: LanId) {
+        self.attach_with(host, iface, lan, true);
+    }
+
+    /// Moves an interface to a different LAN (physical roaming).
+    pub fn move_iface(&mut self, host: HostId, iface: IfaceId, lan: Option<LanId>) {
+        self.detach(host, iface);
+        if let Some(lan) = lan {
+            self.attach(host, iface, lan);
+        }
+    }
+
+    fn resolve_attachment(&self, key: AttachmentKey) -> Option<(HostId, IfaceId)> {
+        self.attach_map.get(&key).copied()
+    }
+}
+
+/// Starts every module on every host (call once after building the world).
+pub fn start(sim: &mut NetSim) {
+    let hosts = sim.world().hosts.len();
+    for h in 0..hosts {
+        let modules = sim.world().hosts[h].module_count();
+        for m in 0..modules {
+            dispatch(sim, HostId(h), ModuleId(m), |module, ctx| {
+                module.on_start(ctx);
+            });
+        }
+    }
+}
+
+/// Installs a module on a running world and starts it immediately.
+pub fn add_module(sim: &mut NetSim, host: HostId, module: Box<dyn Module>) -> ModuleId {
+    let id = sim.world_mut().hosts[host.0].add_module(module);
+    dispatch(sim, host, id, |m, ctx| m.on_start(ctx));
+    id
+}
+
+/// Runs `f` against one module with a [`ModuleCtx`], then applies the
+/// effects (and any pending TCP output) it produced.
+///
+/// This is also the public entry point experiment harnesses use to issue
+/// commands to a module (e.g. "switch to the radio now") with full access
+/// to the host and the effects queue.
+pub fn dispatch<R>(
+    sim: &mut NetSim,
+    host: HostId,
+    module: ModuleId,
+    f: impl FnOnce(&mut dyn Module, &mut ModuleCtx<'_>) -> R,
+) -> R {
+    let now = sim.now();
+    let mut fx = Effects::new();
+    let result = {
+        let w = sim.world_mut();
+        let h = &mut w.hosts[host.0];
+        let Some(mut m) = h.take_module(module) else {
+            panic!(
+                "module {module:?} on host {} re-entered or missing",
+                h.core.name
+            );
+        };
+        let mut ctx = ModuleCtx {
+            core: &mut h.core,
+            fx: &mut fx,
+            now,
+            me: module,
+        };
+        let r = f(m.as_mut(), &mut ctx);
+        h.put_module(module, m);
+        r
+    };
+    drain_pending_tcp(sim, host);
+    apply_effects(sim, host, module, fx);
+    result
+}
+
+/// Applies queued effects for `(host, module)`.
+pub(crate) fn apply_effects(sim: &mut NetSim, host: HostId, module: ModuleId, mut fx: Effects) {
+    for effect in fx.drain() {
+        match effect {
+            Effect::SendUdp {
+                sock,
+                dst,
+                payload,
+                opts,
+            } => {
+                ip::udp_send(sim, host, sock, dst, payload, opts);
+            }
+            Effect::SendIp { packet, opts } => {
+                ip::ip_send_packet(sim, host, packet, opts);
+            }
+            Effect::SetTimer { delay, token } => {
+                set_module_timer(sim, host, module, delay, token);
+            }
+            Effect::CancelTimer { token } => {
+                if let Some(ev) = sim.world_mut().hosts[host.0]
+                    .module_timers
+                    .remove(&(module, token))
+                {
+                    sim.cancel(ev);
+                }
+            }
+            Effect::BringIfaceUp(iface) => {
+                bring_iface_up(sim, host, iface);
+            }
+            Effect::BringIfaceDown(iface) => {
+                let h = &mut sim.world_mut().hosts[host.0];
+                let _quiesce = h.core.iface_mut(iface).device.bring_down();
+                let name = h.core.name.clone();
+                let dev = h.core.iface(iface).device.name().to_string();
+                let now = sim.now();
+                sim.trace_mut()
+                    .record(now, TraceKind::Device, name, format!("{dev} down"));
+            }
+            Effect::GratuitousArp { iface, addr } => {
+                let mac = sim.world().hosts[host.0].core.iface(iface).device.mac();
+                let arp = ArpPacket::gratuitous(mac, addr);
+                let frame = Frame::new(
+                    mosquitonet_wire::MacAddr::BROADCAST,
+                    mac,
+                    EtherType::Arp,
+                    arp.to_bytes(),
+                );
+                transmit_frame(sim, host, iface, frame);
+            }
+            Effect::Trace { detail } => {
+                let name = sim.world().hosts[host.0].core.name.clone();
+                let now = sim.now();
+                sim.trace_mut()
+                    .record(now, TraceKind::Mobility, name, detail);
+            }
+        }
+    }
+}
+
+fn set_module_timer(
+    sim: &mut NetSim,
+    host: HostId,
+    module: ModuleId,
+    delay: SimDuration,
+    token: u64,
+) {
+    // Re-arming an existing token cancels the previous instance.
+    if let Some(old) = sim.world_mut().hosts[host.0]
+        .module_timers
+        .remove(&(module, token))
+    {
+        sim.cancel(old);
+    }
+    let ev = sim.schedule_in(delay, move |sim| {
+        sim.world_mut().hosts[host.0]
+            .module_timers
+            .remove(&(module, token));
+        dispatch(sim, host, module, |m, ctx| m.on_timer(ctx, token));
+    });
+    sim.world_mut().hosts[host.0]
+        .module_timers
+        .insert((module, token), ev);
+}
+
+/// Drains TCP output queued by synchronous `HostCore::tcp_*` calls.
+pub(crate) fn drain_pending_tcp(sim: &mut NetSim, host: HostId) {
+    loop {
+        let pending = std::mem::take(&mut sim.world_mut().hosts[host.0].core.pending_tcp);
+        if pending.is_empty() {
+            return;
+        }
+        for (conn, out) in pending {
+            ip::apply_tcp_out(sim, host, conn, out);
+        }
+    }
+}
+
+/// (Re)arms or cancels the retransmission timer for a connection.
+pub(crate) fn set_tcp_timer(sim: &mut NetSim, host: HostId, conn: ConnId, op: crate::tcp::TimerOp) {
+    use crate::tcp::TimerOp;
+    match op {
+        TimerOp::Keep => {}
+        TimerOp::Cancel => {
+            if let Some(ev) = sim.world_mut().hosts[host.0].tcp_timers.remove(&conn) {
+                sim.cancel(ev);
+            }
+        }
+        TimerOp::Arm(delay) => {
+            if let Some(ev) = sim.world_mut().hosts[host.0].tcp_timers.remove(&conn) {
+                sim.cancel(ev);
+            }
+            let ev = sim.schedule_in(delay, move |sim| {
+                sim.world_mut().hosts[host.0].tcp_timers.remove(&conn);
+                let out = sim.world_mut().hosts[host.0].core.tcp.on_rto(conn);
+                ip::apply_tcp_out(sim, host, conn, out);
+            });
+            sim.world_mut().hosts[host.0].tcp_timers.insert(conn, ev);
+        }
+    }
+}
+
+/// Begins powering an interface up; when the device is ready, every module
+/// on the host receives `on_iface_up`.
+pub fn bring_iface_up(sim: &mut NetSim, host: HostId, iface: IfaceId) {
+    let now = sim.now();
+    let ready_at = {
+        let dev = &mut sim.world_mut().hosts[host.0].core.iface_mut(iface).device;
+        dev.begin_bring_up(now)
+    };
+    // An already-up device completes "immediately": modules are still
+    // notified, so callers get uniform ensure-up-then-continue semantics.
+    sim.schedule_at(ready_at, move |sim| {
+        let now = sim.now();
+        let h = &mut sim.world_mut().hosts[host.0];
+        h.core.iface_mut(iface).device.poll(now);
+        let name = h.core.name.clone();
+        let dev = h.core.iface(iface).device.name().to_string();
+        let modules = h.module_count();
+        sim.trace_mut()
+            .record(now, TraceKind::Device, name, format!("{dev} up"));
+        for m in 0..modules {
+            dispatch(sim, host, ModuleId(m), |module, ctx| {
+                module.on_iface_up(ctx, iface);
+            });
+        }
+    });
+}
+
+/// Hands a frame to a device for transmission onto its LAN.
+///
+/// The frame is charged the device's serialization + fixed cost, then each
+/// recipient is scheduled after the medium's (possibly jittered) one-way
+/// delay, minus frames the medium loses.
+pub(crate) fn transmit_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, frame: Frame) {
+    let now = sim.now();
+    let wire_len = frame.wire_len();
+    struct Tx {
+        deliveries: Vec<(HostId, IfaceId, SimDuration)>,
+        lan: LanId,
+        lost: u64,
+    }
+    let plan = {
+        let (w, rng) = sim.world_and_rng();
+        let ifc = &mut w.hosts[host.0].core.ifaces[iface.0];
+        if frame.payload.len() > ifc.device.mtu {
+            // No fragmentation in this stack (DESIGN.md §6): oversized
+            // packets die at the device, loudly.
+            ifc.device.counters.tx_dropped_mtu += 1;
+            None
+        } else if !ifc.device.note_tx(wire_len) {
+            w.hosts[host.0].core.stats.dropped_iface_down += 1;
+            None
+        } else if let Some(lan_id) = ifc.lan {
+            // Frames queue behind the transmitter (half-duplex serial
+            // links like STRIP make this very visible).
+            let tx_time = ifc.device.schedule_tx(now, wire_len);
+            let src_mac = ifc.device.mac();
+            let lan = &w.lans[lan_id.0];
+            let mut deliveries = Vec::new();
+            let mut lost = 0;
+            for key in lan.recipients(frame.dst, src_mac) {
+                if lan.draw_loss(rng) {
+                    lost += 1;
+                    continue;
+                }
+                let delay = tx_time + lan.draw_delay(rng);
+                if let Some((h, i)) = w.resolve_attachment(key) {
+                    deliveries.push((h, i, delay));
+                }
+            }
+            Some(Tx {
+                deliveries,
+                lan: lan_id,
+                lost,
+            })
+        } else {
+            // Unattached interface: the cable is unplugged.
+            w.hosts[host.0].core.stats.dropped_iface_down += 1;
+            None
+        }
+    };
+    let Some(plan) = plan else { return };
+    if plan.lost > 0 {
+        let name = sim.world().hosts[host.0].core.name.clone();
+        sim.trace_mut().record(
+            now,
+            TraceKind::PacketDropped,
+            name,
+            format!("medium lost {} cop(ies)", plan.lost),
+        );
+    }
+    let bytes = frame.to_bytes();
+    let lan = plan.lan;
+    for (h, i, delay) in plan.deliveries {
+        let bytes = bytes.clone();
+        sim.schedule_in(delay, move |sim| deliver_frame(sim, h, i, lan, bytes));
+    }
+}
+
+/// A frame arrives at a device; if the device is still on the LAN it was
+/// sent on and is up, stack processing is charged and the frame is
+/// dispatched. An interface that roamed away mid-flight never sees it —
+/// the wire it was on stayed behind.
+fn deliver_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, from_lan: LanId, bytes: Bytes) {
+    if sim.world().hosts[host.0].core.ifaces[iface.0].lan != Some(from_lan) {
+        let now = sim.now();
+        let name = sim.world().hosts[host.0].core.name.clone();
+        sim.trace_mut().record(
+            now,
+            TraceKind::PacketDropped,
+            name,
+            "frame for an interface that left the LAN".to_string(),
+        );
+        return;
+    }
+    let accepted = {
+        let h = &mut sim.world_mut().hosts[host.0];
+        h.core.ifaces[iface.0].device.note_rx(bytes.len())
+    };
+    if !accepted {
+        let now = sim.now();
+        let name = sim.world().hosts[host.0].core.name.clone();
+        sim.trace_mut().record(
+            now,
+            TraceKind::PacketDropped,
+            name,
+            "frame for downed interface".to_string(),
+        );
+        return;
+    }
+    let proc = sim.world().hosts[host.0].core.proc_delay;
+    sim.schedule_in(proc, move |sim| process_frame(sim, host, iface, bytes));
+}
+
+fn process_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, bytes: Bytes) {
+    let Ok(frame) = Frame::parse(&bytes) else {
+        sim.world_mut().hosts[host.0].core.stats.dropped_malformed += 1;
+        return;
+    };
+    if sim.world().hosts[host.0].core.capture {
+        let name = sim.world().hosts[host.0].core.name.clone();
+        let dev = sim.world().hosts[host.0].core.ifaces[iface.0]
+            .device
+            .name()
+            .to_string();
+        let line = format!("{dev}: {}", crate::sniff::frame_summary(&frame));
+        let now = sim.now();
+        sim.trace_mut().record(now, TraceKind::Capture, name, line);
+    }
+    match frame.ethertype {
+        EtherType::Arp => match ArpPacket::parse(&frame.payload) {
+            Ok(arp) => arp_input(sim, host, iface, &arp),
+            Err(_) => sim.world_mut().hosts[host.0].core.stats.dropped_malformed += 1,
+        },
+        EtherType::Ipv4 => match Ipv4Packet::parse(&frame.payload) {
+            Ok(pkt) => ip::ip_input(sim, host, Some(iface), pkt, 0),
+            Err(_) => sim.world_mut().hosts[host.0].core.stats.dropped_malformed += 1,
+        },
+    }
+}
+
+fn arp_input(sim: &mut NetSim, host: HostId, iface: IfaceId, arp: &ArpPacket) {
+    let now = sim.now();
+    let (released, action, my_mac) = {
+        let core = &mut sim.world_mut().hosts[host.0].core;
+        let my_mac = core.ifaces[iface.0].device.mac();
+        let my_addrs: Vec<_> = core.ifaces[iface.0].addrs.iter().map(|a| a.addr).collect();
+        let (released, action) = core.arp[iface.0].input(arp, my_mac, &my_addrs, now);
+        (released, action, my_mac)
+    };
+    // Send packets that were parked awaiting this resolution.
+    for pkt in released {
+        let frame = Frame::new(arp.sender_mac, my_mac, EtherType::Ipv4, pkt.to_bytes());
+        transmit_frame(sim, host, iface, frame);
+    }
+    if let ArpAction::Reply(reply) = action {
+        let frame = Frame::new(arp.sender_mac, my_mac, EtherType::Arp, reply.to_bytes());
+        transmit_frame(sim, host, iface, frame);
+    }
+}
+
+/// Transmits an ARP who-has for `target` and arms the retry timer for the
+/// resolution identified by `generation`.
+pub(crate) fn arp_solicit(
+    sim: &mut NetSim,
+    host: HostId,
+    iface: IfaceId,
+    target: std::net::Ipv4Addr,
+    generation: u64,
+) {
+    let (my_mac, my_ip) = {
+        let core = &sim.world().hosts[host.0].core;
+        let ifc = &core.ifaces[iface.0];
+        (
+            ifc.device.mac(),
+            ifc.primary_addr()
+                .unwrap_or(std::net::Ipv4Addr::UNSPECIFIED),
+        )
+    };
+    let req = ArpPacket::request(my_mac, my_ip, target);
+    let frame = Frame::new(
+        mosquitonet_wire::MacAddr::BROADCAST,
+        my_mac,
+        EtherType::Arp,
+        req.to_bytes(),
+    );
+    transmit_frame(sim, host, iface, frame);
+    sim.schedule_in(ARP_RETRY_INTERVAL, move |sim| {
+        arp_retry(sim, host, iface, target, generation);
+    });
+}
+
+fn arp_retry(
+    sim: &mut NetSim,
+    host: HostId,
+    iface: IfaceId,
+    target: std::net::Ipv4Addr,
+    generation: u64,
+) {
+    let verdict = sim.world_mut().hosts[host.0].core.arp[iface.0].retry(target, generation);
+    match verdict {
+        Ok(false) => {} // resolved meanwhile, or a stale timer
+        Ok(true) => arp_solicit(sim, host, iface, target, generation),
+        Err(dropped) => {
+            let n = dropped.len() as u64;
+            let core = &mut sim.world_mut().hosts[host.0].core;
+            core.stats.dropped_arp_failure += n;
+            let name = core.name.clone();
+            let now = sim.now();
+            sim.trace_mut().record(
+                now,
+                TraceKind::PacketDropped,
+                name,
+                format!("ARP failed for {target}: {n} packet(s)"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosquitonet_link::presets;
+    use mosquitonet_wire::MacAddr;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn attach_detach_move() {
+        let mut net = Network::new();
+        let h = net.add_host("mh");
+        let eth = net.hosts[h.0]
+            .core
+            .add_iface(presets::pcmcia_ethernet("eth0", MacAddr::from_index(1)));
+        let lan_a = net.add_lan(presets::ethernet_lan("a"));
+        let lan_b = net.add_lan(presets::ethernet_lan("b"));
+        net.attach(h, eth, lan_a);
+        assert_eq!(net.hosts[h.0].core.iface(eth).lan, Some(lan_a));
+        assert_eq!(net.lans[lan_a.0].len(), 1);
+        net.move_iface(h, eth, Some(lan_b));
+        assert_eq!(net.lans[lan_a.0].len(), 0);
+        assert_eq!(net.lans[lan_b.0].len(), 1);
+        assert_eq!(net.hosts[h.0].core.iface(eth).lan, Some(lan_b));
+        net.detach(h, eth);
+        assert_eq!(net.hosts[h.0].core.iface(eth).lan, None);
+        assert_eq!(net.lans[lan_b.0].len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn double_attach_panics() {
+        let mut net = Network::new();
+        let h = net.add_host("mh");
+        let eth = net.hosts[h.0]
+            .core
+            .add_iface(presets::pcmcia_ethernet("eth0", MacAddr::from_index(1)));
+        let lan = net.add_lan(presets::ethernet_lan("a"));
+        net.attach(h, eth, lan);
+        net.attach(h, eth, lan);
+    }
+
+    #[test]
+    fn transmit_on_downed_iface_counts_drop() {
+        let mut net = Network::new();
+        let h = net.add_host("mh");
+        let eth = net.hosts[h.0]
+            .core
+            .add_iface(presets::pcmcia_ethernet("eth0", MacAddr::from_index(1)));
+        let lan = net.add_lan(presets::ethernet_lan("a"));
+        net.attach(h, eth, lan);
+        let mut sim = Sim::new(net);
+        let frame = Frame::new(
+            MacAddr::BROADCAST,
+            MacAddr::from_index(1),
+            EtherType::Arp,
+            ArpPacket::gratuitous(MacAddr::from_index(1), Ipv4Addr::new(1, 1, 1, 1)).to_bytes(),
+        );
+        transmit_frame(&mut sim, h, eth, frame);
+        assert_eq!(sim.world().hosts[h.0].core.stats.dropped_iface_down, 1);
+    }
+
+    #[test]
+    fn bring_iface_up_fires_module_hook_after_bring_up_time() {
+        use std::any::Any;
+
+        struct Probe {
+            up_at_ms: Option<u64>,
+        }
+        impl Module for Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn on_iface_up(&mut self, ctx: &mut ModuleCtx<'_>, _iface: IfaceId) {
+                self.up_at_ms = Some(ctx.now.as_millis());
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let mut net = Network::new();
+        let h = net.add_host("mh");
+        let eth = net.hosts[h.0]
+            .core
+            .add_iface(presets::pcmcia_ethernet("eth0", MacAddr::from_index(1)));
+        let mid = net.hosts[h.0].add_module(Box::new(Probe { up_at_ms: None }));
+        let mut sim = Sim::new(net);
+        start(&mut sim);
+        bring_iface_up(&mut sim, h, eth);
+        sim.run();
+        let probe: &mut Probe = sim.world_mut().hosts[h.0].module_mut(mid).unwrap();
+        assert_eq!(
+            probe.up_at_ms,
+            Some(presets::ETHERNET_BRING_UP.as_millis()),
+            "hook fires exactly when the device becomes ready"
+        );
+        assert!(sim.world().hosts[h.0].core.iface(eth).device.is_up());
+    }
+
+    #[test]
+    fn frames_flow_between_two_attached_hosts() {
+        // A gratuitous ARP from one host lands in the other's ARP cache.
+        let mut net = Network::new();
+        let a = net.add_host("a");
+        let b = net.add_host("b");
+        let ia = net.hosts[a.0]
+            .core
+            .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(1)));
+        let ib = net.hosts[b.0]
+            .core
+            .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(2)));
+        let lan = net.add_lan(presets::ethernet_lan("lan"));
+        net.attach(a, ia, lan);
+        net.attach(b, ib, lan);
+        let mut sim = Sim::new(net);
+        bring_iface_up(&mut sim, a, ia);
+        bring_iface_up(&mut sim, b, ib);
+        sim.run();
+        let addr = Ipv4Addr::new(36, 135, 0, 9);
+        // Pre-seed b's cache so the gratuitous announcement overwrites it.
+        let stale = MacAddr::from_index(99);
+        let t = sim.now();
+        sim.world_mut().hosts[b.0].core.arp[ib.0].insert(addr, stale, t);
+        let mac_a = MacAddr::from_index(1);
+        let g = ArpPacket::gratuitous(mac_a, addr);
+        let frame = Frame::new(MacAddr::BROADCAST, mac_a, EtherType::Arp, g.to_bytes());
+        transmit_frame(&mut sim, a, ia, frame);
+        sim.run();
+        assert_eq!(
+            sim.world().hosts[b.0].core.arp[ib.0].lookup(addr),
+            Some(mac_a),
+            "gratuitous ARP voided the stale entry across the wire"
+        );
+    }
+}

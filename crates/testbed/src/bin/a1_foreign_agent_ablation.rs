@@ -1,0 +1,13 @@
+//! Regenerates the A1 ablation: hand-off packet loss with and without
+//! foreign agents / previous-FA forwarding (paper §5.1).
+//! Usage: `a1_foreign_agent_ablation [iterations] [seed]`.
+
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let iterations: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1996);
+    let result = experiments::run_a1(iterations, seed);
+    print!("{}", report::render_a1(&result));
+}

@@ -1,0 +1,14 @@
+//! Regenerates the A2 table: home-agent registration latency under
+//! simultaneous bursts of mobile hosts (paper §4's scaling claim).
+//! Usage: `a2_ha_scaling [seed]`.
+
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1996);
+    let rows = experiments::run_a2(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512], seed);
+    print!("{}", report::render_a2(&rows));
+}

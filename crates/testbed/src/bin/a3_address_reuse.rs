@@ -1,0 +1,14 @@
+//! Regenerates the A3 experiment: tunneled-packet mis-delivery after an
+//! abrupt departure, under both DHCP reuse policies (paper §5.1).
+//! Usage: `a3_address_reuse [seed]`.
+
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1996);
+    let result = experiments::run_a3(seed);
+    print!("{}", report::render_a3(&result));
+}

@@ -1,0 +1,85 @@
+//! Runs every experiment at paper-scale parameters and prints the full
+//! report (the source for EXPERIMENTS.md).
+//!
+//! Usage: `all_experiments [seed] [--json FILE]` — with `--json`, the raw
+//! results are additionally written as a JSON document for downstream
+//! plotting.
+
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1996);
+    let json_pos = args.iter().position(|a| a == "--json");
+    let json_path = json_pos.and_then(|i| args.get(i + 1)).cloned();
+    if json_pos.is_some() && json_path.is_none() {
+        eprintln!("warning: --json requires a FILE argument; no JSON will be written");
+    }
+
+    let tab1 = experiments::run_tab1(20, seed);
+    let tab1_far = experiments::run_tab1_far(20, seed);
+    let fig6 = experiments::run_fig6(10, seed);
+    let fig7 = experiments::run_fig7(10, seed);
+    let c1 = experiments::run_c1();
+    let c2 = experiments::run_c2(50, seed);
+    let c3 = experiments::run_c3(seed);
+    let a1 = experiments::run_a1(10, seed);
+    let a2 = experiments::run_a2(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512], seed);
+    let a3 = experiments::run_a3(seed);
+
+    print!("{}", report::render_tab1(&tab1));
+    println!(
+        "
+  (distant correspondent variant: {} of {} iterations lost 0; max {} —
+            \"we received similar results for a correspondent host located on
+            a campus network outside the department\", §4)",
+        tab1_far.histogram.count(0),
+        tab1_far.iterations,
+        tab1_far.max_loss
+    );
+    print!("{}", report::render_fig6(&fig6));
+    print!("{}", report::render_fig7(&fig7));
+    print!("{}", report::render_c1(&c1));
+    print!("{}", report::render_c2(&c2));
+    print!("{}", report::render_c3(&c3));
+    print!("{}", report::render_a1(&a1));
+    print!("{}", report::render_a2(&a2));
+    print!("{}", report::render_a3(&a3));
+
+    if let Some(path) = json_path {
+        #[derive(serde::Serialize)]
+        struct AllResults {
+            seed: u64,
+            tab1: experiments::Tab1Result,
+            tab1_far: experiments::Tab1Result,
+            fig6: experiments::Fig6Result,
+            fig7: experiments::Fig7Result,
+            c1: Vec<experiments::C1Row>,
+            c2: experiments::C2Result,
+            c3: experiments::C3Result,
+            a1: experiments::A1Result,
+            a2: Vec<experiments::A2Row>,
+            a3: experiments::A3Result,
+        }
+        let all = AllResults {
+            seed,
+            tab1,
+            tab1_far,
+            fig6,
+            fig7,
+            c1,
+            c2,
+            c3,
+            a1,
+            a2,
+            a3,
+        };
+        let json = serde_json::to_string_pretty(&all).expect("serializable");
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates the C1 table: IP-in-IP encapsulation byte overhead
+//! (paper §3.2: "Encapsulation adds 20 bytes or more").
+
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    let rows = experiments::run_c1();
+    print!("{}", report::render_c1(&rows));
+}

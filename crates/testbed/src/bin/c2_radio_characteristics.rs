@@ -1,0 +1,13 @@
+//! Regenerates the C2 characterization: radio RTT (200-250 ms) and
+//! effective throughput (30-40 kb/s) from paper §4.
+//! Usage: `c2_radio_characteristics [pings] [seed]`.
+
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let pings: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(50);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1996);
+    let result = experiments::run_c2(pings, seed);
+    print!("{}", report::render_c2(&result));
+}

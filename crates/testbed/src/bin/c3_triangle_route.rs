@@ -1,0 +1,14 @@
+//! Regenerates the C3 comparison: triangle route vs. reverse tunnel, and
+//! the probe-driven fallback under a transit-traffic filter (paper §3.2).
+//! Usage: `c3_triangle_route [seed]`.
+
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1996);
+    let result = experiments::run_c3(seed);
+    print!("{}", report::render_c3(&result));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 6: packet loss for cold/hot switches between the
+//! Ethernet and the radio (paper §4).
+//! Usage: `fig6_device_switch [iterations] [seed]`.
+
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let iterations: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1996);
+    let result = experiments::run_fig6(iterations, seed);
+    print!("{}", report::render_fig6(&result));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 7: the registration time-line breakdown (paper §4).
+//! Usage: `fig7_registration [runs] [seed]`.
+
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let runs: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1996);
+    let result = experiments::run_fig7(runs, seed);
+    print!("{}", report::render_fig7(&result));
+}

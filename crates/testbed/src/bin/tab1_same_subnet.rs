@@ -1,0 +1,12 @@
+//! Regenerates Table 1: packet loss when switching care-of addresses on
+//! one subnet (paper §4). Usage: `tab1_same_subnet [iterations] [seed]`.
+
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let iterations: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1996);
+    let result = experiments::run_tab1(iterations, seed);
+    print!("{}", report::render_tab1(&result));
+}

@@ -1,0 +1,22 @@
+//! One-stop view of every calibrated constant and its provenance.
+//!
+//! The reproduction replaces the paper's physical test-bed with models;
+//! this module re-exports the constants those models use, each traceable
+//! to a quantity the paper reports. See `DESIGN.md` §2 for the full
+//! substitution table.
+
+/// Software step costs from the paper's Figure 7.
+pub use mosquitonet_core::timing::{
+    CHANGE_ROUTE, CONFIGURE_IFACE, DEFAULT_LIFETIME_SECS, HA_PROCESSING, POST_REGISTRATION,
+    REGISTRATION_RETRY,
+};
+
+/// Link and device timing from §4's test-bed description.
+pub use mosquitonet_link::presets::{
+    ETHERNET_BRING_DOWN, ETHERNET_BRING_UP, ETHERNET_PROPAGATION, ETHERNET_RATE_BPS,
+    ETHERNET_TX_OVERHEAD, RADIO_BRING_DOWN, RADIO_BRING_UP, RADIO_LOSS_PROBABILITY,
+    RADIO_PROPAGATION_BASE, RADIO_PROPAGATION_JITTER, RADIO_RATE_BPS, RADIO_TX_OVERHEAD,
+};
+
+/// Per-packet host processing cost (486 subnotebook / Pentium 90 era).
+pub use mosquitonet_stack::DEFAULT_PROC_DELAY;

@@ -1,0 +1,1111 @@
+//! Experiment runners: one function per paper table/figure/claim.
+//!
+//! Each runner builds a fresh test-bed, drives the scenario, and returns a
+//! serializable result the report module renders in the paper's own
+//! format. The experiment index lives in `DESIGN.md`; paper-vs-measured
+//! numbers are recorded in `EXPERIMENTS.md`.
+
+use std::net::Ipv4Addr;
+
+use serde::Serialize;
+
+use mosquitonet_core::{AddressPlan, SendMode, SwitchPlan, SwitchStyle};
+use mosquitonet_dhcp::{DhcpClientModule, ReusePolicy};
+use mosquitonet_link::presets;
+use mosquitonet_sim::{Histogram, Sim, SimDuration, Summary};
+use mosquitonet_stack::{self as stack, ModuleId, Network, RouteEntry};
+use mosquitonet_wire::{Cidr, MacAddr};
+
+use crate::topology::{
+    self, build, MhMode, Testbed, TestbedConfig, CH_DEPT, CH_FAR, COA_DEPT, COA_DEPT_ALT,
+    COA_FOREIGN, COA_FOREIGN2, COA_RADIO, FOREIGN_ROUTER, MH_HOME, ROUTER_DEPT, ROUTER_RADIO,
+};
+use crate::workload::{BulkSender, BulkSink, RegistrationStorm, UdpEchoResponder, UdpEchoSender};
+
+/// Echo port used by all loss experiments.
+pub const ECHO_PORT: u16 = 7;
+
+fn install_echo(tb: &mut Testbed, interval: SimDuration) -> ModuleId {
+    let mh = tb.mh;
+    stack::add_module(&mut tb.sim, mh, Box::new(UdpEchoResponder::new(ECHO_PORT)));
+    let ch = tb.ch_dept;
+    stack::add_module(
+        &mut tb.sim,
+        ch,
+        Box::new(UdpEchoSender::new((MH_HOME, ECHO_PORT), interval)),
+    )
+}
+
+fn sender_mut(tb: &mut Testbed, mid: ModuleId) -> &mut UdpEchoSender {
+    let ch = tb.ch_dept;
+    tb.sim
+        .world_mut()
+        .host_mut(ch)
+        .module_mut(mid)
+        .expect("echo sender")
+}
+
+fn settle_on_dept(tb: &mut Testbed) {
+    tb.move_mh_eth(Some(tb.lan_dept));
+    let plan = SwitchPlan {
+        iface: tb.mh_eth,
+        address: AddressPlan::Static {
+            addr: COA_DEPT,
+            subnet: topology::dept_subnet(),
+            router: ROUTER_DEPT,
+        },
+        style: SwitchStyle::Cold,
+    };
+    tb.with_mh(|mh, ctx| mh.start_switch(ctx, plan));
+    tb.run_for(SimDuration::from_secs(5));
+    assert!(
+        tb.mh_module().away_status().map(|s| s.2).unwrap_or(false),
+        "failed to settle on the department net"
+    );
+}
+
+/// Moves the MH to the foreign site and registers `COA_FOREIGN` (cold).
+fn settle_on_foreign(tb: &mut Testbed) {
+    tb.move_mh_eth(tb.lan_foreign);
+    let plan = SwitchPlan {
+        iface: tb.mh_eth,
+        address: AddressPlan::Static {
+            addr: COA_FOREIGN,
+            subnet: topology::foreign_subnet(),
+            router: FOREIGN_ROUTER,
+        },
+        style: SwitchStyle::Cold,
+    };
+    tb.with_mh(|mh, ctx| mh.start_switch(ctx, plan));
+    tb.run_for(SimDuration::from_secs(5));
+}
+
+/// Puts a UDP echo responder on the far correspondent host.
+fn install_far_ch_echo(tb: &mut Testbed) {
+    let ch_far_host = tb.ch_far.expect("far CH");
+    stack::add_module(
+        &mut tb.sim,
+        ch_far_host,
+        Box::new(UdpEchoResponder::new(ECHO_PORT)),
+    );
+}
+
+// ---------------------------------------------------------------- Table 1
+
+/// Result of the same-subnet address-switch experiment (§4, reported here
+/// as Table 1): the paper saw, in 20 iterations at 10 ms spacing, sixteen
+/// runs with no loss and four runs losing one packet.
+#[derive(Debug, Serialize)]
+pub struct Tab1Result {
+    /// Iterations run.
+    pub iterations: u32,
+    /// Echo spacing in milliseconds.
+    pub interval_ms: u64,
+    /// Iterations vs. packets lost.
+    pub histogram: Histogram,
+    /// Largest per-iteration loss.
+    pub max_loss: usize,
+}
+
+/// Runs the Table 1 experiment with the correspondent on the department
+/// net (the paper's primary configuration).
+pub fn run_tab1(iterations: u32, seed: u64) -> Tab1Result {
+    run_tab1_inner(iterations, seed, false)
+}
+
+/// Runs the Table 1 experiment with the correspondent on a campus network
+/// beyond the Internet cloud — the paper: "we received similar results
+/// for a correspondent host located on a campus network outside the
+/// department" (§4).
+pub fn run_tab1_far(iterations: u32, seed: u64) -> Tab1Result {
+    run_tab1_inner(iterations, seed, true)
+}
+
+fn run_tab1_inner(iterations: u32, seed: u64, far: bool) -> Tab1Result {
+    let interval = SimDuration::from_millis(10);
+    let mut tb = build(TestbedConfig {
+        seed,
+        with_far_ch: far,
+        ..TestbedConfig::default()
+    });
+    let sender_mid = if far {
+        let mh = tb.mh;
+        stack::add_module(&mut tb.sim, mh, Box::new(UdpEchoResponder::new(ECHO_PORT)));
+        let ch = tb.ch_far.expect("far CH built");
+        stack::add_module(
+            &mut tb.sim,
+            ch,
+            Box::new(UdpEchoSender::new((MH_HOME, ECHO_PORT), interval)),
+        )
+    } else {
+        install_echo(&mut tb, interval)
+    };
+    settle_on_dept(&mut tb);
+
+    let mut windows = Vec::new();
+    for i in 0..iterations {
+        let target = if i % 2 == 0 { COA_DEPT_ALT } else { COA_DEPT };
+        // Randomize the switch phase against the 10 ms echo clock, as
+        // wall-clock scheduling did for the paper's runs.
+        let phase = tb.sim.rng().range_u64(0..interval.as_nanos());
+        tb.run_for(SimDuration::from_nanos(phase));
+        let t0 = tb.sim.now();
+        tb.with_mh(|mh, ctx| {
+            mh.switch_address(
+                ctx,
+                AddressPlan::Static {
+                    addr: target,
+                    subnet: topology::dept_subnet(),
+                    router: ROUTER_DEPT,
+                },
+            )
+        });
+        // The switch completes in ~7 ms; a 100 ms window comfortably
+        // bounds the loss region, then settle before the next iteration.
+        tb.run_for(SimDuration::from_millis(100));
+        windows.push((t0, tb.sim.now()));
+        tb.run_for(SimDuration::from_millis(400));
+    }
+    // Drain stragglers before counting.
+    tb.run_for(SimDuration::from_secs(2));
+
+    let mut histogram = Histogram::new(10);
+    let mut max_loss = 0;
+    let ch = if far {
+        tb.ch_far.expect("far CH")
+    } else {
+        tb.ch_dept
+    };
+    let s: &mut UdpEchoSender = tb
+        .sim
+        .world_mut()
+        .host_mut(ch)
+        .module_mut(sender_mid)
+        .expect("echo sender");
+    for (t0, t1) in windows {
+        let lost = s.lost_in_window(t0, t1) as usize;
+        histogram.record(lost);
+        max_loss = max_loss.max(lost);
+    }
+    Tab1Result {
+        iterations,
+        interval_ms: interval.as_millis(),
+        histogram,
+        max_loss,
+    }
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+/// The four device-switch scenarios of Figure 6.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum Fig6Scenario {
+    /// Cold switch, Ethernet → radio.
+    ColdWiredToWireless,
+    /// Cold switch, radio → Ethernet.
+    ColdWirelessToWired,
+    /// Hot switch, Ethernet → radio.
+    HotWiredToWireless,
+    /// Hot switch, radio → Ethernet.
+    HotWirelessToWired,
+}
+
+impl Fig6Scenario {
+    /// All four, in the paper's order.
+    pub fn all() -> [Fig6Scenario; 4] {
+        [
+            Fig6Scenario::ColdWiredToWireless,
+            Fig6Scenario::ColdWirelessToWired,
+            Fig6Scenario::HotWiredToWireless,
+            Fig6Scenario::HotWirelessToWired,
+        ]
+    }
+
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig6Scenario::ColdWiredToWireless => "cold  wired->wireless",
+            Fig6Scenario::ColdWirelessToWired => "cold  wireless->wired",
+            Fig6Scenario::HotWiredToWireless => "hot   wired->wireless",
+            Fig6Scenario::HotWirelessToWired => "hot   wireless->wired",
+        }
+    }
+
+    fn is_hot(self) -> bool {
+        matches!(
+            self,
+            Fig6Scenario::HotWiredToWireless | Fig6Scenario::HotWirelessToWired
+        )
+    }
+
+    fn to_radio(self) -> bool {
+        matches!(
+            self,
+            Fig6Scenario::ColdWiredToWireless | Fig6Scenario::HotWiredToWireless
+        )
+    }
+}
+
+/// Result of the Figure 6 device-switch experiment.
+#[derive(Debug, Serialize)]
+pub struct Fig6Result {
+    /// Iterations per scenario.
+    pub iterations: u32,
+    /// Echo spacing in milliseconds (the paper's 250 ms).
+    pub interval_ms: u64,
+    /// Per-scenario loss histograms.
+    pub scenarios: Vec<(Fig6Scenario, Histogram)>,
+}
+
+fn radio_plan(iface: stack::IfaceId, style: SwitchStyle) -> SwitchPlan {
+    SwitchPlan {
+        iface,
+        address: AddressPlan::Static {
+            addr: COA_RADIO,
+            subnet: topology::radio_subnet(),
+            router: ROUTER_RADIO,
+        },
+        style,
+    }
+}
+
+fn eth_plan(iface: stack::IfaceId, style: SwitchStyle) -> SwitchPlan {
+    SwitchPlan {
+        iface,
+        address: AddressPlan::Static {
+            addr: COA_DEPT,
+            subnet: topology::dept_subnet(),
+            router: ROUTER_DEPT,
+        },
+        style,
+    }
+}
+
+/// Runs one Figure 6 scenario for `iterations` measured switches.
+pub fn run_fig6_scenario(scenario: Fig6Scenario, iterations: u32, seed: u64) -> Histogram {
+    let interval = SimDuration::from_millis(250);
+    let mut tb = build(TestbedConfig {
+        seed,
+        ..TestbedConfig::default()
+    });
+    let sender_mid = install_echo(&mut tb, interval);
+    settle_on_dept(&mut tb);
+
+    let style = if scenario.is_hot() {
+        SwitchStyle::Hot
+    } else {
+        SwitchStyle::Cold
+    };
+    let plan_fwd = radio_plan(tb.mh_radio, style);
+    let plan_back = eth_plan(tb.mh_eth, style);
+    // For the wireless->wired scenarios the measured direction is the
+    // reverse one.
+    let (measured, unmeasured) = if scenario.to_radio() {
+        (plan_fwd, plan_back)
+    } else {
+        (plan_back, plan_fwd)
+    };
+
+    if scenario.is_hot() {
+        // Both devices stay powered: "both of the interfaces are
+        // available and we just switch" (§4).
+        let radio = tb.mh_radio;
+        tb.power_up_mh_iface(radio);
+        tb.run_for(SimDuration::from_secs(2));
+    }
+    if !scenario.to_radio() {
+        // Start each iteration from the radio side.
+        tb.with_mh(|mh, ctx| mh.start_switch(ctx, unmeasured));
+        tb.run_for(SimDuration::from_secs(4));
+    }
+
+    let mut windows = Vec::new();
+    for _ in 0..iterations {
+        // Randomize the switch phase against the echo clock.
+        let phase = tb.sim.rng().range_u64(0..interval.as_nanos());
+        tb.run_for(SimDuration::from_nanos(phase));
+        let t0 = tb.sim.now();
+        tb.with_mh(|mh, ctx| mh.start_switch(ctx, measured));
+        // Cold switches over the radio need bring-up (0.75 s) plus a
+        // radio-RTT registration; 2.5 s bounds the loss window.
+        tb.run_for(SimDuration::from_millis(2_500));
+        windows.push((t0, tb.sim.now()));
+        // Switch back (unmeasured) and settle.
+        tb.with_mh(|mh, ctx| mh.start_switch(ctx, unmeasured));
+        tb.run_for(SimDuration::from_secs(4));
+    }
+    tb.run_for(SimDuration::from_secs(2));
+
+    let mut histogram = Histogram::new(12);
+    let s = sender_mut(&mut tb, sender_mid);
+    for (t0, t1) in windows {
+        histogram.record(s.lost_in_window(t0, t1) as usize);
+    }
+    histogram
+}
+
+/// Runs all four Figure 6 scenarios.
+pub fn run_fig6(iterations: u32, seed: u64) -> Fig6Result {
+    let scenarios = Fig6Scenario::all()
+        .into_iter()
+        .enumerate()
+        .map(|(i, sc)| (sc, run_fig6_scenario(sc, iterations, seed + i as u64)))
+        .collect();
+    Fig6Result {
+        iterations,
+        interval_ms: 250,
+        scenarios,
+    }
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+/// Result of the Figure 7 registration time-line experiment. All values
+/// in microseconds.
+#[derive(Debug, Serialize)]
+pub struct Fig7Result {
+    /// Runs measured.
+    pub runs: u32,
+    /// Configure-interface step.
+    pub configure_us: Summary,
+    /// Route-table change step.
+    pub route_us: Summary,
+    /// Registration request sent → reply received.
+    pub request_reply_us: Summary,
+    /// Home-agent service time (configured constant).
+    pub ha_processing_us: f64,
+    /// Post-registration processing.
+    pub post_us: Summary,
+    /// Total address-switch time.
+    pub total_us: Summary,
+}
+
+/// Runs the Figure 7 experiment: `runs` same-subnet re-registrations.
+pub fn run_fig7(runs: u32, seed: u64) -> Fig7Result {
+    let mut tb = build(TestbedConfig {
+        seed,
+        ..TestbedConfig::default()
+    });
+    settle_on_dept(&mut tb);
+
+    // One extra unmeasured switch warms the router's ARP cache for the
+    // alternate address (the paper's repeated runs have warm caches).
+    for i in 0..=runs {
+        let target = if i % 2 == 0 { COA_DEPT_ALT } else { COA_DEPT };
+        tb.with_mh(|mh, ctx| {
+            mh.switch_address(
+                ctx,
+                AddressPlan::Static {
+                    addr: target,
+                    subnet: topology::dept_subnet(),
+                    router: ROUTER_DEPT,
+                },
+            )
+        });
+        tb.run_for(SimDuration::from_millis(500));
+    }
+
+    let mut configure = Summary::new();
+    let mut route = Summary::new();
+    let mut request_reply = Summary::new();
+    let mut post = Summary::new();
+    let mut total = Summary::new();
+    let timelines = tb.mh_module().timelines.clone();
+    // Skip the settle switch (bring-up included) and the ARP warm-up run.
+    for tl in timelines.iter().skip(2) {
+        let us = |d: Option<SimDuration>| d.expect("complete timeline").as_nanos() as f64 / 1_000.0;
+        let start = tl.start.expect("start");
+        configure.add(us(tl.iface_configured.map(|t| t - start)));
+        route.add(us(tl
+            .route_changed
+            .and_then(|t| Some(t - tl.iface_configured?))));
+        request_reply.add(us(tl.request_to_reply()));
+        post.add(us(tl.done.and_then(|t| Some(t - tl.reply_received?))));
+        total.add(us(tl.total()));
+    }
+    Fig7Result {
+        runs,
+        configure_us: configure,
+        route_us: route,
+        request_reply_us: request_reply,
+        ha_processing_us: mosquitonet_core::timing::HA_PROCESSING.as_nanos() as f64 / 1_000.0,
+        post_us: post,
+        total_us: total,
+    }
+}
+
+// ---------------------------------------------------------------- C1
+
+/// One row of the encapsulation-overhead table (claim C1, §3.2).
+#[derive(Debug, Serialize)]
+pub struct C1Row {
+    /// Inner payload bytes.
+    pub payload: usize,
+    /// Plain packet length.
+    pub plain: usize,
+    /// Encapsulated length.
+    pub encapsulated: usize,
+    /// Added bytes.
+    pub overhead: usize,
+    /// Overhead as a percentage of the plain length.
+    pub overhead_pct: f64,
+}
+
+/// Measures the byte overhead of IP-in-IP encapsulation across sizes.
+pub fn run_c1() -> Vec<C1Row> {
+    use mosquitonet_wire::{ipip, IpProto, Ipv4Header, Ipv4Packet};
+    [0usize, 64, 256, 512, 1024, 1452]
+        .into_iter()
+        .map(|payload| {
+            let inner = Ipv4Packet::new(
+                Ipv4Header::new(CH_DEPT, MH_HOME, IpProto::Udp),
+                vec![0u8; payload].into(),
+            );
+            let outer = ipip::encapsulate(&inner, topology::ROUTER_HOME, COA_DEPT);
+            let plain = inner.total_len();
+            let encapsulated = outer.total_len();
+            C1Row {
+                payload,
+                plain,
+                encapsulated,
+                overhead: encapsulated - plain,
+                overhead_pct: (encapsulated - plain) as f64 * 100.0 / plain as f64,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- C2
+
+/// Result of the radio characterization (claim C2, §4).
+#[derive(Debug, Serialize)]
+pub struct C2Result {
+    /// Echo RTT over the radio, milliseconds.
+    pub rtt_ms: Summary,
+    /// Measured bulk goodput, kb/s.
+    pub goodput_kbps: f64,
+    /// The radios' theoretical rate, kb/s.
+    pub theoretical_kbps: f64,
+}
+
+/// Runs the C2 radio characterization.
+pub fn run_c2(pings: u32, seed: u64) -> C2Result {
+    let mut tb = build(TestbedConfig {
+        seed,
+        ..TestbedConfig::default()
+    });
+    // Move onto the radio (cold switch from home).
+    let plan = SwitchPlan {
+        iface: tb.mh_radio,
+        address: AddressPlan::Static {
+            addr: COA_RADIO,
+            subnet: topology::radio_subnet(),
+            router: ROUTER_RADIO,
+        },
+        style: SwitchStyle::Cold,
+    };
+    tb.with_mh(|mh, ctx| mh.start_switch(ctx, plan));
+    tb.run_for(SimDuration::from_secs(6));
+    assert!(tb.mh_module().away_status().map(|s| s.2).unwrap_or(false));
+
+    // RTT: the router (home agent's machine) pings the care-of address
+    // directly over the radio — the paper's "round-trip time between the
+    // home agent and the mobile host through the radio interface". The
+    // replies go out in the MH's local role (no encapsulation).
+    tb.with_mh(|m, _| {
+        m.policy
+            .set(Cidr::host(ROUTER_RADIO), SendMode::DirectLocal)
+    });
+    let responder_port = 9;
+    let mh = tb.mh;
+    stack::add_module(
+        &mut tb.sim,
+        mh,
+        Box::new(UdpEchoResponder::new(responder_port)),
+    );
+    let router = tb.router;
+    let mut rtt_sender =
+        UdpEchoSender::new((COA_RADIO, responder_port), SimDuration::from_millis(400));
+    rtt_sender.padding = 0; // a minimal ping, as the paper's RTT figure implies
+    let rtt_mid = stack::add_module(&mut tb.sim, router, Box::new(rtt_sender));
+    tb.run_for(SimDuration::from_millis(400) * u64::from(pings) + SimDuration::from_secs(2));
+    let mut rtt_ms = Summary::new();
+    {
+        let s: &mut UdpEchoSender = tb
+            .sim
+            .world_mut()
+            .host_mut(router)
+            .module_mut(rtt_mid)
+            .expect("rtt sender");
+        s.stop();
+        for rtt in s.rtts() {
+            rtt_ms.add(rtt.as_millis_f64());
+        }
+    }
+
+    // Throughput: bulk UDP from the MH to the department CH in the
+    // mobile host's local role (no encapsulation, pure radio path).
+    tb.with_mh(|mh, _| mh.policy.set(Cidr::host(CH_DEPT), SendMode::DirectLocal));
+    let ch = tb.ch_dept;
+    let sink_mid = stack::add_module(&mut tb.sim, ch, Box::new(BulkSink::new(5001)));
+    let mh = tb.mh;
+    let mut bulk = BulkSender::new((CH_DEPT, 5001), 500, 60);
+    bulk.gap = SimDuration::ZERO;
+    stack::add_module(&mut tb.sim, mh, Box::new(bulk));
+    tb.run_for(SimDuration::from_secs(90));
+    let sink: &mut BulkSink = tb
+        .sim
+        .world_mut()
+        .host_mut(ch)
+        .module_mut(sink_mid)
+        .expect("sink");
+    let goodput_kbps = sink.goodput_kbps().expect("transfer completed");
+    C2Result {
+        rtt_ms,
+        goodput_kbps,
+        theoretical_kbps: 100.0,
+    }
+}
+
+// ---------------------------------------------------------------- C3
+
+/// Result of the triangle-route comparison (claim C3, §3.2).
+#[derive(Debug, Serialize)]
+pub struct C3Result {
+    /// Echo RTT through the reverse tunnel, ms.
+    pub tunnel_rtt_ms: Summary,
+    /// Echo RTT with the triangle route, ms.
+    pub triangle_rtt_ms: Summary,
+    /// With a filtering foreign router: did the probe fall back?
+    pub fallback_triggered: bool,
+    /// After fallback, do echoes still flow (via the tunnel)?
+    pub post_fallback_delivery: bool,
+}
+
+/// Runs the C3 triangle-route experiment.
+pub fn run_c3(seed: u64) -> C3Result {
+    // Phase 1: RTT comparison from the foreign site to the distant CH,
+    // with a separate (off-router) home agent so the tunnel detour is
+    // visible.
+    let mut tb = build(TestbedConfig {
+        seed,
+        ha_on_router: false,
+        with_far_ch: true,
+        with_foreign_site: true,
+        ..TestbedConfig::default()
+    });
+    install_far_ch_echo(&mut tb);
+    settle_on_foreign(&mut tb);
+    assert!(tb.mh_module().away_status().map(|s| s.2).unwrap_or(false));
+
+    // The MH pings the far CH: first tunneled, then triangled.
+    let mh = tb.mh;
+    let probe_mid = stack::add_module(
+        &mut tb.sim,
+        mh,
+        Box::new(UdpEchoSender::new(
+            (CH_FAR, ECHO_PORT),
+            SimDuration::from_millis(200),
+        )),
+    );
+    tb.run_for(SimDuration::from_secs(4));
+    let tunnel_rtts: Vec<SimDuration> = {
+        let s: &mut UdpEchoSender = tb
+            .sim
+            .world_mut()
+            .host_mut(mh)
+            .module_mut(probe_mid)
+            .expect("probe");
+
+        s.rtts()
+    };
+    tb.with_mh(|m, _| m.policy.set(Cidr::host(CH_FAR), SendMode::Triangle));
+    tb.run_for(SimDuration::from_secs(4));
+    let all_rtts: Vec<SimDuration> = {
+        let s: &mut UdpEchoSender = tb
+            .sim
+            .world_mut()
+            .host_mut(mh)
+            .module_mut(probe_mid)
+            .expect("probe");
+        s.stop();
+        s.rtts()
+    };
+    let mut tunnel_rtt_ms = Summary::new();
+    for r in &tunnel_rtts {
+        tunnel_rtt_ms.add(r.as_millis_f64());
+    }
+    let mut triangle_rtt_ms = Summary::new();
+    for r in &all_rtts[tunnel_rtts.len()..] {
+        triangle_rtt_ms.add(r.as_millis_f64());
+    }
+
+    // Phase 2: same topology but the foreign site forbids transit
+    // traffic. The probe must fail and fall back to the tunnel.
+    let mut tb = build(TestbedConfig {
+        seed: seed ^ 0x5a5a,
+        ha_on_router: false,
+        with_far_ch: true,
+        with_foreign_site: true,
+        foreign_transit_filter: true,
+        ..TestbedConfig::default()
+    });
+    install_far_ch_echo(&mut tb);
+    settle_on_foreign(&mut tb);
+    // Probe the triangle route; it should time out and revert.
+    tb.with_mh(|mh, ctx| mh.probe_triangle(ctx, CH_FAR));
+    tb.run_for(SimDuration::from_secs(5));
+    let fallback_triggered = tb.mh_module().policy.lookup(CH_FAR) == SendMode::ReverseTunnel;
+    // Echoes flow after the fallback.
+    let mh = tb.mh;
+    let echo_mid = stack::add_module(
+        &mut tb.sim,
+        mh,
+        Box::new(UdpEchoSender::new(
+            (CH_FAR, ECHO_PORT),
+            SimDuration::from_millis(200),
+        )),
+    );
+    tb.run_for(SimDuration::from_secs(4));
+    let post_fallback_delivery = {
+        let s: &mut UdpEchoSender = tb
+            .sim
+            .world_mut()
+            .host_mut(mh)
+            .module_mut(echo_mid)
+            .expect("echo");
+        s.received() >= s.sent().saturating_sub(2) && s.received() > 0
+    };
+
+    C3Result {
+        tunnel_rtt_ms,
+        triangle_rtt_ms,
+        fallback_triggered,
+        post_fallback_delivery,
+    }
+}
+
+// ---------------------------------------------------------------- A1
+
+/// Hand-off strategies compared in the A1 ablation (§5.1 "Packet loss").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum A1Mode {
+    /// MosquitoNet: no foreign agents anywhere.
+    Agentless,
+    /// Foreign agents, but the old FA does not forward in-flight packets.
+    FaNoForwarding,
+    /// Foreign agents with previous-FA forwarding (binding updates).
+    FaForwarding,
+}
+
+impl A1Mode {
+    /// All modes, report order.
+    pub fn all() -> [A1Mode; 3] {
+        [
+            A1Mode::Agentless,
+            A1Mode::FaNoForwarding,
+            A1Mode::FaForwarding,
+        ]
+    }
+
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            A1Mode::Agentless => "MosquitoNet (agentless)",
+            A1Mode::FaNoForwarding => "foreign agents, no forwarding",
+            A1Mode::FaForwarding => "foreign agents + previous-FA forwarding",
+        }
+    }
+}
+
+/// Result of the A1 foreign-agent ablation.
+#[derive(Debug, Serialize)]
+pub struct A1Result {
+    /// Measured hand-offs per mode.
+    pub iterations: u32,
+    /// Echo spacing, ms.
+    pub interval_ms: u64,
+    /// Loss histograms per mode.
+    pub per_mode: Vec<(A1Mode, Histogram)>,
+}
+
+fn run_a1_mode(mode: A1Mode, iterations: u32, seed: u64) -> Histogram {
+    let interval = SimDuration::from_millis(20);
+    let fa = mode != A1Mode::Agentless;
+    let mut tb = build(TestbedConfig {
+        seed,
+        with_foreign_site: true,
+        with_foreign_agents: fa,
+        ha_notify_previous: mode == A1Mode::FaForwarding,
+        mh_mode: if fa {
+            MhMode::ForeignAgent
+        } else {
+            MhMode::Mosquito
+        },
+        ..TestbedConfig::default()
+    });
+    let mh = tb.mh;
+    stack::add_module(&mut tb.sim, mh, Box::new(UdpEchoResponder::new(ECHO_PORT)));
+    let ch = tb.ch_dept;
+    let sender_mid = stack::add_module(
+        &mut tb.sim,
+        ch,
+        Box::new(UdpEchoSender::new((MH_HOME, ECHO_PORT), interval)),
+    );
+
+    // The A1 scenario is localized roaming far from home: the MH moves
+    // between two adjacent cells of one foreign site, while the home
+    // agent (and the correspondent) sit across the Internet cloud —
+    // exactly where a previous-FA rescue has room to win.
+    let lan_f1 = tb.lan_foreign.expect("foreign site");
+    let lan_f2 = tb.lan_foreign2.expect("second foreign cell");
+    if fa {
+        tb.move_mh_eth(Some(lan_f1));
+        let eth = tb.mh_eth;
+        let mh_id = tb.mh;
+        stack::bring_iface_up(&mut tb.sim, mh_id, eth);
+        tb.run_for(SimDuration::from_secs(1));
+        tb.with_fa_mh(|m, ctx| m.moved(ctx));
+        tb.run_for(SimDuration::from_secs(3));
+        assert!(
+            tb.fa_mh_module().current_fa().is_some(),
+            "FA-mode MH failed to register initially"
+        );
+    } else {
+        tb.move_mh_eth(Some(lan_f1));
+        let plan = SwitchPlan {
+            iface: tb.mh_eth,
+            address: AddressPlan::Static {
+                addr: COA_FOREIGN,
+                subnet: topology::foreign_subnet(),
+                router: FOREIGN_ROUTER,
+            },
+            style: SwitchStyle::Cold,
+        };
+        tb.with_mh(|mh, ctx| mh.start_switch(ctx, plan));
+        tb.run_for(SimDuration::from_secs(5));
+        assert!(tb.mh_module().away_status().map(|st| st.2).unwrap_or(false));
+    }
+
+    let mut windows = Vec::new();
+    let mut at_first = true;
+    for _ in 0..iterations {
+        let (target_lan, target_static) = if at_first {
+            (
+                lan_f2,
+                (
+                    COA_FOREIGN2,
+                    topology::foreign2_subnet(),
+                    topology::FOREIGN2_ROUTER,
+                ),
+            )
+        } else {
+            (
+                lan_f1,
+                (COA_FOREIGN, topology::foreign_subnet(), FOREIGN_ROUTER),
+            )
+        };
+        at_first = !at_first;
+        // Random phase against the echo clock.
+        let phase = tb.sim.rng().range_u64(0..interval.as_nanos());
+        tb.run_for(SimDuration::from_nanos(phase));
+        let t0 = tb.sim.now();
+        tb.move_mh_eth(Some(target_lan));
+        if fa {
+            tb.with_fa_mh(|m, ctx| m.moved(ctx));
+        } else {
+            let (addr, subnet, router) = target_static;
+            tb.with_mh(|m, ctx| {
+                m.switch_address(
+                    ctx,
+                    AddressPlan::Static {
+                        addr,
+                        subnet,
+                        router,
+                    },
+                )
+            });
+        }
+        tb.run_for(SimDuration::from_millis(1_500));
+        windows.push((t0, tb.sim.now()));
+        tb.run_for(SimDuration::from_secs(2));
+    }
+    tb.run_for(SimDuration::from_secs(2));
+
+    let mut histogram = Histogram::new(40);
+    let s: &mut UdpEchoSender = tb
+        .sim
+        .world_mut()
+        .host_mut(ch)
+        .module_mut(sender_mid)
+        .expect("sender");
+    for (t0, t1) in windows {
+        histogram.record(s.lost_in_window(t0, t1) as usize);
+    }
+    histogram
+}
+
+/// Runs the A1 ablation across all three modes.
+pub fn run_a1(iterations: u32, seed: u64) -> A1Result {
+    let per_mode = A1Mode::all()
+        .into_iter()
+        .map(|m| (m, run_a1_mode(m, iterations, seed)))
+        .collect();
+    A1Result {
+        iterations,
+        interval_ms: 20,
+        per_mode,
+    }
+}
+
+// ---------------------------------------------------------------- A2
+
+/// One row of the home-agent scaling table (A2).
+#[derive(Debug, Serialize)]
+pub struct A2Row {
+    /// Simultaneously registering mobile hosts.
+    pub mobile_hosts: u32,
+    /// Completed registrations.
+    pub completed: u32,
+    /// Mean reply latency, ms.
+    pub mean_reply_ms: f64,
+    /// 95th-percentile reply latency, ms.
+    pub p95_reply_ms: f64,
+    /// Worst reply latency, ms.
+    pub max_reply_ms: f64,
+    /// Time from first request sent to last reply received, ms.
+    pub span_ms: f64,
+}
+
+/// Runs the A2 scaling experiment for each burst size.
+pub fn run_a2(sizes: &[u32], seed: u64) -> Vec<A2Row> {
+    sizes
+        .iter()
+        .map(|&n| {
+            // A minimal two-net topology with a wide home subnet so
+            // thousands of logical mobile hosts fit.
+            let mut net = Network::new();
+            let home: Cidr = "36.135.0.0/16".parse().expect("const");
+            let dept = topology::dept_subnet();
+            let lan_home = net.add_lan(presets::ethernet_lan("home"));
+            let lan_dept = net.add_lan(presets::ethernet_lan("dept"));
+            let router = net.add_host("router-ha");
+            let r_home = net
+                .host_mut(router)
+                .core
+                .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(1)));
+            let r_dept = net
+                .host_mut(router)
+                .core
+                .add_iface(presets::wired_ethernet("eth1", MacAddr::from_index(2)));
+            {
+                let core = &mut net.host_mut(router).core;
+                core.forwarding = true;
+                core.ipip_decap = true;
+                core.iface_mut(r_home).add_addr(topology::ROUTER_HOME, home);
+                core.iface_mut(r_dept).add_addr(ROUTER_DEPT, dept);
+                core.routes.add(RouteEntry {
+                    dest: home,
+                    gateway: None,
+                    iface: r_home,
+                    metric: 0,
+                });
+                core.routes.add(RouteEntry {
+                    dest: dept,
+                    gateway: None,
+                    iface: r_dept,
+                    metric: 0,
+                });
+            }
+            let ha_cfg =
+                mosquitonet_core::HomeAgentConfig::new(topology::ROUTER_HOME, r_home, home);
+            net.host_mut(router)
+                .add_module(Box::new(mosquitonet_core::HomeAgent::new(ha_cfg)));
+
+            let storm_host = net.add_host("storm");
+            let s_if = net
+                .host_mut(storm_host)
+                .core
+                .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(3)));
+            {
+                let core = &mut net.host_mut(storm_host).core;
+                core.iface_mut(s_if).add_addr(COA_DEPT, dept);
+                core.routes.add(RouteEntry {
+                    dest: dept,
+                    gateway: None,
+                    iface: s_if,
+                    metric: 0,
+                });
+                core.routes.add(RouteEntry {
+                    dest: Cidr::DEFAULT,
+                    gateway: Some(ROUTER_DEPT),
+                    iface: s_if,
+                    metric: 0,
+                });
+            }
+            let storm_mid = net
+                .host_mut(storm_host)
+                .add_module(Box::new(RegistrationStorm::new(
+                    topology::ROUTER_HOME,
+                    Ipv4Addr::new(36, 135, 4, 1),
+                    n,
+                    COA_DEPT,
+                )));
+            net.attach(router, r_home, lan_home);
+            net.attach(router, r_dept, lan_dept);
+            net.attach(storm_host, s_if, lan_dept);
+
+            let mut sim = Sim::with_seed(net, seed);
+            stack::bring_iface_up(&mut sim, router, r_home);
+            stack::bring_iface_up(&mut sim, router, r_dept);
+            stack::bring_iface_up(&mut sim, storm_host, s_if);
+            sim.run();
+            // Warm both ARP caches so the burst measures home-agent
+            // service time, not neighbor discovery (the storm does not
+            // retransmit, and a cold ARP queue would shed the burst).
+            let t = sim.now();
+            sim.world_mut().hosts[storm_host.0].core.arp[s_if.0].insert(
+                ROUTER_DEPT,
+                MacAddr::from_index(2),
+                t,
+            );
+            sim.world_mut().hosts[router.0].core.arp[r_dept.0].insert(
+                COA_DEPT,
+                MacAddr::from_index(3),
+                t,
+            );
+            stack::start(&mut sim);
+            // Generous budget: N × (stagger + processing) + slack.
+            sim.run_for(SimDuration::from_millis(u64::from(n) * 2 + 2_000));
+
+            let storm: &mut RegistrationStorm = sim
+                .world_mut()
+                .host_mut(storm_host)
+                .module_mut(storm_mid)
+                .expect("storm");
+            let latencies = storm.latencies();
+            let completed = latencies.len() as u32;
+            let mut mean = Summary::new();
+            let mut sorted_ms: Vec<f64> = Vec::with_capacity(latencies.len());
+            for l in &latencies {
+                mean.add(l.as_millis_f64());
+                sorted_ms.push(l.as_millis_f64());
+            }
+            sorted_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let p95 = if sorted_ms.is_empty() {
+                0.0
+            } else {
+                sorted_ms[((sorted_ms.len() - 1) * 95) / 100]
+            };
+            let span_ms = storm
+                .completions
+                .iter()
+                .map(|(_, s, _)| *s)
+                .min()
+                .zip(storm.completions.iter().map(|(_, _, r)| *r).max())
+                .map(|(first, last)| (last - first).as_millis_f64())
+                .unwrap_or(0.0);
+            A2Row {
+                mobile_hosts: n,
+                completed,
+                mean_reply_ms: mean.mean(),
+                p95_reply_ms: p95,
+                max_reply_ms: mean.max().unwrap_or(0.0),
+                span_ms,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- A3
+
+/// Result of the DHCP address-reuse experiment (A3, §5.1 security note).
+#[derive(Debug, Serialize)]
+pub struct A3Result {
+    /// Tunneled packets mis-delivered to the newcomer under
+    /// first-available reuse.
+    pub first_available_misdelivered: u64,
+    /// Same under least-recently-used reuse.
+    pub lru_misdelivered: u64,
+    /// Did the LRU server hand the newcomer a different address?
+    pub lru_gave_different_address: bool,
+}
+
+fn run_a3_policy(policy: ReusePolicy, seed: u64) -> (u64, bool) {
+    let mut tb = build(TestbedConfig {
+        seed,
+        with_dhcp: true,
+        dhcp_policy: policy,
+        dhcp_lease: SimDuration::from_secs(20),
+        ..TestbedConfig::default()
+    });
+    // Continuous stream toward the MH's home address.
+    install_echo(&mut tb, SimDuration::from_millis(50));
+    // MH acquires its care-of via DHCP on the dept net.
+    tb.move_mh_eth(Some(tb.lan_dept));
+    let plan = SwitchPlan {
+        iface: tb.mh_eth,
+        address: AddressPlan::Dhcp,
+        style: SwitchStyle::Cold,
+    };
+    tb.with_mh(|mh, ctx| mh.start_switch(ctx, plan));
+    tb.run_for(SimDuration::from_secs(8));
+    let (_, mh_coa, registered) = tb.mh_module().away_status().expect("away");
+    assert!(registered, "MH must be registered before departing");
+
+    // The MH vanishes without deregistering or releasing its lease
+    // (battery died / drove out of coverage). The HA keeps tunneling.
+    tb.move_mh_eth(None);
+    // Wait out the DHCP lease so the address becomes reassignable.
+    tb.run_for(SimDuration::from_secs(30));
+
+    // A newcomer arrives and runs DHCP.
+    let (newcomer, newcomer_mid, n_if) = {
+        let net = tb.sim.world_mut();
+        let h = net.add_host("newcomer");
+        let ifc = net
+            .host_mut(h)
+            .core
+            .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(90)));
+        let mid = net
+            .host_mut(h)
+            .add_module(Box::new(DhcpClientModule::new(ifc)));
+        net.attach(h, ifc, tb.lan_dept);
+        (h, mid, ifc)
+    };
+    stack::bring_iface_up(&mut tb.sim, newcomer, n_if);
+    tb.run_for(SimDuration::from_secs(1));
+    // Start the newcomer's modules (it was added after world start).
+    stack::dispatch(&mut tb.sim, newcomer, newcomer_mid, |m, ctx| {
+        m.on_start(ctx)
+    });
+    tb.run_for(SimDuration::from_secs(5));
+    let newcomer_addr = {
+        let c: &mut DhcpClientModule = tb
+            .sim
+            .world_mut()
+            .host_mut(newcomer)
+            .module_mut(newcomer_mid)
+            .expect("newcomer dhcp");
+        c.lease().expect("newcomer got a lease").addr
+    };
+
+    // Measure mis-delivery for a fixed window while the stale binding
+    // still tunnels the mobile host's traffic.
+    let before = tb.sim.world().host(newcomer).core.stats.unclaimed;
+    tb.run_for(SimDuration::from_secs(10));
+    let misdelivered = tb.sim.world().host(newcomer).core.stats.unclaimed - before;
+    (misdelivered, newcomer_addr != mh_coa)
+}
+
+/// Runs the A3 experiment under both reuse policies.
+pub fn run_a3(seed: u64) -> A3Result {
+    let (first_available_misdelivered, _) = run_a3_policy(ReusePolicy::FirstAvailable, seed);
+    let (lru_misdelivered, lru_gave_different_address) =
+        run_a3_policy(ReusePolicy::LeastRecentlyUsed, seed);
+    A3Result {
+        first_available_misdelivered,
+        lru_misdelivered,
+        lru_gave_different_address,
+    }
+}

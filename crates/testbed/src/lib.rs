@@ -1,0 +1,30 @@
+//! The MosquitoNet test-bed and experiment harness.
+//!
+//! This crate rebuilds the paper's Figure 5 environment —
+//! [`topology::build`] wires the home net (36.135), the department net
+//! (36.8), the Metricom radio cell (36.134), the router/home agent, and
+//! optional extras (Internet cloud, distant correspondent, a filtered
+//! foreign site with two cells, foreign agents, DHCP service) — and then
+//! drives the paper's measurements over it:
+//!
+//! * [`workload`] — the traffic generators the §4 experiments use (UDP
+//!   echo streams with per-sequence loss accounting, bulk transfers, TCP
+//!   sessions, registration storms).
+//! * [`experiments`] — one runner per table/figure/claim (T1, F6, F7,
+//!   C1–C3, A1–A3), each returning a serializable result.
+//! * [`report`] — renderers that print each result in the paper's own
+//!   format, annotated with the paper's numbers for comparison.
+//! * [`calibrate`] — every calibrated constant, with its provenance.
+//!
+//! The binaries in `src/bin/` regenerate individual artifacts;
+//! `all_experiments` produces the whole of `EXPERIMENTS.md` (and, with
+//! `--json`, machine-readable results).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod experiments;
+pub mod report;
+pub mod topology;
+pub mod workload;

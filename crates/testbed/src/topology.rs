@@ -1,0 +1,902 @@
+//! The paper's Figure 5 test-bed.
+//!
+//! * **net 36.135.0.0/24** — wired Ethernet, the mobile host's home net.
+//! * **net 36.8.0.0/24** — wired Ethernet (the CS department net), where
+//!   the correspondent host lives and one visiting position for the MH.
+//! * **net 36.134.0.0/16** — the Metricom radio cell.
+//! * a **router** (the Pentium 90) joining all three, optionally
+//!   collocated with the **home agent** ("our implementation does not
+//!   require the home agent to be collocated with the router", §4 — both
+//!   layouts are supported);
+//! * an optional "rest of the Internet" **cloud** leading to a distant
+//!   correspondent ("we received similar results for a correspondent host
+//!   located on a campus network outside the department", §4).
+
+use std::net::Ipv4Addr;
+
+use mosquitonet_core::{HomeAgent, HomeAgentConfig, MobileHost, MobileHostConfig};
+use mosquitonet_dhcp::{DhcpServer, ReusePolicy};
+use mosquitonet_link::presets;
+use mosquitonet_sim::{Sim, SimDuration};
+use mosquitonet_stack::{
+    self as stack, HostId, IfaceId, LanId, ModuleCtx, ModuleId, NetSim, Network, RouteEntry,
+};
+use mosquitonet_wire::{Cidr, MacAddr};
+
+/// The mobile host's permanent home address.
+pub const MH_HOME: Ipv4Addr = Ipv4Addr::new(36, 135, 0, 9);
+
+/// The router's address on the home net (also the HA when collocated).
+pub const ROUTER_HOME: Ipv4Addr = Ipv4Addr::new(36, 135, 0, 1);
+
+/// A separate home agent's address (when not collocated).
+pub const HA_SEPARATE: Ipv4Addr = Ipv4Addr::new(36, 135, 0, 2);
+
+/// The router's address on the department net.
+pub const ROUTER_DEPT: Ipv4Addr = Ipv4Addr::new(36, 8, 0, 1);
+
+/// The router's address in the radio cell.
+pub const ROUTER_RADIO: Ipv4Addr = Ipv4Addr::new(36, 134, 0, 1);
+
+/// The department-net correspondent host.
+pub const CH_DEPT: Ipv4Addr = Ipv4Addr::new(36, 8, 0, 7);
+
+/// The distant correspondent, on a campus net beyond the cloud.
+pub const CH_FAR: Ipv4Addr = Ipv4Addr::new(171, 64, 0, 7);
+
+/// Static care-of address used when visiting the department net.
+pub const COA_DEPT: Ipv4Addr = Ipv4Addr::new(36, 8, 0, 42);
+
+/// Alternate department care-of address (same-subnet switch experiment).
+pub const COA_DEPT_ALT: Ipv4Addr = Ipv4Addr::new(36, 8, 0, 43);
+
+/// Static care-of address used in the radio cell.
+pub const COA_RADIO: Ipv4Addr = Ipv4Addr::new(36, 134, 0, 42);
+
+/// The department DHCP server's address.
+pub const DHCP_DEPT: Ipv4Addr = Ipv4Addr::new(36, 8, 0, 2);
+
+/// The foreign site's router (a different administrative domain reached
+/// across the cloud — where the MH's home address is *not* local and
+/// transit filters bite).
+pub const FOREIGN_ROUTER: Ipv4Addr = Ipv4Addr::new(128, 32, 0, 1);
+
+/// Care-of address used when visiting the foreign site.
+pub const COA_FOREIGN: Ipv4Addr = Ipv4Addr::new(128, 32, 0, 42);
+
+/// The department net's foreign agent (baseline experiments).
+pub const FA_DEPT_ADDR: Ipv4Addr = Ipv4Addr::new(36, 8, 0, 4);
+
+/// The foreign site's foreign agent (baseline experiments).
+pub const FA_FOREIGN_ADDR: Ipv4Addr = Ipv4Addr::new(128, 32, 0, 4);
+
+/// The foreign site's *second* subnet's router address (the site has two
+/// adjacent cells; localized roaming between them is the A1 scenario).
+pub const FOREIGN2_ROUTER: Ipv4Addr = Ipv4Addr::new(128, 32, 1, 1);
+
+/// Care-of address on the foreign site's second subnet.
+pub const COA_FOREIGN2: Ipv4Addr = Ipv4Addr::new(128, 32, 1, 42);
+
+/// The second foreign subnet's foreign agent.
+pub const FA_FOREIGN2_ADDR: Ipv4Addr = Ipv4Addr::new(128, 32, 1, 4);
+
+/// The home subnet.
+pub fn home_subnet() -> Cidr {
+    "36.135.0.0/24".parse().expect("const")
+}
+
+/// The department subnet.
+pub fn dept_subnet() -> Cidr {
+    "36.8.0.0/24".parse().expect("const")
+}
+
+/// The radio subnet.
+pub fn radio_subnet() -> Cidr {
+    "36.134.0.0/16".parse().expect("const")
+}
+
+/// The distant campus subnet.
+pub fn far_subnet() -> Cidr {
+    "171.64.0.0/24".parse().expect("const")
+}
+
+/// The foreign site's subnet.
+pub fn foreign_subnet() -> Cidr {
+    "128.32.0.0/24".parse().expect("const")
+}
+
+/// The foreign site's second subnet (the adjacent cell).
+pub fn foreign2_subnet() -> Cidr {
+    "128.32.1.0/24".parse().expect("const")
+}
+
+/// Which mobile-IP client runs on the mobile host.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MhMode {
+    /// The paper's agentless design ([`MobileHost`]).
+    Mosquito,
+    /// The IETF foreign-agent baseline
+    /// ([`FaMobileHost`](mosquitonet_core::FaMobileHost)).
+    ForeignAgent,
+}
+
+/// Test-bed build options.
+#[derive(Clone, Debug)]
+pub struct TestbedConfig {
+    /// RNG seed for the run.
+    pub seed: u64,
+    /// Collocate the home agent on the router (the paper's usual layout).
+    pub ha_on_router: bool,
+    /// Build the Internet cloud and the distant correspondent.
+    pub with_far_ch: bool,
+    /// One-way latency of the cloud link.
+    pub cloud_latency: SimDuration,
+    /// Run a DHCP server on the department net (pool .40–.49).
+    pub with_dhcp: bool,
+    /// DHCP address-reuse policy.
+    pub dhcp_policy: ReusePolicy,
+    /// DHCP lease time.
+    pub dhcp_lease: SimDuration,
+    /// Enable the transit-traffic filter on the router's upstream
+    /// (cloud-facing) interface.
+    pub transit_filter: bool,
+    /// Home agent sends binding updates to previous care-of addresses.
+    pub ha_notify_previous: bool,
+    /// Build the foreign site (its own router + LAN across the cloud).
+    pub with_foreign_site: bool,
+    /// Enable the transit-traffic filter on the *foreign* router's
+    /// cloud-facing interface (the §3.2 triangle-route failure case).
+    pub foreign_transit_filter: bool,
+    /// Run foreign agents on the department net and the foreign site.
+    pub with_foreign_agents: bool,
+    /// Which mobile-IP client runs on the MH.
+    pub mh_mode: MhMode,
+    /// (SPI, key) the mobile host signs registrations with.
+    pub mh_auth: Option<(u32, u64)>,
+    /// (SPI, key) the home agent verifies the MH's registrations with;
+    /// combined with `ha_require_auth` this exercises the authentication
+    /// extension (the paper's prescribed-but-unimplemented security).
+    pub ha_auth_key: Option<(u32, u64)>,
+    /// Home agent refuses unauthenticated registrations.
+    pub ha_require_auth: bool,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            seed: 0x4d6f_7371_7569_746f, // "Mosquito"
+            ha_on_router: true,
+            with_far_ch: false,
+            cloud_latency: SimDuration::from_millis(15),
+            with_dhcp: false,
+            dhcp_policy: ReusePolicy::LeastRecentlyUsed,
+            dhcp_lease: SimDuration::from_secs(600),
+            transit_filter: false,
+            ha_notify_previous: false,
+            with_foreign_site: false,
+            foreign_transit_filter: false,
+            with_foreign_agents: false,
+            mh_mode: MhMode::Mosquito,
+            mh_auth: None,
+            ha_auth_key: None,
+            ha_require_auth: false,
+        }
+    }
+}
+
+/// The built test-bed: the simulation plus every handle an experiment
+/// needs.
+pub struct Testbed {
+    /// The running simulation.
+    pub sim: NetSim,
+    /// The mobile host.
+    pub mh: HostId,
+    /// Its PCMCIA Ethernet.
+    pub mh_eth: IfaceId,
+    /// Its Metricom radio.
+    pub mh_radio: IfaceId,
+    /// Its VIF.
+    pub mh_vif: IfaceId,
+    /// The mobile-host manager module.
+    pub mh_mod: ModuleId,
+    /// The router (Pentium 90).
+    pub router: HostId,
+    /// Router interface on the home net.
+    pub router_home_if: IfaceId,
+    /// Router interface on the department net.
+    pub router_dept_if: IfaceId,
+    /// Router interface in the radio cell.
+    pub router_radio_if: IfaceId,
+    /// The host running the home agent (router or separate box).
+    pub ha_host: HostId,
+    /// The home agent module.
+    pub ha_mod: ModuleId,
+    /// The department correspondent host.
+    pub ch_dept: HostId,
+    /// The distant correspondent, if built.
+    pub ch_far: Option<HostId>,
+    /// The department DHCP server module, if built.
+    pub dhcp_mod: Option<ModuleId>,
+    /// Host of the DHCP server.
+    pub dhcp_host: Option<HostId>,
+    /// The home Ethernet.
+    pub lan_home: LanId,
+    /// The department Ethernet.
+    pub lan_dept: LanId,
+    /// The radio cell.
+    pub cell: LanId,
+    /// The foreign site's LAN, if built.
+    pub lan_foreign: Option<LanId>,
+    /// The foreign site's second (adjacent-cell) LAN, if built.
+    pub lan_foreign2: Option<LanId>,
+    /// The second foreign subnet's FA `(host, module)`, if built.
+    pub fa_foreign2: Option<(HostId, ModuleId)>,
+    /// The foreign site's router, if built.
+    pub foreign_router: Option<HostId>,
+    /// The department foreign agent `(host, module)`, if built.
+    pub fa_dept: Option<(HostId, ModuleId)>,
+    /// The foreign site's foreign agent `(host, module)`, if built.
+    pub fa_foreign: Option<(HostId, ModuleId)>,
+    /// Which client the MH runs.
+    pub mh_mode: MhMode,
+}
+
+/// Builds the Figure 5 test-bed. The mobile host starts **at home**, all
+/// infrastructure interfaces up; `stack::start` has already run.
+pub fn build(cfg: TestbedConfig) -> Testbed {
+    let mut net = Network::new();
+
+    let lan_home = net.add_lan(presets::ethernet_lan("net-36-135"));
+    let lan_dept = net.add_lan(presets::ethernet_lan("net-36-8"));
+    let cell = net.add_lan(presets::radio_cell("net-36-134"));
+
+    // --- Router (Pentium 90), gateway of all three nets ---
+    let router = net.add_host("router");
+    let router_home_if = net
+        .host_mut(router)
+        .core
+        .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(10)));
+    let router_dept_if = net
+        .host_mut(router)
+        .core
+        .add_iface(presets::wired_ethernet("eth1", MacAddr::from_index(11)));
+    let router_radio_if = net
+        .host_mut(router)
+        .core
+        .add_iface(presets::metricom_radio("strip0", MacAddr::from_index(12)));
+    {
+        let core = &mut net.host_mut(router).core;
+        core.forwarding = true;
+        core.send_redirects = true;
+        core.iface_mut(router_home_if)
+            .add_addr(ROUTER_HOME, home_subnet());
+        core.iface_mut(router_dept_if)
+            .add_addr(ROUTER_DEPT, dept_subnet());
+        core.iface_mut(router_radio_if)
+            .add_addr(ROUTER_RADIO, radio_subnet());
+        core.routes.add(RouteEntry {
+            dest: home_subnet(),
+            gateway: None,
+            iface: router_home_if,
+            metric: 0,
+        });
+        core.routes.add(RouteEntry {
+            dest: dept_subnet(),
+            gateway: None,
+            iface: router_dept_if,
+            metric: 0,
+        });
+        core.routes.add(RouteEntry {
+            dest: radio_subnet(),
+            gateway: None,
+            iface: router_radio_if,
+            metric: 0,
+        });
+    }
+    net.attach(router, router_home_if, lan_home);
+    net.attach(router, router_dept_if, lan_dept);
+    net.attach(router, router_radio_if, cell);
+
+    // --- Mobile host (Gateway Handbook 486) ---
+    let mh = net.add_host("mh");
+    let mh_eth = net
+        .host_mut(mh)
+        .core
+        .add_iface(presets::pcmcia_ethernet("eth0", MacAddr::from_index(20)));
+    let mh_radio = net
+        .host_mut(mh)
+        .core
+        .add_iface(presets::metricom_radio("strip0", MacAddr::from_index(21)));
+    let mh_vif = net.host_mut(mh).core.add_vif(presets::loopback("vif0"));
+    // Radio is attached to the cell from the start (it is a broadcast
+    // medium: being in range is attachment; being *up* is separate).
+    net.attach(mh, mh_radio, cell);
+    net.attach(mh, mh_eth, lan_home);
+
+    // --- Home agent: collocated on the router or a separate host ---
+    let (ha_host, ha_addr, ha_iface) = if cfg.ha_on_router {
+        (router, ROUTER_HOME, router_home_if)
+    } else {
+        let ha = net.add_host("home-agent");
+        let ha_if = net
+            .host_mut(ha)
+            .core
+            .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(30)));
+        {
+            let core = &mut net.host_mut(ha).core;
+            core.forwarding = true; // decapsulate + forward reverse tunnels
+            core.ipip_decap = true;
+            core.iface_mut(ha_if).add_addr(HA_SEPARATE, home_subnet());
+            core.routes.add(RouteEntry {
+                dest: home_subnet(),
+                gateway: None,
+                iface: ha_if,
+                metric: 0,
+            });
+            core.routes.add(RouteEntry {
+                dest: Cidr::DEFAULT,
+                gateway: Some(ROUTER_HOME),
+                iface: ha_if,
+                metric: 0,
+            });
+        }
+        net.attach(ha, ha_if, lan_home);
+        (ha, HA_SEPARATE, ha_if)
+    };
+    if cfg.ha_on_router {
+        // The collocated HA decapsulates reverse-tunneled packets itself.
+        net.host_mut(router).core.ipip_decap = true;
+    }
+    let mut ha_cfg = HomeAgentConfig::new(ha_addr, ha_iface, home_subnet());
+    ha_cfg.notify_previous = cfg.ha_notify_previous;
+    ha_cfg.require_auth = cfg.ha_require_auth;
+    if let Some((spi, key)) = cfg.ha_auth_key {
+        ha_cfg.auth_keys.insert(MH_HOME, (spi, key));
+    }
+    let ha_mod = net
+        .host_mut(ha_host)
+        .add_module(Box::new(HomeAgent::new(ha_cfg)));
+
+    // --- Mobile-IP client module ---
+    let mh_mod = match cfg.mh_mode {
+        MhMode::Mosquito => {
+            let mh_cfg = MobileHostConfig {
+                home_addr: MH_HOME,
+                home_subnet: home_subnet(),
+                home_router: ROUTER_HOME,
+                home_agent: ha_addr,
+                vif: mh_vif,
+                lifetime: mosquitonet_core::timing::DEFAULT_LIFETIME_SECS,
+                auth: cfg.mh_auth,
+            };
+            net.host_mut(mh)
+                .add_module(Box::new(MobileHost::new_at_home(mh_cfg, mh_eth)))
+        }
+        MhMode::ForeignAgent => {
+            let mut fa_mh =
+                mosquitonet_core::FaMobileHost::new(MH_HOME, home_subnet(), ha_addr, mh_eth, 300);
+            fa_mh.notify_previous = cfg.ha_notify_previous;
+            net.host_mut(mh).add_module(Box::new(fa_mh))
+        }
+    };
+
+    // --- Department correspondent host ---
+    let ch_dept = net.add_host("ch-dept");
+    let ch_if = net
+        .host_mut(ch_dept)
+        .core
+        .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(40)));
+    {
+        let core = &mut net.host_mut(ch_dept).core;
+        core.iface_mut(ch_if).add_addr(CH_DEPT, dept_subnet());
+        core.routes.add(RouteEntry {
+            dest: dept_subnet(),
+            gateway: None,
+            iface: ch_if,
+            metric: 0,
+        });
+        core.routes.add(RouteEntry {
+            dest: Cidr::DEFAULT,
+            gateway: Some(ROUTER_DEPT),
+            iface: ch_if,
+            metric: 0,
+        });
+    }
+    net.attach(ch_dept, ch_if, lan_dept);
+
+    // --- Optional DHCP service on the department net ---
+    let (dhcp_host, dhcp_mod) = if cfg.with_dhcp {
+        let srv_host = net.add_host("dhcp-dept");
+        let srv_if = net
+            .host_mut(srv_host)
+            .core
+            .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(50)));
+        {
+            let core = &mut net.host_mut(srv_host).core;
+            core.iface_mut(srv_if).add_addr(DHCP_DEPT, dept_subnet());
+            core.routes.add(RouteEntry {
+                dest: dept_subnet(),
+                gateway: None,
+                iface: srv_if,
+                metric: 0,
+            });
+            core.routes.add(RouteEntry {
+                dest: Cidr::DEFAULT,
+                gateway: Some(ROUTER_DEPT),
+                iface: srv_if,
+                metric: 0,
+            });
+        }
+        let mut srv = DhcpServer::new(
+            srv_if,
+            dept_subnet(),
+            40,
+            49,
+            ROUTER_DEPT,
+            DHCP_DEPT,
+            cfg.dhcp_lease,
+        );
+        srv.policy = cfg.dhcp_policy;
+        let mid = net.host_mut(srv_host).add_module(Box::new(srv));
+        net.attach(srv_host, srv_if, lan_dept);
+        (Some(srv_host), Some(mid))
+    } else {
+        (None, None)
+    };
+
+    // --- Optional Internet cloud, distant correspondent, foreign site ---
+    let mut extra_up: Vec<(HostId, IfaceId)> = Vec::new();
+    let need_cloud = cfg.with_far_ch || cfg.with_foreign_site;
+    let cloud_net: Cidr = "192.0.1.0/24".parse().expect("const");
+    let cloud = if need_cloud {
+        let cloud = net.add_lan(presets::internet_cloud("cloud", cfg.cloud_latency));
+        let r_cloud_if = net
+            .host_mut(router)
+            .core
+            .add_iface(presets::wired_ethernet("eth2", MacAddr::from_index(60)));
+        {
+            let core = &mut net.host_mut(router).core;
+            core.iface_mut(r_cloud_if)
+                .add_addr(Ipv4Addr::new(192, 0, 1, 1), cloud_net);
+            core.routes.add(RouteEntry {
+                dest: cloud_net,
+                gateway: None,
+                iface: r_cloud_if,
+                metric: 0,
+            });
+            if cfg.transit_filter {
+                core.transit_filter = true;
+                core.upstream_ifaces.push(r_cloud_if);
+            }
+        }
+        net.attach(router, r_cloud_if, cloud);
+        extra_up.push((router, r_cloud_if));
+        Some((cloud, r_cloud_if))
+    } else {
+        None
+    };
+
+    let ch_far = if cfg.with_far_ch {
+        let (cloud, r_cloud_if) = cloud.expect("cloud built");
+        let lan_far = net.add_lan(presets::ethernet_lan("net-171-64"));
+        net.host_mut(router).core.routes.add(RouteEntry {
+            dest: far_subnet(),
+            gateway: Some(Ipv4Addr::new(192, 0, 1, 2)),
+            iface: r_cloud_if,
+            metric: 0,
+        });
+
+        let far_router = net.add_host("far-router");
+        let fr_cloud_if = net
+            .host_mut(far_router)
+            .core
+            .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(61)));
+        let fr_lan_if = net
+            .host_mut(far_router)
+            .core
+            .add_iface(presets::wired_ethernet("eth1", MacAddr::from_index(62)));
+        {
+            let core = &mut net.host_mut(far_router).core;
+            core.forwarding = true;
+            core.iface_mut(fr_cloud_if)
+                .add_addr(Ipv4Addr::new(192, 0, 1, 2), cloud_net);
+            core.iface_mut(fr_lan_if)
+                .add_addr(Ipv4Addr::new(171, 64, 0, 1), far_subnet());
+            core.routes.add(RouteEntry {
+                dest: cloud_net,
+                gateway: None,
+                iface: fr_cloud_if,
+                metric: 0,
+            });
+            core.routes.add(RouteEntry {
+                dest: far_subnet(),
+                gateway: None,
+                iface: fr_lan_if,
+                metric: 0,
+            });
+            core.routes.add(RouteEntry {
+                dest: Cidr::DEFAULT,
+                gateway: Some(Ipv4Addr::new(192, 0, 1, 1)),
+                iface: fr_cloud_if,
+                metric: 0,
+            });
+        }
+        net.attach(far_router, fr_cloud_if, cloud);
+
+        let ch = net.add_host("ch-far");
+        let ch_far_if = net
+            .host_mut(ch)
+            .core
+            .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(63)));
+        {
+            let core = &mut net.host_mut(ch).core;
+            core.iface_mut(ch_far_if).add_addr(CH_FAR, far_subnet());
+            core.routes.add(RouteEntry {
+                dest: far_subnet(),
+                gateway: None,
+                iface: ch_far_if,
+                metric: 0,
+            });
+            core.routes.add(RouteEntry {
+                dest: Cidr::DEFAULT,
+                gateway: Some(Ipv4Addr::new(171, 64, 0, 1)),
+                iface: ch_far_if,
+                metric: 0,
+            });
+        }
+        net.attach(ch, ch_far_if, lan_far);
+        net.attach(far_router, fr_lan_if, lan_far);
+        extra_up.extend([
+            (far_router, fr_cloud_if),
+            (far_router, fr_lan_if),
+            (ch, ch_far_if),
+        ]);
+        Some(ch)
+    } else {
+        None
+    };
+
+    // --- Optional foreign site: its own router + LANs across the cloud ---
+    let (lan_foreign, lan_foreign2, foreign_router) = if cfg.with_foreign_site {
+        let (cloud, r_cloud_if) = cloud.expect("cloud built");
+        let lan_foreign = net.add_lan(presets::ethernet_lan("net-128-32"));
+        net.host_mut(router).core.routes.add(RouteEntry {
+            dest: foreign_subnet(),
+            gateway: Some(Ipv4Addr::new(192, 0, 1, 3)),
+            iface: r_cloud_if,
+            metric: 0,
+        });
+        let frouter = net.add_host("foreign-router");
+        let f_cloud_if = net
+            .host_mut(frouter)
+            .core
+            .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(70)));
+        let f_lan_if = net
+            .host_mut(frouter)
+            .core
+            .add_iface(presets::wired_ethernet("eth1", MacAddr::from_index(71)));
+        {
+            let core = &mut net.host_mut(frouter).core;
+            core.forwarding = true;
+            core.iface_mut(f_cloud_if)
+                .add_addr(Ipv4Addr::new(192, 0, 1, 3), cloud_net);
+            core.iface_mut(f_lan_if)
+                .add_addr(FOREIGN_ROUTER, foreign_subnet());
+            core.routes.add(RouteEntry {
+                dest: cloud_net,
+                gateway: None,
+                iface: f_cloud_if,
+                metric: 0,
+            });
+            core.routes.add(RouteEntry {
+                dest: foreign_subnet(),
+                gateway: None,
+                iface: f_lan_if,
+                metric: 0,
+            });
+            core.routes.add(RouteEntry {
+                dest: Cidr::DEFAULT,
+                gateway: Some(Ipv4Addr::new(192, 0, 1, 1)),
+                iface: f_cloud_if,
+                metric: 0,
+            });
+            if cfg.foreign_transit_filter {
+                // A security-conscious foreign site: no transit traffic.
+                core.transit_filter = true;
+                core.upstream_ifaces.push(f_cloud_if);
+            }
+        }
+        net.attach(frouter, f_cloud_if, cloud);
+        net.attach(frouter, f_lan_if, lan_foreign);
+        // The site's second subnet: the adjacent cell for localized
+        // roaming experiments.
+        let lan_foreign2 = net.add_lan(presets::ethernet_lan("net-128-32-1"));
+        let f_lan2_if = net
+            .host_mut(frouter)
+            .core
+            .add_iface(presets::wired_ethernet("eth2", MacAddr::from_index(72)));
+        {
+            let core = &mut net.host_mut(frouter).core;
+            core.iface_mut(f_lan2_if)
+                .add_addr(FOREIGN2_ROUTER, foreign2_subnet());
+            core.routes.add(RouteEntry {
+                dest: foreign2_subnet(),
+                gateway: None,
+                iface: f_lan2_if,
+                metric: 0,
+            });
+        }
+        net.host_mut(router).core.routes.add(RouteEntry {
+            dest: foreign2_subnet(),
+            gateway: Some(Ipv4Addr::new(192, 0, 1, 3)),
+            iface: r_cloud_if,
+            metric: 0,
+        });
+        net.attach(frouter, f_lan2_if, lan_foreign2);
+        extra_up.extend([
+            (frouter, f_cloud_if),
+            (frouter, f_lan_if),
+            (frouter, f_lan2_if),
+        ]);
+        (Some(lan_foreign), Some(lan_foreign2), Some(frouter))
+    } else {
+        (None, None, None)
+    };
+
+    // --- Optional foreign agents (baseline experiments) ---
+    let make_fa = |net: &mut Network,
+                   name: &str,
+                   mac: u32,
+                   addr: Ipv4Addr,
+                   subnet: Cidr,
+                   gw: Ipv4Addr,
+                   lan: LanId|
+     -> (HostId, ModuleId) {
+        let h = net.add_host(name);
+        let ifc = net
+            .host_mut(h)
+            .core
+            .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(mac)));
+        {
+            let core = &mut net.host_mut(h).core;
+            core.forwarding = true;
+            core.ipip_decap = true;
+            core.iface_mut(ifc).add_addr(addr, subnet);
+            core.routes.add(RouteEntry {
+                dest: subnet,
+                gateway: None,
+                iface: ifc,
+                metric: 0,
+            });
+            core.routes.add(RouteEntry {
+                dest: Cidr::DEFAULT,
+                gateway: Some(gw),
+                iface: ifc,
+                metric: 0,
+            });
+        }
+        let mid = net
+            .host_mut(h)
+            .add_module(Box::new(mosquitonet_core::ForeignAgent::new(
+                mosquitonet_core::ForeignAgentConfig { addr, iface: ifc },
+            )));
+        net.attach(h, ifc, lan);
+        (h, mid)
+    };
+    let (fa_dept, fa_foreign, fa_foreign2) = if cfg.with_foreign_agents {
+        let fa_d = make_fa(
+            &mut net,
+            "fa-dept",
+            80,
+            FA_DEPT_ADDR,
+            dept_subnet(),
+            ROUTER_DEPT,
+            lan_dept,
+        );
+        extra_up.push((fa_d.0, IfaceId(0)));
+        let fa_f = if let Some(lanf) = lan_foreign {
+            let fa = make_fa(
+                &mut net,
+                "fa-foreign",
+                81,
+                FA_FOREIGN_ADDR,
+                foreign_subnet(),
+                FOREIGN_ROUTER,
+                lanf,
+            );
+            extra_up.push((fa.0, IfaceId(0)));
+            Some(fa)
+        } else {
+            None
+        };
+        let fa_f2 = if let Some(lanf2) = lan_foreign2 {
+            let fa = make_fa(
+                &mut net,
+                "fa-foreign2",
+                82,
+                FA_FOREIGN2_ADDR,
+                foreign2_subnet(),
+                FOREIGN2_ROUTER,
+                lanf2,
+            );
+            extra_up.push((fa.0, IfaceId(0)));
+            Some(fa)
+        } else {
+            None
+        };
+        (Some(fa_d), fa_f, fa_f2)
+    } else {
+        (None, None, None)
+    };
+
+    let mut sim = Sim::with_seed(net, cfg.seed);
+
+    // Power up all infrastructure interfaces plus the MH's home Ethernet.
+    let mut to_up: Vec<(HostId, IfaceId)> = vec![
+        (router, router_home_if),
+        (router, router_dept_if),
+        (router, router_radio_if),
+        (mh, mh_eth),
+        (ch_dept, ch_if),
+    ];
+    if !cfg.ha_on_router {
+        to_up.push((ha_host, IfaceId(0)));
+    }
+    if let Some(h) = dhcp_host {
+        to_up.push((h, IfaceId(0)));
+    }
+    to_up.extend(extra_up);
+    for (h, i) in to_up {
+        stack::bring_iface_up(&mut sim, h, i);
+    }
+    sim.run();
+    stack::start(&mut sim);
+
+    Testbed {
+        sim,
+        mh,
+        mh_eth,
+        mh_radio,
+        mh_vif,
+        mh_mod,
+        router,
+        router_home_if,
+        router_dept_if,
+        router_radio_if,
+        ha_host,
+        ha_mod,
+        ch_dept,
+        ch_far,
+        dhcp_mod,
+        dhcp_host,
+        lan_home,
+        lan_dept,
+        cell,
+        lan_foreign,
+        lan_foreign2,
+        foreign_router,
+        fa_dept,
+        fa_foreign,
+        fa_foreign2,
+        mh_mode: cfg.mh_mode,
+    }
+}
+
+impl Testbed {
+    /// Runs the simulation for a stretch of virtual time.
+    pub fn run_for(&mut self, span: SimDuration) {
+        self.sim.run_for(span);
+    }
+
+    /// Issues a command to the mobile-host manager with full context.
+    pub fn with_mh<R>(&mut self, f: impl FnOnce(&mut MobileHost, &mut ModuleCtx<'_>) -> R) -> R {
+        let mh = self.mh;
+        let mh_mod = self.mh_mod;
+        stack::dispatch(&mut self.sim, mh, mh_mod, |module, ctx| {
+            let m = module
+                .as_any()
+                .downcast_mut::<MobileHost>()
+                .expect("mobile host module");
+            f(m, ctx)
+        })
+    }
+
+    /// Read/inspect the mobile-host manager without a context.
+    pub fn mh_module(&mut self) -> &mut MobileHost {
+        let mh_mod = self.mh_mod;
+        self.sim
+            .world_mut()
+            .host_mut(self.mh)
+            .module_mut(mh_mod)
+            .expect("mobile host module")
+    }
+
+    /// Issues a command to the FA-mode mobile host (baseline runs).
+    pub fn with_fa_mh<R>(
+        &mut self,
+        f: impl FnOnce(&mut mosquitonet_core::FaMobileHost, &mut ModuleCtx<'_>) -> R,
+    ) -> R {
+        let mh = self.mh;
+        let mh_mod = self.mh_mod;
+        stack::dispatch(&mut self.sim, mh, mh_mod, |module, ctx| {
+            let m = module
+                .as_any()
+                .downcast_mut::<mosquitonet_core::FaMobileHost>()
+                .expect("FA-mode mobile host module");
+            f(m, ctx)
+        })
+    }
+
+    /// Read/inspect the FA-mode mobile host.
+    pub fn fa_mh_module(&mut self) -> &mut mosquitonet_core::FaMobileHost {
+        let mh_mod = self.mh_mod;
+        self.sim
+            .world_mut()
+            .host_mut(self.mh)
+            .module_mut(mh_mod)
+            .expect("FA-mode mobile host module")
+    }
+
+    /// Read/inspect the home agent.
+    pub fn ha_module(&mut self) -> &mut HomeAgent {
+        let ha_mod = self.ha_mod;
+        let ha_host = self.ha_host;
+        self.sim
+            .world_mut()
+            .host_mut(ha_host)
+            .module_mut(ha_mod)
+            .expect("home agent module")
+    }
+
+    /// Physically carries the MH's Ethernet cable to another LAN (or
+    /// unplugs it with `None`).
+    pub fn move_mh_eth(&mut self, lan: Option<LanId>) {
+        let (mh, eth) = (self.mh, self.mh_eth);
+        self.sim.world_mut().move_iface(mh, eth, lan);
+    }
+
+    /// Brings an MH interface up outside of any switch (hot-switch prep).
+    pub fn power_up_mh_iface(&mut self, iface: IfaceId) {
+        let mh = self.mh;
+        stack::bring_iface_up(&mut self.sim, mh, iface);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_builds_and_mh_is_at_home() {
+        let mut tb = build(TestbedConfig::default());
+        tb.run_for(SimDuration::from_secs(1));
+        assert!(tb.mh_module().away_status().is_none());
+        let core = &tb.sim.world().host(tb.mh).core;
+        assert!(core.is_local_addr(MH_HOME));
+        assert!(core.ipip_decap, "MH decapsulates for itself");
+    }
+
+    #[test]
+    fn far_ch_variant_wires_the_cloud() {
+        let mut tb = build(TestbedConfig {
+            with_far_ch: true,
+            ..TestbedConfig::default()
+        });
+        tb.run_for(SimDuration::from_secs(1));
+        assert!(tb.ch_far.is_some());
+        // The router can route to the far subnet.
+        let rt = tb.sim.world().host(tb.router).core.routes.lookup(CH_FAR);
+        assert!(rt.is_some());
+    }
+
+    #[test]
+    fn separate_ha_variant() {
+        let mut tb = build(TestbedConfig {
+            ha_on_router: false,
+            ..TestbedConfig::default()
+        });
+        tb.run_for(SimDuration::from_secs(1));
+        assert_ne!(tb.ha_host, tb.router);
+        assert_eq!(tb.ha_module().config().addr, HA_SEPARATE);
+    }
+}

@@ -1,0 +1,582 @@
+//! Workload modules: the traffic generators the paper's experiments use.
+//!
+//! The §4 experiments all follow one shape: "a correspondent host
+//! continuously sends a UDP packet to the mobile host every
+//! [10 | 250] milliseconds, and the mobile host echoes the packet back.
+//! We then measure the number of packets that were lost." [`UdpEchoSender`]
+//! is that correspondent side, [`UdpEchoResponder`] the mobile side; the
+//! sender keeps a per-sequence log so the harness can count losses inside
+//! any time window.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+use mosquitonet_sim::{SimDuration, SimTime};
+use mosquitonet_stack::{ConnId, Module, ModuleCtx, SocketId, TcpEvent};
+
+/// One probe in an echo stream.
+#[derive(Clone, Copy, Debug)]
+pub struct EchoRecord {
+    /// When it was sent.
+    pub sent_at: SimTime,
+    /// When its echo returned, if it did.
+    pub echoed_at: Option<SimTime>,
+}
+
+impl EchoRecord {
+    /// Round-trip time, when the echo returned.
+    pub fn rtt(&self) -> Option<SimDuration> {
+        Some(self.echoed_at? - self.sent_at)
+    }
+}
+
+/// The correspondent-host side: sends sequence-stamped datagrams at a
+/// fixed interval and records which echoes return.
+pub struct UdpEchoSender {
+    /// Destination (the mobile host's home address + echo port).
+    pub dst: (Ipv4Addr, u16),
+    /// Sending interval.
+    pub interval: SimDuration,
+    /// Extra payload padding bytes (past the 8-byte sequence stamp).
+    pub padding: usize,
+    sock: Option<SocketId>,
+    next_seq: u64,
+    records: HashMap<u64, EchoRecord>,
+    running: bool,
+}
+
+const TOKEN_SEND: u64 = 1;
+
+impl UdpEchoSender {
+    /// Creates a sender toward `dst` at `interval`, started immediately.
+    pub fn new(dst: (Ipv4Addr, u16), interval: SimDuration) -> UdpEchoSender {
+        UdpEchoSender {
+            dst,
+            interval,
+            padding: 24,
+            sock: None,
+            next_seq: 0,
+            records: HashMap::new(),
+            running: true,
+        }
+    }
+
+    /// Stops the stream (no further sends).
+    pub fn stop(&mut self) {
+        self.running = false;
+    }
+
+    /// Total datagrams sent.
+    pub fn sent(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total echoes received.
+    pub fn received(&self) -> u64 {
+        self.records
+            .values()
+            .filter(|r| r.echoed_at.is_some())
+            .count() as u64
+    }
+
+    /// Sequences sent within `[from, to)` that never came back.
+    ///
+    /// Call this only after running the simulation well past `to`, so that
+    /// slow echoes have had time to arrive.
+    pub fn lost_in_window(&self, from: SimTime, to: SimTime) -> u64 {
+        self.records
+            .values()
+            .filter(|r| r.sent_at >= from && r.sent_at < to && r.echoed_at.is_none())
+            .count() as u64
+    }
+
+    /// Round-trip times of all returned echoes, in send order.
+    pub fn rtts(&self) -> Vec<SimDuration> {
+        let mut seqs: Vec<_> = self
+            .records
+            .iter()
+            .filter_map(|(s, r)| r.rtt().map(|rtt| (*s, rtt)))
+            .collect();
+        seqs.sort_by_key(|(s, _)| *s);
+        seqs.into_iter().map(|(_, rtt)| rtt).collect()
+    }
+
+    /// The full per-sequence record (diagnostics).
+    pub fn records(&self) -> &HashMap<u64, EchoRecord> {
+        &self.records
+    }
+}
+
+impl Module for UdpEchoSender {
+    fn name(&self) -> &'static str {
+        "udp-echo-sender"
+    }
+
+    fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        self.sock = ctx.udp_bind(None, 0);
+        assert!(self.sock.is_some());
+        ctx.fx.set_timer(SimDuration::ZERO, TOKEN_SEND);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, token: u64) {
+        if token != TOKEN_SEND || !self.running {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.records.insert(
+            seq,
+            EchoRecord {
+                sent_at: ctx.now,
+                echoed_at: None,
+            },
+        );
+        let mut payload = Vec::with_capacity(8 + self.padding);
+        payload.extend_from_slice(&seq.to_be_bytes());
+        payload.resize(8 + self.padding, 0xEC);
+        ctx.fx
+            .send_udp(self.sock.expect("bound"), self.dst, Bytes::from(payload));
+        ctx.fx.set_timer(self.interval, TOKEN_SEND);
+    }
+
+    fn on_udp(
+        &mut self,
+        ctx: &mut ModuleCtx<'_>,
+        _sock: SocketId,
+        _src: (Ipv4Addr, u16),
+        _dst: Ipv4Addr,
+        payload: &Bytes,
+    ) {
+        if payload.len() >= 8 {
+            let seq = u64::from_be_bytes(payload[..8].try_into().expect("8 bytes"));
+            if let Some(rec) = self.records.get_mut(&seq) {
+                if rec.echoed_at.is_none() {
+                    rec.echoed_at = Some(ctx.now);
+                }
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The mobile-host side: echoes every datagram back to its sender.
+pub struct UdpEchoResponder {
+    /// Port to serve.
+    pub port: u16,
+    /// Datagrams echoed.
+    pub echoed: u64,
+    sock: Option<SocketId>,
+}
+
+impl UdpEchoResponder {
+    /// Creates a responder on `port`.
+    pub fn new(port: u16) -> UdpEchoResponder {
+        UdpEchoResponder {
+            port,
+            echoed: 0,
+            sock: None,
+        }
+    }
+}
+
+impl Module for UdpEchoResponder {
+    fn name(&self) -> &'static str {
+        "udp-echo-responder"
+    }
+
+    fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        self.sock = ctx.udp_bind(None, self.port);
+        assert!(self.sock.is_some());
+    }
+
+    fn on_udp(
+        &mut self,
+        ctx: &mut ModuleCtx<'_>,
+        sock: SocketId,
+        src: (Ipv4Addr, u16),
+        _dst: Ipv4Addr,
+        payload: &Bytes,
+    ) {
+        self.echoed += 1;
+        ctx.fx.send_udp(sock, src, payload.clone());
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A one-way UDP bulk sender (radio-throughput characterization).
+pub struct BulkSender {
+    /// Destination.
+    pub dst: (Ipv4Addr, u16),
+    /// Payload bytes per datagram.
+    pub payload_len: usize,
+    /// Datagrams to send.
+    pub count: u64,
+    /// Gap between sends (0 = back-to-back; the device serializes anyway).
+    pub gap: SimDuration,
+    sent: u64,
+    sock: Option<SocketId>,
+}
+
+impl BulkSender {
+    /// Creates a bulk sender.
+    pub fn new(dst: (Ipv4Addr, u16), payload_len: usize, count: u64) -> BulkSender {
+        BulkSender {
+            dst,
+            payload_len,
+            count,
+            gap: SimDuration::from_millis(1),
+            sent: 0,
+            sock: None,
+        }
+    }
+}
+
+impl Module for BulkSender {
+    fn name(&self) -> &'static str {
+        "bulk-sender"
+    }
+
+    fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        self.sock = ctx.udp_bind(None, 0);
+        ctx.fx.set_timer(SimDuration::ZERO, TOKEN_SEND);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, _token: u64) {
+        if self.sent >= self.count {
+            return;
+        }
+        self.sent += 1;
+        let mut payload = vec![0xB5u8; self.payload_len];
+        payload[..8].copy_from_slice(&self.sent.to_be_bytes());
+        ctx.fx
+            .send_udp(self.sock.expect("bound"), self.dst, Bytes::from(payload));
+        ctx.fx.set_timer(self.gap, TOKEN_SEND);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The receiving end of a bulk transfer: counts bytes and timestamps.
+pub struct BulkSink {
+    /// Port to serve.
+    pub port: u16,
+    /// Bytes received.
+    pub bytes: u64,
+    /// Datagrams received.
+    pub datagrams: u64,
+    /// First arrival.
+    pub first_at: Option<SimTime>,
+    /// Latest arrival.
+    pub last_at: Option<SimTime>,
+}
+
+impl BulkSink {
+    /// Creates a sink on `port`.
+    pub fn new(port: u16) -> BulkSink {
+        BulkSink {
+            port,
+            bytes: 0,
+            datagrams: 0,
+            first_at: None,
+            last_at: None,
+        }
+    }
+
+    /// Goodput in kilobits/second across the observed span.
+    pub fn goodput_kbps(&self) -> Option<f64> {
+        let span = (self.last_at? - self.first_at?).as_secs_f64();
+        if span <= 0.0 {
+            return None;
+        }
+        Some(self.bytes as f64 * 8.0 / span / 1000.0)
+    }
+}
+
+impl Module for BulkSink {
+    fn name(&self) -> &'static str {
+        "bulk-sink"
+    }
+
+    fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        ctx.udp_bind(None, self.port).expect("port free");
+    }
+
+    fn on_udp(
+        &mut self,
+        ctx: &mut ModuleCtx<'_>,
+        _sock: SocketId,
+        _src: (Ipv4Addr, u16),
+        _dst: Ipv4Addr,
+        payload: &Bytes,
+    ) {
+        self.bytes += payload.len() as u64;
+        self.datagrams += 1;
+        if self.first_at.is_none() {
+            self.first_at = Some(ctx.now);
+        }
+        self.last_at = Some(ctx.now);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A TCP echo server (remote-login stand-in) for session-survival tests.
+pub struct TcpEchoServer {
+    /// Listening port.
+    pub port: u16,
+    /// Bytes received across all connections.
+    pub bytes_received: u64,
+}
+
+impl TcpEchoServer {
+    /// Creates a server on `port`.
+    pub fn new(port: u16) -> TcpEchoServer {
+        TcpEchoServer {
+            port,
+            bytes_received: 0,
+        }
+    }
+}
+
+impl Module for TcpEchoServer {
+    fn name(&self) -> &'static str {
+        "tcp-echo-server"
+    }
+
+    fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        ctx.tcp_listen(None, self.port);
+    }
+
+    fn on_tcp_event(&mut self, ctx: &mut ModuleCtx<'_>, conn: ConnId, event: &TcpEvent) {
+        match event {
+            TcpEvent::Data(d) => {
+                self.bytes_received += d.len() as u64;
+                ctx.core.tcp_send(conn, d.clone());
+            }
+            TcpEvent::PeerClosed => ctx.core.tcp_close(conn),
+            _ => {}
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A TCP client that trickles a stream and verifies the echoed bytes —
+/// the "remote login with active processes" the paper does not want to
+/// restart (§1).
+pub struct TcpStreamClient {
+    /// Server endpoint.
+    pub server: (Ipv4Addr, u16),
+    /// Local (home) address for the connection.
+    pub local: (Ipv4Addr, u16),
+    /// Bytes to send per burst.
+    pub burst: usize,
+    /// Interval between bursts.
+    pub interval: SimDuration,
+    /// Total bursts to send.
+    pub bursts: u64,
+    /// Echoed bytes received back, in order.
+    pub echoed: Vec<u8>,
+    /// Bytes sent so far.
+    pub sent: u64,
+    conn: Option<ConnId>,
+    bursts_sent: u64,
+    counter: u8,
+    /// Set when the connection resets (should stay false across hand-offs).
+    pub reset: bool,
+}
+
+impl TcpStreamClient {
+    /// Creates a client.
+    pub fn new(local: (Ipv4Addr, u16), server: (Ipv4Addr, u16)) -> TcpStreamClient {
+        TcpStreamClient {
+            server,
+            local,
+            burst: 64,
+            interval: SimDuration::from_millis(500),
+            bursts: 20,
+            echoed: Vec::new(),
+            sent: 0,
+            conn: None,
+            bursts_sent: 0,
+            counter: 0,
+            reset: false,
+        }
+    }
+
+    /// The bytes this client will have sent overall, for verification.
+    pub fn expected_stream(&self) -> Vec<u8> {
+        let total = self.burst as u64 * self.bursts;
+        (0..total).map(|i| (i % 251) as u8).collect()
+    }
+}
+
+impl Module for TcpStreamClient {
+    fn name(&self) -> &'static str {
+        "tcp-stream-client"
+    }
+
+    fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let conn = ctx.tcp_connect(self.local, self.server);
+        self.conn = Some(conn);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, _token: u64) {
+        if self.bursts_sent >= self.bursts {
+            return;
+        }
+        let Some(conn) = self.conn else { return };
+        let mut chunk = Vec::with_capacity(self.burst);
+        for _ in 0..self.burst {
+            chunk.push(self.counter);
+            self.counter = (self.counter + 1) % 251;
+        }
+        self.sent += chunk.len() as u64;
+        self.bursts_sent += 1;
+        ctx.core.tcp_send(conn, chunk);
+        if self.bursts_sent < self.bursts {
+            ctx.fx.set_timer(self.interval, TOKEN_SEND);
+        }
+    }
+
+    fn on_tcp_event(&mut self, ctx: &mut ModuleCtx<'_>, _conn: ConnId, event: &TcpEvent) {
+        match event {
+            TcpEvent::Connected => ctx.fx.set_timer(SimDuration::ZERO, TOKEN_SEND),
+            TcpEvent::Data(d) => self.echoed.extend_from_slice(d),
+            TcpEvent::Reset => self.reset = true,
+            _ => {}
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A burst generator standing in for N mobile hosts registering at once
+/// (the A2 home-agent scaling ablation — "the home agent should be able
+/// to deal with a large number of mobile hosts simultaneously", §4).
+///
+/// Each logical mobile host gets a distinct home address; all use this
+/// host's address as their care-of address. Reply latency is recorded
+/// per registration.
+pub struct RegistrationStorm {
+    /// The home agent under test.
+    pub home_agent: Ipv4Addr,
+    /// First home address; host `i` uses `base + i`.
+    pub home_base: Ipv4Addr,
+    /// Number of logical mobile hosts.
+    pub count: u32,
+    /// Care-of address to register (this host's own address).
+    pub care_of: Ipv4Addr,
+    /// Gap between consecutive requests (0 = one burst).
+    pub stagger: SimDuration,
+    /// Completed registrations: (index, sent, reply received).
+    pub completions: Vec<(u32, SimTime, SimTime)>,
+    sent_at: HashMap<Ipv4Addr, (u32, SimTime)>,
+    next: u32,
+    sock: Option<SocketId>,
+}
+
+impl RegistrationStorm {
+    /// Creates a storm of `count` registrations.
+    pub fn new(
+        home_agent: Ipv4Addr,
+        home_base: Ipv4Addr,
+        count: u32,
+        care_of: Ipv4Addr,
+    ) -> RegistrationStorm {
+        RegistrationStorm {
+            home_agent,
+            home_base,
+            count,
+            care_of,
+            stagger: SimDuration::from_micros(100),
+            completions: Vec::new(),
+            sent_at: HashMap::new(),
+            next: 0,
+            sock: None,
+        }
+    }
+
+    /// Per-registration reply latencies.
+    pub fn latencies(&self) -> Vec<SimDuration> {
+        self.completions.iter().map(|(_, s, r)| *r - *s).collect()
+    }
+
+    fn home_addr(&self, i: u32) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(self.home_base) + i)
+    }
+}
+
+impl Module for RegistrationStorm {
+    fn name(&self) -> &'static str {
+        "registration-storm"
+    }
+
+    fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        self.sock = ctx.udp_bind(None, 0);
+        ctx.fx.set_timer(SimDuration::ZERO, TOKEN_SEND);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, _token: u64) {
+        if self.next >= self.count {
+            return;
+        }
+        let idx = self.next;
+        self.next += 1;
+        let home = self.home_addr(idx);
+        let req = mosquitonet_core::RegistrationRequest {
+            lifetime: 300,
+            home_addr: home,
+            home_agent: self.home_agent,
+            care_of: self.care_of,
+            ident: 1,
+            auth: None,
+        };
+        self.sent_at.insert(home, (idx, ctx.now));
+        ctx.fx.send_udp(
+            self.sock.expect("bound"),
+            (self.home_agent, mosquitonet_core::REGISTRATION_PORT),
+            req.to_bytes(),
+        );
+        if self.next < self.count {
+            ctx.fx.set_timer(self.stagger, TOKEN_SEND);
+        }
+    }
+
+    fn on_udp(
+        &mut self,
+        ctx: &mut ModuleCtx<'_>,
+        _sock: SocketId,
+        _src: (Ipv4Addr, u16),
+        _dst: Ipv4Addr,
+        payload: &Bytes,
+    ) {
+        if let Ok(reply) = mosquitonet_core::RegistrationReply::parse(payload) {
+            if reply.code == mosquitonet_core::ReplyCode::Accepted {
+                if let Some((idx, sent)) = self.sent_at.remove(&reply.home_addr) {
+                    self.completions.push((idx, sent, ctx.now));
+                }
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}

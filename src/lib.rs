@@ -1,0 +1,29 @@
+//! MosquitoNet: agentless mobile IP, reproduced from the USENIX 1996 paper
+//! "Supporting Mobility in MosquitoNet" (Baker, Zhao, Cheshire, Stone).
+//!
+//! This façade crate re-exports the whole workspace so applications can pull
+//! everything through a single dependency:
+//!
+//! * [`sim`] — deterministic discrete-event engine, virtual time, statistics.
+//! * [`wire`] — from-scratch IPv4/UDP/ICMP/ARP/IP-in-IP/TCP wire formats.
+//! * [`link`] — Ethernet and STRIP packet-radio device models.
+//! * [`stack`] — per-host IP stack with the `ip_rt_route()`-style override
+//!   hook, plus the simulated network world.
+//! * [`dhcp`] — care-of address acquisition.
+//! * [`mip`] — the paper's contribution: home agent, mobile host, Mobile
+//!   Policy Table, VIF encapsulation, and the foreign-agent baseline.
+//! * [`testbed`] — the paper's Figure-5 test-bed and experiment harness.
+//!
+//! # Examples
+//!
+//! See `examples/quickstart.rs` for an end-to-end hand-off walk-through.
+
+#![forbid(unsafe_code)]
+
+pub use mosquitonet_core as mip;
+pub use mosquitonet_dhcp as dhcp;
+pub use mosquitonet_link as link;
+pub use mosquitonet_sim as sim;
+pub use mosquitonet_stack as stack;
+pub use mosquitonet_testbed as testbed;
+pub use mosquitonet_wire as wire;

@@ -1,0 +1,202 @@
+//! A long soak: dozens of hand-offs in one run, with continuous UDP echo
+//! traffic. Checks for state leaks (pending-event growth, timeline
+//! bookkeeping, binding consistency) that single-switch tests cannot see.
+
+use mosquitonet::mip::{AddressPlan, SwitchPlan, SwitchStyle};
+use mosquitonet::sim::SimDuration;
+use mosquitonet::stack;
+use mosquitonet::testbed::topology::{
+    self, build, TestbedConfig, COA_DEPT, COA_DEPT_ALT, COA_RADIO, MH_HOME, ROUTER_DEPT,
+    ROUTER_RADIO,
+};
+use mosquitonet::testbed::workload::{UdpEchoResponder, UdpEchoSender};
+
+#[test]
+fn fifty_handoffs_without_leaks_or_stalls() {
+    let mut tb = build(TestbedConfig::default());
+    let mh = tb.mh;
+    stack::add_module(&mut tb.sim, mh, Box::new(UdpEchoResponder::new(7)));
+    let ch = tb.ch_dept;
+    let sender = stack::add_module(
+        &mut tb.sim,
+        ch,
+        Box::new(UdpEchoSender::new(
+            (MH_HOME, 7),
+            SimDuration::from_millis(100),
+        )),
+    );
+
+    // Initial move onto the department net.
+    tb.move_mh_eth(Some(tb.lan_dept));
+    let mut plan = SwitchPlan {
+        iface: tb.mh_eth,
+        address: AddressPlan::Static {
+            addr: COA_DEPT,
+            subnet: topology::dept_subnet(),
+            router: ROUTER_DEPT,
+        },
+        style: SwitchStyle::Cold,
+    };
+    tb.with_mh(|m, ctx| m.start_switch(ctx, plan));
+    tb.run_for(SimDuration::from_secs(5));
+
+    let mut pending_samples = Vec::new();
+    // 50 hand-offs: rotate address-switch / cold radio / cold back.
+    for round in 0..50u32 {
+        match round % 4 {
+            0 => {
+                // Same-subnet address flip.
+                let target = if round % 8 == 0 {
+                    COA_DEPT_ALT
+                } else {
+                    COA_DEPT
+                };
+                tb.with_mh(|m, ctx| {
+                    m.switch_address(
+                        ctx,
+                        AddressPlan::Static {
+                            addr: target,
+                            subnet: topology::dept_subnet(),
+                            router: ROUTER_DEPT,
+                        },
+                    )
+                });
+                tb.run_for(SimDuration::from_millis(600));
+            }
+            1 => {
+                // Cold to radio.
+                plan = SwitchPlan {
+                    iface: tb.mh_radio,
+                    address: AddressPlan::Static {
+                        addr: COA_RADIO,
+                        subnet: topology::radio_subnet(),
+                        router: ROUTER_RADIO,
+                    },
+                    style: SwitchStyle::Cold,
+                };
+                tb.with_mh(|m, ctx| m.start_switch(ctx, plan));
+                tb.run_for(SimDuration::from_secs(4));
+            }
+            2 => {
+                // Cold back to the wire.
+                plan = SwitchPlan {
+                    iface: tb.mh_eth,
+                    address: AddressPlan::Static {
+                        addr: COA_DEPT,
+                        subnet: topology::dept_subnet(),
+                        router: ROUTER_DEPT,
+                    },
+                    style: SwitchStyle::Cold,
+                };
+                tb.with_mh(|m, ctx| m.start_switch(ctx, plan));
+                tb.run_for(SimDuration::from_secs(3));
+            }
+            _ => {
+                // Hot to radio and hot back.
+                let radio = tb.mh_radio;
+                tb.power_up_mh_iface(radio);
+                tb.run_for(SimDuration::from_secs(1));
+                plan = SwitchPlan {
+                    iface: radio,
+                    address: AddressPlan::Static {
+                        addr: COA_RADIO,
+                        subnet: topology::radio_subnet(),
+                        router: ROUTER_RADIO,
+                    },
+                    style: SwitchStyle::Hot,
+                };
+                tb.with_mh(|m, ctx| m.start_switch(ctx, plan));
+                tb.run_for(SimDuration::from_secs(2));
+                plan = SwitchPlan {
+                    iface: tb.mh_eth,
+                    address: AddressPlan::Static {
+                        addr: COA_DEPT,
+                        subnet: topology::dept_subnet(),
+                        router: ROUTER_DEPT,
+                    },
+                    style: SwitchStyle::Hot,
+                };
+                tb.with_mh(|m, ctx| m.start_switch(ctx, plan));
+                tb.run_for(SimDuration::from_secs(2));
+            }
+        }
+        assert!(
+            !tb.mh_module().is_switching(),
+            "round {round}: switch stuck in progress"
+        );
+        assert!(
+            tb.mh_module().away_status().map(|s| s.2).unwrap_or(false),
+            "round {round}: not registered"
+        );
+        pending_samples.push(tb.sim.pending_events());
+    }
+
+    // Every switch completed and was accounted for.
+    let m = tb.mh_module();
+    let handoffs = m.handoffs;
+    assert!(handoffs >= 51, "all switches completed ({handoffs})");
+    assert_eq!(m.timelines.len() as u64, handoffs, "one timeline each");
+    assert!(
+        m.timelines.iter().all(|t| t.total().is_some()),
+        "every timeline complete"
+    );
+    // Timestamps within each timeline are monotone: the switch steps
+    // happened in the paper's order.
+    for t in &m.timelines {
+        let seq = [
+            t.start,
+            t.iface_configured,
+            t.route_changed,
+            t.request_sent,
+            t.reply_received,
+            t.done,
+        ];
+        let times: Vec<_> = seq.into_iter().flatten().collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "timeline steps out of order: {t:?}"
+        );
+    }
+
+    // No event-queue leak: pending events stay bounded (they would grow
+    // monotonically if timers leaked per hand-off).
+    let early_max = *pending_samples[..10].iter().max().expect("samples");
+    let late_max = *pending_samples[40..].iter().max().expect("samples");
+    assert!(
+        late_max <= early_max + 10,
+        "pending events crept up: early {early_max}, late {late_max}"
+    );
+
+    // The stream survived everything; exact losses vary, but the vast
+    // majority of echoes made it.
+    let s: &mut UdpEchoSender = tb
+        .sim
+        .world_mut()
+        .host_mut(ch)
+        .module_mut(sender)
+        .expect("sender");
+    let lost = s.sent() - s.received();
+    assert!(
+        (s.received() as f64) > 0.85 * s.sent() as f64,
+        "soak delivery: {} sent, {} received, {lost} lost",
+        s.sent(),
+        s.received()
+    );
+
+    // The routing and address tables did not accrete stale state.
+    let core = &tb.sim.world().host(mh).core;
+    assert!(
+        core.routes.len() <= 4,
+        "route table stayed tidy: {:#?}",
+        core.routes.entries()
+    );
+    let eth_addrs = core.ifaces[tb.mh_eth.0].addrs.len();
+    assert!(eth_addrs <= 1, "one address per interface, got {eth_addrs}");
+    let now = tb.sim.now();
+    let current_coa = tb.mh_module().away_status().expect("away").1;
+    let binding = tb.ha_module().bindings.get(MH_HOME, now).expect("bound");
+    assert_eq!(
+        binding.care_of, current_coa,
+        "home agent and mobile host agree on the final care-of address"
+    );
+}
