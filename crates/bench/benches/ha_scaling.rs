@@ -7,10 +7,7 @@ use mosquitonet_testbed::{experiments, report};
 fn main() {
     println!(
         "{}",
-        report::render_a2(&experiments::run_a2(
-            &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512],
-            1996
-        ))
+        report::render_a2(&experiments::run_a2(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512], 1996).0)
     );
     println!("{}", report::render_a1(&experiments::run_a1(10, 1996)));
     println!("{}", report::render_a3(&experiments::run_a3(1996)));

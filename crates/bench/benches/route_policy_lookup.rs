@@ -4,6 +4,7 @@
 
 use criterion::{black_box, Criterion};
 use mosquitonet_core::{MobilePolicyTable, SendMode};
+use mosquitonet_sim::Counter;
 use mosquitonet_stack::{IfaceId, RouteEntry, RouteTable};
 use mosquitonet_testbed::{experiments, report};
 use std::net::Ipv4Addr;
@@ -48,5 +49,20 @@ fn main() {
     c.bench_function("policy_lookup/64_learned_entries", |b| {
         b.iter(|| mpt.lookup(black_box(dst)))
     });
+
+    // The telemetry budget: `lookup()` now bumps a per-send-mode counter
+    // on every call, so the increment itself must stay under 10 ns/op.
+    // A `Counter` is an `Rc<Cell<u64>>` — this measures exactly what the
+    // policy path pays. (Returns 0 when filtered out; the gate only
+    // trips on a real measurement.)
+    let counter = Counter::new();
+    let inc_ns = c.bench_function("policy_counter/inc", |b| {
+        b.iter(|| black_box(&counter).inc())
+    });
+    assert!(
+        inc_ns < 10.0,
+        "policy-path counter increment costs {inc_ns:.2} ns/op; the telemetry budget is 10 ns"
+    );
+    black_box(counter.get());
     c.final_summary();
 }

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
-use mosquitonet_sim::SimDuration;
+use mosquitonet_sim::{Counter, MetricCell, MetricsScope, SimDuration};
 use mosquitonet_stack::{IfaceId, Module, ModuleCtx, RouteEntry, SocketId, SourceSel};
 use mosquitonet_wire::Cidr;
 
@@ -57,11 +57,11 @@ pub struct ForeignAgent {
     next_expire_token: u64,
     forward_tokens: HashMap<u64, Ipv4Addr>,
     /// Registrations relayed toward home agents.
-    pub relayed_requests: u64,
+    pub relayed_requests: Counter,
     /// Replies relayed back to visitors.
-    pub relayed_replies: u64,
+    pub relayed_replies: Counter,
     /// Binding updates accepted (previous-FA forwarding armed).
-    pub forwarding_armed: u64,
+    pub forwarding_armed: Counter,
 }
 
 impl ForeignAgent {
@@ -74,9 +74,9 @@ impl ForeignAgent {
             visitors: HashMap::new(),
             next_expire_token: TOKEN_FORWARD_EXPIRE_BASE,
             forward_tokens: HashMap::new(),
-            relayed_requests: 0,
-            relayed_replies: 0,
-            forwarding_armed: 0,
+            relayed_requests: Counter::default(),
+            relayed_replies: Counter::default(),
+            forwarding_armed: Counter::default(),
         }
     }
 
@@ -114,6 +114,17 @@ impl Module for ForeignAgent {
         self.sock = ctx.udp_bind(None, REGISTRATION_PORT);
         assert!(self.sock.is_some(), "registration port busy");
         self.advertise(ctx);
+    }
+
+    fn register_metrics(&self, scope: &MetricsScope) {
+        let reg = scope.scope("reg");
+        for (name, cell) in [
+            ("relayed_requests", &self.relayed_requests),
+            ("relayed_replies", &self.relayed_replies),
+            ("forwarding_armed", &self.forwarding_armed),
+        ] {
+            reg.register(name, MetricCell::Counter(cell.clone()));
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, token: u64) {
@@ -163,7 +174,7 @@ impl Module for ForeignAgent {
                     metric: 0,
                 });
                 self.visitors.insert(req.home_addr, src);
-                self.relayed_requests += 1;
+                self.relayed_requests.inc();
                 ctx.fx.send_udp(
                     self.sock.expect("bound"),
                     (req.home_agent, REGISTRATION_PORT),
@@ -177,7 +188,7 @@ impl Module for ForeignAgent {
                 let Some(&visitor) = self.visitors.get(&reply.home_addr) else {
                     return;
                 };
-                self.relayed_replies += 1;
+                self.relayed_replies.inc();
                 match reply.code {
                     crate::messages::ReplyCode::Accepted if reply.lifetime > 0 => {
                         // Visitor registered here (the delivery route was
@@ -213,7 +224,7 @@ impl Module for ForeignAgent {
                     .tunnels
                     .insert(update.home_addr, update.new_care_of);
                 self.visitors.remove(&update.home_addr);
-                self.forwarding_armed += 1;
+                self.forwarding_armed.inc();
                 let token = self.next_expire_token;
                 self.next_expire_token += 1;
                 self.forward_tokens.insert(token, update.home_addr);
@@ -461,7 +472,7 @@ mod tests {
             iface: IfaceId(0),
         });
         assert_eq!(fa.visitor_count(), 0);
-        assert_eq!(fa.relayed_requests, 0);
+        assert_eq!(fa.relayed_requests.get(), 0);
     }
 
     #[test]

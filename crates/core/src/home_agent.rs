@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
-use mosquitonet_sim::SimDuration;
+use mosquitonet_sim::{Counter, MetricCell, MetricsScope, SimDuration};
 use mosquitonet_stack::{Effect, IfaceId, Module, ModuleCtx, SocketId};
 use mosquitonet_wire::Cidr;
 
@@ -90,11 +90,13 @@ pub struct HomeAgent {
     /// scaling experiment measures exactly this).
     busy_until: mosquitonet_sim::SimTime,
     /// Requests fully processed (accepted or denied).
-    pub processed: u64,
+    pub processed: Counter,
     /// Registrations accepted.
-    pub accepted: u64,
+    pub accepted: Counter,
     /// Registrations denied (any code).
-    pub denied: u64,
+    pub denied: Counter,
+    /// Bindings reclaimed by the expiry sweep.
+    pub expiries: Counter,
 }
 
 impl HomeAgent {
@@ -107,9 +109,10 @@ impl HomeAgent {
             pending: HashMap::new(),
             next_pending: TOKEN_PENDING_BASE,
             busy_until: mosquitonet_sim::SimTime::ZERO,
-            processed: 0,
-            accepted: 0,
-            denied: 0,
+            processed: Counter::default(),
+            accepted: Counter::default(),
+            denied: Counter::default(),
+            expiries: Counter::default(),
         }
     }
 
@@ -126,11 +129,11 @@ impl HomeAgent {
         lifetime: u16,
         req: &RegistrationRequest,
     ) {
-        self.processed += 1;
+        self.processed.inc();
         if code == ReplyCode::Accepted {
-            self.accepted += 1;
+            self.accepted.inc();
         } else {
-            self.denied += 1;
+            self.denied.inc();
         }
         let reply = RegistrationReply {
             code,
@@ -258,9 +261,22 @@ impl Module for HomeAgent {
         ctx.fx.set_timer(SWEEP_INTERVAL, TOKEN_SWEEP);
     }
 
+    fn register_metrics(&self, scope: &MetricsScope) {
+        let reg = scope.scope("reg");
+        for (name, cell) in [
+            ("processed", &self.processed),
+            ("accepted", &self.accepted),
+            ("denied", &self.denied),
+            ("binding_expiries", &self.expiries),
+        ] {
+            reg.register(name, MetricCell::Counter(cell.clone()));
+        }
+    }
+
     fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, token: u64) {
         if token == TOKEN_SWEEP {
             for (home, binding) in self.bindings.sweep_expired(ctx.now) {
+                self.expiries.inc();
                 ctx.core.tunnels.remove(&home);
                 ctx.core.arp_mut(self.cfg.home_iface).remove_proxy(home);
                 ctx.fx.trace(format!(

@@ -46,4 +46,4 @@ pub use mobile::{
     AddressPlan, AutoSwitchConfig, Candidate, MobileHost, MobileHostConfig, RegistrationTimeline,
     SwitchPlan, SwitchStyle, PROBE_TIMEOUT,
 };
-pub use policy::{MobilePolicyTable, PolicyEntry, SendMode};
+pub use policy::{MobilePolicyTable, PolicyEntry, PolicyStats, SendMode};

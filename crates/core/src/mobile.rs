@@ -16,14 +16,14 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
-use mosquitonet_sim::{SimDuration, SimTime};
+use mosquitonet_sim::{Counter, MetricCell, MetricsScope, SimDuration, SimTime};
 use mosquitonet_stack::{
     Effect, EncapSpec, HostCore, IfaceId, Module, ModuleCtx, RouteDecision, RouteEntry, SocketId,
     SourceSel,
 };
 use mosquitonet_wire::{Cidr, IcmpMessage};
 
-use mosquitonet_dhcp::{ClientEvent, DhcpClientMachine, DHCP_CLIENT_PORT};
+use mosquitonet_dhcp::{ClientEvent, DhcpClientMachine, DhcpClientStats, DHCP_CLIENT_PORT};
 
 use crate::messages::{
     classify, MessageKind, RegistrationReply, RegistrationRequest, ReplyCode, REGISTRATION_PORT,
@@ -252,16 +252,28 @@ pub struct MobileHost {
     next_probe_token: u64,
     probe_seq: u16,
     /// Registration requests transmitted (including retries).
-    pub requests_sent: u64,
+    pub requests_sent: Counter,
     /// Registration replies accepted.
-    pub registrations_accepted: u64,
+    pub registrations_accepted: Counter,
+    /// Registration replies denied (any code).
+    pub registration_denials: Counter,
+    /// Retry-timer firings that retransmitted a registration (each one is
+    /// an unanswered request that timed out).
+    pub registration_retries: Counter,
     /// Completed hand-offs.
-    pub handoffs: u64,
+    pub handoffs: Counter,
+    /// Triangle-route probes that timed out (correspondent reverted to the
+    /// reverse tunnel).
+    pub probe_timeouts: Counter,
+    /// DHCP lifecycle counters, cloned into each care-of acquisition
+    /// machine (shared cells, so the registry binding outlives the
+    /// short-lived machines).
+    pub dhcp_stats: DhcpClientStats,
     autoswitch: Option<AutoSwitchConfig>,
     /// Consecutive ticks the same better candidate has been available.
     autoswitch_stable: u32,
     /// Switches the automatic policy initiated (instrumentation).
-    pub autoswitches: u64,
+    pub autoswitches: Counter,
 }
 
 impl MobileHost {
@@ -282,12 +294,16 @@ impl MobileHost {
             last_subnet: HashMap::new(),
             next_probe_token: TOKEN_PROBE_BASE,
             probe_seq: 0,
-            requests_sent: 0,
-            registrations_accepted: 0,
-            handoffs: 0,
+            requests_sent: Counter::default(),
+            registrations_accepted: Counter::default(),
+            registration_denials: Counter::default(),
+            registration_retries: Counter::default(),
+            handoffs: Counter::default(),
+            probe_timeouts: Counter::default(),
+            dhcp_stats: DhcpClientStats::default(),
             autoswitch: None,
             autoswitch_stable: 0,
-            autoswitches: 0,
+            autoswitches: Counter::default(),
         }
     }
 
@@ -352,7 +368,7 @@ impl MobileHost {
             // The network under our feet vanished: switch now, cold (the
             // old interface has nothing left to offer).
             self.autoswitch_stable = 0;
-            self.autoswitches += 1;
+            self.autoswitches.inc();
             ctx.fx.trace(format!(
                 "autoswitch: current network lost; cold switch to iface {:?}",
                 best.iface
@@ -372,7 +388,7 @@ impl MobileHost {
         self.autoswitch_stable += 1;
         if self.autoswitch_stable >= cfg.stability && ctx.core.iface(best.iface).device.is_up() {
             self.autoswitch_stable = 0;
-            self.autoswitches += 1;
+            self.autoswitches.inc();
             ctx.fx.trace(format!(
                 "autoswitch: preferring iface {:?}; hot switch",
                 best.iface
@@ -635,6 +651,7 @@ impl MobileHost {
                 let sock = self.dhcp_sock.expect("dhcp socket bound");
                 let seed = (self.ident as u32).wrapping_add(1);
                 let mut machine = DhcpClientMachine::new(iface, mac, sock, TOKEN_DHCP_BASE, seed);
+                machine.stats = self.dhcp_stats.clone();
                 machine.start(ctx.fx);
                 self.dhcp = Some(machine);
             }
@@ -750,7 +767,7 @@ impl MobileHost {
             req.to_bytes(),
             opts,
         );
-        self.requests_sent += 1;
+        self.requests_sent.inc();
         if self.current.request_sent.is_none() {
             self.current.request_sent = Some(ctx.now);
         }
@@ -765,6 +782,7 @@ impl MobileHost {
             token: TOKEN_REG_RETRY,
         });
         if reply.code != ReplyCode::Accepted {
+            self.registration_denials.inc();
             ctx.fx
                 .trace(format!("registration denied: {:?}", reply.code));
             // Try again with a fresh identification — after the normal
@@ -773,7 +791,7 @@ impl MobileHost {
             ctx.fx.set_timer(REGISTRATION_RETRY, TOKEN_REG_RETRY);
             return;
         }
-        self.registrations_accepted += 1;
+        self.registrations_accepted.inc();
         if let Some(op) = &mut self.switching {
             // Only the reply to the switch's own registration advances the
             // switch; a straggling refresh reply arriving mid-switch (same
@@ -810,7 +828,7 @@ impl MobileHost {
         }
         self.current.done = Some(ctx.now);
         self.timelines.push(self.current);
-        self.handoffs += 1;
+        self.handoffs.inc();
         self.switching = None;
         ctx.fx.trace(format!(
             "handoff complete in {}",
@@ -854,6 +872,28 @@ impl Module for MobileHost {
         }
     }
 
+    fn register_metrics(&self, scope: &MetricsScope) {
+        let reg = scope.scope("reg");
+        for (name, cell) in [
+            ("requests_sent", &self.requests_sent),
+            ("replies_accepted", &self.registrations_accepted),
+            ("denials", &self.registration_denials),
+            ("retries", &self.registration_retries),
+        ] {
+            reg.register(name, MetricCell::Counter(cell.clone()));
+        }
+        let mobility = scope.scope("mobility");
+        for (name, cell) in [
+            ("handoffs", &self.handoffs),
+            ("autoswitches", &self.autoswitches),
+            ("probe_timeouts", &self.probe_timeouts),
+        ] {
+            mobility.register(name, MetricCell::Counter(cell.clone()));
+        }
+        self.policy.stats.register_into(&scope.scope("policy"));
+        self.dhcp_stats.register_into(&scope.scope("dhcp"));
+    }
+
     fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, token: u64) {
         // DHCP machine tokens.
         if let Some(dhcp) = &mut self.dhcp {
@@ -874,6 +914,7 @@ impl Module for MobileHost {
             TOKEN_ROUTED => self.finish_route_change(ctx),
             TOKEN_POST_REG => self.finish_switch(ctx),
             TOKEN_REG_RETRY => {
+                self.registration_retries.inc();
                 ctx.fx.trace("registration retry".to_string());
                 self.send_registration(ctx);
             }
@@ -899,6 +940,7 @@ impl Module for MobileHost {
                     .map(|(a, _)| *a)
                     .collect();
                 for ch in expired {
+                    self.probe_timeouts.inc();
                     self.probes.remove(&ch);
                     self.policy.learn(ch, SendMode::ReverseTunnel);
                     ctx.fx.trace(format!(

@@ -8,7 +8,7 @@ use std::any::Any;
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
-use mosquitonet_sim::{SimDuration, SimTime};
+use mosquitonet_sim::{Counter, MetricCell, MetricsScope, SimDuration, SimTime};
 use mosquitonet_stack::{Effects, IfaceId, Module, ModuleCtx, SendOptions, SocketId, SourceSel};
 use mosquitonet_wire::{Cidr, MacAddr};
 
@@ -37,6 +37,44 @@ const RENEW_TOKEN: u64 = 0x2;
 
 /// Retransmission interval for unanswered DISCOVER/REQUEST.
 pub const DHCP_RETRY: SimDuration = SimDuration::from_secs(2);
+
+/// Client-side DHCP lifecycle counters.
+///
+/// Cells are shared (`Clone` duplicates the handles, not the values), so
+/// the embedder keeps one copy for metrics registration and clones another
+/// into each [`DhcpClientMachine`] it creates — machines are often built
+/// lazily, long after the registry bound the cells.
+#[derive(Clone, Default, Debug)]
+pub struct DhcpClientStats {
+    /// DISCOVER broadcasts sent (including retransmissions).
+    pub discovers_sent: Counter,
+    /// OFFERs received and accepted into the handshake.
+    pub offers_received: Counter,
+    /// REQUEST broadcasts sent (including retransmissions and renewals).
+    pub requests_sent: Counter,
+    /// Initial lease grants (ACK while holding no lease).
+    pub grants: Counter,
+    /// Lease renewals (ACK re-confirming the held address).
+    pub renewals: Counter,
+    /// NAKs received (server refused; acquisition restarts).
+    pub naks_received: Counter,
+}
+
+impl DhcpClientStats {
+    /// Binds every counter into `scope` (conventionally `{host}/dhcp`).
+    pub fn register_into(&self, scope: &MetricsScope) {
+        for (name, cell) in [
+            ("discovers_sent", &self.discovers_sent),
+            ("offers_received", &self.offers_received),
+            ("requests_sent", &self.requests_sent),
+            ("grants", &self.grants),
+            ("renewals", &self.renewals),
+            ("naks_received", &self.naks_received),
+        ] {
+            scope.register(name, MetricCell::Counter(cell.clone()));
+        }
+    }
+}
 
 /// What the machine reports upward.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -73,6 +111,8 @@ pub struct DhcpClientMachine {
     /// The current lease, if bound.
     pub lease: Option<Lease>,
     sock: SocketId,
+    /// Lifecycle counters (shared cells; see [`DhcpClientStats`]).
+    pub stats: DhcpClientStats,
 }
 
 impl DhcpClientMachine {
@@ -94,6 +134,7 @@ impl DhcpClientMachine {
             offer: None,
             lease: None,
             sock,
+            stats: DhcpClientStats::default(),
         }
     }
 
@@ -122,6 +163,7 @@ impl DhcpClientMachine {
         self.state = State::Discovering;
         self.offer = None;
         let d = DhcpMessage::discover(self.xid, self.mac);
+        self.stats.discovers_sent.inc();
         self.broadcast(fx, &d);
         fx.set_timer(DHCP_RETRY, self.token_base + RETRY_TOKEN);
     }
@@ -165,12 +207,14 @@ impl DhcpClientMachine {
             match self.state {
                 State::Discovering => {
                     let d = DhcpMessage::discover(self.xid, self.mac);
+                    self.stats.discovers_sent.inc();
                     self.broadcast(fx, &d);
                     fx.set_timer(DHCP_RETRY, self.token_base + RETRY_TOKEN);
                 }
                 State::Requesting => {
                     if let Some(offer) = self.offer {
                         let r = DhcpMessage::request(self.xid, self.mac, &offer);
+                        self.stats.requests_sent.inc();
                         self.broadcast(fx, &r);
                         fx.set_timer(DHCP_RETRY, self.token_base + RETRY_TOKEN);
                     }
@@ -192,6 +236,7 @@ impl DhcpClientMachine {
                     let r = DhcpMessage::request(self.xid, self.mac, &as_offer);
                     self.state = State::Requesting;
                     self.offer = Some(as_offer);
+                    self.stats.requests_sent.inc();
                     self.broadcast(fx, &r);
                     fx.set_timer(DHCP_RETRY, self.token_base + RETRY_TOKEN);
                 }
@@ -214,14 +259,23 @@ impl DhcpClientMachine {
         }
         match (msg.op, self.state) {
             (DhcpOp::Offer, State::Discovering) => {
+                self.stats.offers_received.inc();
                 self.offer = Some(msg);
                 self.state = State::Requesting;
                 let r = DhcpMessage::request(self.xid, self.mac, &msg);
+                self.stats.requests_sent.inc();
                 self.broadcast(fx, &r);
                 fx.set_timer(DHCP_RETRY, self.token_base + RETRY_TOKEN);
                 ClientEvent::None
             }
             (DhcpOp::Ack, State::Requesting) => {
+                // An ACK re-confirming the address we already hold is a
+                // renewal; anything else is an initial grant.
+                if self.lease.is_some_and(|l| l.addr == msg.yiaddr) {
+                    self.stats.renewals.inc();
+                } else {
+                    self.stats.grants.inc();
+                }
                 let duration = SimDuration::from_secs(u64::from(msg.lease_secs));
                 let lease = Lease {
                     addr: msg.yiaddr,
@@ -240,6 +294,7 @@ impl DhcpClientMachine {
                 ClientEvent::Acquired(lease)
             }
             (DhcpOp::Nak, State::Requesting) => {
+                self.stats.naks_received.inc();
                 self.lease = None;
                 self.start(fx);
                 ClientEvent::Refused
@@ -256,6 +311,9 @@ pub struct DhcpClientModule {
     machine: Option<DhcpClientMachine>,
     /// Leases acquired so far (instrumentation).
     pub acquisitions: u64,
+    /// Lifecycle counters, cloned into the machine at start so the
+    /// registry can bind them before the machine exists.
+    pub stats: DhcpClientStats,
 }
 
 impl DhcpClientModule {
@@ -265,6 +323,7 @@ impl DhcpClientModule {
             iface,
             machine: None,
             acquisitions: 0,
+            stats: DhcpClientStats::default(),
         }
     }
 
@@ -285,8 +344,13 @@ impl Module for DhcpClientModule {
             .expect("DHCP client port busy");
         let mac = ctx.core.iface(self.iface).device.mac();
         let mut machine = DhcpClientMachine::new(self.iface, mac, sock, 0x100, 1);
+        machine.stats = self.stats.clone();
         machine.start(ctx.fx);
         self.machine = Some(machine);
+    }
+
+    fn register_metrics(&self, scope: &MetricsScope) {
+        self.stats.register_into(&scope.scope("dhcp"));
     }
 
     fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, token: u64) {

@@ -25,6 +25,6 @@ mod client;
 mod messages;
 mod server;
 
-pub use client::{ClientEvent, DhcpClientMachine, DhcpClientModule, Lease};
+pub use client::{ClientEvent, DhcpClientMachine, DhcpClientModule, DhcpClientStats, Lease};
 pub use messages::{DhcpMessage, DhcpOp, DHCP_CLIENT_PORT, DHCP_SERVER_PORT};
-pub use server::{DhcpServer, ReusePolicy};
+pub use server::{DhcpServer, DhcpServerStats, ReusePolicy};

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
-use mosquitonet_sim::{SimDuration, SimTime};
+use mosquitonet_sim::{Counter, MetricCell, MetricsScope, SimDuration, SimTime};
 use mosquitonet_stack::{IfaceId, Module, ModuleCtx, SendOptions, SocketId, SourceSel};
 use mosquitonet_wire::{Cidr, MacAddr};
 
@@ -25,6 +25,43 @@ pub enum ReusePolicy {
     LeastRecentlyUsed,
     /// Hand out the lowest free address (reassigns immediately).
     FirstAvailable,
+}
+
+/// Server-side DHCP lifecycle counters (shared cells; `Clone` duplicates
+/// the handles, not the values).
+#[derive(Clone, Default, Debug)]
+pub struct DhcpServerStats {
+    /// DISCOVERs received that produced an offer.
+    pub discovers_rx: Counter,
+    /// OFFERs broadcast.
+    pub offers_tx: Counter,
+    /// Initial lease grants (ACK of a tentative or fresh binding).
+    pub grants: Counter,
+    /// Lease renewals (ACK re-confirming an established binding).
+    pub renewals: Counter,
+    /// NAKs sent (request refused).
+    pub naks_tx: Counter,
+    /// RELEASEs honoured.
+    pub releases_rx: Counter,
+    /// Leases reclaimed by the expiry sweep.
+    pub expiries: Counter,
+}
+
+impl DhcpServerStats {
+    /// Binds every counter into `scope` (conventionally `{host}/dhcp`).
+    pub fn register_into(&self, scope: &MetricsScope) {
+        for (name, cell) in [
+            ("discovers_rx", &self.discovers_rx),
+            ("offers_tx", &self.offers_tx),
+            ("grants", &self.grants),
+            ("renewals", &self.renewals),
+            ("naks_tx", &self.naks_tx),
+            ("releases_rx", &self.releases_rx),
+            ("expiries", &self.expiries),
+        ] {
+            scope.register(name, MetricCell::Counter(cell.clone()));
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -53,6 +90,8 @@ pub struct DhcpServer {
     sock: Option<SocketId>,
     /// Leases granted (instrumentation).
     pub granted: u64,
+    /// Lifecycle counters for the metrics registry.
+    pub stats: DhcpServerStats,
 }
 
 const TOKEN_EXPIRE_SWEEP: u64 = 1;
@@ -84,6 +123,7 @@ impl DhcpServer {
             released_at: HashMap::new(),
             sock: None,
             granted: 0,
+            stats: DhcpServerStats::default(),
         }
     }
 
@@ -173,6 +213,10 @@ impl Module for DhcpServer {
         ctx.fx.set_timer(SWEEP_INTERVAL, TOKEN_EXPIRE_SWEEP);
     }
 
+    fn register_metrics(&self, scope: &MetricsScope) {
+        self.stats.register_into(&scope.scope("dhcp"));
+    }
+
     fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, token: u64) {
         if token == TOKEN_EXPIRE_SWEEP {
             let now = ctx.now;
@@ -185,6 +229,7 @@ impl Module for DhcpServer {
             for addr in expired {
                 self.leases.remove(&addr);
                 self.released_at.insert(addr, now);
+                self.stats.expiries.inc();
                 ctx.fx.trace(format!("dhcp lease expired: {addr}"));
             }
             ctx.fx.set_timer(SWEEP_INTERVAL, TOKEN_EXPIRE_SWEEP);
@@ -205,6 +250,7 @@ impl Module for DhcpServer {
         let now = ctx.now;
         match msg.op {
             DhcpOp::Discover => {
+                self.stats.discovers_rx.inc();
                 let Some(addr) = self.pick_address(msg.client_mac, now) else {
                     return; // pool exhausted: silence, client retries
                 };
@@ -222,6 +268,7 @@ impl Module for DhcpServer {
                     "dhcp offer {addr} to {} (xid {:#x})",
                     msg.client_mac, msg.xid
                 ));
+                self.stats.offers_tx.inc();
                 self.broadcast(ctx, &offer);
             }
             DhcpOp::Request => {
@@ -234,9 +281,17 @@ impl Module for DhcpServer {
                 if !ours || conflict {
                     let mut nak = self.offer_for(addr, msg.xid, msg.client_mac);
                     nak.op = DhcpOp::Nak;
+                    self.stats.naks_tx.inc();
                     self.broadcast(ctx, &nak);
                     return;
                 }
+                // A re-request over an established (non-tentative) binding
+                // by the same client is a renewal; everything else is an
+                // initial grant.
+                let renewal = self
+                    .leases
+                    .get(&addr)
+                    .is_some_and(|l| l.mac == msg.client_mac && !l.tentative);
                 self.leases.insert(
                     addr,
                     LeaseRecord {
@@ -246,6 +301,11 @@ impl Module for DhcpServer {
                     },
                 );
                 self.granted += 1;
+                if renewal {
+                    self.stats.renewals.inc();
+                } else {
+                    self.stats.grants.inc();
+                }
                 let mut ack = self.offer_for(addr, msg.xid, msg.client_mac);
                 ack.op = DhcpOp::Ack;
                 ctx.fx.trace(format!(
@@ -262,6 +322,7 @@ impl Module for DhcpServer {
                 {
                     self.leases.remove(&msg.yiaddr);
                     self.released_at.insert(msg.yiaddr, now);
+                    self.stats.releases_rx.inc();
                     ctx.fx
                         .trace(format!("dhcp release {} by {}", msg.yiaddr, msg.client_mac));
                 }

@@ -1,6 +1,6 @@
 //! Network device state machines.
 
-use mosquitonet_sim::{SimDuration, SimTime};
+use mosquitonet_sim::{Counter, MetricCell, MetricsScope, SimDuration, SimTime};
 use mosquitonet_wire::MacAddr;
 
 /// What physical technology a device is.
@@ -42,23 +42,51 @@ pub enum DeviceState {
 }
 
 /// Transmit/receive counters, surfaced in experiment reports.
-#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+///
+/// Each field is a detached [`Counter`] cell; [`DeviceCounters::register_into`]
+/// binds them into a metrics registry (the world does this per interface
+/// under `{host}/if{n}.{dev}/...`). Cloning shares the cells.
+#[derive(Clone, Default, Debug)]
 pub struct DeviceCounters {
     /// Frames handed to the medium.
-    pub tx_frames: u64,
+    pub tx_frames: Counter,
     /// Bytes handed to the medium.
-    pub tx_bytes: u64,
+    pub tx_bytes: Counter,
     /// Frames delivered up the stack.
-    pub rx_frames: u64,
+    pub rx_frames: Counter,
     /// Bytes delivered up the stack.
-    pub rx_bytes: u64,
-    /// Transmits attempted while the device was not up.
-    pub tx_dropped_down: u64,
+    pub rx_bytes: Counter,
+    /// Transmits attempted while the device was not up
+    /// (`drop.iface_down` at the device level).
+    pub tx_dropped_down: Counter,
     /// Transmits dropped because the packet exceeded the MTU (this stack
     /// does not fragment; see DESIGN.md §6).
-    pub tx_dropped_mtu: u64,
+    pub tx_dropped_mtu: Counter,
     /// Frames that arrived while the device was not up.
-    pub rx_dropped_down: u64,
+    pub rx_dropped_down: Counter,
+    /// Completed down→up transitions.
+    pub up_transitions: Counter,
+    /// Up/bringing-up→down transitions.
+    pub down_transitions: Counter,
+}
+
+impl DeviceCounters {
+    /// Binds every counter under `scope` (typically one interface's scope).
+    pub fn register_into(&self, scope: &MetricsScope) {
+        for (name, cell) in [
+            ("tx_frames", &self.tx_frames),
+            ("tx_bytes", &self.tx_bytes),
+            ("rx_frames", &self.rx_frames),
+            ("rx_bytes", &self.rx_bytes),
+            ("drop.tx_down", &self.tx_dropped_down),
+            ("drop.tx_mtu", &self.tx_dropped_mtu),
+            ("drop.rx_down", &self.rx_dropped_down),
+            ("up_transitions", &self.up_transitions),
+            ("down_transitions", &self.down_transitions),
+        ] {
+            scope.register(name, MetricCell::Counter(cell.clone()));
+        }
+    }
 }
 
 /// A simulated network device.
@@ -171,6 +199,7 @@ impl Device {
         if let DeviceState::BringingUp { ready_at } = self.state {
             if now >= ready_at {
                 self.state = DeviceState::Up;
+                self.counters.up_transitions.inc();
             }
         }
     }
@@ -183,6 +212,7 @@ impl Device {
         if was_down {
             SimDuration::ZERO
         } else {
+            self.counters.down_transitions.inc();
             self.power.bring_down
         }
     }
@@ -212,11 +242,11 @@ impl Device {
     /// when the device is not up.
     pub fn note_tx(&mut self, len: usize) -> bool {
         if self.is_up() {
-            self.counters.tx_frames += 1;
-            self.counters.tx_bytes += len as u64;
+            self.counters.tx_frames.inc();
+            self.counters.tx_bytes.add(len as u64);
             true
         } else {
-            self.counters.tx_dropped_down += 1;
+            self.counters.tx_dropped_down.inc();
             false
         }
     }
@@ -226,11 +256,11 @@ impl Device {
     /// which is exactly the loss window the paper measures.
     pub fn note_rx(&mut self, len: usize) -> bool {
         if self.is_up() {
-            self.counters.rx_frames += 1;
-            self.counters.rx_bytes += len as u64;
+            self.counters.rx_frames.inc();
+            self.counters.rx_bytes.add(len as u64);
             true
         } else {
-            self.counters.rx_dropped_down += 1;
+            self.counters.rx_dropped_down.inc();
             false
         }
     }
@@ -305,16 +335,19 @@ mod tests {
         let mut d = presets::pcmcia_ethernet("eth0", MacAddr::from_index(1));
         assert!(!d.note_tx(100));
         assert!(!d.note_rx(100));
-        assert_eq!(d.counters.tx_dropped_down, 1);
-        assert_eq!(d.counters.rx_dropped_down, 1);
+        assert_eq!(d.counters.tx_dropped_down.get(), 1);
+        assert_eq!(d.counters.rx_dropped_down.get(), 1);
         let ready = d.begin_bring_up(t(0));
         d.poll(ready);
         assert!(d.note_tx(100));
         assert!(d.note_rx(50));
-        assert_eq!(d.counters.tx_frames, 1);
-        assert_eq!(d.counters.tx_bytes, 100);
-        assert_eq!(d.counters.rx_frames, 1);
-        assert_eq!(d.counters.rx_bytes, 50);
+        assert_eq!(d.counters.tx_frames.get(), 1);
+        assert_eq!(d.counters.tx_bytes.get(), 100);
+        assert_eq!(d.counters.rx_frames.get(), 1);
+        assert_eq!(d.counters.rx_bytes.get(), 50);
+        assert_eq!(d.counters.up_transitions.get(), 1);
+        d.bring_down();
+        assert_eq!(d.counters.down_transitions.get(), 1);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
 
+use crate::metrics::MetricsRegistry;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
@@ -50,6 +51,7 @@ pub struct Sim<W> {
     world: W,
     rng: SimRng,
     trace: Trace,
+    metrics: MetricsRegistry,
     events_executed: u64,
 }
 
@@ -100,6 +102,7 @@ impl<W> Sim<W> {
             world,
             rng: SimRng::new(seed),
             trace: Trace::new(),
+            metrics: MetricsRegistry::new(),
             events_executed: 0,
         }
     }
@@ -138,6 +141,13 @@ impl<W> Sim<W> {
     /// Exclusive access to the trace log.
     pub fn trace_mut(&mut self) -> &mut Trace {
         &mut self.trace
+    }
+
+    /// The metrics registry for this run. The registry is internally
+    /// shared (`Rc`), so cloning the returned reference hands out handles
+    /// that stay live for the whole simulation.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Number of events executed so far.

@@ -1,0 +1,251 @@
+//! A small hand-rolled JSON document model and writer.
+//!
+//! The build sandbox has no crates.io access, so the workspace cannot use
+//! `serde_json`; experiments instead build [`Json`] values directly and
+//! render them with [`Json::render`] / [`Json::render_pretty`]. Object
+//! member order is preserved exactly as inserted, which keeps exports
+//! byte-stable for golden-file tests.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+///
+/// Numbers are split into unsigned / signed / float variants so counters
+/// up to `u64::MAX` render exactly (no `f64` precision loss).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float; non-finite values render as `null` (JSON has no NaN).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; member order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj(pairs: impl IntoIterator<Item = (impl Into<String>, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Renders compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders human-readable JSON with two-space indentation and a
+    /// trailing newline, the layout the experiment sidecar files use.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, level, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, level + 1);
+            }),
+            Json::Obj(members) => {
+                write_seq(out, indent, level, '{', '}', members.len(), |out, i| {
+                    let (k, v) = &members[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, level + 1);
+                })
+            }
+        }
+    }
+}
+
+/// Shared layout for arrays and objects: one element per line when pretty.
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..(width * (level + 1)) {
+                out.push(' ');
+            }
+        }
+        write_item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..(width * level) {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<i32> for Json {
+    fn from(v: i32) -> Json {
+        Json::Int(v as i64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let j = Json::obj([
+            ("name", Json::from("fig7")),
+            ("count", Json::from(3u64)),
+            ("neg", Json::from(-2i64)),
+            ("mean", Json::from(2.5f64)),
+            ("tags", Json::arr([Json::from("a"), Json::Null])),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"name":"fig7","count":3,"neg":-2,"mean":2.5,"tags":["a",null]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_is_stable() {
+        let j = Json::obj([
+            ("a", Json::from(1u64)),
+            ("b", Json::arr([Json::from(2u64)])),
+        ]);
+        assert_eq!(
+            j.render_pretty(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn empty_containers_render_inline() {
+        assert_eq!(Json::arr([]).render_pretty(), "[]\n");
+        assert_eq!(Json::Obj(vec![]).render(), "{}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let j = Json::from("a\"b\\c\nd\u{1}");
+        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn u64_precision_is_exact() {
+        assert_eq!(Json::from(u64::MAX).render(), "18446744073709551615");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+    }
+}

@@ -29,12 +29,19 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod json;
+pub mod metrics;
 mod rng;
 mod stats;
 mod time;
 mod trace;
 
 pub use engine::{EventId, Sim};
+pub use json::Json;
+pub use metrics::{
+    Counter, DeltaEntry, Gauge, HistogramSnapshot, LatencyHistogram, MetricCell, MetricValue,
+    MetricsRegistry, MetricsScope, Snapshot, SnapshotDelta,
+};
 pub use rng::SimRng;
 pub use stats::{Histogram, Summary};
 pub use time::{SimDuration, SimTime};

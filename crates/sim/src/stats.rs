@@ -4,7 +4,7 @@
 //! iteration-count histograms of packets lost (Figure 6); [`Summary`] and
 //! [`Histogram`] produce exactly those.
 
-use serde::{Deserialize, Serialize};
+use crate::json::Json;
 
 /// Accumulates samples and reports mean, standard deviation and extremes.
 ///
@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 5.0);
 /// assert!((s.stddev() - 2.138).abs() < 0.001);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Summary {
     count: u64,
     mean: f64,
@@ -102,6 +102,17 @@ impl Summary {
         (self.count > 0).then_some(self.max)
     }
 
+    /// Renders as JSON: `{"count", "mean", "stddev", "min", "max"}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::from(self.count())),
+            ("mean", Json::from(self.mean())),
+            ("stddev", Json::from(self.stddev())),
+            ("min", self.min().map(Json::from).unwrap_or(Json::Null)),
+            ("max", self.max().map(Json::from).unwrap_or(Json::Null)),
+        ])
+    }
+
     /// Merges another summary into this one (parallel Welford combine).
     pub fn merge(&mut self, other: &Summary) {
         if other.count == 0 {
@@ -129,7 +140,7 @@ impl Summary {
 /// of packets lost" and the bar height is "number of iterations with that
 /// loss". Out-of-range outcomes are clamped into the final (overflow)
 /// bucket and reported via [`Histogram::overflow`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     buckets: Vec<u64>,
     overflow: u64,
@@ -193,6 +204,19 @@ impl Histogram {
             .map(|(v, &c)| v as u64 * c)
             .sum();
         weighted as f64 / in_range as f64
+    }
+
+    /// Renders as JSON: `{"buckets", "overflow", "total", "mean"}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "buckets",
+                Json::arr(self.buckets.iter().map(|&c| Json::from(c))),
+            ),
+            ("overflow", Json::from(self.overflow)),
+            ("total", Json::from(self.total)),
+            ("mean", Json::from(self.mean())),
+        ])
     }
 
     /// Renders an ASCII bar chart in the style of the paper's Figure 6.

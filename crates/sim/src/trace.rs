@@ -5,6 +5,7 @@
 //! flat, queryable log of `(time, kind, detail)` entries that workload code
 //! appends to and the harness filters afterwards.
 
+use crate::metrics::SnapshotDelta;
 use crate::time::SimTime;
 
 /// Category of a trace entry.
@@ -26,6 +27,9 @@ pub enum TraceKind {
     Marker,
     /// A frame summary recorded by an interface in capture mode.
     Capture,
+    /// A metrics-delta report recorded by the harness (typically at
+    /// experiment end), so text traces and JSON exports can't drift apart.
+    Telemetry,
 }
 
 /// One trace record.
@@ -100,6 +104,23 @@ impl Trace {
         self.of_kind(kind).count()
     }
 
+    /// Records a [`TraceKind::Telemetry`] entry embedding the counter
+    /// movements of `delta`, one metric per line ([`Trace::render`]
+    /// indents them under the entry). No-op when the delta is empty or
+    /// the trace is disabled.
+    pub fn record_telemetry(&mut self, at: SimTime, who: impl Into<String>, delta: &SnapshotDelta) {
+        if delta.is_empty() {
+            return;
+        }
+        let rendered = delta.render();
+        self.record(
+            at,
+            TraceKind::Telemetry,
+            who,
+            rendered.trim_end().to_string(),
+        );
+    }
+
     /// First entry whose detail contains `needle`, if any.
     pub fn find(&self, needle: &str) -> Option<&TraceEntry> {
         self.entries.iter().find(|e| e.detail.contains(needle))
@@ -111,16 +132,22 @@ impl Trace {
     }
 
     /// Renders entries as one line each, for debugging failed experiments.
+    /// Multi-line details (telemetry deltas) continue on indented lines.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for e in &self.entries {
+            let mut lines = e.detail.lines();
+            let first = lines.next().unwrap_or("");
             out.push_str(&format!(
                 "{:>12} {:?} [{}] {}\n",
                 e.at.to_string(),
                 e.kind,
                 e.who,
-                e.detail
+                first
             ));
+            for line in lines {
+                out.push_str(&format!("{:>12}   | {}\n", "", line));
+            }
         }
         out
     }
@@ -192,5 +219,41 @@ mod tests {
         let s = tr.render();
         assert_eq!(s.lines().count(), 2);
         assert!(s.contains("[a] one"));
+    }
+
+    #[test]
+    fn telemetry_entries_embed_counter_deltas() {
+        use crate::metrics::MetricsRegistry;
+        let r = MetricsRegistry::new();
+        let tx = r.counter("mh/ip/tx");
+        let drop = r.counter("mh/ip/drop.no_route");
+        let before = r.snapshot();
+        tx.add(7);
+        drop.inc();
+        let delta = r.snapshot().diff(&before);
+
+        let mut tr = Trace::new();
+        tr.record_telemetry(t(9), "harness", &delta);
+        assert_eq!(tr.count_kind(TraceKind::Telemetry), 1);
+        let s = tr.render();
+        assert!(s.contains("mh/ip/tx"), "{s}");
+        assert!(s.contains("0 -> 7 (+7)"), "{s}");
+        // The second metric continues on an indented line.
+        assert!(
+            s.contains("| mh/ip/tx") || s.contains("| mh/ip/drop.no_route"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn empty_delta_records_nothing() {
+        use crate::metrics::MetricsRegistry;
+        let r = MetricsRegistry::new();
+        r.counter("x");
+        let before = r.snapshot();
+        let delta = r.snapshot().diff(&before);
+        let mut tr = Trace::new();
+        tr.record_telemetry(t(1), "harness", &delta);
+        assert!(tr.entries().is_empty());
     }
 }

@@ -12,7 +12,7 @@
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
-use mosquitonet_sim::SimTime;
+use mosquitonet_sim::{Counter, MetricCell, MetricsScope, SimTime};
 use mosquitonet_wire::{ArpOp, ArpPacket, Ipv4Packet, MacAddr};
 
 /// How many times an unanswered ARP request is retried.
@@ -35,6 +35,32 @@ pub struct PendingArp {
     pub queue: Vec<Ipv4Packet>,
 }
 
+/// ARP activity counters (detached cells; the world binds them per
+/// interface under `{host}/if{n}.{dev}/arp.*`).
+#[derive(Clone, Default, Debug)]
+pub struct ArpStats {
+    /// Pending resolutions completed by a learned mapping.
+    pub resolutions: Counter,
+    /// Resolutions abandoned after [`ARP_MAX_TRIES`] unanswered requests.
+    pub failures: Counter,
+    /// Requests answered on behalf of a proxied address (the home agent's
+    /// proxy-ARP duty, §3.1).
+    pub proxy_replies: Counter,
+}
+
+impl ArpStats {
+    /// Binds every counter under `scope` (one interface's scope).
+    pub fn register_into(&self, scope: &MetricsScope) {
+        for (name, cell) in [
+            ("arp.resolutions", &self.resolutions),
+            ("arp.failures", &self.failures),
+            ("arp.proxy_replies", &self.proxy_replies),
+        ] {
+            scope.register(name, MetricCell::Counter(cell.clone()));
+        }
+    }
+}
+
 /// Per-interface ARP state.
 #[derive(Debug, Default)]
 pub struct ArpState {
@@ -45,6 +71,8 @@ pub struct ArpState {
     /// When each cache entry was learned (for diagnostics; entries do not
     /// expire during the short experiments).
     learned_at: HashMap<Ipv4Addr, SimTime>,
+    /// Activity counters.
+    pub stats: ArpStats,
 }
 
 /// What the ARP layer wants done in response to an input.
@@ -147,6 +175,7 @@ impl ArpState {
             }
             Some(_) => {
                 let p = self.pending.remove(&ip).expect("entry just matched");
+                self.stats.failures.inc();
                 Err(p.queue)
             }
         }
@@ -178,6 +207,7 @@ impl ArpState {
             if update_existing {
                 self.insert(arp.sender_ip, arp.sender_mac, now);
                 if let Some(p) = self.pending.remove(&arp.sender_ip) {
+                    self.stats.resolutions.inc();
                     released = p.queue;
                 }
             }
@@ -187,6 +217,9 @@ impl ArpState {
             let ours = my_addrs.contains(&arp.target_ip);
             let proxied = self.proxies.contains(&arp.target_ip);
             if ours || proxied {
+                if proxied && !ours {
+                    self.stats.proxy_replies.inc();
+                }
                 return (released, ArpAction::Reply(ArpPacket::reply_to(arp, my_mac)));
             }
         }

@@ -5,7 +5,7 @@ use std::net::Ipv4Addr;
 
 use bytes::Bytes;
 use mosquitonet_link::Device;
-use mosquitonet_sim::{EventId, SimDuration};
+use mosquitonet_sim::{Counter, EventId, MetricCell, MetricsScope, SimDuration};
 use mosquitonet_wire::Cidr;
 
 use crate::arp::ArpState;
@@ -20,41 +20,75 @@ use crate::udp::{SocketId, UdpTable};
 pub struct HostId(pub usize);
 
 /// Packet-path counters, exposed to experiments.
-#[derive(Clone, Copy, Default, Debug)]
+///
+/// Each field is a detached [`Counter`] cell created with the host;
+/// [`HostStats::register_into`] binds them into a metrics registry (the
+/// world does this for every host under `{host}/ip/...`, using the stable
+/// drop-reason codes documented in `docs/telemetry.md`).
+#[derive(Clone, Default, Debug)]
 pub struct HostStats {
     /// Locally-originated packets submitted to IP.
-    pub ip_output: u64,
+    pub ip_output: Counter,
     /// Packets received by IP (before local/forward decision).
-    pub ip_input: u64,
+    pub ip_input: Counter,
     /// Packets forwarded.
-    pub forwarded: u64,
+    pub forwarded: Counter,
     /// Packets delivered to local protocols.
-    pub delivered: u64,
-    /// Drops: no route to destination.
-    pub dropped_no_route: u64,
-    /// Drops: transit-traffic filter.
-    pub dropped_filter: u64,
-    /// Drops: TTL expired.
-    pub dropped_ttl: u64,
-    /// Drops: ARP resolution failure.
-    pub dropped_arp_failure: u64,
-    /// Drops: egress interface down or unattached.
-    pub dropped_iface_down: u64,
-    /// Drops: destination not local and forwarding disabled.
-    pub dropped_not_local: u64,
-    /// Drops: malformed packets.
-    pub dropped_malformed: u64,
+    pub delivered: Counter,
+    /// Drops: no route to destination (`drop.no_route`).
+    pub dropped_no_route: Counter,
+    /// Drops: transit-traffic filter (`drop.filter.ingress`).
+    pub dropped_filter: Counter,
+    /// Drops: TTL expired (`drop.ttl`).
+    pub dropped_ttl: Counter,
+    /// Drops: ARP resolution failure (`drop.arp_failure`).
+    pub dropped_arp_failure: Counter,
+    /// Drops: egress interface down or unattached (`drop.iface_down`).
+    pub dropped_iface_down: Counter,
+    /// Drops: destination not local and forwarding disabled
+    /// (`drop.not_local`).
+    pub dropped_not_local: Counter,
+    /// Drops: malformed packets (`drop.malformed`).
+    pub dropped_malformed: Counter,
     /// Locally-addressed packets no protocol or module claimed (e.g.
     /// IP-in-IP arriving at a host with decapsulation disabled).
-    pub unclaimed: u64,
+    pub unclaimed: Counter,
     /// Packets IP-in-IP encapsulated here.
-    pub encapsulated: u64,
+    pub encapsulated: Counter,
     /// Packets IP-in-IP decapsulated here.
-    pub decapsulated: u64,
+    pub decapsulated: Counter,
     /// ICMP redirects sent (routers) / accepted (hosts).
-    pub redirects_sent: u64,
+    pub redirects_sent: Counter,
     /// ICMP redirects accepted.
-    pub redirects_accepted: u64,
+    pub redirects_accepted: Counter,
+}
+
+impl HostStats {
+    /// Binds every counter under `scope` (typically `{host}/ip`). Drop
+    /// counters use the stable `drop.<reason>` codes that traces and tests
+    /// match on.
+    pub fn register_into(&self, scope: &MetricsScope) {
+        for (name, cell) in [
+            ("output", &self.ip_output),
+            ("input", &self.ip_input),
+            ("forwarded", &self.forwarded),
+            ("delivered", &self.delivered),
+            ("drop.no_route", &self.dropped_no_route),
+            ("drop.filter.ingress", &self.dropped_filter),
+            ("drop.ttl", &self.dropped_ttl),
+            ("drop.arp_failure", &self.dropped_arp_failure),
+            ("drop.iface_down", &self.dropped_iface_down),
+            ("drop.not_local", &self.dropped_not_local),
+            ("drop.malformed", &self.dropped_malformed),
+            ("unclaimed", &self.unclaimed),
+            ("encap", &self.encapsulated),
+            ("decap", &self.decapsulated),
+            ("redirect.sent", &self.redirects_sent),
+            ("redirect.accepted", &self.redirects_accepted),
+        ] {
+            scope.register(name, MetricCell::Counter(cell.clone()));
+        }
+    }
 }
 
 /// Default per-packet receive-path processing cost on era hardware

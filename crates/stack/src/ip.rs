@@ -153,7 +153,7 @@ pub fn udp_send(
         match resolve_route(h, dst.0, src_sel, opts.iface) {
             Some(d) => (d, src_port),
             None => {
-                h.core.stats.dropped_no_route += 1;
+                h.core.stats.dropped_no_route.inc();
                 return;
             }
         }
@@ -192,7 +192,7 @@ pub fn ip_send_packet(sim: &mut NetSim, host: HostId, mut packet: Ipv4Packet, op
         match resolve_route(h, dst, src_sel, opts.iface) {
             Some(d) => d,
             None => {
-                h.core.stats.dropped_no_route += 1;
+                h.core.stats.dropped_no_route.inc();
                 return;
             }
         }
@@ -203,9 +203,9 @@ pub fn ip_send_packet(sim: &mut NetSim, host: HostId, mut packet: Ipv4Packet, op
 
 /// Sends a packet along a resolved decision, encapsulating if requested.
 fn send_resolved(sim: &mut NetSim, host: HostId, packet: Ipv4Packet, decision: RouteDecision) {
-    sim.world_mut().hosts[host.0].core.stats.ip_output += 1;
+    sim.world_mut().hosts[host.0].core.stats.ip_output.inc();
     let out_packet = if let Some(encap) = decision.encap {
-        sim.world_mut().hosts[host.0].core.stats.encapsulated += 1;
+        sim.world_mut().hosts[host.0].core.stats.encapsulated.inc();
         ipip::encapsulate(&packet, encap.outer_src, encap.outer_dst)
     } else {
         packet
@@ -264,7 +264,7 @@ pub fn ip_input(
 ) {
     let (local, broadcast, forwarding) = {
         let core = &mut sim.world_mut().hosts[host.0].core;
-        core.stats.ip_input += 1;
+        core.stats.ip_input.inc();
         (
             core.is_local_addr(packet.header.dst),
             core.is_broadcast_addr(packet.header.dst),
@@ -288,11 +288,15 @@ pub fn ip_input(
     } else if forwarding {
         forward(sim, host, iface, packet);
     } else {
-        sim.world_mut().hosts[host.0].core.stats.dropped_not_local += 1;
+        sim.world_mut().hosts[host.0]
+            .core
+            .stats
+            .dropped_not_local
+            .inc();
         if sim.trace().is_enabled() {
             let name = sim.world().hosts[host.0].core.name.clone();
             let detail = format!(
-                "not local, not forwarding: {} -> {}",
+                "drop.not_local: {} -> {}",
                 packet.header.src, packet.header.dst
             );
             let now = sim.now();
@@ -306,7 +310,14 @@ pub fn ip_input(
 fn forward(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, mut packet: Ipv4Packet) {
     // TTL.
     if packet.header.ttl <= 1 {
-        sim.world_mut().hosts[host.0].core.stats.dropped_ttl += 1;
+        sim.world_mut().hosts[host.0].core.stats.dropped_ttl.inc();
+        if sim.trace().is_enabled() {
+            let name = sim.world().hosts[host.0].core.name.clone();
+            let detail = format!("drop.ttl: {} -> {}", packet.header.src, packet.header.dst);
+            let now = sim.now();
+            sim.trace_mut()
+                .record(now, TraceKind::PacketDropped, name, detail);
+        }
         let quote = packet.invoking_quote();
         icmp_error(
             sim,
@@ -334,14 +345,18 @@ fn forward(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, mut packet
                     (rt, src)
                 }
                 None => {
-                    sim.world_mut().hosts[host.0].core.stats.dropped_no_route += 1;
+                    sim.world_mut().hosts[host.0]
+                        .core
+                        .stats
+                        .dropped_no_route
+                        .inc();
                     return;
                 }
             }
         };
         let core = &mut sim.world_mut().hosts[host.0].core;
-        core.stats.forwarded += 1;
-        core.stats.encapsulated += 1;
+        core.stats.forwarded.inc();
+        core.stats.encapsulated.inc();
         if sim.trace().is_enabled() {
             let name = sim.world().hosts[host.0].core.name.clone();
             let detail = format!("tunnel {} -> care-of {}", packet.header.dst, care_of);
@@ -362,7 +377,11 @@ fn forward(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, mut packet
     {
         Some(rt) => rt,
         None => {
-            sim.world_mut().hosts[host.0].core.stats.dropped_no_route += 1;
+            sim.world_mut().hosts[host.0]
+                .core
+                .stats
+                .dropped_no_route
+                .inc();
             let quote = packet.invoking_quote();
             icmp_error(
                 sim,
@@ -389,11 +408,15 @@ fn forward(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, mut packet
                 .iter()
                 .any(|s| s.contains(packet.header.src))
         {
-            sim.world_mut().hosts[host.0].core.stats.dropped_filter += 1;
+            sim.world_mut().hosts[host.0]
+                .core
+                .stats
+                .dropped_filter
+                .inc();
             if sim.trace().is_enabled() {
                 let name = sim.world().hosts[host.0].core.name.clone();
                 let detail = format!(
-                    "transit filter: src {} not local, egress upstream",
+                    "drop.filter.ingress: src {} not local, egress upstream",
                     packet.header.src
                 );
                 let now = sim.now();
@@ -418,7 +441,11 @@ fn forward(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, mut packet
                     .is_some()
         };
         if send_redirect {
-            sim.world_mut().hosts[host.0].core.stats.redirects_sent += 1;
+            sim.world_mut().hosts[host.0]
+                .core
+                .stats
+                .redirects_sent
+                .inc();
             let gw = rt.gateway.unwrap_or(packet.header.dst);
             let quote = packet.invoking_quote();
             icmp_error(
@@ -433,7 +460,7 @@ fn forward(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, mut packet
         }
     }
 
-    sim.world_mut().hosts[host.0].core.stats.forwarded += 1;
+    sim.world_mut().hosts[host.0].core.stats.forwarded.inc();
     let next_hop = rt.gateway.unwrap_or(packet.header.dst);
     ip_transmit(sim, host, rt.iface, packet, next_hop);
 }
@@ -458,7 +485,7 @@ fn local_deliver(
     packet: Ipv4Packet,
     depth: u32,
 ) {
-    sim.world_mut().hosts[host.0].core.stats.delivered += 1;
+    sim.world_mut().hosts[host.0].core.stats.delivered.inc();
     match packet.header.protocol {
         IpProto::Udp => udp_input(sim, host, &packet),
         IpProto::Icmp => icmp_input(sim, host, in_iface, &packet),
@@ -484,7 +511,11 @@ fn igmp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet) {
             );
         }
         Err(_) => {
-            sim.world_mut().hosts[host.0].core.stats.dropped_malformed += 1;
+            sim.world_mut().hosts[host.0]
+                .core
+                .stats
+                .dropped_malformed
+                .inc();
         }
     }
 }
@@ -493,7 +524,11 @@ fn udp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet) {
     let dgram = match UdpDatagram::parse(&packet.payload, packet.header.src, packet.header.dst) {
         Ok(d) => d,
         Err(_) => {
-            sim.world_mut().hosts[host.0].core.stats.dropped_malformed += 1;
+            sim.world_mut().hosts[host.0]
+                .core
+                .stats
+                .dropped_malformed
+                .inc();
             return;
         }
     };
@@ -546,7 +581,11 @@ fn icmp_input(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, packet:
     let msg = match IcmpMessage::parse(&packet.payload) {
         Ok(m) => m,
         Err(_) => {
-            sim.world_mut().hosts[host.0].core.stats.dropped_malformed += 1;
+            sim.world_mut().hosts[host.0]
+                .core
+                .stats
+                .dropped_malformed
+                .inc();
             return;
         }
     };
@@ -576,7 +615,7 @@ fn icmp_input(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, packet:
                         iface: in_if,
                         metric: 0,
                     });
-                    core.stats.redirects_accepted += 1;
+                    core.stats.redirects_accepted.inc();
                 }
             }
         }
@@ -608,7 +647,7 @@ fn ipip_input(
     }
     match ipip::decapsulate(&packet) {
         Ok(inner) => {
-            sim.world_mut().hosts[host.0].core.stats.decapsulated += 1;
+            sim.world_mut().hosts[host.0].core.stats.decapsulated.inc();
             if sim.trace().is_enabled() {
                 let name = sim.world().hosts[host.0].core.name.clone();
                 let detail = format!(
@@ -624,7 +663,11 @@ fn ipip_input(
             ip_input(sim, host, in_iface, inner, depth + 1);
         }
         Err(_) => {
-            sim.world_mut().hosts[host.0].core.stats.dropped_malformed += 1;
+            sim.world_mut().hosts[host.0]
+                .core
+                .stats
+                .dropped_malformed
+                .inc();
         }
     }
 }
@@ -641,14 +684,18 @@ fn unclaimed_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet) {
     }
     // Nobody wanted it.
     let core = &mut sim.world_mut().hosts[host.0].core;
-    core.stats.unclaimed += 1;
+    core.stats.unclaimed.inc();
 }
 
 fn tcp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet) {
     let seg = match TcpSegment::parse(&packet.payload, packet.header.src, packet.header.dst) {
         Ok(s) => s,
         Err(_) => {
-            sim.world_mut().hosts[host.0].core.stats.dropped_malformed += 1;
+            sim.world_mut().hosts[host.0]
+                .core
+                .stats
+                .dropped_malformed
+                .inc();
             return;
         }
     };

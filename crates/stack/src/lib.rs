@@ -27,7 +27,7 @@ mod tcp;
 mod udp;
 mod world;
 
-pub use arp::{ArpAction, ArpState, ARP_MAX_TRIES};
+pub use arp::{ArpAction, ArpState, ArpStats, ARP_MAX_TRIES};
 pub use host::{Host, HostCore, HostId, HostStats, DEFAULT_PROC_DELAY};
 pub use iface::{IfaceAddr, IfaceId, Interface, LanId};
 pub use ip::{ip_input, ip_send_packet, udp_send};
@@ -40,4 +40,7 @@ pub use tcp::{
     ConnId, TcpEvent, TcpListener, TcpState, TcpTable, TCP_INITIAL_RTO, TCP_MAX_RETRIES, TCP_MSS,
 };
 pub use udp::{SocketId, UdpSocket, UdpTable};
-pub use world::{add_module, bring_iface_up, dispatch, start, NetSim, Network, ARP_RETRY_INTERVAL};
+pub use world::{
+    add_module, bring_iface_up, dispatch, register_metrics, start, NetSim, Network,
+    ARP_RETRY_INTERVAL,
+};

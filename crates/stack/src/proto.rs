@@ -19,7 +19,7 @@ use std::any::Any;
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
-use mosquitonet_sim::{SimDuration, SimTime};
+use mosquitonet_sim::{MetricsScope, SimDuration, SimTime};
 use mosquitonet_wire::{IcmpMessage, Ipv4Packet};
 
 use crate::host::HostCore;
@@ -353,6 +353,13 @@ pub trait Module: Any {
     /// A TCP connection owned by this module changed state or delivered
     /// data.
     fn on_tcp_event(&mut self, ctx: &mut ModuleCtx<'_>, conn: ConnId, event: &TcpEvent) {}
+
+    /// Binds this module's metric cells under `scope` (the owning host's
+    /// scope, `{host}/...`). Called by the world's metrics-registration
+    /// pass; the default registers nothing.
+    fn register_metrics(&self, scope: &MetricsScope) {
+        let _ = scope;
+    }
 
     /// Dynamic downcast support for the experiment harness.
     fn as_any(&mut self) -> &mut dyn Any;

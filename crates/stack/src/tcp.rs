@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
-use mosquitonet_sim::SimDuration;
+use mosquitonet_sim::{Counter, SimDuration};
 use mosquitonet_wire::{TcpFlags, TcpSegment};
 
 use crate::proto::ModuleId;
@@ -264,6 +264,9 @@ pub struct TcpTable {
     conns: Vec<Tcb>,
     listeners: Vec<TcpListener>,
     iss_counter: u32,
+    /// Segments retransmitted across all connections (the world binds this
+    /// under `{host}/tcp/retransmits`).
+    pub retransmits: Counter,
 }
 
 impl TcpTable {
@@ -445,6 +448,7 @@ impl TcpTable {
     /// The retransmission timer fired.
     pub fn on_rto(&mut self, id: ConnId) -> TcpOut {
         let mut out = TcpOut::new();
+        let retransmits = self.retransmits.clone();
         let tcb = &mut self.conns[id.0];
         if tcb.state == TcpState::Closed || tcb.inflight.is_empty() {
             out.timer = TimerOp::Cancel;
@@ -472,6 +476,7 @@ impl TcpTable {
         };
         out.send.push(tcb.make_segment(seg.seq, flags, seg.payload));
         tcb.retransmissions += 1;
+        retransmits.inc();
         tcb.rto = (tcb.rto * 2).min(TCP_MAX_RTO);
         out.timer = TimerOp::Arm(tcb.rto);
         out

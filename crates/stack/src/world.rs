@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 use mosquitonet_link::{Attachment, AttachmentKey, EtherType, Frame, Lan};
-use mosquitonet_sim::{Sim, SimDuration, TraceKind};
+use mosquitonet_sim::{MetricCell, Sim, SimDuration, TraceKind};
 use mosquitonet_wire::{ArpPacket, Ipv4Packet};
 
 use crate::arp::ArpAction;
@@ -126,7 +126,9 @@ impl Network {
 }
 
 /// Starts every module on every host (call once after building the world).
+/// Also binds every host's counters into the run's metrics registry.
 pub fn start(sim: &mut NetSim) {
+    register_metrics(sim);
     let hosts = sim.world().hosts.len();
     for h in 0..hosts {
         let modules = sim.world().hosts[h].module_count();
@@ -138,9 +140,42 @@ pub fn start(sim: &mut NetSim) {
     }
 }
 
-/// Installs a module on a running world and starts it immediately.
+/// Binds every host's packet-path counters — IP stats, per-interface
+/// device and ARP counters, TCP retransmits — and every installed
+/// module's metrics into the run's registry under `{host}/...`.
+///
+/// [`start`] calls this; worlds that add hosts, interfaces, or modules
+/// afterwards can call it again — rebinding is idempotent.
+pub fn register_metrics(sim: &mut NetSim) {
+    let registry = sim.metrics().clone();
+    let w = sim.world();
+    for h in &w.hosts {
+        let host_scope = registry.scope(h.core.name.clone());
+        h.core.stats.register_into(&host_scope.scope("ip"));
+        host_scope.register(
+            "tcp/retransmits",
+            MetricCell::Counter(h.core.tcp.retransmits.clone()),
+        );
+        for (i, ifc) in h.core.ifaces.iter().enumerate() {
+            let if_scope = host_scope.scope(&format!("if{i}.{}", ifc.device.name()));
+            ifc.device.counters.register_into(&if_scope);
+            h.core.arp[i].stats.register_into(&if_scope);
+        }
+        for module in h.modules.iter().flatten() {
+            module.register_metrics(&host_scope);
+        }
+    }
+}
+
+/// Installs a module on a running world and starts it immediately (its
+/// metrics are bound like [`register_metrics`] would).
 pub fn add_module(sim: &mut NetSim, host: HostId, module: Box<dyn Module>) -> ModuleId {
     let id = sim.world_mut().hosts[host.0].add_module(module);
+    let registry = sim.metrics().clone();
+    let h = &sim.world().hosts[host.0];
+    if let Some(m) = &h.modules[id.0] {
+        m.register_metrics(&registry.scope(h.core.name.clone()));
+    }
     dispatch(sim, host, id, |m, ctx| m.on_start(ctx));
     id
 }
@@ -350,10 +385,10 @@ pub(crate) fn transmit_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, fra
         if frame.payload.len() > ifc.device.mtu {
             // No fragmentation in this stack (DESIGN.md §6): oversized
             // packets die at the device, loudly.
-            ifc.device.counters.tx_dropped_mtu += 1;
+            ifc.device.counters.tx_dropped_mtu.inc();
             None
         } else if !ifc.device.note_tx(wire_len) {
-            w.hosts[host.0].core.stats.dropped_iface_down += 1;
+            w.hosts[host.0].core.stats.dropped_iface_down.inc();
             None
         } else if let Some(lan_id) = ifc.lan {
             // Frames queue behind the transmitter (half-duplex serial
@@ -380,7 +415,7 @@ pub(crate) fn transmit_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, fra
             })
         } else {
             // Unattached interface: the cable is unplugged.
-            w.hosts[host.0].core.stats.dropped_iface_down += 1;
+            w.hosts[host.0].core.stats.dropped_iface_down.inc();
             None
         }
     };
@@ -391,7 +426,7 @@ pub(crate) fn transmit_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, fra
             now,
             TraceKind::PacketDropped,
             name,
-            format!("medium lost {} cop(ies)", plan.lost),
+            format!("drop.medium_loss: {} cop(ies)", plan.lost),
         );
     }
     let bytes = frame.to_bytes();
@@ -414,7 +449,7 @@ fn deliver_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, from_lan: LanId
             now,
             TraceKind::PacketDropped,
             name,
-            "frame for an interface that left the LAN".to_string(),
+            "drop.left_lan: frame for an interface that left the LAN".to_string(),
         );
         return;
     }
@@ -429,7 +464,7 @@ fn deliver_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, from_lan: LanId
             now,
             TraceKind::PacketDropped,
             name,
-            "frame for downed interface".to_string(),
+            "drop.iface_down: frame for downed interface".to_string(),
         );
         return;
     }
@@ -439,7 +474,11 @@ fn deliver_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, from_lan: LanId
 
 fn process_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, bytes: Bytes) {
     let Ok(frame) = Frame::parse(&bytes) else {
-        sim.world_mut().hosts[host.0].core.stats.dropped_malformed += 1;
+        sim.world_mut().hosts[host.0]
+            .core
+            .stats
+            .dropped_malformed
+            .inc();
         return;
     };
     if sim.world().hosts[host.0].core.capture {
@@ -455,11 +494,19 @@ fn process_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, bytes: Bytes) {
     match frame.ethertype {
         EtherType::Arp => match ArpPacket::parse(&frame.payload) {
             Ok(arp) => arp_input(sim, host, iface, &arp),
-            Err(_) => sim.world_mut().hosts[host.0].core.stats.dropped_malformed += 1,
+            Err(_) => sim.world_mut().hosts[host.0]
+                .core
+                .stats
+                .dropped_malformed
+                .inc(),
         },
         EtherType::Ipv4 => match Ipv4Packet::parse(&frame.payload) {
             Ok(pkt) => ip::ip_input(sim, host, Some(iface), pkt, 0),
-            Err(_) => sim.world_mut().hosts[host.0].core.stats.dropped_malformed += 1,
+            Err(_) => sim.world_mut().hosts[host.0]
+                .core
+                .stats
+                .dropped_malformed
+                .inc(),
         },
     }
 }
@@ -529,14 +576,14 @@ fn arp_retry(
         Err(dropped) => {
             let n = dropped.len() as u64;
             let core = &mut sim.world_mut().hosts[host.0].core;
-            core.stats.dropped_arp_failure += n;
+            core.stats.dropped_arp_failure.add(n);
             let name = core.name.clone();
             let now = sim.now();
             sim.trace_mut().record(
                 now,
                 TraceKind::PacketDropped,
                 name,
-                format!("ARP failed for {target}: {n} packet(s)"),
+                format!("drop.arp_failure: {target} unresolved, {n} packet(s)"),
             );
         }
     }
@@ -600,7 +647,10 @@ mod tests {
             ArpPacket::gratuitous(MacAddr::from_index(1), Ipv4Addr::new(1, 1, 1, 1)).to_bytes(),
         );
         transmit_frame(&mut sim, h, eth, frame);
-        assert_eq!(sim.world().hosts[h.0].core.stats.dropped_iface_down, 1);
+        assert_eq!(
+            sim.world().hosts[h.0].core.stats.dropped_iface_down.get(),
+            1
+        );
     }
 
     #[test]

@@ -283,7 +283,7 @@ fn udp_echo_across_router_with_arp() {
     assert!(t.sim.world().host(t.router).core.arp[t.r_ifb.0]
         .lookup(ip("10.0.2.2"))
         .is_some());
-    assert!(t.sim.world().host(t.router).core.stats.forwarded >= 40);
+    assert!(t.sim.world().host(t.router).core.stats.forwarded.get() >= 40);
 }
 
 #[test]
@@ -420,8 +420,11 @@ fn vif_tunnel_entry_encapsulates_forwarded_traffic() {
         .module_mut(client_mid)
         .unwrap();
     assert_eq!(client.received, 3, "tunneled datagrams echoed");
-    assert_eq!(t.sim.world().host(t.router).core.stats.encapsulated, 3);
-    assert_eq!(t.sim.world().host(t.b).core.stats.decapsulated, 3);
+    assert_eq!(
+        t.sim.world().host(t.router).core.stats.encapsulated.get(),
+        3
+    );
+    assert_eq!(t.sim.world().host(t.b).core.stats.decapsulated.get(), 3);
 }
 
 #[test]
@@ -462,9 +465,12 @@ fn transit_filter_drops_foreign_sources_on_upstream() {
     );
     stack::ip_send_packet(&mut t.sim, t.a, legit, Default::default());
     t.sim.run_for(SimDuration::from_secs(2));
-    assert_eq!(t.sim.world().host(t.router).core.stats.dropped_filter, 1);
+    assert_eq!(
+        t.sim.world().host(t.router).core.stats.dropped_filter.get(),
+        1
+    );
     // Only the legit ping reached B.
-    assert_eq!(t.sim.world().host(t.b).core.stats.delivered, 1);
+    assert_eq!(t.sim.world().host(t.b).core.stats.delivered.get(), 1);
 }
 
 #[test]
@@ -603,8 +609,8 @@ fn icmp_redirect_installs_host_route() {
         stack::ip_send_packet(&mut sim, a, req, Default::default());
         sim.run_for(SimDuration::from_secs(3));
     }
-    assert_eq!(sim.world().host(r1).core.stats.redirects_sent, 1);
-    assert_eq!(sim.world().host(a).core.stats.redirects_accepted, 1);
+    assert_eq!(sim.world().host(r1).core.stats.redirects_sent.get(), 1);
+    assert_eq!(sim.world().host(a).core.stats.redirects_accepted.get(), 1);
     let rt = sim
         .world()
         .host(a)
@@ -618,7 +624,7 @@ fn icmp_redirect_installs_host_route() {
         "host route now points at r2"
     );
     // The second ping went straight through r2 (r1 forwarded only once).
-    assert_eq!(sim.world().host(r1).core.stats.forwarded, 1);
+    assert_eq!(sim.world().host(r1).core.stats.forwarded.get(), 1);
 }
 
 /// TCP client/server pair used by the session tests.
@@ -766,7 +772,8 @@ fn frames_to_downed_device_are_lost() {
     let rx_before = t.sim.world().host(t.b).core.ifaces[t.b_if.0]
         .device
         .counters
-        .rx_dropped_down;
+        .rx_dropped_down
+        .get();
     t.sim
         .world_mut()
         .host_mut(t.b)
@@ -793,6 +800,7 @@ fn frames_to_downed_device_are_lost() {
     let rx_after = t.sim.world().host(t.b).core.ifaces[t.b_if.0]
         .device
         .counters
-        .rx_dropped_down;
+        .rx_dropped_down
+        .get();
     assert_eq!(rx_after - rx_before, 1, "frame lost at downed interface");
 }

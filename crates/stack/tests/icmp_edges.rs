@@ -182,7 +182,7 @@ fn ttl_expiry_generates_time_exceeded() {
     let (pkt, opts) = ping(ip("10.0.2.2"), Some(1));
     stack::ip_send_packet(&mut t.sim, t.a, pkt, opts);
     t.sim.run_for(SimDuration::from_secs(1));
-    assert_eq!(t.sim.world().host(t.router).core.stats.dropped_ttl, 1);
+    assert_eq!(t.sim.world().host(t.router).core.stats.dropped_ttl.get(), 1);
     let l = log(&mut t);
     assert!(
         l.msgs
@@ -200,7 +200,16 @@ fn no_route_generates_net_unreachable() {
     let (pkt, opts) = ping(ip("192.0.2.1"), None); // router has no route
     stack::ip_send_packet(&mut t.sim, t.a, pkt, opts);
     t.sim.run_for(SimDuration::from_secs(1));
-    assert_eq!(t.sim.world().host(t.router).core.stats.dropped_no_route, 1);
+    assert_eq!(
+        t.sim
+            .world()
+            .host(t.router)
+            .core
+            .stats
+            .dropped_no_route
+            .get(),
+        1
+    );
     let l = log(&mut t);
     assert!(l.msgs.iter().any(|(_, m)| matches!(
         m,
@@ -219,9 +228,12 @@ fn arp_failure_drops_after_retries() {
     stack::ip_send_packet(&mut t.sim, t.a, pkt, opts);
     // 3 tries × 1 s retry interval.
     t.sim.run_for(SimDuration::from_secs(5));
-    assert_eq!(t.sim.world().host(t.a).core.stats.dropped_arp_failure, 1);
+    assert_eq!(
+        t.sim.world().host(t.a).core.stats.dropped_arp_failure.get(),
+        1
+    );
     assert!(
-        t.sim.trace().find("ARP failed for 10.0.1.77").is_some(),
+        t.sim.trace().find("drop.arp_failure: 10.0.1.77").is_some(),
         "failure traced"
     );
 }
@@ -233,8 +245,17 @@ fn forwarding_disabled_drops_transit() {
     let (pkt, opts) = ping(ip("10.0.2.2"), None);
     stack::ip_send_packet(&mut t.sim, t.a, pkt, opts);
     t.sim.run_for(SimDuration::from_secs(1));
-    assert_eq!(t.sim.world().host(t.router).core.stats.dropped_not_local, 1);
-    assert_eq!(t.sim.world().host(t.b).core.stats.delivered, 0);
+    assert_eq!(
+        t.sim
+            .world()
+            .host(t.router)
+            .core
+            .stats
+            .dropped_not_local
+            .get(),
+        1
+    );
+    assert_eq!(t.sim.world().host(t.b).core.stats.delivered.get(), 0);
 }
 
 #[test]
@@ -258,8 +279,12 @@ fn nested_decapsulation_is_depth_limited() {
     stack::ip_send_packet(&mut t.sim, t.a, pkt, stack::SendOptions::default());
     t.sim.run_for(SimDuration::from_secs(1));
     let b = &t.sim.world().host(t.b).core.stats;
-    assert!(b.decapsulated <= 4, "depth limited, got {}", b.decapsulated);
-    assert!(b.unclaimed >= 1, "the too-deep packet was refused");
+    assert!(
+        b.decapsulated.get() <= 4,
+        "depth limited, got {}",
+        b.decapsulated.get()
+    );
+    assert!(b.unclaimed.get() >= 1, "the too-deep packet was refused");
     // No echo reply came back (the inner request never surfaced).
     let l = log(&mut t);
     assert!(l
@@ -295,7 +320,10 @@ fn redirects_ignored_when_disabled() {
         routes_before,
         "no host route installed"
     );
-    assert_eq!(t.sim.world().host(t.a).core.stats.redirects_accepted, 0);
+    assert_eq!(
+        t.sim.world().host(t.a).core.stats.redirects_accepted.get(),
+        0
+    );
 }
 
 #[test]
@@ -314,6 +342,6 @@ fn directed_broadcast_is_received_not_forwarded() {
     );
     stack::ip_send_packet(&mut t.sim, t.a, pkt, stack::SendOptions::default());
     t.sim.run_for(SimDuration::from_secs(1));
-    assert_eq!(t.sim.world().host(t.router).core.stats.forwarded, 0);
-    assert_eq!(t.sim.world().host(t.b).core.stats.ip_input, 0);
+    assert_eq!(t.sim.world().host(t.router).core.stats.forwarded.get(), 0);
+    assert_eq!(t.sim.world().host(t.b).core.stats.ip_input.get(), 0);
 }

@@ -69,9 +69,9 @@ fn oversized_packet_is_dropped_at_the_radio() {
     sim.run_for(SimDuration::from_secs(5));
 
     let dev = &sim.world().host(a).core.ifaces[a_if.0].device.counters;
-    assert_eq!(dev.tx_dropped_mtu, 1, "oversized packet counted");
+    assert_eq!(dev.tx_dropped_mtu.get(), 1, "oversized packet counted");
     assert!(
-        sim.world().host(b).core.stats.ip_input >= 1,
+        sim.world().host(b).core.stats.ip_input.get() >= 1,
         "the small one arrived"
     );
 }

@@ -10,4 +10,8 @@ fn main() {
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1996);
     let result = experiments::run_a1(iterations, seed);
     print!("{}", report::render_a1(&result));
+    match report::write_metrics_sidecar("a1", &result.metrics) {
+        Ok(path) => eprintln!("metrics sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics sidecar: {e}"),
+    }
 }

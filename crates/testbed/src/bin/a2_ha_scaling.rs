@@ -9,6 +9,10 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(1996);
-    let rows = experiments::run_a2(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512], seed);
+    let (rows, metrics) = experiments::run_a2(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512], seed);
     print!("{}", report::render_a2(&rows));
+    match report::write_metrics_sidecar("a2", &metrics) {
+        Ok(path) => eprintln!("metrics sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics sidecar: {e}"),
+    }
 }

@@ -11,4 +11,8 @@ fn main() {
         .unwrap_or(1996);
     let result = experiments::run_a3(seed);
     print!("{}", report::render_a3(&result));
+    match report::write_metrics_sidecar("a3", &result.metrics) {
+        Ok(path) => eprintln!("metrics sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics sidecar: {e}"),
+    }
 }

@@ -5,6 +5,7 @@
 //! results are additionally written as a JSON document for downstream
 //! plotting.
 
+use mosquitonet_sim::Json;
 use mosquitonet_testbed::{experiments, report};
 
 fn main() {
@@ -25,10 +26,11 @@ fn main() {
     let fig6 = experiments::run_fig6(10, seed);
     let fig7 = experiments::run_fig7(10, seed);
     let c1 = experiments::run_c1();
+    let c1_metrics = mosquitonet_sim::MetricsRegistry::new().to_json();
     let c2 = experiments::run_c2(50, seed);
     let c3 = experiments::run_c3(seed);
     let a1 = experiments::run_a1(10, seed);
-    let a2 = experiments::run_a2(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512], seed);
+    let (a2, a2_metrics) = experiments::run_a2(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512], seed);
     let a3 = experiments::run_a3(seed);
 
     print!("{}", report::render_tab1(&tab1));
@@ -50,36 +52,42 @@ fn main() {
     print!("{}", report::render_a2(&a2));
     print!("{}", report::render_a3(&a3));
 
-    if let Some(path) = json_path {
-        #[derive(serde::Serialize)]
-        struct AllResults {
-            seed: u64,
-            tab1: experiments::Tab1Result,
-            tab1_far: experiments::Tab1Result,
-            fig6: experiments::Fig6Result,
-            fig7: experiments::Fig7Result,
-            c1: Vec<experiments::C1Row>,
-            c2: experiments::C2Result,
-            c3: experiments::C3Result,
-            a1: experiments::A1Result,
-            a2: Vec<experiments::A2Row>,
-            a3: experiments::A3Result,
+    // One machine-readable metrics sidecar per experiment.
+    let sidecars: [(&str, &Json); 10] = [
+        ("tab1", &tab1.metrics),
+        ("tab1_far", &tab1_far.metrics),
+        ("fig6", &fig6.metrics),
+        ("fig7", &fig7.metrics),
+        ("c1", &c1_metrics),
+        ("c2", &c2.metrics),
+        ("c3", &c3.metrics),
+        ("a1", &a1.metrics),
+        ("a2", &a2_metrics),
+        ("a3", &a3.metrics),
+    ];
+    for (name, metrics) in sidecars {
+        match report::write_metrics_sidecar(name, metrics) {
+            Ok(path) => eprintln!("metrics sidecar: {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {name} metrics sidecar: {e}"),
         }
-        let all = AllResults {
-            seed,
-            tab1,
-            tab1_far,
-            fig6,
-            fig7,
-            c1,
-            c2,
-            c3,
-            a1,
-            a2,
-            a3,
-        };
-        let json = serde_json::to_string_pretty(&all).expect("serializable");
-        std::fs::write(&path, json).expect("write json");
+    }
+
+    if let Some(path) = json_path {
+        let all = Json::obj([
+            ("seed", Json::from(seed)),
+            ("tab1", tab1.to_json()),
+            ("tab1_far", tab1_far.to_json()),
+            ("fig6", fig6.to_json()),
+            ("fig7", fig7.to_json()),
+            ("c1", Json::arr(c1.iter().map(|r| r.to_json()))),
+            ("c2", c2.to_json()),
+            ("c3", c3.to_json()),
+            ("a1", a1.to_json()),
+            ("a2", Json::arr(a2.iter().map(|r| r.to_json()))),
+            ("a2_metrics", a2_metrics.clone()),
+            ("a3", a3.to_json()),
+        ]);
+        std::fs::write(&path, all.render_pretty()).expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -1,9 +1,16 @@
 //! Regenerates the C1 table: IP-in-IP encapsulation byte overhead
 //! (paper §3.2: "Encapsulation adds 20 bytes or more").
 
+use mosquitonet_sim::MetricsRegistry;
 use mosquitonet_testbed::{experiments, report};
 
 fn main() {
     let rows = experiments::run_c1();
     print!("{}", report::render_c1(&rows));
+    // C1 is analytic (no simulated hosts); the sidecar carries an empty
+    // registry so downstream tooling sees a uniform file set.
+    match report::write_metrics_sidecar("c1", &MetricsRegistry::new().to_json()) {
+        Ok(path) => eprintln!("metrics sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics sidecar: {e}"),
+    }
 }

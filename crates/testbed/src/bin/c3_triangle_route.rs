@@ -11,4 +11,8 @@ fn main() {
         .unwrap_or(1996);
     let result = experiments::run_c3(seed);
     print!("{}", report::render_c3(&result));
+    match report::write_metrics_sidecar("c3", &result.metrics) {
+        Ok(path) => eprintln!("metrics sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics sidecar: {e}"),
+    }
 }

@@ -9,4 +9,8 @@ fn main() {
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1996);
     let result = experiments::run_fig7(runs, seed);
     print!("{}", report::render_fig7(&result));
+    match report::write_metrics_sidecar("fig7", &result.metrics) {
+        Ok(path) => eprintln!("metrics sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics sidecar: {e}"),
+    }
 }

@@ -7,12 +7,10 @@
 
 use std::net::Ipv4Addr;
 
-use serde::Serialize;
-
 use mosquitonet_core::{AddressPlan, SendMode, SwitchPlan, SwitchStyle};
 use mosquitonet_dhcp::{DhcpClientModule, ReusePolicy};
 use mosquitonet_link::presets;
-use mosquitonet_sim::{Histogram, Sim, SimDuration, Summary};
+use mosquitonet_sim::{Histogram, Json, MetricsRegistry, Sim, SimDuration, Summary};
 use mosquitonet_stack::{self as stack, ModuleId, Network, RouteEntry};
 use mosquitonet_wire::{Cidr, MacAddr};
 
@@ -95,7 +93,7 @@ fn install_far_ch_echo(tb: &mut Testbed) {
 /// Result of the same-subnet address-switch experiment (§4, reported here
 /// as Table 1): the paper saw, in 20 iterations at 10 ms spacing, sixteen
 /// runs with no loss and four runs losing one packet.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Tab1Result {
     /// Iterations run.
     pub iterations: u32,
@@ -105,6 +103,8 @@ pub struct Tab1Result {
     pub histogram: Histogram,
     /// Largest per-iteration loss.
     pub max_loss: usize,
+    /// End-of-run dump of every host's metric registry (the sidecar body).
+    pub metrics: Json,
 }
 
 /// Runs the Table 1 experiment with the correspondent on the department
@@ -187,18 +187,20 @@ fn run_tab1_inner(iterations: u32, seed: u64, far: bool) -> Tab1Result {
         histogram.record(lost);
         max_loss = max_loss.max(lost);
     }
+    let metrics = tb.sim.metrics().to_json();
     Tab1Result {
         iterations,
         interval_ms: interval.as_millis(),
         histogram,
         max_loss,
+        metrics,
     }
 }
 
 // ---------------------------------------------------------------- Figure 6
 
 /// The four device-switch scenarios of Figure 6.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Fig6Scenario {
     /// Cold switch, Ethernet → radio.
     ColdWiredToWireless,
@@ -247,7 +249,7 @@ impl Fig6Scenario {
 }
 
 /// Result of the Figure 6 device-switch experiment.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig6Result {
     /// Iterations per scenario.
     pub iterations: u32,
@@ -255,6 +257,9 @@ pub struct Fig6Result {
     pub interval_ms: u64,
     /// Per-scenario loss histograms.
     pub scenarios: Vec<(Fig6Scenario, Histogram)>,
+    /// Per-scenario metric registries, keyed by [`Fig6Scenario::key`]
+    /// (each scenario runs its own test-bed).
+    pub metrics: Json,
 }
 
 fn radio_plan(iface: stack::IfaceId, style: SwitchStyle) -> SwitchPlan {
@@ -282,7 +287,10 @@ fn eth_plan(iface: stack::IfaceId, style: SwitchStyle) -> SwitchPlan {
 }
 
 /// Runs one Figure 6 scenario for `iterations` measured switches.
-pub fn run_fig6_scenario(scenario: Fig6Scenario, iterations: u32, seed: u64) -> Histogram {
+///
+/// Returns the loss histogram plus the end-of-run dump of the test-bed's
+/// metric registry (every host, every counter).
+pub fn run_fig6_scenario(scenario: Fig6Scenario, iterations: u32, seed: u64) -> (Histogram, Json) {
     let interval = SimDuration::from_millis(250);
     let mut tb = build(TestbedConfig {
         seed,
@@ -341,20 +349,23 @@ pub fn run_fig6_scenario(scenario: Fig6Scenario, iterations: u32, seed: u64) -> 
     for (t0, t1) in windows {
         histogram.record(s.lost_in_window(t0, t1) as usize);
     }
-    histogram
+    (histogram, tb.sim.metrics().to_json())
 }
 
 /// Runs all four Figure 6 scenarios.
 pub fn run_fig6(iterations: u32, seed: u64) -> Fig6Result {
-    let scenarios = Fig6Scenario::all()
-        .into_iter()
-        .enumerate()
-        .map(|(i, sc)| (sc, run_fig6_scenario(sc, iterations, seed + i as u64)))
-        .collect();
+    let mut scenarios = Vec::new();
+    let mut metrics = Vec::new();
+    for (i, sc) in Fig6Scenario::all().into_iter().enumerate() {
+        let (histogram, m) = run_fig6_scenario(sc, iterations, seed + i as u64);
+        scenarios.push((sc, histogram));
+        metrics.push((sc.key(), m));
+    }
     Fig6Result {
         iterations,
         interval_ms: 250,
         scenarios,
+        metrics: Json::obj(metrics),
     }
 }
 
@@ -362,7 +373,7 @@ pub fn run_fig6(iterations: u32, seed: u64) -> Fig6Result {
 
 /// Result of the Figure 7 registration time-line experiment. All values
 /// in microseconds.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig7Result {
     /// Runs measured.
     pub runs: u32,
@@ -378,7 +389,19 @@ pub struct Fig7Result {
     pub post_us: Summary,
     /// Total address-switch time.
     pub total_us: Summary,
+    /// `{"phases": ..., "hosts": ...}` — a dedicated registry of
+    /// per-phase latency histograms (one sample per measured run, fixed
+    /// bucket bounds, so the export is golden-file stable) plus the
+    /// end-of-run host registry dump.
+    pub metrics: Json,
 }
+
+/// Bucket bounds (µs) for the Figure 7 phase histograms. Chosen around
+/// the paper's own numbers (total switch 7.39 ms) so each phase lands in
+/// an interior bucket and the export stays meaningful if timing drifts.
+pub const FIG7_PHASE_BOUNDS_US: &[u64] = &[
+    250, 500, 1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 128_000,
+];
 
 /// Runs the Figure 7 experiment: `runs` same-subnet re-registrations.
 pub fn run_fig7(runs: u32, seed: u64) -> Fig7Result {
@@ -410,18 +433,41 @@ pub fn run_fig7(runs: u32, seed: u64) -> Fig7Result {
     let mut request_reply = Summary::new();
     let mut post = Summary::new();
     let mut total = Summary::new();
+    // The registration-phase registry: one fixed-bucket latency histogram
+    // per Figure 7 phase, one sample per measured run. This is what the
+    // golden-file test pins down.
+    let phases = MetricsRegistry::new();
+    let phase_hist = |name: &str| {
+        let h = mosquitonet_sim::LatencyHistogram::with_bounds(FIG7_PHASE_BOUNDS_US);
+        phases.register_histogram(format!("mh/reg_phase/{name}"), &h);
+        h
+    };
+    let h_configure = phase_hist("configure");
+    let h_route = phase_hist("route");
+    let h_request_reply = phase_hist("request_reply");
+    let h_post = phase_hist("post");
+    let h_total = phase_hist("total");
     let timelines = tb.mh_module().timelines.clone();
     // Skip the settle switch (bring-up included) and the ARP warm-up run.
     for tl in timelines.iter().skip(2) {
-        let us = |d: Option<SimDuration>| d.expect("complete timeline").as_nanos() as f64 / 1_000.0;
+        let us = |d: SimDuration| d.as_nanos() as f64 / 1_000.0;
         let start = tl.start.expect("start");
-        configure.add(us(tl.iface_configured.map(|t| t - start)));
-        route.add(us(tl
-            .route_changed
-            .and_then(|t| Some(t - tl.iface_configured?))));
-        request_reply.add(us(tl.request_to_reply()));
-        post.add(us(tl.done.and_then(|t| Some(t - tl.reply_received?))));
-        total.add(us(tl.total()));
+        let iface_configured = tl.iface_configured.expect("complete timeline");
+        let d_configure = iface_configured - start;
+        let d_route = tl.route_changed.expect("complete timeline") - iface_configured;
+        let d_request_reply = tl.request_to_reply().expect("complete timeline");
+        let d_post = tl.done.expect("complete timeline") - tl.reply_received.expect("reply");
+        let d_total = tl.total().expect("complete timeline");
+        configure.add(us(d_configure));
+        route.add(us(d_route));
+        request_reply.add(us(d_request_reply));
+        post.add(us(d_post));
+        total.add(us(d_total));
+        h_configure.record(d_configure);
+        h_route.record(d_route);
+        h_request_reply.record(d_request_reply);
+        h_post.record(d_post);
+        h_total.record(d_total);
     }
     Fig7Result {
         runs,
@@ -431,13 +477,17 @@ pub fn run_fig7(runs: u32, seed: u64) -> Fig7Result {
         ha_processing_us: mosquitonet_core::timing::HA_PROCESSING.as_nanos() as f64 / 1_000.0,
         post_us: post,
         total_us: total,
+        metrics: Json::obj([
+            ("phases", phases.to_json()),
+            ("hosts", tb.sim.metrics().to_json()),
+        ]),
     }
 }
 
 // ---------------------------------------------------------------- C1
 
 /// One row of the encapsulation-overhead table (claim C1, §3.2).
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct C1Row {
     /// Inner payload bytes.
     pub payload: usize,
@@ -478,7 +528,7 @@ pub fn run_c1() -> Vec<C1Row> {
 // ---------------------------------------------------------------- C2
 
 /// Result of the radio characterization (claim C2, §4).
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct C2Result {
     /// Echo RTT over the radio, milliseconds.
     pub rtt_ms: Summary,
@@ -486,6 +536,8 @@ pub struct C2Result {
     pub goodput_kbps: f64,
     /// The radios' theoretical rate, kb/s.
     pub theoretical_kbps: f64,
+    /// End-of-run dump of every host's metric registry.
+    pub metrics: Json,
 }
 
 /// Runs the C2 radio characterization.
@@ -560,17 +612,19 @@ pub fn run_c2(pings: u32, seed: u64) -> C2Result {
         .module_mut(sink_mid)
         .expect("sink");
     let goodput_kbps = sink.goodput_kbps().expect("transfer completed");
+    let metrics = tb.sim.metrics().to_json();
     C2Result {
         rtt_ms,
         goodput_kbps,
         theoretical_kbps: 100.0,
+        metrics,
     }
 }
 
 // ---------------------------------------------------------------- C3
 
 /// Result of the triangle-route comparison (claim C3, §3.2).
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct C3Result {
     /// Echo RTT through the reverse tunnel, ms.
     pub tunnel_rtt_ms: Summary,
@@ -580,6 +634,9 @@ pub struct C3Result {
     pub fallback_triggered: bool,
     /// After fallback, do echoes still flow (via the tunnel)?
     pub post_fallback_delivery: bool,
+    /// Metric registries for both phases (the RTT comparison and the
+    /// transit-filter fallback run their own test-beds).
+    pub metrics: Json,
 }
 
 /// Runs the C3 triangle-route experiment.
@@ -640,6 +697,8 @@ pub fn run_c3(seed: u64) -> C3Result {
         triangle_rtt_ms.add(r.as_millis_f64());
     }
 
+    let phase1_metrics = tb.sim.metrics().to_json();
+
     // Phase 2: same topology but the foreign site forbids transit
     // traffic. The probe must fail and fall back to the tunnel.
     let mut tb = build(TestbedConfig {
@@ -682,13 +741,17 @@ pub fn run_c3(seed: u64) -> C3Result {
         triangle_rtt_ms,
         fallback_triggered,
         post_fallback_delivery,
+        metrics: Json::obj([
+            ("rtt_comparison", phase1_metrics),
+            ("filter_fallback", tb.sim.metrics().to_json()),
+        ]),
     }
 }
 
 // ---------------------------------------------------------------- A1
 
 /// Hand-off strategies compared in the A1 ablation (§5.1 "Packet loss").
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum A1Mode {
     /// MosquitoNet: no foreign agents anywhere.
     Agentless,
@@ -719,7 +782,7 @@ impl A1Mode {
 }
 
 /// Result of the A1 foreign-agent ablation.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct A1Result {
     /// Measured hand-offs per mode.
     pub iterations: u32,
@@ -727,9 +790,12 @@ pub struct A1Result {
     pub interval_ms: u64,
     /// Loss histograms per mode.
     pub per_mode: Vec<(A1Mode, Histogram)>,
+    /// Per-mode metric registries, keyed by [`A1Mode::key`] (each mode
+    /// runs its own test-bed).
+    pub metrics: Json,
 }
 
-fn run_a1_mode(mode: A1Mode, iterations: u32, seed: u64) -> Histogram {
+fn run_a1_mode(mode: A1Mode, iterations: u32, seed: u64) -> (Histogram, Json) {
     let interval = SimDuration::from_millis(20);
     let fa = mode != A1Mode::Agentless;
     let mut tb = build(TestbedConfig {
@@ -842,26 +908,30 @@ fn run_a1_mode(mode: A1Mode, iterations: u32, seed: u64) -> Histogram {
     for (t0, t1) in windows {
         histogram.record(s.lost_in_window(t0, t1) as usize);
     }
-    histogram
+    (histogram, tb.sim.metrics().to_json())
 }
 
 /// Runs the A1 ablation across all three modes.
 pub fn run_a1(iterations: u32, seed: u64) -> A1Result {
-    let per_mode = A1Mode::all()
-        .into_iter()
-        .map(|m| (m, run_a1_mode(m, iterations, seed)))
-        .collect();
+    let mut per_mode = Vec::new();
+    let mut metrics = Vec::new();
+    for m in A1Mode::all() {
+        let (histogram, reg) = run_a1_mode(m, iterations, seed);
+        per_mode.push((m, histogram));
+        metrics.push((m.key(), reg));
+    }
     A1Result {
         iterations,
         interval_ms: 20,
         per_mode,
+        metrics: Json::obj(metrics),
     }
 }
 
 // ---------------------------------------------------------------- A2
 
 /// One row of the home-agent scaling table (A2).
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct A2Row {
     /// Simultaneously registering mobile hosts.
     pub mobile_hosts: u32,
@@ -878,8 +948,12 @@ pub struct A2Row {
 }
 
 /// Runs the A2 scaling experiment for each burst size.
-pub fn run_a2(sizes: &[u32], seed: u64) -> Vec<A2Row> {
-    sizes
+///
+/// Returns the per-size rows plus the per-burst metric registries keyed
+/// `burst_{n}` (each burst size runs a fresh two-net world).
+pub fn run_a2(sizes: &[u32], seed: u64) -> (Vec<A2Row>, Json) {
+    let mut metrics = Vec::new();
+    let rows = sizes
         .iter()
         .map(|&n| {
             // A minimal two-net topology with a wide home subnet so
@@ -1005,6 +1079,7 @@ pub fn run_a2(sizes: &[u32], seed: u64) -> Vec<A2Row> {
                 .zip(storm.completions.iter().map(|(_, _, r)| *r).max())
                 .map(|(first, last)| (last - first).as_millis_f64())
                 .unwrap_or(0.0);
+            metrics.push((format!("burst_{n}"), sim.metrics().to_json()));
             A2Row {
                 mobile_hosts: n,
                 completed,
@@ -1014,13 +1089,14 @@ pub fn run_a2(sizes: &[u32], seed: u64) -> Vec<A2Row> {
                 span_ms,
             }
         })
-        .collect()
+        .collect();
+    (rows, Json::obj(metrics))
 }
 
 // ---------------------------------------------------------------- A3
 
 /// Result of the DHCP address-reuse experiment (A3, §5.1 security note).
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct A3Result {
     /// Tunneled packets mis-delivered to the newcomer under
     /// first-available reuse.
@@ -1029,9 +1105,11 @@ pub struct A3Result {
     pub lru_misdelivered: u64,
     /// Did the LRU server hand the newcomer a different address?
     pub lru_gave_different_address: bool,
+    /// Metric registries for both reuse-policy runs.
+    pub metrics: Json,
 }
 
-fn run_a3_policy(policy: ReusePolicy, seed: u64) -> (u64, bool) {
+fn run_a3_policy(policy: ReusePolicy, seed: u64) -> (u64, bool, Json) {
     let mut tb = build(TestbedConfig {
         seed,
         with_dhcp: true,
@@ -1092,20 +1170,197 @@ fn run_a3_policy(policy: ReusePolicy, seed: u64) -> (u64, bool) {
 
     // Measure mis-delivery for a fixed window while the stale binding
     // still tunnels the mobile host's traffic.
-    let before = tb.sim.world().host(newcomer).core.stats.unclaimed;
+    let before = tb.sim.world().host(newcomer).core.stats.unclaimed.get();
     tb.run_for(SimDuration::from_secs(10));
-    let misdelivered = tb.sim.world().host(newcomer).core.stats.unclaimed - before;
-    (misdelivered, newcomer_addr != mh_coa)
+    let misdelivered = tb.sim.world().host(newcomer).core.stats.unclaimed.get() - before;
+    (
+        misdelivered,
+        newcomer_addr != mh_coa,
+        tb.sim.metrics().to_json(),
+    )
 }
 
 /// Runs the A3 experiment under both reuse policies.
 pub fn run_a3(seed: u64) -> A3Result {
-    let (first_available_misdelivered, _) = run_a3_policy(ReusePolicy::FirstAvailable, seed);
-    let (lru_misdelivered, lru_gave_different_address) =
+    let (first_available_misdelivered, _, fa_metrics) =
+        run_a3_policy(ReusePolicy::FirstAvailable, seed);
+    let (lru_misdelivered, lru_gave_different_address, lru_metrics) =
         run_a3_policy(ReusePolicy::LeastRecentlyUsed, seed);
     A3Result {
         first_available_misdelivered,
         lru_misdelivered,
         lru_gave_different_address,
+        metrics: Json::obj([
+            ("first_available", fa_metrics),
+            ("least_recently_used", lru_metrics),
+        ]),
+    }
+}
+
+// ------------------------------------------------------------ JSON export
+//
+// Hand-rolled (the build has no serde): every result type renders itself
+// with [`mosquitonet_sim::Json`], which keeps key order stable so the
+// sidecar files diff cleanly between runs.
+
+impl Fig6Scenario {
+    /// Stable machine-readable key used in JSON exports.
+    pub fn key(self) -> &'static str {
+        match self {
+            Fig6Scenario::ColdWiredToWireless => "cold_wired_to_wireless",
+            Fig6Scenario::ColdWirelessToWired => "cold_wireless_to_wired",
+            Fig6Scenario::HotWiredToWireless => "hot_wired_to_wireless",
+            Fig6Scenario::HotWirelessToWired => "hot_wireless_to_wired",
+        }
+    }
+}
+
+impl A1Mode {
+    /// Stable machine-readable key used in JSON exports.
+    pub fn key(self) -> &'static str {
+        match self {
+            A1Mode::Agentless => "agentless",
+            A1Mode::FaNoForwarding => "fa_no_forwarding",
+            A1Mode::FaForwarding => "fa_forwarding",
+        }
+    }
+}
+
+impl Tab1Result {
+    /// Renders as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("iterations", Json::from(self.iterations)),
+            ("interval_ms", Json::from(self.interval_ms)),
+            ("histogram", self.histogram.to_json()),
+            ("max_loss", Json::from(self.max_loss)),
+            ("metrics", self.metrics.clone()),
+        ])
+    }
+}
+
+impl Fig6Result {
+    /// Renders as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("iterations", Json::from(self.iterations)),
+            ("interval_ms", Json::from(self.interval_ms)),
+            (
+                "scenarios",
+                Json::arr(self.scenarios.iter().map(|(sc, h)| {
+                    Json::obj([
+                        ("scenario", Json::from(sc.key())),
+                        ("histogram", h.to_json()),
+                    ])
+                })),
+            ),
+            ("metrics", self.metrics.clone()),
+        ])
+    }
+}
+
+impl Fig7Result {
+    /// Renders as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("runs", Json::from(self.runs)),
+            ("configure_us", self.configure_us.to_json()),
+            ("route_us", self.route_us.to_json()),
+            ("request_reply_us", self.request_reply_us.to_json()),
+            ("ha_processing_us", Json::from(self.ha_processing_us)),
+            ("post_us", self.post_us.to_json()),
+            ("total_us", self.total_us.to_json()),
+            ("metrics", self.metrics.clone()),
+        ])
+    }
+}
+
+impl C1Row {
+    /// Renders as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("payload", Json::from(self.payload)),
+            ("plain", Json::from(self.plain)),
+            ("encapsulated", Json::from(self.encapsulated)),
+            ("overhead", Json::from(self.overhead)),
+            ("overhead_pct", Json::from(self.overhead_pct)),
+        ])
+    }
+}
+
+impl C2Result {
+    /// Renders as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("rtt_ms", self.rtt_ms.to_json()),
+            ("goodput_kbps", Json::from(self.goodput_kbps)),
+            ("theoretical_kbps", Json::from(self.theoretical_kbps)),
+            ("metrics", self.metrics.clone()),
+        ])
+    }
+}
+
+impl C3Result {
+    /// Renders as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("tunnel_rtt_ms", self.tunnel_rtt_ms.to_json()),
+            ("triangle_rtt_ms", self.triangle_rtt_ms.to_json()),
+            ("fallback_triggered", Json::from(self.fallback_triggered)),
+            (
+                "post_fallback_delivery",
+                Json::from(self.post_fallback_delivery),
+            ),
+            ("metrics", self.metrics.clone()),
+        ])
+    }
+}
+
+impl A1Result {
+    /// Renders as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("iterations", Json::from(self.iterations)),
+            ("interval_ms", Json::from(self.interval_ms)),
+            (
+                "per_mode",
+                Json::arr(self.per_mode.iter().map(|(mode, h)| {
+                    Json::obj([("mode", Json::from(mode.key())), ("histogram", h.to_json())])
+                })),
+            ),
+            ("metrics", self.metrics.clone()),
+        ])
+    }
+}
+
+impl A2Row {
+    /// Renders as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("mobile_hosts", Json::from(self.mobile_hosts)),
+            ("completed", Json::from(self.completed)),
+            ("mean_reply_ms", Json::from(self.mean_reply_ms)),
+            ("p95_reply_ms", Json::from(self.p95_reply_ms)),
+            ("max_reply_ms", Json::from(self.max_reply_ms)),
+            ("span_ms", Json::from(self.span_ms)),
+        ])
+    }
+}
+
+impl A3Result {
+    /// Renders as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "first_available_misdelivered",
+                Json::from(self.first_available_misdelivered),
+            ),
+            ("lru_misdelivered", Json::from(self.lru_misdelivered)),
+            (
+                "lru_gave_different_address",
+                Json::from(self.lru_gave_different_address),
+            ),
+            ("metrics", self.metrics.clone()),
+        ])
     }
 }

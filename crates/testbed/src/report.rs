@@ -2,12 +2,54 @@
 //!
 //! Each renderer prints the same rows/series the paper reports, prefixed
 //! with the paper's own numbers so a reader can compare shape at a glance.
+//!
+//! Besides the human-readable reports, every experiment binary writes a
+//! *metrics sidecar* via [`write_metrics_sidecar`]: the machine-readable
+//! dump of the run's metric registries (schema documented in
+//! `docs/telemetry.md`), for downstream plotting and regression diffing.
 
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use mosquitonet_sim::Json;
 
 use crate::experiments::{
     A1Result, A2Row, C1Row, C2Result, C3Result, Fig6Result, Fig7Result, Tab1Result,
 };
+
+/// Schema tag stamped into every metrics sidecar file.
+pub const METRICS_SIDECAR_SCHEMA: &str = "mosquitonet.metrics-sidecar/v1";
+
+/// Wraps an experiment's metrics dump in the sidecar envelope.
+pub fn metrics_sidecar(experiment: &str, metrics: &Json) -> Json {
+    Json::obj([
+        ("schema", Json::from(METRICS_SIDECAR_SCHEMA)),
+        ("experiment", Json::from(experiment)),
+        ("metrics", metrics.clone()),
+    ])
+}
+
+/// Writes `{dir}/{experiment}.metrics.json` (pretty-printed, byte-stable
+/// for a given run) and returns its path.
+pub fn write_metrics_sidecar_in(
+    dir: &Path,
+    experiment: &str,
+    metrics: &Json,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{experiment}.metrics.json"));
+    std::fs::write(&path, metrics_sidecar(experiment, metrics).render_pretty())?;
+    Ok(path)
+}
+
+/// Writes the sidecar to the default location, `target/metrics/`
+/// (overridable with the `MOSQUITONET_METRICS_DIR` environment variable).
+pub fn write_metrics_sidecar(experiment: &str, metrics: &Json) -> std::io::Result<PathBuf> {
+    let dir = std::env::var_os("MOSQUITONET_METRICS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/metrics"));
+    write_metrics_sidecar_in(&dir, experiment, metrics)
+}
 
 fn hr(out: &mut String, title: &str) {
     let _ = writeln!(
@@ -284,6 +326,7 @@ mod tests {
             interval_ms: 10,
             histogram: h,
             max_loss: 1,
+            metrics: Json::Null,
         };
         let s = render_tab1(&r);
         assert!(s.contains("TABLE 1"));
@@ -302,11 +345,35 @@ mod tests {
             ha_processing_us: 1480.0,
             post_us: mk(800.0),
             total_us: mk(7390.0),
+            metrics: Json::Null,
         };
         let s = render_fig7(&r);
         assert!(s.contains("4.79"));
         assert!(s.contains("7.39"));
         assert!(s.contains("1.48"));
+    }
+
+    #[test]
+    fn metrics_sidecar_envelope_is_stable() {
+        let body = Json::obj([("x", Json::from(1u64))]);
+        assert_eq!(
+            metrics_sidecar("tab1", &body).render(),
+            r#"{"schema":"mosquitonet.metrics-sidecar/v1","experiment":"tab1","metrics":{"x":1}}"#
+        );
+    }
+
+    #[test]
+    fn sidecar_writer_creates_the_file() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/test-metrics")
+            .join("report-sidecar-test");
+        let body = Json::obj([("y", Json::from(2u64))]);
+        let path = write_metrics_sidecar_in(&dir, "unit", &body).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.contains("\"schema\": \"mosquitonet.metrics-sidecar/v1\""));
+        assert!(text.contains("\"experiment\": \"unit\""));
+        assert!(text.ends_with('\n'));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

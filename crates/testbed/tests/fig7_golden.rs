@@ -1,0 +1,59 @@
+//! Golden-file test for the Figure 7 metrics export.
+//!
+//! `run_fig7` records every measured registration phase into a dedicated
+//! registry of fixed-bucket latency histograms; the sidecar rendering of
+//! that registry must stay byte-stable for a fixed (runs, seed) — the
+//! simulation is deterministic and `Json` preserves member order. If a
+//! deliberate timing or schema change moves the export, regenerate with
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p mosquitonet-testbed --test fig7_golden
+//! ```
+//! and review the diff like any other golden change.
+
+use mosquitonet_sim::Json;
+use mosquitonet_testbed::experiments::run_fig7;
+use mosquitonet_testbed::report::metrics_sidecar;
+
+fn obj_get<'a>(j: &'a Json, key: &str) -> &'a Json {
+    match j {
+        Json::Obj(members) => members
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing key {key:?}")),
+        other => panic!("expected object, got {other:?}"),
+    }
+}
+
+#[test]
+fn fig7_phase_histogram_export_matches_golden() {
+    let result = run_fig7(4, 1996);
+    let phases = obj_get(&result.metrics, "phases");
+
+    // Sanity before the byte comparison: all five phase histograms are
+    // present and each holds one sample per measured run (runs + 1
+    // switches, minus the settle and ARP warm-up timelines).
+    let metrics = obj_get(phases, "metrics");
+    for phase in ["configure", "route", "request_reply", "post", "total"] {
+        let h = obj_get(metrics, &format!("mh/reg_phase/{phase}"));
+        assert_eq!(obj_get(h, "type"), &Json::from("histogram"), "{phase}");
+        assert_eq!(obj_get(h, "count"), &Json::from(4u64), "{phase} samples");
+    }
+
+    let rendered = metrics_sidecar("fig7_phases", phases).render_pretty();
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/fig7_phases.metrics.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &rendered).expect("update golden");
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "Fig7 phase export drifted from the golden file; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}

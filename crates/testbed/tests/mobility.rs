@@ -74,7 +74,7 @@ fn cold_switch_to_dept_keeps_connectivity() {
     tb.run_for(SimDuration::from_secs(5));
 
     // Handoff completed, binding installed, echoes flowing again.
-    assert_eq!(tb.mh_module().handoffs, 1);
+    assert_eq!(tb.mh_module().handoffs.get(), 1);
     let status = tb.mh_module().away_status().expect("away");
     assert_eq!(status.1, COA_DEPT);
     assert!(status.2, "registered");
@@ -101,8 +101,17 @@ fn cold_switch_to_dept_keeps_connectivity() {
         s.received()
     );
     // And packets did go through the encapsulation path.
-    assert!(tb.sim.world().host(tb.ha_host).core.stats.encapsulated > 0);
-    assert!(tb.sim.world().host(tb.mh).core.stats.decapsulated > 0);
+    assert!(
+        tb.sim
+            .world()
+            .host(tb.ha_host)
+            .core
+            .stats
+            .encapsulated
+            .get()
+            > 0
+    );
+    assert!(tb.sim.world().host(tb.mh).core.stats.decapsulated.get() > 0);
 }
 
 #[test]
@@ -115,7 +124,7 @@ fn same_subnet_address_switch_loses_almost_nothing() {
     plan.iface = tb.mh_eth;
     tb.with_mh(|mh, ctx| mh.start_switch(ctx, plan));
     tb.run_for(SimDuration::from_secs(5));
-    assert_eq!(tb.mh_module().handoffs, 1);
+    assert_eq!(tb.mh_module().handoffs.get(), 1);
 
     // Switch the care-of address on the same subnet (the §4 experiment).
     let t0 = tb.sim.now();
@@ -131,7 +140,7 @@ fn same_subnet_address_switch_loses_almost_nothing() {
     });
     tb.run_for(SimDuration::from_secs(3));
     let t1 = tb.sim.now();
-    assert_eq!(tb.mh_module().handoffs, 2);
+    assert_eq!(tb.mh_module().handoffs.get(), 2);
     let lost = sender(&mut tb, sender_mid).lost_in_window(t0, t1);
     assert!(lost <= 1, "at most one 10ms-spaced packet lost, got {lost}");
 }
@@ -166,7 +175,7 @@ fn hot_switch_to_radio_loses_nothing() {
     tb.with_mh(|mh, ctx| mh.start_switch(ctx, plan));
     tb.run_for(SimDuration::from_secs(6));
     let t1 = tb.sim.now();
-    assert_eq!(tb.mh_module().handoffs, 2);
+    assert_eq!(tb.mh_module().handoffs.get(), 2);
     let status = tb.mh_module().away_status().expect("away");
     assert_eq!(status.1, COA_RADIO);
     let lost = sender(&mut tb, sender_mid).lost_in_window(t0, t1);
@@ -176,7 +185,7 @@ fn hot_switch_to_radio_loses_nothing() {
     if lost > 0 {
         assert!(lost <= 1, "more than the occasional radio drop: {lost}");
         assert!(
-            tb.sim.trace().find("medium lost").is_some(),
+            tb.sim.trace().find("drop.medium_loss").is_some(),
             "loss without a radio-medium drop in the trace"
         );
     }
@@ -236,7 +245,7 @@ fn dhcp_acquired_care_of_address_works() {
     };
     tb.with_mh(|mh, ctx| mh.start_switch(ctx, plan));
     tb.run_for(SimDuration::from_secs(10));
-    assert_eq!(tb.mh_module().handoffs, 1);
+    assert_eq!(tb.mh_module().handoffs.get(), 1);
     let (_, coa, registered) = tb.mh_module().away_status().expect("away");
     assert!(registered);
     assert!(
@@ -260,9 +269,24 @@ fn triangle_route_shortens_reverse_path() {
     tb.run_for(SimDuration::from_secs(5));
 
     // Count HA decapsulations with the default reverse tunnel...
-    let ha_before = tb.sim.world().host(tb.ha_host).core.stats.decapsulated;
+    let ha_before = tb
+        .sim
+        .world()
+        .host(tb.ha_host)
+        .core
+        .stats
+        .decapsulated
+        .get();
     tb.run_for(SimDuration::from_secs(2));
-    let ha_tunnel = tb.sim.world().host(tb.ha_host).core.stats.decapsulated - ha_before;
+    let ha_tunnel = tb
+        .sim
+        .world()
+        .host(tb.ha_host)
+        .core
+        .stats
+        .decapsulated
+        .get()
+        - ha_before;
     assert!(ha_tunnel > 0, "reverse tunnel passes through the HA");
 
     // ...then switch the policy to the triangle route: the MH's replies
@@ -271,11 +295,26 @@ fn triangle_route_shortens_reverse_path() {
         mh.policy
             .set(mosquitonet_wire::Cidr::host(CH_DEPT), SendMode::Triangle)
     });
-    let ha_before = tb.sim.world().host(tb.ha_host).core.stats.decapsulated;
-    let mh_encap_before = tb.sim.world().host(tb.mh).core.stats.encapsulated;
+    let ha_before = tb
+        .sim
+        .world()
+        .host(tb.ha_host)
+        .core
+        .stats
+        .decapsulated
+        .get();
+    let mh_encap_before = tb.sim.world().host(tb.mh).core.stats.encapsulated.get();
     tb.run_for(SimDuration::from_secs(2));
-    let ha_after = tb.sim.world().host(tb.ha_host).core.stats.decapsulated - ha_before;
-    let mh_encap = tb.sim.world().host(tb.mh).core.stats.encapsulated - mh_encap_before;
+    let ha_after = tb
+        .sim
+        .world()
+        .host(tb.ha_host)
+        .core
+        .stats
+        .decapsulated
+        .get()
+        - ha_before;
+    let mh_encap = tb.sim.world().host(tb.mh).core.stats.encapsulated.get() - mh_encap_before;
     assert_eq!(ha_after, 0, "no reverse-tunnel decapsulation at the HA");
     assert_eq!(mh_encap, 0, "triangle route sends unencapsulated");
 }

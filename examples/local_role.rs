@@ -110,7 +110,14 @@ fn main() {
         )),
     );
     tb.run_for(SimDuration::from_secs(2));
-    let ha_decap = tb.sim.world().host(tb.ha_host).core.stats.encapsulated;
+    let ha_decap = tb
+        .sim
+        .world()
+        .host(tb.ha_host)
+        .core
+        .stats
+        .encapsulated
+        .get();
     let s: &mut UdpEchoSender = tb
         .sim
         .world_mut()

@@ -1,0 +1,187 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build sandbox has no crates.io access, so the workspace vendors a
+//! minimal wall-clock benchmarking harness with criterion's calling
+//! conventions: `Criterion::default().configure_from_args()`,
+//! `bench_function`, `Bencher::iter`, `black_box`, `final_summary`.
+//!
+//! Each benchmark is auto-calibrated (iteration count grown until a batch
+//! takes ≥ ~5 ms), then measured over `sample_size` batches; the median,
+//! minimum and maximum per-iteration times are printed in a
+//! criterion-style `time: [low mid high]` line. There are no HTML
+//! reports, baselines, or statistical regressions — just honest numbers
+//! on stdout, which is all the repo's benches consume.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Runs closures under measurement for one benchmark id.
+pub struct Bencher {
+    samples_target: usize,
+    measurement_time: Duration,
+    /// Median/min/max nanoseconds per iteration, filled by `iter`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until it costs at least ~5 ms (or a
+        // million iterations, for very fast bodies).
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1_000_000 {
+                break;
+            }
+            batch = (batch * 4).min(1_000_000);
+        }
+        // Measure: run batches until `samples_target` samples are taken or
+        // the measurement-time budget is spent (at least 3 samples).
+        let started = Instant::now();
+        let mut samples: Vec<f64> = Vec::with_capacity(self.samples_target);
+        while samples.len() < self.samples_target
+            && (samples.len() < 3 || started.elapsed() < self.measurement_time)
+        {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let mid = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+        self.result = Some((mid, lo, hi));
+    }
+}
+
+/// The benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            filter: None,
+        }
+    }
+}
+
+/// Formats nanoseconds the way criterion does: ns / µs / ms / s.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments: any free argument becomes a name
+    /// filter; `--bench`/`--test`-style flags from the cargo harness are
+    /// ignored.
+    pub fn configure_from_args(mut self) -> Criterion {
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Soft wall-clock budget for each benchmark's measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints a criterion-style summary line.
+    /// Returns the median per-iteration time in nanoseconds.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> f64 {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return 0.0;
+            }
+        }
+        let mut b = Bencher {
+            samples_target: self.sample_size,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut b);
+        let (mid, lo, hi) = b.result.expect("Bencher::iter was not called");
+        println!(
+            "{id:<44} time: [{} {} {}]",
+            fmt_ns(lo),
+            fmt_ns(mid),
+            fmt_ns(hi)
+        );
+        mid
+    }
+
+    /// Criterion's end-of-run hook; here just a flush-friendly no-op.
+    pub fn final_summary(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_returns_positive_median() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50));
+        let mid = c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + 2));
+        assert!(mid > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(10),
+            filter: Some("match-me".into()),
+        };
+        let skipped = c.bench_function("other/bench", |b| b.iter(|| 1u8));
+        assert_eq!(skipped, 0.0);
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(1.5), "1.50 ns");
+        assert_eq!(fmt_ns(1500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00 s");
+    }
+}

@@ -1,0 +1,514 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build sandbox has no crates.io access, so the workspace vendors a
+//! deterministic subset of proptest: the [`proptest!`] macro, the
+//! [`Strategy`] trait with `prop_map`/`prop_filter`, `any::<T>()` for the
+//! primitive types the tests draw, integer-range strategies, tuple
+//! strategies, [`collection::vec`], [`sample::Index`], [`Just`] and
+//! [`prop_oneof!`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the generated inputs' `Debug` rendering instead. Generation is
+//! deterministic — the RNG is seeded from the test's name — so failures
+//! reproduce exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases each `proptest!` test runs.
+pub const CASES: u32 = 96;
+
+/// Deterministic SplitMix64 generator used to drive strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from a test's name.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A source of values for one test argument.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Combinators available on every strategy (kept separate from
+/// [`Strategy`] so trait objects stay possible).
+pub trait StrategyExt: Strategy + Sized {
+    /// Maps generated values through `f`.
+    fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `f`, retrying (bounded) until one passes.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F> {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+/// Strategy returned by [`StrategyExt::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`StrategyExt::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 10000 consecutive values: {}",
+            self.whence
+        );
+    }
+}
+
+/// A strategy producing one fixed (cloned) value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Produces any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // full-width 64-bit range
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // 53 uniformly random mantissa bits in [0, 1).
+                let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = self.start as f64 + frac * (self.end as f64 - self.start as f64);
+                v as $t
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Length specification for [`vec`]: a half-open range of lengths.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = (self.size.lo..self.size.hi_exclusive).generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helpers.
+pub mod sample {
+    use super::*;
+
+    /// An index into a collection of as-yet-unknown size.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves against a collection of `len` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// A uniform choice between boxed same-typed strategies ([`prop_oneof!`]).
+pub struct Union<T: std::fmt::Debug> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: std::fmt::Debug> Union<T> {
+    /// Creates a union; `options` must be non-empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!options.is_empty(), "empty prop_oneof!");
+        Union { options }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Boxes a strategy for [`Union`] (used by `prop_oneof!` so type inference
+/// can unify the arms).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+thread_local! {
+    static CURRENT_CASE: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Records the case number the harness is on (for failure messages).
+pub fn set_current_case(n: u32) {
+    CURRENT_CASE.with(|c| c.set(n));
+}
+
+/// The case number the harness is on.
+pub fn current_case() -> u32 {
+    CURRENT_CASE.with(|c| c.get())
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        Strategy, StrategyExt,
+    };
+}
+
+/// Defines deterministic randomized tests.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::CASES {
+                    $crate::set_current_case(case);
+                    let mut __rng = $crate::TestRng::from_name(concat!(
+                        module_path!(), "::", stringify!($name)
+                    ));
+                    // Burn `case` draws so each case starts from a distinct
+                    // but reproducible stream position.
+                    for _ in 0..case {
+                        let _ = __rng.next_u64();
+                    }
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "prop_assert failed (case {})", $crate::current_case())
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b, "prop_assert_eq failed (case {})", $crate::current_case())
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b, "prop_assert_ne failed (case {})", $crate::current_case())
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Uniform choice across strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::from_name("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(a in 3u8..10, b in 0u16..=5, n in 0usize..100) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b <= 5);
+            prop_assert!(n < 100);
+        }
+
+        #[test]
+        fn map_filter_vec_and_oneof(
+            v in crate::collection::vec(any::<u8>(), 0..16),
+            choice in prop_oneof![Just(1u8), Just(2u8)],
+            sq in (0u32..100).prop_map(|x| x * x),
+            odd in (0u32..1000).prop_filter("odd", |x| x % 2 == 1),
+            ix in any::<crate::sample::Index>(),
+        ) {
+            prop_assert!(v.len() < 16);
+            prop_assert!(choice == 1 || choice == 2);
+            let r = (sq as f64).sqrt().round() as u32;
+            prop_assert_eq!(r * r, sq);
+            prop_assert_eq!(odd % 2, 1);
+            prop_assert!(ix.index(7) < 7);
+        }
+
+        #[test]
+        fn tuples_and_arrays(pair in (any::<bool>(), any::<[u8; 6]>())) {
+            let (_b, arr) = pair;
+            prop_assert_eq!(arr.len(), 6);
+        }
+    }
+}

@@ -192,7 +192,8 @@ fn two_network_services_at_once() {
     let radio_tx_before = tb.sim.world().host(mh).core.ifaces[radio.0]
         .device
         .counters
-        .tx_frames;
+        .tx_frames
+        .get();
     tb.run_for(SimDuration::from_secs(4));
 
     // Both services worked, over different physical networks.
@@ -217,7 +218,8 @@ fn two_network_services_at_once() {
     let radio_tx_after = tb.sim.world().host(mh).core.ifaces[radio.0]
         .device
         .counters
-        .tx_frames;
+        .tx_frames
+        .get();
     assert!(
         radio_tx_after > radio_tx_before + 5,
         "the second service really used the radio"

@@ -69,7 +69,14 @@ fn run_echo(tb: &mut Testbed) -> (u64, u64) {
 fn direct_encap_reaches_a_decapsulating_correspondent() {
     let mut tb = visit_filtered_foreign_site(false);
     tb.with_mh(|m, _| m.policy.set(Cidr::host(CH_FAR), SendMode::DirectEncap));
-    let ha_decap_before = tb.sim.world().host(tb.ha_host).core.stats.decapsulated;
+    let ha_decap_before = tb
+        .sim
+        .world()
+        .host(tb.ha_host)
+        .core
+        .stats
+        .decapsulated
+        .get();
     let (sent, received) = run_echo(&mut tb);
     assert!(
         received >= sent - 1,
@@ -77,14 +84,20 @@ fn direct_encap_reaches_a_decapsulating_correspondent() {
     );
     // Outbound packets bypassed the home agent entirely...
     assert_eq!(
-        tb.sim.world().host(tb.ha_host).core.stats.decapsulated,
+        tb.sim
+            .world()
+            .host(tb.ha_host)
+            .core
+            .stats
+            .decapsulated
+            .get(),
         ha_decap_before,
         "no reverse-tunnel traffic through the HA"
     );
     // ...because the CH itself decapsulated them.
     let ch = tb.ch_far.expect("far CH");
     assert!(
-        tb.sim.world().host(ch).core.stats.decapsulated >= received,
+        tb.sim.world().host(ch).core.stats.decapsulated.get() >= received,
         "the correspondent's kernel unwrapped the tunnels"
     );
 }
@@ -103,7 +116,8 @@ fn direct_encap_passes_the_transit_filter_where_triangle_dies() {
         .host(tb.foreign_router.expect("frouter"))
         .core
         .stats
-        .dropped_filter;
+        .dropped_filter
+        .get();
     assert!(
         filtered >= sent.saturating_sub(3),
         "the filter did the killing ({filtered} of {sent}; the tail was in flight)"
@@ -124,7 +138,8 @@ fn direct_encap_passes_the_transit_filter_where_triangle_dies() {
             .host(tb.foreign_router.expect("frouter"))
             .core
             .stats
-            .dropped_filter,
+            .dropped_filter
+            .get(),
         0
     );
 }
@@ -140,7 +155,7 @@ fn direct_encap_to_a_non_decapsulating_host_fails_informatively() {
     let (sent, received) = run_echo(&mut tb);
     assert!(sent > 10);
     assert_eq!(received, 0);
-    let unclaimed = tb.sim.world().host(ch).core.stats.unclaimed;
+    let unclaimed = tb.sim.world().host(ch).core.stats.unclaimed.get();
     assert!(
         unclaimed >= sent.saturating_sub(3),
         "the un-unwrapped tunnels were counted, not silently vanished \

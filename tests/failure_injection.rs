@@ -50,7 +50,7 @@ fn registration_survives_a_very_lossy_radio() {
     let status = tb.mh_module().away_status().expect("away");
     assert!(status.2, "registered despite 20% radio loss");
     assert!(
-        tb.mh_module().requests_sent >= 1,
+        tb.mh_module().requests_sent.get() >= 1,
         "at least the original request went out"
     );
 }
@@ -189,13 +189,13 @@ fn mh_refreshes_binding_before_expiry_while_away() {
     let plan = dept_plan(&tb);
     tb.with_mh(|m, ctx| m.start_switch(ctx, plan));
     tb.run_for(SimDuration::from_secs(5));
-    let accepted_before = tb.ha_module().accepted;
+    let accepted_before = tb.ha_module().accepted.get();
     // Default lifetime is 300 s; the MH re-registers at half-life. Run
     // 400 s: at least one refresh must have happened, and the binding
     // must still be live.
     tb.run_for(SimDuration::from_secs(400));
     assert!(
-        tb.ha_module().accepted > accepted_before,
+        tb.ha_module().accepted.get() > accepted_before,
         "binding refreshed at half-life"
     );
     let now = tb.sim.now();

@@ -89,5 +89,5 @@ fn outgoing_tcp_takes_the_vif_path_and_wears_both_addresses() {
     );
     // And the MH's own counters confirm it encapsulated (the VIF ran on
     // the mobile host, not on any agent in the network).
-    assert!(tb.sim.world().host(mh).core.stats.encapsulated > 0);
+    assert!(tb.sim.world().host(mh).core.stats.encapsulated.get() > 0);
 }

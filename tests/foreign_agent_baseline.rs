@@ -54,8 +54,8 @@ fn fa_discovery_and_registration() {
         .module_mut(fa_mod)
         .expect("fa module");
     assert_eq!(fa.visitor_count(), 1);
-    assert!(fa.relayed_requests >= 1);
-    assert!(fa.relayed_replies >= 1);
+    assert!(fa.relayed_requests.get() >= 1);
+    assert!(fa.relayed_replies.get() >= 1);
 }
 
 #[test]
@@ -76,11 +76,11 @@ fn traffic_flows_via_fa_decapsulation() {
     tb.run_for(SimDuration::from_secs(3));
     let (fa_host, _) = tb.fa_foreign.expect("fa");
     assert!(
-        tb.sim.world().host(fa_host).core.stats.decapsulated > 0,
+        tb.sim.world().host(fa_host).core.stats.decapsulated.get() > 0,
         "the FA, not the mobile host, decapsulates"
     );
     assert_eq!(
-        tb.sim.world().host(tb.mh).core.stats.decapsulated,
+        tb.sim.world().host(tb.mh).core.stats.decapsulated.get(),
         0,
         "the MH never decapsulates in FA mode"
     );
@@ -144,11 +144,11 @@ fn previous_fa_forwarding_rescues_in_flight_packets() {
             .host_mut(fa1_host)
             .module_mut(fa1_mod)
             .expect("fa1 module");
-        assert!(fa1.forwarding_armed >= 1, "binding update received");
+        assert!(fa1.forwarding_armed.get() >= 1, "binding update received");
     }
     // ...re-encapsulated the stragglers...
     assert!(
-        tb.sim.world().host(fa1_host).core.stats.encapsulated > 0,
+        tb.sim.world().host(fa1_host).core.stats.encapsulated.get() > 0,
         "old FA re-tunneled in-flight packets"
     );
     // ...and the hand-off lost (almost) nothing.

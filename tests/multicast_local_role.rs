@@ -149,7 +149,13 @@ fn visiting_mh_joins_a_group_on_the_foreign_network() {
     // DHCP-less dept hosts (router) ignore it, and nothing was tunneled
     // through the home agent — this is pure local role.
     assert_eq!(
-        tb.sim.world().host(tb.ha_host).core.stats.encapsulated,
+        tb.sim
+            .world()
+            .host(tb.ha_host)
+            .core
+            .stats
+            .encapsulated
+            .get(),
         0,
         "multicast never entered the mobile-IP tunnel"
     );

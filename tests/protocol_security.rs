@@ -97,7 +97,7 @@ fn replayed_registration_does_not_move_the_binding() {
         binding.care_of, COA_DEPT,
         "replay rejected; binding unmoved"
     );
-    assert!(tb.ha_module().denied >= 1, "denial recorded");
+    assert!(tb.ha_module().denied.get() >= 1, "denial recorded");
 }
 
 #[test]
@@ -163,7 +163,7 @@ fn wrong_key_registrations_are_denied_and_mh_keeps_retrying() {
     tb.run_for(SimDuration::from_secs(6));
     let status = tb.mh_module().away_status().expect("away");
     assert!(!status.2, "never registered with the wrong key");
-    let denied = tb.ha_module().denied;
+    let denied = tb.ha_module().denied.get();
     assert!(denied >= 2, "denials accumulate as MH retries");
     assert!(
         denied <= 10,
@@ -197,8 +197,8 @@ fn wrong_home_agent_is_refused() {
         }),
     );
     tb.run_for(SimDuration::from_secs(2));
-    assert_eq!(tb.ha_module().accepted, 0);
-    assert!(tb.ha_module().denied >= 1);
+    assert_eq!(tb.ha_module().accepted.get(), 0);
+    assert!(tb.ha_module().denied.get() >= 1);
     let now = tb.sim.now();
     assert!(tb.ha_module().bindings.get(MH_HOME, now).is_none());
 }
@@ -226,7 +226,7 @@ fn foreign_home_address_is_refused() {
         }),
     );
     tb.run_for(SimDuration::from_secs(2));
-    assert_eq!(tb.ha_module().accepted, 0);
+    assert_eq!(tb.ha_module().accepted.get(), 0);
     assert!(
         !tb.sim
             .world()

@@ -265,8 +265,8 @@ fn redirect_steers_local_role_but_not_the_tunnel() {
 
     // The redirect was sent and accepted: the MH now holds a /32 route to
     // the side host via r2.
-    assert!(sim.world().host(router).core.stats.redirects_sent >= 1);
-    assert_eq!(sim.world().host(mh).core.stats.redirects_accepted, 1);
+    assert!(sim.world().host(router).core.stats.redirects_sent.get() >= 1);
+    assert_eq!(sim.world().host(mh).core.stats.redirects_accepted.get(), 1);
     let rt = sim
         .world()
         .host(mh)

@@ -133,7 +133,7 @@ fn fifty_handoffs_without_leaks_or_stalls() {
 
     // Every switch completed and was accounted for.
     let m = tb.mh_module();
-    let handoffs = m.handoffs;
+    let handoffs = m.handoffs.get();
     assert!(handoffs >= 51, "all switches completed ({handoffs})");
     assert_eq!(m.timelines.len() as u64, handoffs, "one timeline each");
     assert!(
