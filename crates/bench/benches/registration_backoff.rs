@@ -1,0 +1,13 @@
+//! Micro-benchmarks for the registration-retry control path: one
+//! [`RetryBackoff`](mosquitonet_core::RetryBackoff) draw and one
+//! [`FaultPlan`](mosquitonet_link::FaultPlan) verdict. Both are gated —
+//! `bench_gate` compares the same measurements against
+//! `bench/baseline.json` in CI.
+
+use criterion::Criterion;
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args().sample_size(60);
+    mosquitonet_bench::gate::run_registration_backoff(&mut c);
+    c.final_summary();
+}

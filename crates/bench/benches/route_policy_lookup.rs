@@ -1,54 +1,20 @@
 //! Micro-benchmarks for the two tables on the packet fast path: the
 //! kernel routing table and the Mobile Policy Table (which together are
 //! the paper's modified `ip_rt_route()`, §3.3), plus C2/C3 regeneration.
+//!
+//! The lookup benchmarks are gated: their bodies live in
+//! `mosquitonet_bench::gate` so `bench_gate` compares the identical
+//! measurement against `bench/baseline.json` in CI.
 
 use criterion::{black_box, Criterion};
-use mosquitonet_core::{MobilePolicyTable, SendMode};
 use mosquitonet_sim::Counter;
-use mosquitonet_stack::{IfaceId, RouteEntry, RouteTable};
 use mosquitonet_testbed::{experiments, report};
-use std::net::Ipv4Addr;
-
-fn route_table(entries: u32) -> RouteTable {
-    let mut rt = RouteTable::new();
-    rt.add(RouteEntry {
-        dest: "0.0.0.0/0".parse().expect("cidr"),
-        gateway: Some(Ipv4Addr::new(10, 0, 0, 1)),
-        iface: IfaceId(0),
-        metric: 0,
-    });
-    for i in 0..entries {
-        let b = (i >> 8) as u8;
-        let c = (i & 0xff) as u8;
-        rt.add(RouteEntry {
-            dest: format!("10.{b}.{c}.0/24").parse().expect("cidr"),
-            gateway: None,
-            iface: IfaceId((i % 4) as usize),
-            metric: 0,
-        });
-    }
-    rt
-}
 
 fn main() {
     println!("{}", report::render_c2(&experiments::run_c2(50, 1996)));
     println!("{}", report::render_c3(&experiments::run_c3(1996)));
     let mut c = Criterion::default().configure_from_args().sample_size(60);
-    for n in [4u32, 64, 512] {
-        let rt = route_table(n);
-        let dst = Ipv4Addr::new(10, 0, 17, 9);
-        c.bench_function(&format!("route_lookup/{n}_entries"), |b| {
-            b.iter(|| rt.lookup(black_box(dst)))
-        });
-    }
-    let mut mpt = MobilePolicyTable::new(SendMode::ReverseTunnel);
-    for i in 0..64u32 {
-        mpt.learn(Ipv4Addr::from(0x0a00_0000 + i), SendMode::Triangle);
-    }
-    let dst = Ipv4Addr::new(10, 0, 0, 33);
-    c.bench_function("policy_lookup/64_learned_entries", |b| {
-        b.iter(|| mpt.lookup(black_box(dst)))
-    });
+    mosquitonet_bench::gate::run_route_policy(&mut c);
 
     // The telemetry budget: `lookup()` now bumps a per-send-mode counter
     // on every call, so the increment itself must stay under 10 ns/op.

@@ -1,0 +1,110 @@
+//! Bodies of the regression-gated micro-benchmarks.
+//!
+//! `bench_gate` (the CI regression binary) and the `cargo bench`
+//! harnesses both call these functions, so the number the gate compares
+//! against `bench/baseline.json` is measured by the identical code path a
+//! developer sees locally. Each function returns `(id, median ns/op)`
+//! pairs; a median of `0.0` means the harness filter skipped that id.
+
+use std::net::Ipv4Addr;
+
+use criterion::{black_box, Criterion};
+use mosquitonet_core::timing::{
+    REGISTRATION_RETRY, REGISTRATION_RETRY_BUDGET, REGISTRATION_RETRY_MAX,
+};
+use mosquitonet_core::{MobilePolicyTable, RetryBackoff, SendMode};
+use mosquitonet_link::{FaultPlan, FaultRates};
+use mosquitonet_sim::SimTime;
+use mosquitonet_stack::{IfaceId, RouteEntry, RouteTable};
+
+/// Builds a routing table with a default route plus `entries` /24 nets.
+pub fn route_table(entries: u32) -> RouteTable {
+    let mut rt = RouteTable::new();
+    rt.add(RouteEntry {
+        dest: "0.0.0.0/0".parse().expect("cidr"),
+        gateway: Some(Ipv4Addr::new(10, 0, 0, 1)),
+        iface: IfaceId(0),
+        metric: 0,
+    });
+    for i in 0..entries {
+        let b = (i >> 8) as u8;
+        let c = (i & 0xff) as u8;
+        rt.add(RouteEntry {
+            dest: format!("10.{b}.{c}.0/24").parse().expect("cidr"),
+            gateway: None,
+            iface: IfaceId((i % 4) as usize),
+            metric: 0,
+        });
+    }
+    rt
+}
+
+/// The `ip_rt_route()` fast path: kernel route lookup (three table
+/// sizes) and the Mobile Policy Table lookup.
+pub fn run_route_policy(c: &mut Criterion) -> Vec<(String, f64)> {
+    let mut results = Vec::new();
+    for n in [4u32, 64, 512] {
+        let rt = route_table(n);
+        let dst = Ipv4Addr::new(10, 0, 17, 9);
+        let id = format!("route_lookup/{n}_entries");
+        let med = c.bench_function(&id, |b| b.iter(|| rt.lookup(black_box(dst))));
+        results.push((id, med));
+    }
+    let mut mpt = MobilePolicyTable::new(SendMode::ReverseTunnel);
+    for i in 0..64u32 {
+        mpt.learn(Ipv4Addr::from(0x0a00_0000 + i), SendMode::Triangle);
+    }
+    let dst = Ipv4Addr::new(10, 0, 0, 33);
+    let id = "policy_lookup/64_learned_entries".to_string();
+    let med = c.bench_function(&id, |b| b.iter(|| mpt.lookup(black_box(dst))));
+    results.push((id, med));
+    results
+}
+
+/// The registration-retry control path: one backoff draw (including the
+/// jitter RNG) and one fault-plan verdict (five rate draws plus the
+/// corruption draws).
+pub fn run_registration_backoff(c: &mut Criterion) -> Vec<(String, f64)> {
+    let mut results = Vec::new();
+
+    let mut backoff = RetryBackoff::new(
+        REGISTRATION_RETRY,
+        REGISTRATION_RETRY_MAX,
+        REGISTRATION_RETRY_BUDGET,
+        1996,
+    );
+    let id = "backoff/next_delay".to_string();
+    let med = c.bench_function(&id, |b| {
+        b.iter(|| match backoff.next_delay() {
+            Some(d) => d,
+            None => {
+                backoff.reset();
+                backoff.next_delay().expect("fresh budget")
+            }
+        })
+    });
+    results.push((id, med));
+
+    let mut plan = FaultPlan::new(
+        FaultRates {
+            drop: 0.2,
+            duplicate: 0.05,
+            reorder: 0.05,
+            corrupt: 0.05,
+            delay: 0.05,
+        },
+        1996,
+    );
+    let now = SimTime::ZERO;
+    let id = "fault/judge".to_string();
+    let med = c.bench_function(&id, |b| b.iter(|| plan.judge(black_box(now), 64)));
+    results.push((id, med));
+    results
+}
+
+/// Every gated benchmark, in baseline order.
+pub fn run_all(c: &mut Criterion) -> Vec<(String, f64)> {
+    let mut results = run_route_policy(c);
+    results.extend(run_registration_backoff(c));
+    results
+}

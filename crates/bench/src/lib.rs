@@ -1,1 +1,9 @@
-//! Criterion benchmarks live in benches/; this lib is intentionally empty.
+//! Criterion benchmarks live in benches/; this lib holds the bodies of
+//! the **gated** micro-benchmarks, shared between the `cargo bench`
+//! harnesses and the `bench_gate` regression binary so both measure
+//! exactly the same code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gate;

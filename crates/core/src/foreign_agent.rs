@@ -23,11 +23,12 @@ use mosquitonet_sim::{Counter, MetricCell, MetricsScope, SimDuration};
 use mosquitonet_stack::{IfaceId, Module, ModuleCtx, RouteEntry, SocketId, SourceSel};
 use mosquitonet_wire::Cidr;
 
+use crate::backoff::RetryBackoff;
 use crate::messages::{
     classify, AgentAdvertisement, BindingUpdate, MessageKind, RegistrationReply,
     RegistrationRequest, REGISTRATION_PORT,
 };
-use crate::timing::REGISTRATION_RETRY;
+use crate::timing::{REGISTRATION_RETRY, REGISTRATION_RETRY_BUDGET, REGISTRATION_RETRY_MAX};
 
 const TOKEN_ADVERTISE: u64 = 0x10;
 const TOKEN_FORWARD_EXPIRE_BASE: u64 = 0x2000;
@@ -263,7 +264,15 @@ pub struct FaMobileHost {
     /// registering, so it can forward in-flight packets (§5.1).
     pub notify_previous: bool,
     /// Completed registrations.
-    pub registrations: u64,
+    pub registrations: Counter,
+    /// Retransmissions fired by the retry timer.
+    pub retries: Counter,
+    /// Stale retry-timer firings ignored (already registered or no agent
+    /// pending).
+    pub stale_retries: Counter,
+    /// Replies that failed the wire checksum (counted, never acted on).
+    pub corrupt_replies: Counter,
+    backoff: RetryBackoff,
 }
 
 impl FaMobileHost {
@@ -288,7 +297,16 @@ impl FaMobileHost {
             previous_fa: None,
             ident: 0,
             notify_previous: false,
-            registrations: 0,
+            registrations: Counter::default(),
+            retries: Counter::default(),
+            stale_retries: Counter::default(),
+            corrupt_replies: Counter::default(),
+            backoff: RetryBackoff::new(
+                REGISTRATION_RETRY,
+                REGISTRATION_RETRY_MAX,
+                REGISTRATION_RETRY_BUDGET,
+                u64::from(u32::from(home_addr)),
+            ),
         }
     }
 
@@ -302,6 +320,12 @@ impl FaMobileHost {
     pub fn moved(&mut self, ctx: &mut ModuleCtx<'_>) {
         self.previous_fa = self.current_fa.take();
         self.pending_fa = None;
+        // The retry timer belongs to the registration attempt we just
+        // abandoned; left armed it would fire with no agent pending.
+        ctx.fx.push(mosquitonet_stack::Effect::CancelTimer {
+            token: TOKEN_FA_REG_RETRY,
+        });
+        self.backoff.reset();
         ctx.core.routes.remove(Cidr::DEFAULT);
         // The old agent is no longer on-link; a stale host route would
         // make packets for it (the previous-FA notification!) ARP into
@@ -369,13 +393,42 @@ impl FaMobileHost {
                 );
             }
         }
-        ctx.fx.set_timer(REGISTRATION_RETRY, TOKEN_FA_REG_RETRY);
+        self.arm_retry(ctx);
+    }
+
+    /// Arms the retransmission timer from the backoff schedule. An
+    /// exhausted budget degrades gracefully: start a fresh attempt
+    /// sequence rather than give up (there is no better fallback than
+    /// retrying — the solicitation already went out in [`Self::moved`]).
+    fn arm_retry(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let delay = match self.backoff.next_delay() {
+            Some(d) => d,
+            None => {
+                ctx.fx
+                    .trace("fa-mh retry budget exhausted; restarting schedule".to_string());
+                self.backoff.reset();
+                self.backoff.next_delay().expect("fresh budget")
+            }
+        };
+        ctx.fx.set_timer(delay, TOKEN_FA_REG_RETRY);
     }
 }
 
 impl Module for FaMobileHost {
     fn name(&self) -> &'static str {
         "fa-mobile-host"
+    }
+
+    fn register_metrics(&self, scope: &MetricsScope) {
+        let reg = scope.scope("reg");
+        for (name, cell) in [
+            ("completed", &self.registrations),
+            ("retries", &self.retries),
+            ("stale_retries", &self.stale_retries),
+            ("corrupt_dropped", &self.corrupt_replies),
+        ] {
+            reg.register(name, MetricCell::Counter(cell.clone()));
+        }
     }
 
     fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
@@ -392,11 +445,21 @@ impl Module for FaMobileHost {
 
     fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, token: u64) {
         if token == TOKEN_FA_REG_RETRY {
-            if let (Some(fa), None) = (
+            match (
                 self.pending_fa,
                 self.current_fa.filter(|c| Some(*c) == self.pending_fa),
             ) {
-                self.register_via(ctx, fa);
+                (Some(fa), None) => {
+                    self.retries.inc();
+                    self.register_via(ctx, fa);
+                }
+                _ => {
+                    // Stale firing: the reply landed (or the attempt was
+                    // abandoned) after this timer was queued. Ignore it —
+                    // re-arming here is what kept the seed's timer firing
+                    // forever after a successful registration.
+                    self.stale_retries.inc();
+                }
             }
         }
     }
@@ -437,12 +500,20 @@ impl Module for FaMobileHost {
                 }
             }
             Some(MessageKind::Reply) => {
-                let Ok(reply) = RegistrationReply::parse(payload) else {
-                    return;
+                let reply = match RegistrationReply::parse(payload) {
+                    Ok(reply) => reply,
+                    Err(_) => {
+                        // Detected (wire checksum), counted, never acted on.
+                        self.corrupt_replies.inc();
+                        ctx.fx
+                            .trace("drop.reg_corrupt: registration reply failed parse".to_string());
+                        return;
+                    }
                 };
                 if reply.ident == self.ident && reply.code == crate::messages::ReplyCode::Accepted {
                     self.current_fa = self.pending_fa;
-                    self.registrations += 1;
+                    self.registrations.inc();
+                    self.backoff.reset();
                     ctx.fx.push(mosquitonet_stack::Effect::CancelTimer {
                         token: TOKEN_FA_REG_RETRY,
                     });
@@ -485,6 +556,6 @@ mod tests {
             120,
         );
         assert_eq!(mh.current_fa(), None);
-        assert_eq!(mh.registrations, 0);
+        assert_eq!(mh.registrations.get(), 0);
     }
 }

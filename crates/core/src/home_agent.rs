@@ -97,6 +97,9 @@ pub struct HomeAgent {
     pub denied: Counter,
     /// Bindings reclaimed by the expiry sweep.
     pub expiries: Counter,
+    /// Registration requests that failed the wire checksum (counted,
+    /// never acted on).
+    pub corrupt_requests: Counter,
 }
 
 impl HomeAgent {
@@ -113,6 +116,7 @@ impl HomeAgent {
             accepted: Counter::default(),
             denied: Counter::default(),
             expiries: Counter::default(),
+            corrupt_requests: Counter::default(),
         }
     }
 
@@ -268,6 +272,7 @@ impl Module for HomeAgent {
             ("accepted", &self.accepted),
             ("denied", &self.denied),
             ("binding_expiries", &self.expiries),
+            ("corrupt_dropped", &self.corrupt_requests),
         ] {
             reg.register(name, MetricCell::Counter(cell.clone()));
         }
@@ -301,8 +306,15 @@ impl Module for HomeAgent {
         if classify(payload) != Some(MessageKind::Request) {
             return;
         }
-        let Ok(request) = RegistrationRequest::parse(payload) else {
-            return;
+        let request = match RegistrationRequest::parse(payload) {
+            Ok(request) => request,
+            Err(_) => {
+                // Detected (wire checksum), counted, never acted on.
+                self.corrupt_requests.inc();
+                ctx.fx
+                    .trace("drop.reg_corrupt: registration request failed parse".to_string());
+                return;
+            }
         };
         // Model the Pentium-90's 1.48 ms of registration service time,
         // serialized on its single CPU.

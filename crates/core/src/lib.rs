@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backoff;
 mod binding;
 mod foreign_agent;
 mod home_agent;
@@ -35,12 +36,13 @@ mod mobile;
 mod policy;
 pub mod timing;
 
+pub use backoff::RetryBackoff;
 pub use binding::{BindOutcome, Binding, BindingTable};
 pub use foreign_agent::{FaMobileHost, ForeignAgent, ForeignAgentConfig, ADVERTISE_INTERVAL};
 pub use home_agent::{HomeAgent, HomeAgentConfig};
 pub use messages::{
     classify, keyed_digest, AgentAdvertisement, AuthExtension, BindingUpdate, MessageKind,
-    RegistrationReply, RegistrationRequest, ReplyCode, REGISTRATION_PORT,
+    RegistrationReply, RegistrationRequest, ReplyCode, IDENT_WIRE_BITS, REGISTRATION_PORT,
 };
 pub use mobile::{
     AddressPlan, AutoSwitchConfig, Candidate, MobileHost, MobileHostConfig, RegistrationTimeline,

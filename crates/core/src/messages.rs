@@ -15,16 +15,49 @@
 use bytes::{BufMut, Bytes, BytesMut};
 use std::net::Ipv4Addr;
 
-use mosquitonet_wire::WireError;
+use mosquitonet_wire::{internet_checksum, verify_checksum, WireError};
 
 /// UDP port for registration traffic (RFC 2002's 434).
 pub const REGISTRATION_PORT: u16 = 434;
 
-/// Fixed length of a registration request (without extensions).
+/// Fixed length of a registration request (without extensions): a 22-byte
+/// body followed by a 16-bit Internet checksum over that body. UDP's
+/// pseudo-header checksum already guards the datagram in flight, but
+/// registrations change routing state, so the message carries its own
+/// end-to-end checksum — a corrupt request or reply must be *detected and
+/// counted*, never acted on. The checksum's two bytes come out of the
+/// identification field (48 bits on the wire instead of the draft's 64;
+/// see [`IDENT_WIRE_BITS`]), so the frame is the same size as the
+/// checksum-less original and the calibrated Figure 7 time-line is
+/// unchanged.
 pub const REQUEST_LEN: usize = 24;
 
-/// Fixed length of a registration reply (without extensions).
+/// Fixed length of a registration reply (without extensions): an 18-byte
+/// body followed by the same trailing 16-bit checksum as [`REQUEST_LEN`].
 pub const REPLY_LEN: usize = 20;
+
+/// Width of the identification field on the wire. The draft carries
+/// 64 bits; this format spends two of those bytes on the end-to-end body
+/// checksum instead. Identifications are monotonically increasing
+/// per-binding counters, so 2^48 values are unreachable in practice —
+/// serialization masks to this width and replay comparison is unaffected.
+pub const IDENT_WIRE_BITS: u32 = 48;
+
+/// Masks an identification down to its wire width.
+fn ident_wire(ident: u64) -> u64 {
+    ident & ((1 << IDENT_WIRE_BITS) - 1)
+}
+
+/// Reads a 48-bit big-endian identification from `b`.
+fn ident_from_wire(b: &[u8]) -> u64 {
+    u64::from_be_bytes([0, 0, b[0], b[1], b[2], b[3], b[4], b[5]])
+}
+
+/// Body length of a request, excluding the trailing checksum.
+const REQUEST_BODY_LEN: usize = REQUEST_LEN - 2;
+
+/// Body length of a reply, excluding the trailing checksum.
+const REPLY_BODY_LEN: usize = REPLY_LEN - 2;
 
 /// Length of the optional authentication extension.
 pub const AUTH_EXT_LEN: usize = 14;
@@ -163,14 +196,17 @@ impl RegistrationRequest {
         buf.put_slice(&self.home_addr.octets());
         buf.put_slice(&self.home_agent.octets());
         buf.put_slice(&self.care_of.octets());
-        buf.put_u64(self.ident);
+        buf.put_slice(&ident_wire(self.ident).to_be_bytes()[2..]);
+        debug_assert_eq!(buf.len(), REQUEST_BODY_LEN);
         buf
     }
 
     /// Serializes; if `auth` is present its digest must already be set
-    /// (use [`RegistrationRequest::sign`]).
+    /// (use [`RegistrationRequest::sign`]). The 16-bit Internet checksum
+    /// over the body is appended before any extension.
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = self.body_bytes();
+        buf.put_u16(internet_checksum(&buf, 0));
         if let Some(a) = self.auth {
             buf.put_u8(32); // extension type
             buf.put_u8(AUTH_EXT_LEN as u8);
@@ -198,7 +234,7 @@ impl RegistrationRequest {
         }
     }
 
-    /// Parses from bytes.
+    /// Parses from bytes, verifying the trailing body checksum.
     pub fn parse(buf: &[u8]) -> Result<RegistrationRequest, WireError> {
         if buf.len() < REQUEST_LEN {
             return Err(WireError::Truncated {
@@ -212,15 +248,16 @@ impl RegistrationRequest {
                 value: u16::from(buf[0]),
             });
         }
+        if !verify_checksum(&buf[..REQUEST_LEN], 0) {
+            return Err(WireError::BadChecksum);
+        }
         let auth = parse_auth(&buf[REQUEST_LEN..])?;
         Ok(RegistrationRequest {
             lifetime: u16::from_be_bytes([buf[2], buf[3]]),
             home_addr: Ipv4Addr::new(buf[4], buf[5], buf[6], buf[7]),
             home_agent: Ipv4Addr::new(buf[8], buf[9], buf[10], buf[11]),
             care_of: Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]),
-            ident: u64::from_be_bytes([
-                buf[16], buf[17], buf[18], buf[19], buf[20], buf[21], buf[22], buf[23],
-            ]),
+            ident: ident_from_wire(&buf[16..22]),
             auth,
         })
     }
@@ -257,7 +294,7 @@ pub struct RegistrationReply {
 }
 
 impl RegistrationReply {
-    /// Serializes to bytes.
+    /// Serializes to bytes, appending the 16-bit body checksum.
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(REPLY_LEN);
         buf.put_u8(3);
@@ -265,11 +302,13 @@ impl RegistrationReply {
         buf.put_u16(self.lifetime);
         buf.put_slice(&self.home_addr.octets());
         buf.put_slice(&self.home_agent.octets());
-        buf.put_u64(self.ident);
+        buf.put_slice(&ident_wire(self.ident).to_be_bytes()[2..]);
+        debug_assert_eq!(buf.len(), REPLY_BODY_LEN);
+        buf.put_u16(internet_checksum(&buf, 0));
         buf.freeze()
     }
 
-    /// Parses from bytes.
+    /// Parses from bytes, verifying the trailing body checksum.
     pub fn parse(buf: &[u8]) -> Result<RegistrationReply, WireError> {
         if buf.len() < REPLY_LEN {
             return Err(WireError::Truncated {
@@ -283,14 +322,15 @@ impl RegistrationReply {
                 value: u16::from(buf[0]),
             });
         }
+        if !verify_checksum(&buf[..REPLY_LEN], 0) {
+            return Err(WireError::BadChecksum);
+        }
         Ok(RegistrationReply {
             code: ReplyCode::from_number(buf[1])?,
             lifetime: u16::from_be_bytes([buf[2], buf[3]]),
             home_addr: Ipv4Addr::new(buf[4], buf[5], buf[6], buf[7]),
             home_agent: Ipv4Addr::new(buf[8], buf[9], buf[10], buf[11]),
-            ident: u64::from_be_bytes([
-                buf[12], buf[13], buf[14], buf[15], buf[16], buf[17], buf[18], buf[19],
-            ]),
+            ident: ident_from_wire(&buf[12..18]),
         })
     }
 }
@@ -417,7 +457,7 @@ mod tests {
             home_addr: Ipv4Addr::new(36, 135, 0, 9),
             home_agent: Ipv4Addr::new(36, 135, 0, 1),
             care_of: Ipv4Addr::new(36, 8, 0, 42),
-            ident: 0x1122_3344_5566_7788,
+            ident: 0x1122_3344_5566, // 48-bit wire width, see IDENT_WIRE_BITS
             auth: None,
         }
     }
@@ -453,8 +493,51 @@ mod tests {
         let r = request().sign(7, 0xdead_beef);
         let mut bytes = r.to_bytes().to_vec();
         bytes[12] ^= 0x01; // flip a care-of bit
+                           // A deliberate tamperer can fix up the wire checksum...
+        let ck = internet_checksum(&bytes[..REQUEST_BODY_LEN], 0);
+        bytes[REQUEST_BODY_LEN..REQUEST_LEN].copy_from_slice(&ck.to_be_bytes());
         let back = RegistrationRequest::parse(&bytes).unwrap();
+        // ...but the keyed digest still refuses it.
         assert!(!back.verify(0xdead_beef));
+    }
+
+    #[test]
+    fn corrupt_request_fails_checksum() {
+        let mut bytes = request().to_bytes().to_vec();
+        bytes[5] ^= 0x40; // random in-flight bit flip (home address)
+        assert!(matches!(
+            RegistrationRequest::parse(&bytes),
+            Err(WireError::BadChecksum)
+        ));
+    }
+
+    #[test]
+    fn corrupt_reply_fails_checksum() {
+        let r = RegistrationReply {
+            code: ReplyCode::Accepted,
+            lifetime: 120,
+            home_addr: Ipv4Addr::new(36, 135, 0, 9),
+            home_agent: Ipv4Addr::new(36, 135, 0, 1),
+            ident: 42,
+        };
+        let mut bytes = r.to_bytes().to_vec();
+        bytes[3] ^= 0x08; // flip a lifetime bit
+        assert!(matches!(
+            RegistrationReply::parse(&bytes),
+            Err(WireError::BadChecksum)
+        ));
+        // Every single-bit flip past the type byte is caught.
+        let clean = r.to_bytes().to_vec();
+        for byte in 1..clean.len() {
+            for bit in 0..8 {
+                let mut b = clean.clone();
+                b[byte] ^= 1 << bit;
+                assert!(
+                    RegistrationReply::parse(&b).is_err(),
+                    "flip at byte {byte} bit {bit} accepted"
+                );
+            }
+        }
     }
 
     #[test]

@@ -25,11 +25,15 @@ use mosquitonet_wire::{Cidr, IcmpMessage};
 
 use mosquitonet_dhcp::{ClientEvent, DhcpClientMachine, DhcpClientStats, DHCP_CLIENT_PORT};
 
+use crate::backoff::RetryBackoff;
 use crate::messages::{
     classify, MessageKind, RegistrationReply, RegistrationRequest, ReplyCode, REGISTRATION_PORT,
 };
 use crate::policy::{MobilePolicyTable, SendMode};
-use crate::timing::{CHANGE_ROUTE, CONFIGURE_IFACE, POST_REGISTRATION, REGISTRATION_RETRY};
+use crate::timing::{
+    CHANGE_ROUTE, CONFIGURE_IFACE, POST_REGISTRATION, REGISTRATION_RETRY,
+    REGISTRATION_RETRY_BUDGET, REGISTRATION_RETRY_MAX,
+};
 
 /// Timer tokens.
 const TOKEN_REG_RETRY: u64 = 0x1;
@@ -39,6 +43,7 @@ const TOKEN_ROUTED: u64 = 0x4;
 const TOKEN_POST_REG: u64 = 0x5;
 const TOKEN_REREGISTER: u64 = 0x6;
 const TOKEN_AUTOSWITCH: u64 = 0x7;
+const TOKEN_BINDING_LAPSE: u64 = 0x8;
 const TOKEN_DHCP_BASE: u64 = 0x100;
 const TOKEN_PROBE_BASE: u64 = 0x200;
 
@@ -260,6 +265,14 @@ pub struct MobileHost {
     /// Retry-timer firings that retransmitted a registration (each one is
     /// an unanswered request that timed out).
     pub registration_retries: Counter,
+    /// Retry budgets spent without a reply (each one restarted the
+    /// registration from scratch).
+    pub backoff_exhausted: Counter,
+    /// Bindings that expired before a renewal got through.
+    pub binding_lapses: Counter,
+    /// Registration replies that failed the wire checksum (counted, never
+    /// acted on).
+    pub corrupt_replies: Counter,
     /// Completed hand-offs.
     pub handoffs: Counter,
     /// Triangle-route probes that timed out (correspondent reverted to the
@@ -274,11 +287,24 @@ pub struct MobileHost {
     autoswitch_stable: u32,
     /// Switches the automatic policy initiated (instrumentation).
     pub autoswitches: Counter,
+    /// Retransmission schedule for the current registration attempt.
+    backoff: RetryBackoff,
+    /// When the currently-held binding expires at the home agent.
+    binding_expires_at: Option<SimTime>,
 }
 
 impl MobileHost {
     /// Creates a mobile host manager that starts **at home** on `iface`.
     pub fn new_at_home(cfg: MobileHostConfig, home_iface: IfaceId) -> MobileHost {
+        // The jitter stream is seeded from the (unique, stable) home
+        // address, so every run of a given topology replays the same
+        // schedule while distinct hosts desynchronize.
+        let backoff = RetryBackoff::new(
+            REGISTRATION_RETRY,
+            REGISTRATION_RETRY_MAX,
+            REGISTRATION_RETRY_BUDGET,
+            u64::from(u32::from(cfg.home_addr)),
+        );
         MobileHost {
             cfg,
             policy: MobilePolicyTable::new(SendMode::ReverseTunnel),
@@ -304,6 +330,11 @@ impl MobileHost {
             autoswitch: None,
             autoswitch_stable: 0,
             autoswitches: Counter::default(),
+            backoff_exhausted: Counter::default(),
+            binding_lapses: Counter::default(),
+            corrupt_replies: Counter::default(),
+            backoff,
+            binding_expires_at: None,
         }
     }
 
@@ -718,6 +749,8 @@ impl MobileHost {
         op.phase = Phase::Registering;
         // Old probe results are stale on a new network.
         self.policy.forget_learned();
+        // A switch starts a fresh registration attempt: full retry budget.
+        self.backoff.reset();
         if op.going_home {
             // Reclaim the home address on the wire before deregistering.
             ctx.fx.push(Effect::GratuitousArp {
@@ -771,7 +804,31 @@ impl MobileHost {
         if self.current.request_sent.is_none() {
             self.current.request_sent = Some(ctx.now);
         }
-        ctx.fx.set_timer(REGISTRATION_RETRY, TOKEN_REG_RETRY);
+        self.arm_retry(ctx);
+    }
+
+    /// Arms the retry timer from the backoff schedule. When the budget is
+    /// spent, degrades gracefully: the binding is treated as lost, the
+    /// budget refills, and the next (from-scratch) attempt is scheduled at
+    /// the base interval rather than hammering on.
+    fn arm_retry(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let delay = match self.backoff.next_delay() {
+            Some(d) => d,
+            None => {
+                self.backoff_exhausted.inc();
+                ctx.fx.trace(
+                    "registration retry budget exhausted; re-registering from scratch".to_string(),
+                );
+                if self.switching.is_none() {
+                    if let Location::Away { registered, .. } = &mut self.location {
+                        *registered = false;
+                    }
+                }
+                self.backoff.reset();
+                self.backoff.next_delay().expect("fresh budget")
+            }
+        };
+        ctx.fx.set_timer(delay, TOKEN_REG_RETRY);
     }
 
     fn handle_reply(&mut self, ctx: &mut ModuleCtx<'_>, reply: RegistrationReply) {
@@ -785,13 +842,15 @@ impl MobileHost {
             self.registration_denials.inc();
             ctx.fx
                 .trace(format!("registration denied: {:?}", reply.code));
-            // Try again with a fresh identification — after the normal
-            // retry interval, not immediately: a persistently denying
-            // agent (wrong key, misconfiguration) must not be hammered.
-            ctx.fx.set_timer(REGISTRATION_RETRY, TOKEN_REG_RETRY);
+            // Try again with a fresh identification — after the backoff
+            // interval, not immediately: a persistently denying agent
+            // (wrong key, misconfiguration) must not be hammered, and the
+            // interval grows the longer the denials persist.
+            self.arm_retry(ctx);
             return;
         }
         self.registrations_accepted.inc();
+        self.backoff.reset();
         if let Some(op) = &mut self.switching {
             // Only the reply to the switch's own registration advances the
             // switch; a straggling refresh reply arriving mid-switch (same
@@ -808,10 +867,23 @@ impl MobileHost {
         if let Location::Away { registered, .. } = &mut self.location {
             *registered = true;
         }
-        // Refresh the binding at half the granted lifetime.
+        // Refresh the binding at half the granted lifetime, and watch for
+        // the binding lapsing outright (renewals may all be lost); both
+        // re-arms cancel their previous instances.
         if reply.lifetime > 0 {
-            let refresh = SimDuration::from_secs(u64::from(reply.lifetime)) / 2;
-            ctx.fx.set_timer(refresh, TOKEN_REREGISTER);
+            let granted = SimDuration::from_secs(u64::from(reply.lifetime));
+            self.binding_expires_at = Some(ctx.now + granted);
+            ctx.fx.set_timer(granted / 2, TOKEN_REREGISTER);
+            ctx.fx.set_timer(granted, TOKEN_BINDING_LAPSE);
+        } else {
+            // Deregistration (home again): no binding left to renew.
+            self.binding_expires_at = None;
+            ctx.fx.push(Effect::CancelTimer {
+                token: TOKEN_REREGISTER,
+            });
+            ctx.fx.push(Effect::CancelTimer {
+                token: TOKEN_BINDING_LAPSE,
+            });
         }
     }
 
@@ -879,6 +951,9 @@ impl Module for MobileHost {
             ("replies_accepted", &self.registrations_accepted),
             ("denials", &self.registration_denials),
             ("retries", &self.registration_retries),
+            ("backoff_exhausted", &self.backoff_exhausted),
+            ("binding_lapses", &self.binding_lapses),
+            ("corrupt_dropped", &self.corrupt_replies),
         ] {
             reg.register(name, MetricCell::Counter(cell.clone()));
         }
@@ -928,7 +1003,26 @@ impl Module for MobileHost {
                     }
                 ) && self.switching.is_none() =>
             {
+                // A renewal is a fresh attempt with a full retry budget.
+                self.backoff.reset();
                 self.send_registration(ctx);
+            }
+            TOKEN_BINDING_LAPSE => {
+                if self.switching.is_some() {
+                    return; // the in-flight switch re-registers anyway
+                }
+                if let Location::Away { registered, .. } = &mut self.location {
+                    if *registered {
+                        *registered = false;
+                        self.binding_lapses.inc();
+                        self.binding_expires_at = None;
+                        ctx.fx.trace(
+                            "binding lapsed at home agent; re-registering from scratch".to_string(),
+                        );
+                        self.backoff.reset();
+                        self.send_registration(ctx);
+                    }
+                }
             }
             probe if probe >= TOKEN_PROBE_BASE => {
                 // A probe timed out: the triangle route is filtered —
@@ -974,8 +1068,14 @@ impl Module for MobileHost {
             return;
         }
         if Some(sock) == self.reg_sock && classify(payload) == Some(MessageKind::Reply) {
-            if let Ok(reply) = RegistrationReply::parse(payload) {
-                self.handle_reply(ctx, reply);
+            match RegistrationReply::parse(payload) {
+                Ok(reply) => self.handle_reply(ctx, reply),
+                Err(_) => {
+                    // Detected (wire checksum), counted, never acted on.
+                    self.corrupt_replies.inc();
+                    ctx.fx
+                        .trace("drop.reg_corrupt: registration reply failed parse".to_string());
+                }
             }
         }
     }

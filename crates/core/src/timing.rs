@@ -26,9 +26,18 @@ pub const HA_PROCESSING: SimDuration = SimDuration::from_micros(1_480);
 /// address into the policy state, waking blocked sends).
 pub const POST_REGISTRATION: SimDuration = SimDuration::from_micros(800);
 
-/// Interval between registration-request retransmissions when no reply
-/// arrives (must exceed the worst-case radio RTT of ~250 ms).
+/// Base interval between registration-request retransmissions when no
+/// reply arrives (must exceed the worst-case radio RTT of ~250 ms). The
+/// retry schedule starts here and backs off exponentially — see
+/// [`crate::RetryBackoff`].
 pub const REGISTRATION_RETRY: SimDuration = SimDuration::from_millis(1_000);
+
+/// Cap on the exponentially-growing registration retry interval.
+pub const REGISTRATION_RETRY_MAX: SimDuration = SimDuration::from_secs(8);
+
+/// Retransmissions one registration attempt may spend before the host
+/// degrades to re-registration from scratch.
+pub const REGISTRATION_RETRY_BUDGET: u32 = 8;
 
 /// Default binding lifetime requested by the mobile host.
 pub const DEFAULT_LIFETIME_SECS: u16 = 300;
@@ -56,7 +65,8 @@ mod tests {
     fn ethernet_one_way_matches_reg_latency_budget() {
         use mosquitonet_link::presets;
         use mosquitonet_stack::DEFAULT_PROC_DELAY;
-        let frame_len = 14 + 20 + 8 + 24; // ether + ip + udp + request
+        // ether + ip + udp + request (incl. its trailing wire checksum)
+        let frame_len = 14 + 20 + 8 + crate::messages::REQUEST_LEN;
         let dev = presets::pcmcia_ethernet("eth0", mosquitonet_wire::MacAddr::from_index(1));
         let one_way = dev.tx_time(frame_len) + presets::ETHERNET_PROPAGATION + DEFAULT_PROC_DELAY;
         let req_reply = one_way * 2 + HA_PROCESSING;

@@ -7,7 +7,7 @@ use std::net::Ipv4Addr;
 
 use mosquitonet_core::{
     classify, AgentAdvertisement, BindOutcome, BindingTable, BindingUpdate, MobilePolicyTable,
-    RegistrationReply, RegistrationRequest, ReplyCode, SendMode,
+    RegistrationReply, RegistrationRequest, ReplyCode, SendMode, IDENT_WIRE_BITS,
 };
 use mosquitonet_sim::{SimDuration, SimTime};
 use mosquitonet_wire::Cidr;
@@ -145,7 +145,7 @@ proptest! {
         home in arb_addr(),
         ha in arb_addr(),
         coa in arb_addr(),
-        ident in any::<u64>(),
+        ident in 0u64..(1 << IDENT_WIRE_BITS),
         spi in any::<u32>(),
         key in any::<u64>(),
         wrong in any::<u64>(),
@@ -199,7 +199,7 @@ proptest! {
         lifetime in any::<u16>(),
         home in arb_addr(),
         ha in arb_addr(),
-        ident in any::<u64>(),
+        ident in 0u64..(1 << IDENT_WIRE_BITS),
     ) {
         let code = [
             ReplyCode::Accepted,

@@ -4,6 +4,7 @@
 //! frame be delivered to, and *when* (and whether) it arrives. Delivery
 //! itself is scheduled by `mosquitonet-stack`, keeping this model pure.
 
+use crate::fault::FaultPlan;
 use mosquitonet_sim::{SimDuration, SimRng};
 use mosquitonet_wire::MacAddr;
 
@@ -99,6 +100,10 @@ pub struct Lan {
     /// 0 for wired segments).
     pub loss_probability: f64,
     attachments: Vec<Attachment>,
+    /// Optional fault-injection plan (chaos experiments). `None` — the
+    /// default — leaves the medium byte-for-byte identical to a world
+    /// without the fault layer.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Lan {
@@ -115,7 +120,13 @@ impl Lan {
             delay,
             loss_probability,
             attachments: Vec::new(),
+            fault: None,
         }
+    }
+
+    /// Installs (or clears) a fault-injection plan on this LAN.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
     }
 
     /// The LAN's name (used in traces).

@@ -16,10 +16,12 @@
 #![warn(missing_docs)]
 
 mod device;
+mod fault;
 mod frame;
 mod lan;
 pub mod presets;
 
 pub use device::{Device, DeviceCounters, DeviceKind, DeviceState, PowerModel};
+pub use fault::{FaultKind, FaultPlan, FaultRates, FaultVerdict};
 pub use frame::{EtherType, Frame, FRAME_HEADER_LEN};
 pub use lan::{Attachment, AttachmentKey, DelayModel, Lan, LanKind};

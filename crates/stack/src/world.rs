@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use mosquitonet_link::{Attachment, AttachmentKey, EtherType, Frame, Lan};
+use mosquitonet_link::{Attachment, AttachmentKey, EtherType, FaultVerdict, Frame, Lan};
 use mosquitonet_sim::{MetricCell, Sim, SimDuration, TraceKind};
 use mosquitonet_wire::{ArpPacket, Ipv4Packet};
 
@@ -163,6 +163,13 @@ pub fn register_metrics(sim: &mut NetSim) {
         }
         for module in h.modules.iter().flatten() {
             module.register_metrics(&host_scope);
+        }
+    }
+    // Fault-injection plans count what they perturb per LAN; bind each
+    // plan's `fault.{kind}` counters under `lan.{name}/`.
+    for lan in &w.lans {
+        if let Some(plan) = &lan.fault {
+            plan.register_metrics(&registry.scope(format!("lan.{}", lan.name())));
         }
     }
 }
@@ -375,9 +382,11 @@ pub(crate) fn transmit_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, fra
     let now = sim.now();
     let wire_len = frame.wire_len();
     struct Tx {
-        deliveries: Vec<(HostId, IfaceId, SimDuration)>,
+        deliveries: Vec<(HostId, IfaceId, SimDuration, FaultVerdict)>,
         lan: LanId,
+        lan_name: String,
         lost: u64,
+        faults: Vec<&'static str>,
     }
     let plan = {
         let (w, rng) = sim.world_and_rng();
@@ -395,23 +404,62 @@ pub(crate) fn transmit_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, fra
             // links like STRIP make this very visible).
             let tx_time = ifc.device.schedule_tx(now, wire_len);
             let src_mac = ifc.device.mac();
-            let lan = &w.lans[lan_id.0];
-            let mut deliveries = Vec::new();
+            // Medium draws first (engine RNG — sequence unchanged by the
+            // fault layer), then the fault plan judges each surviving
+            // copy from its own stream.
+            let mut reached = Vec::new();
             let mut lost = 0;
-            for key in lan.recipients(frame.dst, src_mac) {
-                if lan.draw_loss(rng) {
-                    lost += 1;
-                    continue;
+            {
+                let lan = &w.lans[lan_id.0];
+                for key in lan.recipients(frame.dst, src_mac) {
+                    if lan.draw_loss(rng) {
+                        lost += 1;
+                        continue;
+                    }
+                    reached.push((key, tx_time + lan.draw_delay(rng)));
                 }
-                let delay = tx_time + lan.draw_delay(rng);
+            }
+            let payload_len = frame.payload.len();
+            let mut judged = Vec::with_capacity(reached.len());
+            let mut faults = Vec::new();
+            {
+                let lan = &mut w.lans[lan_id.0];
+                for (key, delay) in reached {
+                    let verdict = match lan.fault.as_mut() {
+                        Some(fault) => fault.judge(now, payload_len),
+                        None => FaultVerdict::default(),
+                    };
+                    if verdict.drop {
+                        faults.push("fault.drop");
+                        continue;
+                    }
+                    if verdict.duplicate_after.is_some() {
+                        faults.push("fault.duplicate");
+                    }
+                    if verdict.corrupt.is_some() {
+                        faults.push("fault.corrupt");
+                    }
+                    if verdict.reordered {
+                        faults.push("fault.reorder");
+                    }
+                    if verdict.delayed {
+                        faults.push("fault.delay");
+                    }
+                    judged.push((key, delay, verdict));
+                }
+            }
+            let mut deliveries = Vec::with_capacity(judged.len());
+            for (key, delay, verdict) in judged {
                 if let Some((h, i)) = w.resolve_attachment(key) {
-                    deliveries.push((h, i, delay));
+                    deliveries.push((h, i, delay, verdict));
                 }
             }
             Some(Tx {
                 deliveries,
                 lan: lan_id,
+                lan_name: w.lans[lan_id.0].name().to_string(),
                 lost,
+                faults,
             })
         } else {
             // Unattached interface: the cable is unplugged.
@@ -429,10 +477,40 @@ pub(crate) fn transmit_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, fra
             format!("drop.medium_loss: {} cop(ies)", plan.lost),
         );
     }
+    for code in &plan.faults {
+        let kind = if *code == "fault.drop" {
+            TraceKind::PacketDropped
+        } else {
+            TraceKind::Marker
+        };
+        let name = sim.world().hosts[host.0].core.name.clone();
+        sim.trace_mut().record(
+            now,
+            kind,
+            name,
+            format!("{code}: injected on {}", plan.lan_name),
+        );
+    }
     let bytes = frame.to_bytes();
     let lan = plan.lan;
-    for (h, i, delay) in plan.deliveries {
-        let bytes = bytes.clone();
+    for (h, i, delay, verdict) in plan.deliveries {
+        let delay = delay + verdict.extra_delay;
+        let bytes = match verdict.corrupt {
+            Some((off, mask)) => {
+                // The verdict's offset addresses the payload; skip the
+                // frame header so addressing stays intact and the damage
+                // is caught by the checksums that guard the payload.
+                let mut v = bytes.to_vec();
+                let at = mosquitonet_link::FRAME_HEADER_LEN + off;
+                v[at] ^= mask;
+                Bytes::from(v)
+            }
+            None => bytes.clone(),
+        };
+        if let Some(gap) = verdict.duplicate_after {
+            let dup = bytes.clone();
+            sim.schedule_in(delay + gap, move |sim| deliver_frame(sim, h, i, lan, dup));
+        }
         sim.schedule_in(delay, move |sim| deliver_frame(sim, h, i, lan, bytes));
     }
 }

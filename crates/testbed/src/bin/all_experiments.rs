@@ -29,6 +29,7 @@ fn main() {
     let c1_metrics = mosquitonet_sim::MetricsRegistry::new().to_json();
     let c2 = experiments::run_c2(50, seed);
     let c3 = experiments::run_c3(seed);
+    let c4 = experiments::run_c4(4, seed);
     let a1 = experiments::run_a1(10, seed);
     let (a2, a2_metrics) = experiments::run_a2(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512], seed);
     let a3 = experiments::run_a3(seed);
@@ -48,12 +49,13 @@ fn main() {
     print!("{}", report::render_c1(&c1));
     print!("{}", report::render_c2(&c2));
     print!("{}", report::render_c3(&c3));
+    print!("{}", report::render_c4(&c4));
     print!("{}", report::render_a1(&a1));
     print!("{}", report::render_a2(&a2));
     print!("{}", report::render_a3(&a3));
 
     // One machine-readable metrics sidecar per experiment.
-    let sidecars: [(&str, &Json); 10] = [
+    let sidecars: [(&str, &Json); 11] = [
         ("tab1", &tab1.metrics),
         ("tab1_far", &tab1_far.metrics),
         ("fig6", &fig6.metrics),
@@ -61,6 +63,7 @@ fn main() {
         ("c1", &c1_metrics),
         ("c2", &c2.metrics),
         ("c3", &c3.metrics),
+        ("c4_lossy_registration", &c4.metrics),
         ("a1", &a1.metrics),
         ("a2", &a2_metrics),
         ("a3", &a3.metrics),
@@ -82,6 +85,7 @@ fn main() {
             ("c1", Json::arr(c1.iter().map(|r| r.to_json()))),
             ("c2", c2.to_json()),
             ("c3", c3.to_json()),
+            ("c4", c4.to_json()),
             ("a1", a1.to_json()),
             ("a2", Json::arr(a2.iter().map(|r| r.to_json()))),
             ("a2_metrics", a2_metrics.clone()),

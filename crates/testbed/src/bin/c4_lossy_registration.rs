@@ -1,0 +1,17 @@
+//! Chaos experiment C4: same-subnet address switches while a seeded
+//! fault plan drops a sweep of 0–50 % of frames on the care-of link.
+//! Usage: `c4_lossy_registration [switches] [seed]`.
+
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let switches: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1996);
+    let result = experiments::run_c4(switches, seed);
+    print!("{}", report::render_c4(&result));
+    match report::write_metrics_sidecar("c4_lossy_registration", &result.metrics) {
+        Ok(path) => eprintln!("metrics sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics sidecar: {e}"),
+    }
+}

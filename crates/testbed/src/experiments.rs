@@ -9,7 +9,7 @@ use std::net::Ipv4Addr;
 
 use mosquitonet_core::{AddressPlan, SendMode, SwitchPlan, SwitchStyle};
 use mosquitonet_dhcp::{DhcpClientModule, ReusePolicy};
-use mosquitonet_link::presets;
+use mosquitonet_link::{presets, FaultKind, FaultPlan};
 use mosquitonet_sim::{Histogram, Json, MetricsRegistry, Sim, SimDuration, Summary};
 use mosquitonet_stack::{self as stack, ModuleId, Network, RouteEntry};
 use mosquitonet_wire::{Cidr, MacAddr};
@@ -482,6 +482,196 @@ pub fn run_fig7(runs: u32, seed: u64) -> Fig7Result {
             ("hosts", tb.sim.metrics().to_json()),
         ]),
     }
+}
+
+// ---------------------------------------------------------------- C4
+
+/// One sweep point of the lossy-registration chaos experiment.
+#[derive(Debug)]
+pub struct C4Row {
+    /// Uniform frame-loss probability injected on the department LAN, %.
+    pub loss_pct: u32,
+    /// Address switches commanded at this loss rate.
+    pub switches: u32,
+    /// Switches whose registration completed within the per-switch cap.
+    pub completed: u32,
+    /// Registration requests transmitted during the sweep (first sends
+    /// and retransmissions).
+    pub requests_sent: u64,
+    /// Retransmissions among those.
+    pub retries: u64,
+    /// Frames the fault plan deleted on the department LAN.
+    pub drops_injected: u64,
+    /// Median completion latency over the completed switches, µs.
+    pub p50_us: u64,
+    /// 90th-percentile completion latency, µs.
+    pub p90_us: u64,
+    /// Worst completion latency, µs.
+    pub max_us: u64,
+}
+
+impl C4Row {
+    /// Renders the row. Every field is an integer, so the export is
+    /// byte-stable across same-seed runs.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("loss_pct", Json::UInt(u64::from(self.loss_pct))),
+            ("switches", Json::UInt(u64::from(self.switches))),
+            ("completed", Json::UInt(u64::from(self.completed))),
+            ("requests_sent", Json::UInt(self.requests_sent)),
+            ("retries", Json::UInt(self.retries)),
+            ("drops_injected", Json::UInt(self.drops_injected)),
+            ("p50_us", Json::UInt(self.p50_us)),
+            ("p90_us", Json::UInt(self.p90_us)),
+            ("max_us", Json::UInt(self.max_us)),
+        ])
+    }
+}
+
+/// The C4 result: one row per loss rate plus the sidecar metrics.
+pub struct C4Result {
+    /// One row per sweep point.
+    pub rows: Vec<C4Row>,
+    /// `{"sweep": ..., "rows": ...}` — per-loss completion histograms and
+    /// each fault plan's own `fault.{kind}` counters under `c4/loss_XX/`,
+    /// plus the row table.
+    pub metrics: Json,
+}
+
+impl C4Result {
+    /// Renders the row table for the combined-results JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([("rows", Json::arr(self.rows.iter().map(C4Row::to_json)))])
+    }
+}
+
+/// The loss sweep: uniform frame loss from 0 to 50 %.
+pub const C4_LOSS_PCTS: &[u32] = &[0, 10, 20, 30, 40, 50];
+
+/// Bucket bounds (µs) for the completion-latency histograms. A lossless
+/// same-subnet switch takes ~7.4 ms; every lost request or reply adds a
+/// backoff interval (1 s doubling to 8 s), so completions spread over
+/// decades.
+pub const C4_COMPLETION_BOUNDS_US: &[u64] = &[
+    8_000,
+    16_000,
+    32_000,
+    64_000,
+    128_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    4_000_000,
+    8_000_000,
+    16_000_000,
+    32_000_000,
+    64_000_000,
+    128_000_000,
+];
+
+/// How long one switch may run before the sweep stops waiting for it.
+/// Registration itself never gives up (an exhausted retry budget degrades
+/// to a fresh attempt sequence), so this is a reporting bound, not a
+/// protocol one.
+const C4_SWITCH_CAP: SimDuration = SimDuration::from_secs(240);
+
+/// Runs the chaos experiment: `switches` same-subnet address switches per
+/// loss rate of [`C4_LOSS_PCTS`], with uniform frame loss injected on the
+/// department LAN by a seeded [`FaultPlan`]. Everything — including every
+/// injected fault — derives from `seed`, so a rerun reproduces the result
+/// byte for byte.
+pub fn run_c4(switches: u32, seed: u64) -> C4Result {
+    let sweep = MetricsRegistry::new();
+    let mut rows = Vec::new();
+    for &pct in C4_LOSS_PCTS {
+        let scope_name = format!("c4/loss_{pct:02}");
+        let h_completion = mosquitonet_sim::LatencyHistogram::with_bounds(C4_COMPLETION_BOUNDS_US);
+        sweep.register_histogram(format!("{scope_name}/completion"), &h_completion);
+
+        let mut tb = build(TestbedConfig {
+            seed,
+            ..TestbedConfig::default()
+        });
+        settle_on_dept(&mut tb);
+
+        // Install the plan only after the clean settle: the sweep measures
+        // re-registration under loss, not bring-up under loss.
+        let plan =
+            FaultPlan::uniform_loss(f64::from(pct) / 100.0, seed ^ (0xC4_00 + u64::from(pct)));
+        plan.register_metrics(&sweep.scope(&scope_name));
+        tb.sim.world_mut().lans[tb.lan_dept.0].set_fault_plan(Some(plan));
+        // Rebind host metrics so the plan's counters also appear in the
+        // run registry under `lan.net-36-8/fault.*`.
+        stack::register_metrics(&mut tb.sim);
+
+        let (req0, ret0) = {
+            let m = tb.mh_module();
+            (m.requests_sent.get(), m.registration_retries.get())
+        };
+        let mut totals_ns: Vec<u64> = Vec::new();
+        'sweep: for i in 0..switches {
+            let target = if i % 2 == 0 { COA_DEPT_ALT } else { COA_DEPT };
+            let idx = tb.mh_module().timelines.len();
+            tb.with_mh(|mh, ctx| {
+                mh.switch_address(
+                    ctx,
+                    AddressPlan::Static {
+                        addr: target,
+                        subnet: topology::dept_subnet(),
+                        router: ROUTER_DEPT,
+                    },
+                )
+            });
+            // A timeline is recorded only when the switch completes.
+            let slice = SimDuration::from_millis(100);
+            let mut waited = SimDuration::ZERO;
+            while tb.mh_module().timelines.len() <= idx {
+                if waited >= C4_SWITCH_CAP {
+                    // Still mid-switch; `switch_address` refuses to
+                    // preempt, so stop sweeping this loss point.
+                    break 'sweep;
+                }
+                tb.run_for(slice);
+                waited += slice;
+            }
+            let total = tb.mh_module().timelines[idx].total().expect("completed");
+            totals_ns.push(total.as_nanos());
+            h_completion.record(total);
+        }
+        let (req1, ret1) = {
+            let m = tb.mh_module();
+            (m.requests_sent.get(), m.registration_retries.get())
+        };
+        let drops = tb.sim.world().lans[tb.lan_dept.0]
+            .fault
+            .as_ref()
+            .map(|p| p.injected(FaultKind::Drop))
+            .unwrap_or(0);
+        totals_ns.sort_unstable();
+        let pctl = |p: usize| -> u64 {
+            if totals_ns.is_empty() {
+                0
+            } else {
+                totals_ns[(totals_ns.len() - 1) * p / 100] / 1_000
+            }
+        };
+        rows.push(C4Row {
+            loss_pct: pct,
+            switches,
+            completed: totals_ns.len() as u32,
+            requests_sent: req1 - req0,
+            retries: ret1 - ret0,
+            drops_injected: drops,
+            p50_us: pctl(50),
+            p90_us: pctl(90),
+            max_us: totals_ns.last().copied().unwrap_or(0) / 1_000,
+        });
+    }
+    let metrics = Json::obj([
+        ("sweep", sweep.to_json()),
+        ("rows", Json::arr(rows.iter().map(C4Row::to_json))),
+    ]);
+    C4Result { rows, metrics }
 }
 
 // ---------------------------------------------------------------- C1

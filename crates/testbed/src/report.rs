@@ -14,7 +14,7 @@ use std::path::{Path, PathBuf};
 use mosquitonet_sim::Json;
 
 use crate::experiments::{
-    A1Result, A2Row, C1Row, C2Result, C3Result, Fig6Result, Fig7Result, Tab1Result,
+    A1Result, A2Row, C1Row, C2Result, C3Result, C4Result, Fig6Result, Fig7Result, Tab1Result,
 };
 
 /// Schema tag stamped into every metrics sidecar file.
@@ -223,6 +223,41 @@ pub fn render_c3(r: &C3Result) -> String {
          \x20   probe fell back to the tunnel : {}\n\
          \x20   connectivity after fallback   : {}",
         r.fallback_triggered, r.post_fallback_delivery
+    );
+    out
+}
+
+/// Renders the C4 (lossy-registration chaos) result.
+pub fn render_c4(r: &C4Result) -> String {
+    let mut out = String::new();
+    hr(
+        &mut out,
+        "C4 — Registration under injected loss (chaos sweep)",
+    );
+    let _ = writeln!(
+        out,
+        "  loss%  completed  requests  retries  drops   p50 ms   p90 ms   max ms"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            out,
+            "  {:>4}   {:>4}/{:<4}  {:>7}  {:>7}  {:>5}  {:>7.1}  {:>7.1}  {:>7.1}",
+            row.loss_pct,
+            row.completed,
+            row.switches,
+            row.requests_sent,
+            row.retries,
+            row.drops_injected,
+            row.p50_us as f64 / 1_000.0,
+            row.p90_us as f64 / 1_000.0,
+            row.max_us as f64 / 1_000.0,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  (every switch re-registers through exponential backoff with\n\
+         \x20  deterministic jitter; an exhausted retry budget degrades to a\n\
+         \x20  fresh attempt sequence rather than giving up)"
     );
     out
 }

@@ -213,6 +213,79 @@ proptest! {
         let _ = UdpDatagram::parse(&data, a, a);
         let _ = TcpSegment::parse(&data, a, a);
     }
+
+    // ---- truncation: every strict prefix of a valid packet is rejected,
+    // never mis-parsed (this is what keeps an injected mid-frame cut from
+    // turning into a silently shorter payload).
+
+    #[test]
+    fn ipv4_truncation_rejected(pkt in arb_ipv4_packet(), cut in any::<proptest::sample::Index>()) {
+        let bytes = pkt.to_bytes();
+        let len = cut.index(bytes.len()); // strictly shorter than the packet
+        prop_assert!(
+            Ipv4Packet::parse(&bytes[..len]).is_err(),
+            "prefix of {len} of {} parsed", bytes.len()
+        );
+    }
+
+    #[test]
+    fn udp_truncation_rejected(
+        src in arb_ipv4_addr(), dst in arb_ipv4_addr(),
+        payload in arb_payload(256),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let d = UdpDatagram::new(1000, 2000, payload);
+        let bytes = d.to_bytes(src, dst);
+        let len = cut.index(bytes.len());
+        prop_assert!(
+            UdpDatagram::parse(&bytes[..len], src, dst).is_err(),
+            "prefix of {len} of {} parsed", bytes.len()
+        );
+    }
+
+    #[test]
+    fn arp_truncation_rejected(
+        smac in arb_mac(), sip in arb_ipv4_addr(), tip in arb_ipv4_addr(),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let bytes = ArpPacket::request(smac, sip, tip).to_bytes();
+        let len = cut.index(bytes.len());
+        prop_assert!(ArpPacket::parse(&bytes[..len]).is_err(), "prefix of {len} parsed");
+    }
+
+    #[test]
+    fn ipip_truncated_inner_rejected(
+        pkt in arb_ipv4_packet(),
+        osrc in arb_ipv4_addr(), odst in arb_ipv4_addr(),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        // An IPIP packet whose inner datagram was cut short must fail at
+        // decapsulation, not yield a shorter inner packet.
+        let inner = pkt.to_bytes();
+        let len = cut.index(inner.len());
+        let outer = Ipv4Packet::new(
+            Ipv4Header::new(osrc, odst, IpProto::IpIp),
+            Bytes::from(inner[..len].to_vec()),
+        );
+        prop_assert!(ipip::decapsulate(&outer).is_err(), "inner prefix of {len} decapsulated");
+    }
+
+    // ---- corruption: ARP carries no checksum, but its fixed preamble
+    // (htype/ptype/hlen/plen/op) is fully validated — any single-bit flip
+    // there must be rejected.
+
+    #[test]
+    fn arp_preamble_bitflips_rejected(
+        op in prop_oneof![Just(ArpOp::Request), Just(ArpOp::Reply)],
+        smac in arb_mac(), tmac in arb_mac(),
+        sip in arb_ipv4_addr(), tip in arb_ipv4_addr(),
+        bit in 0usize..(8 * 8),
+    ) {
+        let pkt = ArpPacket { op, sender_mac: smac, sender_ip: sip, target_mac: tmac, target_ip: tip };
+        let mut bytes = pkt.to_bytes().to_vec();
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(ArpPacket::parse(&bytes).is_err(), "flip of preamble bit {bit} accepted");
+    }
 }
 
 fn tcp_flags_from_bits(b: u8) -> TcpFlags {

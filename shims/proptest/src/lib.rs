@@ -260,7 +260,7 @@ tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
 pub mod collection {
     use super::*;
 
-    /// Length specification for [`vec`]: a half-open range of lengths.
+    /// Length specification for [`vec()`](crate::collection::vec): a half-open range of lengths.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -302,7 +302,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](crate::collection::vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
