@@ -15,6 +15,7 @@ fn main() {
     println!("{}", report::render_c3(&experiments::run_c3(1996)));
     let mut c = Criterion::default().configure_from_args().sample_size(60);
     mosquitonet_bench::gate::run_route_policy(&mut c);
+    mosquitonet_bench::gate::run_fast_path(&mut c);
 
     // The telemetry budget: `lookup()` now bumps a per-send-mode counter
     // on every call, so the increment itself must stay under 10 ns/op.

@@ -13,9 +13,10 @@ use mosquitonet_core::timing::{
     REGISTRATION_RETRY, REGISTRATION_RETRY_BUDGET, REGISTRATION_RETRY_MAX,
 };
 use mosquitonet_core::{MobilePolicyTable, RetryBackoff, SendMode};
-use mosquitonet_link::{FaultPlan, FaultRates};
+use mosquitonet_link::{presets, FaultPlan, FaultRates};
 use mosquitonet_sim::SimTime;
-use mosquitonet_stack::{IfaceId, RouteEntry, RouteTable};
+use mosquitonet_stack::{resolve_route, Host, HostId, IfaceId, RouteEntry, RouteTable, SourceSel};
+use mosquitonet_wire::{LpmTrie, MacAddr};
 
 /// Builds a routing table with a default route plus `entries` /24 nets.
 pub fn route_table(entries: u32) -> RouteTable {
@@ -57,6 +58,68 @@ pub fn run_route_policy(c: &mut Criterion) -> Vec<(String, f64)> {
     let dst = Ipv4Addr::new(10, 0, 0, 33);
     let id = "policy_lookup/64_learned_entries".to_string();
     let med = c.bench_function(&id, |b| b.iter(|| mpt.lookup(black_box(dst))));
+    results.push((id, med));
+    results
+}
+
+/// A standalone host with four addressed Ethernet interfaces (the route
+/// fixture round-robins routes across four) and `routes` /24 nets plus a
+/// default route — the fixture the decision-cache benchmarks resolve
+/// against.
+pub fn bench_host(routes: u32) -> Host {
+    let mut host = Host::new(HostId(0), "bench");
+    for i in 0..4u32 {
+        let iface = host.core.add_iface(presets::pcmcia_ethernet(
+            format!("eth{i}"),
+            MacAddr::from_index(i + 1),
+        ));
+        host.core.iface_mut(iface).add_addr(
+            Ipv4Addr::new(10, 0, 0, 2 + i as u8),
+            "10.0.0.0/8".parse().expect("cidr"),
+        );
+    }
+    host.core.routes = route_table(routes);
+    host
+}
+
+/// The fast-path structures themselves: raw longest-prefix-match trie
+/// lookups at two table sizes, then the unified decision cache fronting
+/// `resolve_route` — one warm hit and one forced miss (flush + full
+/// re-resolution) against a 512-entry table.
+pub fn run_fast_path(c: &mut Criterion) -> Vec<(String, f64)> {
+    let mut results = Vec::new();
+    for n in [64u32, 4096] {
+        let mut trie = LpmTrie::new();
+        for i in 0..n {
+            let b = (i >> 8) as u8;
+            let sub = (i & 0xff) as u8;
+            trie.insert(format!("10.{b}.{sub}.0/24").parse().expect("cidr"), i);
+        }
+        let dst = Ipv4Addr::new(10, 0, 17, 9);
+        let id = format!("lpm_lookup/{n}_entries");
+        let med = c.bench_function(&id, |b| b.iter(|| trie.lookup(black_box(dst))));
+        results.push((id, med));
+    }
+
+    let mut host = bench_host(512);
+    let dst = Ipv4Addr::new(10, 0, 17, 9);
+    assert!(
+        resolve_route(&mut host, dst, SourceSel::Unspecified, None).is_some(),
+        "bench fixture must route"
+    );
+    let id = "fastpath/hit".to_string();
+    let med = c.bench_function(&id, |b| {
+        b.iter(|| resolve_route(black_box(&mut host), dst, SourceSel::Unspecified, None))
+    });
+    results.push((id, med));
+
+    let id = "fastpath/miss".to_string();
+    let med = c.bench_function(&id, |b| {
+        b.iter(|| {
+            host.fastpath.flush();
+            resolve_route(black_box(&mut host), dst, SourceSel::Unspecified, None)
+        })
+    });
     results.push((id, med));
     results
 }
@@ -105,6 +168,7 @@ pub fn run_registration_backoff(c: &mut Criterion) -> Vec<(String, f64)> {
 /// Every gated benchmark, in baseline order.
 pub fn run_all(c: &mut Criterion) -> Vec<(String, f64)> {
     let mut results = run_route_policy(c);
+    results.extend(run_fast_path(c));
     results.extend(run_registration_backoff(c));
     results
 }

@@ -133,7 +133,7 @@ impl Module for ForeignAgent {
             self.advertise(ctx);
         } else if let Some(home) = self.forward_tokens.remove(&token) {
             // Previous-FA forwarding grace period over.
-            ctx.core.tunnels.remove(&home);
+            ctx.core.clear_tunnel(home);
             ctx.fx
                 .trace(format!("previous-FA forwarding for {home} expired"));
         }
@@ -197,7 +197,7 @@ impl Module for ForeignAgent {
                         // forwarding state for it is now stale (the host
                         // came *back*) and must go, or packets would loop
                         // out to its former care-of address.
-                        ctx.core.tunnels.remove(&reply.home_addr);
+                        ctx.core.clear_tunnel(reply.home_addr);
                         self.forward_tokens.retain(|_, h| *h != reply.home_addr);
                         ctx.fx.trace(format!(
                             "visitor {} registered via this FA",
@@ -221,9 +221,7 @@ impl Module for ForeignAgent {
                     return;
                 };
                 ctx.core.routes.remove(Cidr::host(update.home_addr));
-                ctx.core
-                    .tunnels
-                    .insert(update.home_addr, update.new_care_of);
+                ctx.core.set_tunnel(update.home_addr, update.new_care_of);
                 self.visitors.remove(&update.home_addr);
                 self.forwarding_armed.inc();
                 let token = self.next_expire_token;

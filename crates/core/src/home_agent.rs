@@ -179,7 +179,7 @@ impl HomeAgent {
         if req.is_deregistration() {
             match self.bindings.unbind(req.home_addr, req.ident) {
                 Some(_removed) => {
-                    ctx.core.tunnels.remove(&req.home_addr);
+                    ctx.core.clear_tunnel(req.home_addr);
                     ctx.core
                         .arp_mut(self.cfg.home_iface)
                         .remove_proxy(req.home_addr);
@@ -212,7 +212,7 @@ impl HomeAgent {
                 self.reply(ctx, reply_to, ReplyCode::DeniedIdent, 0, &req);
             }
             BindOutcome::Created => {
-                ctx.core.tunnels.insert(req.home_addr, req.care_of);
+                ctx.core.set_tunnel(req.home_addr, req.care_of);
                 ctx.core
                     .arp_mut(self.cfg.home_iface)
                     .add_proxy(req.home_addr);
@@ -228,7 +228,7 @@ impl HomeAgent {
                 self.reply(ctx, reply_to, ReplyCode::Accepted, granted, &req);
             }
             BindOutcome::Moved { previous } => {
-                ctx.core.tunnels.insert(req.home_addr, req.care_of);
+                ctx.core.set_tunnel(req.home_addr, req.care_of);
                 ctx.fx.trace(format!(
                     "moved {} from {} to {}",
                     req.home_addr, previous, req.care_of
@@ -282,7 +282,7 @@ impl Module for HomeAgent {
         if token == TOKEN_SWEEP {
             for (home, binding) in self.bindings.sweep_expired(ctx.now) {
                 self.expiries.inc();
-                ctx.core.tunnels.remove(&home);
+                ctx.core.clear_tunnel(home);
                 ctx.core.arp_mut(self.cfg.home_iface).remove_proxy(home);
                 ctx.fx.trace(format!(
                     "binding expired: {home} (was at {})",

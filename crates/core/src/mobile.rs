@@ -18,8 +18,8 @@ use std::net::Ipv4Addr;
 use bytes::Bytes;
 use mosquitonet_sim::{Counter, MetricCell, MetricsScope, SimDuration, SimTime};
 use mosquitonet_stack::{
-    Effect, EncapSpec, HostCore, IfaceId, Module, ModuleCtx, RouteDecision, RouteEntry, SocketId,
-    SourceSel,
+    Effect, EncapSpec, HostCore, IfaceId, Module, ModuleCtx, RouteAnswer, RouteDecision,
+    RouteEntry, SocketId, SourceSel,
 };
 use mosquitonet_wire::{Cidr, IcmpMessage};
 
@@ -291,6 +291,11 @@ pub struct MobileHost {
     backoff: RetryBackoff,
     /// When the currently-held binding expires at the home agent.
     binding_expires_at: Option<SimTime>,
+    /// Bumped whenever location / registration state changes an answer
+    /// `route_override` could give; folded with the policy table's
+    /// generation into [`Module::route_generation`] so the fast-path
+    /// decision cache flushes on every such change.
+    route_gen: u64,
 }
 
 impl MobileHost {
@@ -335,6 +340,7 @@ impl MobileHost {
             corrupt_replies: Counter::default(),
             backoff,
             binding_expires_at: None,
+            route_gen: 0,
         }
     }
 
@@ -703,7 +709,7 @@ impl MobileHost {
         self.last_subnet.insert(iface, subnet);
         // The interface joins a (possibly) new network: every address it
         // carried on the old one is stale now.
-        ctx.core.iface_mut(iface).addrs.clear();
+        ctx.core.iface_mut(iface).clear_addrs();
         if op.going_home {
             // The home address returns to the physical interface.
             ctx.core
@@ -765,6 +771,7 @@ impl MobileHost {
                 registered: false,
             };
         }
+        self.route_gen += 1;
         // No gratuitous ARP for a care-of address: the router resolves it
         // when the registration reply (or the first tunneled packet)
         // needs it, and the cache stays warm thereafter — which is why
@@ -822,6 +829,7 @@ impl MobileHost {
                 if self.switching.is_none() {
                     if let Location::Away { registered, .. } = &mut self.location {
                         *registered = false;
+                        self.route_gen += 1;
                     }
                 }
                 self.backoff.reset();
@@ -866,6 +874,7 @@ impl MobileHost {
         }
         if let Location::Away { registered, .. } = &mut self.location {
             *registered = true;
+            self.route_gen += 1;
         }
         // Refresh the binding at half the granted lifetime, and watch for
         // the binding lapsing outright (renewals may all be lost); both
@@ -884,6 +893,84 @@ impl MobileHost {
             ctx.fx.push(Effect::CancelTimer {
                 token: TOKEN_BINDING_LAPSE,
             });
+        }
+    }
+
+    /// The policy resolution behind [`Module::route_override`], with cache
+    /// eligibility. A successful decision is cacheable and carries the
+    /// per-mode policy counter its lookup charged (replayed hits must keep
+    /// charging it). A lookup that charged the counter but then failed to
+    /// resolve a route is [`RouteAnswer::Once`]: the charge is a per-call
+    /// side effect a cached fall-through would silently skip.
+    fn route_decision(&mut self, core: &HostCore, dst: Ipv4Addr, src: SourceSel) -> RouteAnswer {
+        let (care_of, registered) = match self.location {
+            Location::Home { .. } => return RouteAnswer::Pass,
+            Location::Away {
+                care_of,
+                registered,
+                ..
+            } => (care_of, registered),
+        };
+        match src {
+            SourceSel::Addr(a) if a != self.cfg.home_addr => return RouteAnswer::Pass,
+            _ => {}
+        }
+        if !registered {
+            // Mid-switch: nothing sensible to do; let normal routing try.
+            return RouteAnswer::Pass;
+        }
+        let mode = self.policy.lookup(dst);
+        let on_hit = Some(self.policy.stats.counter_for(mode).clone());
+        let route_to = |target: Ipv4Addr| -> Option<(IfaceId, Ipv4Addr)> {
+            let rt = core.routes.lookup(target)?;
+            Some((rt.iface, rt.gateway.unwrap_or(target)))
+        };
+        let decision = match mode {
+            SendMode::ReverseTunnel => {
+                route_to(self.cfg.home_agent).map(|(out_iface, next_hop)| RouteDecision {
+                    iface: out_iface,
+                    src: self.cfg.home_addr,
+                    next_hop,
+                    encap: Some(EncapSpec {
+                        outer_src: care_of,
+                        outer_dst: self.cfg.home_agent,
+                    }),
+                })
+            }
+            SendMode::Triangle => route_to(dst).map(|(out_iface, next_hop)| RouteDecision {
+                iface: out_iface,
+                src: self.cfg.home_addr,
+                next_hop,
+                encap: None,
+            }),
+            SendMode::DirectEncap => route_to(dst).map(|(out_iface, next_hop)| RouteDecision {
+                iface: out_iface,
+                src: self.cfg.home_addr,
+                next_hop,
+                encap: Some(EncapSpec {
+                    outer_src: care_of,
+                    outer_dst: dst,
+                }),
+            }),
+            SendMode::DirectLocal => {
+                // An application that explicitly bound the home address
+                // keeps it (this degenerates to the triangle route);
+                // unspecified sources take the local address — the pure
+                // local role.
+                route_to(dst).map(|(out_iface, next_hop)| RouteDecision {
+                    iface: out_iface,
+                    src: match src {
+                        SourceSel::Addr(a) => a,
+                        SourceSel::Unspecified => care_of,
+                    },
+                    next_hop,
+                    encap: None,
+                })
+            }
+        };
+        match decision {
+            Some(decision) => RouteAnswer::Decide { decision, on_hit },
+            None => RouteAnswer::Once(None),
         }
     }
 
@@ -1014,6 +1101,7 @@ impl Module for MobileHost {
                 if let Location::Away { registered, .. } = &mut self.location {
                     if *registered {
                         *registered = false;
+                        self.route_gen += 1;
                         self.binding_lapses.inc();
                         self.binding_expires_at = None;
                         ctx.fx.trace(
@@ -1112,79 +1200,24 @@ impl Module for MobileHost {
         dst: Ipv4Addr,
         src: SourceSel,
     ) -> Option<RouteDecision> {
-        let (care_of, registered) = match self.location {
-            Location::Home { .. } => return None,
-            Location::Away {
-                care_of,
-                registered,
-                ..
-            } => (care_of, registered),
-        };
-        match src {
-            SourceSel::Addr(a) if a != self.cfg.home_addr => return None,
-            _ => {}
+        match self.route_decision(core, dst, src) {
+            RouteAnswer::Pass => None,
+            RouteAnswer::Decide { decision, .. } => Some(decision),
+            RouteAnswer::Once(d) => d,
         }
-        if !registered {
-            // Mid-switch: nothing sensible to do; let normal routing try.
-            return None;
-        }
-        let mode = self.policy.lookup(dst);
-        let route_to = |target: Ipv4Addr| -> Option<(IfaceId, Ipv4Addr)> {
-            let rt = core.routes.lookup(target)?;
-            Some((rt.iface, rt.gateway.unwrap_or(target)))
-        };
-        match mode {
-            SendMode::ReverseTunnel => {
-                let (out_iface, next_hop) = route_to(self.cfg.home_agent)?;
-                Some(RouteDecision {
-                    iface: out_iface,
-                    src: self.cfg.home_addr,
-                    next_hop,
-                    encap: Some(EncapSpec {
-                        outer_src: care_of,
-                        outer_dst: self.cfg.home_agent,
-                    }),
-                })
-            }
-            SendMode::Triangle => {
-                let (out_iface, next_hop) = route_to(dst)?;
-                Some(RouteDecision {
-                    iface: out_iface,
-                    src: self.cfg.home_addr,
-                    next_hop,
-                    encap: None,
-                })
-            }
-            SendMode::DirectEncap => {
-                let (out_iface, next_hop) = route_to(dst)?;
-                Some(RouteDecision {
-                    iface: out_iface,
-                    src: self.cfg.home_addr,
-                    next_hop,
-                    encap: Some(EncapSpec {
-                        outer_src: care_of,
-                        outer_dst: dst,
-                    }),
-                })
-            }
-            SendMode::DirectLocal => {
-                // An application that explicitly bound the home address
-                // keeps it (this degenerates to the triangle route);
-                // unspecified sources take the local address — the pure
-                // local role.
-                let (out_iface, next_hop) = route_to(dst)?;
-                let src = match src {
-                    SourceSel::Addr(a) => a,
-                    SourceSel::Unspecified => care_of,
-                };
-                Some(RouteDecision {
-                    iface: out_iface,
-                    src,
-                    next_hop,
-                    encap: None,
-                })
-            }
-        }
+    }
+
+    fn route_override_cached(
+        &mut self,
+        core: &HostCore,
+        dst: Ipv4Addr,
+        src: SourceSel,
+    ) -> RouteAnswer {
+        self.route_decision(core, dst, src)
+    }
+
+    fn route_generation(&self) -> Option<u64> {
+        Some(self.route_gen.wrapping_add(self.policy.generation()))
     }
 
     fn as_any(&mut self) -> &mut dyn Any {

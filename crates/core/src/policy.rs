@@ -14,7 +14,7 @@
 use std::net::Ipv4Addr;
 
 use mosquitonet_sim::{Counter, MetricCell, MetricsScope};
-use mosquitonet_wire::Cidr;
+use mosquitonet_wire::{Cidr, LpmTrie};
 
 /// How to send a mobile-IP-subject packet while away from home.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -65,7 +65,12 @@ impl PolicyStats {
         }
     }
 
-    fn for_mode(&self, mode: SendMode) -> &Counter {
+    /// The counter bumped when a lookup resolves to `mode`.
+    ///
+    /// Public so the fast-path decision cache can keep bumping the exact
+    /// same cell on cache hits, keeping per-mode totals identical whether
+    /// or not a lookup was served from cache.
+    pub fn counter_for(&self, mode: SendMode) -> &Counter {
         match mode {
             SendMode::ReverseTunnel => &self.reverse_tunnel,
             SendMode::Triangle => &self.triangle,
@@ -103,8 +108,13 @@ pub struct PolicyEntry {
 /// ```
 #[derive(Clone, Debug)]
 pub struct MobilePolicyTable {
+    /// Insertion-ordered entries (diagnostics dumps).
     entries: Vec<PolicyEntry>,
+    /// Longest-prefix-match index; `set`/`learn` keep at most one entry
+    /// per prefix, so each trie node holds a single entry.
+    trie: LpmTrie<PolicyEntry>,
     default_mode: SendMode,
+    generation: u64,
     /// Per-mode lookup counters (shared cells; see [`PolicyStats`]).
     pub stats: PolicyStats,
 }
@@ -114,9 +124,18 @@ impl MobilePolicyTable {
     pub fn new(default_mode: SendMode) -> MobilePolicyTable {
         MobilePolicyTable {
             entries: Vec::new(),
+            trie: LpmTrie::new(),
             default_mode,
+            generation: 0,
             stats: PolicyStats::default(),
         }
+    }
+
+    /// A counter bumped on every mutation — insert, probe-learned update,
+    /// forget, remove, or default-mode change. The fast-path decision
+    /// cache compares it to invalidate stale per-destination decisions.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The default mode for unmatched destinations.
@@ -127,41 +146,66 @@ impl MobilePolicyTable {
     /// Changes the default mode.
     pub fn set_default(&mut self, mode: SendMode) {
         self.default_mode = mode;
+        self.generation += 1;
     }
 
     /// Installs a configured policy for a prefix (replacing any previous
     /// entry for the same prefix).
     pub fn set(&mut self, dest: Cidr, mode: SendMode) {
         self.entries.retain(|e| e.dest != dest);
-        self.entries.push(PolicyEntry {
+        let entry = PolicyEntry {
             dest,
             mode,
             learned: false,
-        });
+        };
+        self.entries.push(entry);
+        self.trie.insert(dest, entry);
+        self.generation += 1;
     }
 
     /// Caches a probe-learned policy for one host.
     pub fn learn(&mut self, host: Ipv4Addr, mode: SendMode) {
         let dest = Cidr::host(host);
         self.entries.retain(|e| e.dest != dest);
-        self.entries.push(PolicyEntry {
+        let entry = PolicyEntry {
             dest,
             mode,
             learned: true,
-        });
+        };
+        self.entries.push(entry);
+        self.trie.insert(dest, entry);
+        self.generation += 1;
     }
 
     /// Drops all learned entries (e.g. after moving to a new network,
     /// where the old probe results no longer apply).
     pub fn forget_learned(&mut self) {
+        let learned: Vec<Cidr> = self
+            .entries
+            .iter()
+            .filter(|e| e.learned)
+            .map(|e| e.dest)
+            .collect();
+        if learned.is_empty() {
+            return;
+        }
         self.entries.retain(|e| !e.learned);
+        for dest in learned {
+            self.trie.remove(dest);
+        }
+        self.generation += 1;
     }
 
     /// Removes the entry for a prefix; returns whether one existed.
     pub fn remove(&mut self, dest: Cidr) -> bool {
         let before = self.entries.len();
         self.entries.retain(|e| e.dest != dest);
-        self.entries.len() != before
+        let removed = self.entries.len() != before;
+        if removed {
+            self.trie.remove(dest);
+            self.generation += 1;
+        }
+        removed
     }
 
     /// Longest-prefix-match lookup, falling back to the default mode.
@@ -169,15 +213,20 @@ impl MobilePolicyTable {
     /// Every lookup bumps the per-mode counter in [`MobilePolicyTable::stats`];
     /// the `route_policy_lookup` bench bounds that overhead at <10 ns.
     pub fn lookup(&self, dst: Ipv4Addr) -> SendMode {
-        let mode = self
-            .entries
-            .iter()
-            .filter(|e| e.dest.contains(dst))
-            .max_by_key(|e| e.dest.prefix_len())
-            .map(|e| e.mode)
-            .unwrap_or(self.default_mode);
-        self.stats.for_mode(mode).inc();
+        let mode = self.peek(dst);
+        self.stats.counter_for(mode).inc();
         mode
+    }
+
+    /// The mode a lookup would resolve to, **without** bumping the per-mode
+    /// counters. The fast-path cache uses this to derive which counter a
+    /// cached decision must keep charging; traffic accounting must go
+    /// through [`MobilePolicyTable::lookup`].
+    pub fn peek(&self, dst: Ipv4Addr) -> SendMode {
+        self.trie
+            .lookup(dst)
+            .map(|(_, e)| e.mode)
+            .unwrap_or(self.default_mode)
     }
 
     /// All entries (diagnostics).
@@ -263,6 +312,76 @@ mod tests {
             mpt.lookup(Ipv4Addr::new(36, 8, 0, 1)),
             SendMode::ReverseTunnel
         );
+    }
+
+    #[test]
+    fn peek_resolves_without_charging_counters() {
+        let mut mpt = MobilePolicyTable::new(SendMode::ReverseTunnel);
+        mpt.set(c("36.8.0.0/24"), SendMode::Triangle);
+        assert_eq!(mpt.peek(Ipv4Addr::new(36, 8, 0, 7)), SendMode::Triangle);
+        assert_eq!(mpt.stats.triangle.get(), 0, "peek must not count");
+        assert_eq!(mpt.lookup(Ipv4Addr::new(36, 8, 0, 7)), SendMode::Triangle);
+        assert_eq!(mpt.stats.triangle.get(), 1);
+    }
+
+    #[test]
+    fn generation_tracks_every_mutation() {
+        let mut mpt = MobilePolicyTable::new(SendMode::ReverseTunnel);
+        let mut last = mpt.generation();
+        let mut assert_bumped = |mpt: &MobilePolicyTable, what: &str| {
+            assert!(mpt.generation() > last, "{what} must bump generation");
+            last = mpt.generation();
+        };
+        mpt.set(c("36.8.0.0/24"), SendMode::Triangle);
+        assert_bumped(&mpt, "set");
+        mpt.learn(Ipv4Addr::new(36, 8, 0, 7), SendMode::DirectEncap);
+        assert_bumped(&mpt, "learn");
+        mpt.forget_learned();
+        assert_bumped(&mpt, "forget_learned");
+        mpt.set_default(SendMode::DirectLocal);
+        assert_bumped(&mpt, "set_default");
+        assert!(mpt.remove(c("36.8.0.0/24")));
+        assert_bumped(&mpt, "remove");
+        // No-ops leave the generation alone.
+        mpt.forget_learned();
+        assert!(!mpt.remove(c("36.8.0.0/24")));
+        assert_eq!(mpt.generation(), last);
+    }
+
+    #[test]
+    fn trie_lookup_agrees_with_linear_reference() {
+        let mut mpt = MobilePolicyTable::new(SendMode::ReverseTunnel);
+        let mut x: u32 = 0x4d6f_1996;
+        let mut step = || {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            x
+        };
+        let modes = [
+            SendMode::ReverseTunnel,
+            SendMode::Triangle,
+            SendMode::DirectEncap,
+            SendMode::DirectLocal,
+        ];
+        for _ in 0..512 {
+            let addr = Ipv4Addr::from(step());
+            let mode = modes[(step() % 4) as usize];
+            if step() % 3 == 0 {
+                mpt.learn(addr, mode);
+            } else {
+                mpt.set(Cidr::new(addr, (step() % 33) as u8), mode);
+            }
+        }
+        for _ in 0..2048 {
+            let dst = Ipv4Addr::from(step());
+            let reference = mpt
+                .entries()
+                .iter()
+                .filter(|e| e.dest.contains(dst))
+                .max_by_key(|e| e.dest.prefix_len())
+                .map(|e| e.mode)
+                .unwrap_or(mpt.default_mode());
+            assert_eq!(mpt.peek(dst), reference, "disagree on {dst}");
+        }
     }
 
     #[test]

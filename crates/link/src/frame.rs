@@ -80,11 +80,25 @@ impl Frame {
     /// Serializes to bytes.
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.wire_len());
-        buf.put_slice(&self.dst.octets());
-        buf.put_slice(&self.src.octets());
-        buf.put_u16(self.ethertype.number());
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        Frame::write_header(self.dst, self.src, self.ethertype, &mut header);
+        buf.put_slice(&header);
         buf.put_slice(&self.payload);
         buf.freeze()
+    }
+
+    /// Writes the 14-byte frame header into `out` — the in-place prepend
+    /// used by the pooled transmit path, which assembles the payload first
+    /// and claims the header bytes from buffer headroom.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `out` is exactly [`FRAME_HEADER_LEN`] bytes.
+    pub fn write_header(dst: MacAddr, src: MacAddr, ethertype: EtherType, out: &mut [u8]) {
+        assert_eq!(out.len(), FRAME_HEADER_LEN, "header slice must be 14 bytes");
+        out[0..6].copy_from_slice(&dst.octets());
+        out[6..12].copy_from_slice(&src.octets());
+        out[12..14].copy_from_slice(&ethertype.number().to_be_bytes());
     }
 
     /// Parses from bytes.
@@ -119,6 +133,19 @@ mod tests {
         );
         assert_eq!(Frame::parse(&f.to_bytes()).unwrap(), f);
         assert_eq!(f.wire_len(), 14 + 15);
+    }
+
+    #[test]
+    fn write_header_matches_to_bytes() {
+        let f = Frame::new(
+            MacAddr::from_index(9),
+            MacAddr::from_index(4),
+            EtherType::Arp,
+            Bytes::from_static(b"arp"),
+        );
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        Frame::write_header(f.dst, f.src, f.ethertype, &mut header);
+        assert_eq!(&f.to_bytes()[..FRAME_HEADER_LEN], &header);
     }
 
     #[test]

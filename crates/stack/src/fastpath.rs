@@ -1,0 +1,258 @@
+//! The fast-path decision cache in front of the `ip_rt_route()`
+//! reproduction.
+//!
+//! Resolving a locally-originated send walks every module's
+//! `route_override` hook and then the kernel routing table — for a mobile
+//! host that means a Mobile Policy Table lookup, a route lookup for the
+//! chosen target, a source-address choice and possibly an encapsulation
+//! decision, all per packet. This cache memoizes the *complete* decision
+//! (egress interface + source address + next hop + encapsulation) keyed by
+//! `(destination, source selection, forced interface)`, so steady-state
+//! traffic to a correspondent pays one hash probe instead.
+//!
+//! # Invalidation
+//!
+//! Entries carry no lifetime of their own. Instead every lookup presents a
+//! **validity token** — a wrapping sum of generation counters over all
+//! inputs that feed a decision (kernel routes, tunnel bindings, interface
+//! addresses, per-module `route_generation()`s; see `ip::fastpath_token`).
+//! A token mismatch flushes the whole cache before the lookup proceeds.
+//! Because re-registration, care-of address changes, policy updates,
+//! probe feedback and route changes each bump a component of the token,
+//! any of them invalidates instantly — without the mutating code needing
+//! a handle on the cache.
+//!
+//! # Statistics coherence
+//!
+//! The Mobile Policy Table charges a per-mode counter on every lookup, and
+//! those counters appear in every experiment's metrics sidecar. A cached
+//! entry therefore carries the exact counter cell its decision charged
+//! ([`CacheEntry::on_hit`]), bumped on every replay — per-mode totals are
+//! identical whether the cache is hot or cold.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use mosquitonet_sim::{Counter, MetricCell, MetricsScope};
+
+use crate::iface::IfaceId;
+use crate::proto::{RouteDecision, SourceSel};
+
+/// Everything that distinguishes one route resolution from another:
+/// destination, the application's source selection, and a forced egress
+/// interface if the application pinned one.
+pub type CacheKey = (Ipv4Addr, SourceSel, Option<IfaceId>);
+
+/// Entries beyond this count flush the cache (a safety valve against
+/// pathological workloads, not a tuning knob — the s1 scale experiment's
+/// ~10k correspondents fit comfortably).
+const MAX_ENTRIES: usize = 65_536;
+
+/// One memoized resolution.
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// The complete decision to replay.
+    pub decision: RouteDecision,
+    /// Counter charged on every replay (per-mode policy statistics).
+    pub on_hit: Option<Counter>,
+}
+
+/// Counters the cache exposes under `{host}/fastpath/`.
+#[derive(Clone, Debug, Default)]
+pub struct FastPathStats {
+    /// Lookups answered from the cache.
+    pub hit: Counter,
+    /// Lookups that fell through to full resolution.
+    pub miss: Counter,
+    /// Whole-cache flushes (validity-token changes and overflows).
+    pub invalidate: Counter,
+}
+
+impl FastPathStats {
+    /// Binds every counter into `scope` (conventionally `{host}/fastpath`).
+    pub fn register_into(&self, scope: &MetricsScope) {
+        for (name, cell) in [
+            ("hit", &self.hit),
+            ("miss", &self.miss),
+            ("invalidate", &self.invalidate),
+        ] {
+            scope.register(name, MetricCell::Counter(cell.clone()));
+        }
+    }
+}
+
+/// The per-host decision cache. Lives on `Host` beside the module list;
+/// consulted and filled by `ip::resolve_route`.
+#[derive(Debug, Default)]
+pub struct FastPath {
+    entries: HashMap<CacheKey, CacheEntry>,
+    /// The validity token the current entries were resolved under.
+    token: u64,
+    /// Hit/miss/invalidate counters, bound into the registry per host.
+    pub stats: FastPathStats,
+}
+
+impl FastPath {
+    /// Creates an empty cache.
+    pub fn new() -> FastPath {
+        FastPath::default()
+    }
+
+    /// Looks up `key` under validity token `token`. A token change flushes
+    /// the cache first. Charges `hit` or `miss`, and on a hit replays the
+    /// entry's `on_hit` counter charge.
+    pub fn lookup(&mut self, token: u64, key: &CacheKey) -> Option<RouteDecision> {
+        if token != self.token {
+            if !self.entries.is_empty() {
+                self.entries.clear();
+                self.stats.invalidate.inc();
+            }
+            self.token = token;
+        }
+        match self.entries.get(key) {
+            Some(entry) => {
+                self.stats.hit.inc();
+                if let Some(counter) = &entry.on_hit {
+                    counter.inc();
+                }
+                Some(entry.decision)
+            }
+            None => {
+                self.stats.miss.inc();
+                None
+            }
+        }
+    }
+
+    /// Memoizes a freshly-resolved decision under `token`. Ignored if the
+    /// token has moved since the corresponding [`FastPath::lookup`] (the
+    /// resolution itself mutated routing state — rare, but e.g. an ARP
+    /// park can). Overflow past the size cap flushes everything first.
+    pub fn insert(
+        &mut self,
+        token: u64,
+        key: CacheKey,
+        decision: RouteDecision,
+        on_hit: Option<Counter>,
+    ) {
+        if token != self.token {
+            return;
+        }
+        if self.entries.len() >= MAX_ENTRIES {
+            self.entries.clear();
+            self.stats.invalidate.inc();
+        }
+        self.entries.insert(key, CacheEntry { decision, on_hit });
+    }
+
+    /// Drops every entry (explicit flush; token-based invalidation makes
+    /// this rarely necessary).
+    pub fn flush(&mut self) {
+        if !self.entries.is_empty() {
+            self.entries.clear();
+            self.stats.invalidate.inc();
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no decisions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(iface: usize) -> RouteDecision {
+        RouteDecision {
+            iface: IfaceId(iface),
+            src: Ipv4Addr::new(36, 8, 0, 42),
+            next_hop: Ipv4Addr::new(36, 8, 0, 1),
+            encap: None,
+        }
+    }
+
+    fn key(last_octet: u8) -> CacheKey {
+        (
+            Ipv4Addr::new(36, 22, 0, last_octet),
+            SourceSel::Unspecified,
+            None,
+        )
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut fp = FastPath::new();
+        assert_eq!(fp.lookup(7, &key(1)), None);
+        fp.insert(7, key(1), decision(0), None);
+        assert_eq!(fp.lookup(7, &key(1)), Some(decision(0)));
+        assert_eq!(fp.stats.miss.get(), 1);
+        assert_eq!(fp.stats.hit.get(), 1);
+        assert_eq!(fp.stats.invalidate.get(), 0);
+    }
+
+    #[test]
+    fn token_change_flushes() {
+        let mut fp = FastPath::new();
+        fp.lookup(7, &key(1));
+        fp.insert(7, key(1), decision(0), None);
+        assert_eq!(fp.lookup(8, &key(1)), None, "new token invalidates");
+        assert_eq!(fp.stats.invalidate.get(), 1);
+        assert!(fp.is_empty());
+    }
+
+    #[test]
+    fn stale_insert_is_dropped() {
+        let mut fp = FastPath::new();
+        fp.lookup(7, &key(1));
+        fp.insert(6, key(1), decision(0), None);
+        assert!(fp.is_empty(), "insert under an old token is ignored");
+    }
+
+    #[test]
+    fn hit_replays_the_on_hit_counter() {
+        let mut fp = FastPath::new();
+        let charged = Counter::new();
+        fp.lookup(7, &key(1));
+        fp.insert(7, key(1), decision(0), Some(charged.clone()));
+        fp.lookup(7, &key(1));
+        fp.lookup(7, &key(1));
+        assert_eq!(charged.get(), 2, "one charge per hit");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let mut fp = FastPath::new();
+        fp.lookup(7, &key(1));
+        fp.insert(7, key(1), decision(0), None);
+        let pinned = (
+            Ipv4Addr::new(36, 22, 0, 1),
+            SourceSel::Addr(Ipv4Addr::new(36, 135, 0, 9)),
+            None,
+        );
+        assert_eq!(fp.lookup(7, &pinned), None, "source selection is keyed");
+        let forced = (
+            Ipv4Addr::new(36, 22, 0, 1),
+            SourceSel::Unspecified,
+            Some(IfaceId(2)),
+        );
+        assert_eq!(fp.lookup(7, &forced), None, "forced iface is keyed");
+        assert_eq!(fp.lookup(7, &key(1)), Some(decision(0)));
+    }
+
+    #[test]
+    fn explicit_flush_counts_once() {
+        let mut fp = FastPath::new();
+        fp.lookup(7, &key(1));
+        fp.insert(7, key(1), decision(0), None);
+        fp.flush();
+        fp.flush();
+        assert_eq!(fp.stats.invalidate.get(), 1, "empty flush is free");
+    }
+}

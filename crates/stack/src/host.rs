@@ -118,8 +118,13 @@ pub struct HostCore {
     pub tcp: TcpTable,
     /// VIF tunnel entries: packets to a key address are IP-in-IP
     /// encapsulated toward the value (care-of) address. The home agent
-    /// maintains one entry per registered mobile host (§3.4).
-    pub tunnels: HashMap<Ipv4Addr, Ipv4Addr>,
+    /// maintains one entry per registered mobile host (§3.4). Private so
+    /// every binding change passes through [`HostCore::set_tunnel`] /
+    /// [`HostCore::clear_tunnel`] and bumps `route_config_gen`, which the
+    /// fast-path decision cache folds into its validity token.
+    tunnels: HashMap<Ipv4Addr, Ipv4Addr>,
+    /// Bumped on every tunnel-binding change; see `tunnels`.
+    route_config_gen: u64,
     /// Multicast group memberships, per interface. A visiting mobile host
     /// joins groups on the *foreign* interface in its local role (§5.2).
     pub multicast_groups: HashSet<(IfaceId, Ipv4Addr)>,
@@ -165,6 +170,7 @@ impl HostCore {
             udp: UdpTable::new(),
             tcp: TcpTable::new(),
             tunnels: HashMap::new(),
+            route_config_gen: 0,
             multicast_groups: HashSet::new(),
             forwarding: false,
             transit_filter: false,
@@ -234,8 +240,39 @@ impl HostCore {
     pub fn local_subnets(&self) -> Vec<Cidr> {
         self.ifaces
             .iter()
-            .flat_map(|i| i.addrs.iter().map(|a| a.subnet))
+            .flat_map(|i| i.addrs().iter().map(|a| a.subnet))
             .collect()
+    }
+
+    /// Installs (or moves) a VIF tunnel: packets to `home` are IP-in-IP
+    /// encapsulated toward `care_of`. Returns the previous binding.
+    pub fn set_tunnel(&mut self, home: Ipv4Addr, care_of: Ipv4Addr) -> Option<Ipv4Addr> {
+        let prev = self.tunnels.insert(home, care_of);
+        if prev != Some(care_of) {
+            self.route_config_gen += 1;
+        }
+        prev
+    }
+
+    /// Removes the tunnel for `home`; returns the binding it held.
+    pub fn clear_tunnel(&mut self, home: Ipv4Addr) -> Option<Ipv4Addr> {
+        let prev = self.tunnels.remove(&home);
+        if prev.is_some() {
+            self.route_config_gen += 1;
+        }
+        prev
+    }
+
+    /// The care-of address packets to `dst` tunnel toward, if any.
+    pub fn tunnel_to(&self, dst: Ipv4Addr) -> Option<Ipv4Addr> {
+        self.tunnels.get(&dst).copied()
+    }
+
+    /// A counter bumped on every tunnel-binding change; the fast-path
+    /// decision cache folds it into its validity token so cached encap
+    /// decisions never outlive a binding move.
+    pub fn route_config_generation(&self) -> u64 {
+        self.route_config_gen
     }
 
     /// Allocates an IP identification value.
@@ -327,7 +364,7 @@ impl HostCore {
                 i,
                 ifc.device.name()
             );
-            for a in &ifc.addrs {
+            for a in ifc.addrs() {
                 let _ = write!(out, " {}/{}", a.addr, a.subnet.prefix_len());
             }
             let _ = writeln!(out);
@@ -363,6 +400,8 @@ impl HostCore {
 pub struct Host {
     /// The kernel-side state.
     pub core: HostCore,
+    /// The per-destination route/policy decision cache.
+    pub fastpath: crate::fastpath::FastPath,
     /// Modules, each slot emptied while its callback runs.
     pub(crate) modules: Vec<Option<Box<dyn Module>>>,
     /// Armed module timers: (module, token) → scheduled event.
@@ -376,6 +415,7 @@ impl Host {
     pub fn new(id: HostId, name: impl Into<String>) -> Host {
         Host {
             core: HostCore::new(id, name.into()),
+            fastpath: crate::fastpath::FastPath::new(),
             modules: Vec::new(),
             module_timers: HashMap::new(),
             tcp_timers: HashMap::new(),
@@ -520,8 +560,7 @@ mod tests {
             metric: 0,
         });
         h.core
-            .tunnels
-            .insert(Ipv4Addr::new(36, 135, 0, 9), Ipv4Addr::new(36, 8, 0, 42));
+            .set_tunnel(Ipv4Addr::new(36, 135, 0, 9), Ipv4Addr::new(36, 8, 0, 42));
         let out = h.core.render_tables();
         assert!(out.contains("eth0"), "{out}");
         assert!(out.contains("36.8.0.42/24"), "{out}");

@@ -29,7 +29,9 @@ pub struct Interface {
     pub device: Device,
     /// Configured addresses (a mobile host's physical interface typically
     /// holds one care-of address; the home address lives on the VIF).
-    pub addrs: Vec<IfaceAddr>,
+    /// Private so every change passes through the mutators below and bumps
+    /// `addr_gen` — the fast-path decision cache depends on it.
+    addrs: Vec<IfaceAddr>,
     /// The LAN this interface's device is attached to, if any. `None`
     /// models an unplugged cable / out-of-range radio.
     pub lan: Option<LanId>,
@@ -37,6 +39,8 @@ pub struct Interface {
     /// address while the host is away, and packets routed to it are
     /// IP-in-IP encapsulated (§3.3).
     pub is_vif: bool,
+    /// Bumped on every address change.
+    addr_gen: u64,
 }
 
 impl Interface {
@@ -47,20 +51,46 @@ impl Interface {
             addrs: Vec::new(),
             lan: None,
             is_vif: false,
+            addr_gen: 0,
         }
+    }
+
+    /// The configured addresses, in configuration order.
+    pub fn addrs(&self) -> &[IfaceAddr] {
+        &self.addrs
+    }
+
+    /// A counter bumped on every address add/remove/clear; the fast-path
+    /// decision cache folds it into its validity token so source-address
+    /// choices never outlive a reconfiguration.
+    pub fn addr_generation(&self) -> u64 {
+        self.addr_gen
     }
 
     /// Adds an address; replaces an identical address silently.
     pub fn add_addr(&mut self, addr: Ipv4Addr, subnet: Cidr) {
         self.remove_addr(addr);
         self.addrs.push(IfaceAddr { addr, subnet });
+        self.addr_gen += 1;
     }
 
     /// Removes an address; returns whether it was present.
     pub fn remove_addr(&mut self, addr: Ipv4Addr) -> bool {
         let before = self.addrs.len();
         self.addrs.retain(|a| a.addr != addr);
-        self.addrs.len() != before
+        let removed = self.addrs.len() != before;
+        if removed {
+            self.addr_gen += 1;
+        }
+        removed
+    }
+
+    /// Removes every configured address (cold-switch deconfiguration).
+    pub fn clear_addrs(&mut self) {
+        if !self.addrs.is_empty() {
+            self.addrs.clear();
+            self.addr_gen += 1;
+        }
     }
 
     /// The interface's primary (first-configured) address.
@@ -113,7 +143,7 @@ mod tests {
         let net: Cidr = "36.135.0.0/24".parse().unwrap();
         i.add_addr(Ipv4Addr::new(36, 135, 0, 9), net);
         i.add_addr(Ipv4Addr::new(36, 135, 0, 9), net);
-        assert_eq!(i.addrs.len(), 1);
+        assert_eq!(i.addrs().len(), 1);
     }
 
     #[test]

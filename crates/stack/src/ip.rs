@@ -18,15 +18,18 @@
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
-use mosquitonet_link::{EtherType, Frame};
+use mosquitonet_link::{EtherType, Frame, FRAME_HEADER_LEN};
 use mosquitonet_sim::TraceKind;
 use mosquitonet_wire::{
-    ipip, IcmpMessage, IpProto, Ipv4Header, Ipv4Packet, TcpSegment, UdpDatagram, UnreachableCode,
+    ipip, IcmpMessage, IpProto, Ipv4Header, Ipv4Packet, PacketBuf, TcpSegment, UdpDatagram,
+    UnreachableCode,
 };
+
+use mosquitonet_sim::Counter;
 
 use crate::host::{Host, HostId};
 use crate::iface::IfaceId;
-use crate::proto::{EncapSpec, ModuleId, RouteDecision, SendOptions, SourceSel};
+use crate::proto::{EncapSpec, ModuleId, RouteAnswer, RouteDecision, SendOptions, SourceSel};
 use crate::tcp::{ConnId, TcpOut, TcpTable};
 use crate::udp::SocketId;
 use crate::world::{self, NetSim};
@@ -45,16 +48,46 @@ fn iface_src(host: &Host, iface: IfaceId, dst: Ipv4Addr) -> Ipv4Addr {
         .unwrap_or(Ipv4Addr::UNSPECIFIED)
 }
 
+/// The fast-path validity token: a wrapping sum of generation counters
+/// over every input that feeds a route decision. Any routing-relevant
+/// mutation — a kernel route change, a tunnel-binding move, an interface
+/// address change, a policy update or re-registration (via the owning
+/// module's `route_generation`) — changes the sum, flushing the decision
+/// cache on the next lookup. Returns `None` (caching disabled for this
+/// call) when a module slot is vacant (nested dispatch) or a module
+/// declares itself uncacheable.
+fn fastpath_token(host: &Host) -> Option<u64> {
+    let core = &host.core;
+    let mut token = core
+        .routes
+        .generation()
+        .wrapping_add(core.route_config_generation())
+        .wrapping_add(core.ifaces.len() as u64);
+    for ifc in &core.ifaces {
+        token = token.wrapping_add(ifc.addr_generation());
+    }
+    token = token.wrapping_add(host.modules.len() as u64);
+    for slot in &host.modules {
+        token = token.wrapping_add(slot.as_ref()?.route_generation()?);
+    }
+    Some(token)
+}
+
 /// The full output-path route resolution (`ip_rt_route()` with the §3.3
-/// extensions). Returns `None` when there is no route.
-pub(crate) fn resolve_route(
+/// extensions), fronted by the per-host decision cache. Returns `None`
+/// when there is no route.
+///
+/// Public so benchmarks can measure the warm- and cold-cache paths; the
+/// stack's own send paths are the intended callers.
+pub fn resolve_route(
     host: &mut Host,
     dst: Ipv4Addr,
     src_sel: SourceSel,
     forced_iface: Option<IfaceId>,
 ) -> Option<RouteDecision> {
     // Forced interface: mobile-aware applications addressing a device
-    // directly bypass every table.
+    // directly bypass every table (and the cache — there is nothing to
+    // look up).
     if let Some(iface) = forced_iface {
         let src = match src_sel {
             SourceSel::Addr(a) => a,
@@ -68,48 +101,98 @@ pub(crate) fn resolve_route(
         });
     }
 
+    let token = fastpath_token(host);
+    let key = (dst, src_sel, None);
+    if let Some(tok) = token {
+        if let Some(d) = host.fastpath.lookup(tok, &key) {
+            return Some(d);
+        }
+    }
+    let (decision, on_hit, cacheable) = resolve_route_uncached(host, dst, src_sel);
+    // No negative caching: a missing route today may exist after the next
+    // module action without any generation moving.
+    if let (Some(tok), Some(d), true) = (token, decision, cacheable) {
+        host.fastpath.insert(tok, key, d, on_hit);
+    }
+    decision
+}
+
+/// The uncached resolution walk: module hooks, VIF tunnels, kernel table.
+/// Returns the decision, the counter a cached replay must keep charging,
+/// and whether the resolution may be cached at all.
+fn resolve_route_uncached(
+    host: &mut Host,
+    dst: Ipv4Addr,
+    src_sel: SourceSel,
+) -> (Option<RouteDecision>, Option<Counter>, bool) {
+    let mut cacheable = true;
+
     // Module hooks (Mobile Policy Table) — first claim wins.
     for idx in 0..host.modules.len() {
         if let Some(mut module) = host.take_module(ModuleId(idx)) {
-            let decision = module.route_override(&host.core, dst, src_sel);
+            let answer = module.route_override_cached(&host.core, dst, src_sel);
             host.put_module(ModuleId(idx), module);
-            if let Some(d) = decision {
-                return Some(d);
+            match answer {
+                RouteAnswer::Pass => {}
+                RouteAnswer::Decide { decision, on_hit } => {
+                    return (Some(decision), on_hit, cacheable);
+                }
+                RouteAnswer::Once(d) => {
+                    if d.is_some() {
+                        return (d, None, false);
+                    }
+                    // A side-effecting fall-through (e.g. a policy counter
+                    // charged before the route failed to resolve): keep
+                    // walking, but the result must re-run every time.
+                    cacheable = false;
+                }
             }
         }
     }
 
     // VIF tunnel entries (the home agent's encapsulating routes).
-    if let Some(&care_of) = host.core.tunnels.get(&dst) {
-        let rt = host.core.routes.lookup(care_of)?;
+    if let Some(care_of) = host.core.tunnel_to(dst) {
+        let Some(rt) = host.core.routes.lookup(care_of) else {
+            return (None, None, false);
+        };
         let outer_src = iface_src(host, rt.iface, care_of);
         let src = match src_sel {
             SourceSel::Addr(a) => a,
             SourceSel::Unspecified => outer_src,
         };
-        return Some(RouteDecision {
-            iface: rt.iface,
-            src,
-            next_hop: rt.gateway.unwrap_or(care_of),
-            encap: Some(EncapSpec {
-                outer_src,
-                outer_dst: care_of,
+        return (
+            Some(RouteDecision {
+                iface: rt.iface,
+                src,
+                next_hop: rt.gateway.unwrap_or(care_of),
+                encap: Some(EncapSpec {
+                    outer_src,
+                    outer_dst: care_of,
+                }),
             }),
-        });
+            None,
+            cacheable,
+        );
     }
 
     // The unmodified kernel routing table.
-    let rt = host.core.routes.lookup(dst)?;
+    let Some(rt) = host.core.routes.lookup(dst) else {
+        return (None, None, false);
+    };
     let src = match src_sel {
         SourceSel::Addr(a) => a,
         SourceSel::Unspecified => iface_src(host, rt.iface, dst),
     };
-    Some(RouteDecision {
-        iface: rt.iface,
-        src,
-        next_hop: rt.gateway.unwrap_or(dst),
-        encap: None,
-    })
+    (
+        Some(RouteDecision {
+            iface: rt.iface,
+            src,
+            next_hop: rt.gateway.unwrap_or(dst),
+            encap: None,
+        }),
+        None,
+        cacheable,
+    )
 }
 
 /// Sends a UDP datagram from `sock`.
@@ -204,13 +287,17 @@ pub fn ip_send_packet(sim: &mut NetSim, host: HostId, mut packet: Ipv4Packet, op
 /// Sends a packet along a resolved decision, encapsulating if requested.
 fn send_resolved(sim: &mut NetSim, host: HostId, packet: Ipv4Packet, decision: RouteDecision) {
     sim.world_mut().hosts[host.0].core.stats.ip_output.inc();
-    let out_packet = if let Some(encap) = decision.encap {
+    if decision.encap.is_some() {
         sim.world_mut().hosts[host.0].core.stats.encapsulated.inc();
-        ipip::encapsulate(&packet, encap.outer_src, encap.outer_dst)
-    } else {
-        packet
-    };
-    ip_transmit(sim, host, decision.iface, out_packet, decision.next_hop);
+    }
+    transmit_ip(
+        sim,
+        host,
+        decision.iface,
+        packet,
+        decision.encap,
+        decision.next_hop,
+    );
 }
 
 /// Link-layer transmission: broadcast detection, ARP resolution, parking.
@@ -221,27 +308,62 @@ pub(crate) fn ip_transmit(
     packet: Ipv4Packet,
     next_hop: Ipv4Addr,
 ) {
+    transmit_ip(sim, host, iface, packet, None, next_hop);
+}
+
+/// The single serialization point of the output path: once the
+/// destination MAC is known, the packet is written exactly once into a
+/// pooled buffer with headroom, the optional IP-in-IP outer header and the
+/// frame header are prepended in place, and the finished wire bytes go to
+/// the device. An ARP miss (cold path) parks the fully-encapsulated
+/// packet and defers assembly until resolution.
+fn transmit_ip(
+    sim: &mut NetSim,
+    host: HostId,
+    iface: IfaceId,
+    packet: Ipv4Packet,
+    encap: Option<EncapSpec>,
+    next_hop: Ipv4Addr,
+) {
+    // Broadcast detection looks at the *outer* destination when the packet
+    // is to be encapsulated.
+    let header_dst = encap.map(|e| e.outer_dst).unwrap_or(packet.header.dst);
     let (my_mac, dst_mac, solicit) = {
         let h = &mut sim.world_mut().hosts[host.0];
         let ifc = h.core.iface(iface);
         let my_mac = ifc.device.mac();
         let broadcast = next_hop == Ipv4Addr::BROADCAST
-            || packet.header.dst == Ipv4Addr::BROADCAST
-            || packet.header.dst.is_multicast()
+            || header_dst == Ipv4Addr::BROADCAST
+            || header_dst.is_multicast()
             || ifc.is_subnet_broadcast(next_hop);
         if broadcast {
             (my_mac, Some(mosquitonet_wire::MacAddr::BROADCAST), None)
         } else if let Some(mac) = h.core.arp[iface.0].lookup(next_hop) {
             (my_mac, Some(mac), None)
         } else {
-            let generation = h.core.arp[iface.0].park(next_hop, packet.clone());
+            let parked = match encap {
+                Some(e) => ipip::encapsulate(&packet, e.outer_src, e.outer_dst),
+                None => packet.clone(),
+            };
+            let generation = h.core.arp[iface.0].park(next_hop, parked);
             (my_mac, None, generation)
         }
     };
     match dst_mac {
         Some(mac) => {
-            let frame = Frame::new(mac, my_mac, EtherType::Ipv4, packet.to_bytes());
-            world::transmit_frame(sim, host, iface, frame);
+            let headroom = FRAME_HEADER_LEN
+                + if encap.is_some() {
+                    ipip::ENCAP_OVERHEAD
+                } else {
+                    0
+                };
+            let mut buf = PacketBuf::with_headroom(headroom);
+            packet.write_into(&mut buf);
+            if let Some(e) = encap {
+                ipip::prepend_outer(&mut buf, packet.header.tos, e.outer_src, e.outer_dst);
+            }
+            Frame::write_header(mac, my_mac, EtherType::Ipv4, buf.prepend(FRAME_HEADER_LEN));
+            world::transmit_wire(sim, host, iface, mac, buf.freeze());
         }
         None => {
             if let Some(generation) = solicit {
@@ -331,11 +453,7 @@ fn forward(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, mut packet
 
     // VIF tunnel entries: the home agent's "all packets for the mobile
     // host's home IP address must be encapsulated" routes (§3.1).
-    let tunnel = sim.world().hosts[host.0]
-        .core
-        .tunnels
-        .get(&packet.header.dst)
-        .copied();
+    let tunnel = sim.world().hosts[host.0].core.tunnel_to(packet.header.dst);
     if let Some(care_of) = tunnel {
         let (rt, outer_src) = {
             let h = &sim.world().hosts[host.0];
@@ -364,8 +482,17 @@ fn forward(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, mut packet
             sim.trace_mut()
                 .record(now, TraceKind::Mobility, name, detail);
         }
-        let outer = ipip::encapsulate(&packet, outer_src, care_of);
-        ip_transmit(sim, host, rt.iface, outer, rt.gateway.unwrap_or(care_of));
+        transmit_ip(
+            sim,
+            host,
+            rt.iface,
+            packet,
+            Some(EncapSpec {
+                outer_src,
+                outer_dst: care_of,
+            }),
+            rt.gateway.unwrap_or(care_of),
+        );
         return;
     }
 

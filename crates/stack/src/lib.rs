@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 mod arp;
+mod fastpath;
 mod host;
 mod iface;
 mod ip;
@@ -28,11 +29,13 @@ mod udp;
 mod world;
 
 pub use arp::{ArpAction, ArpState, ArpStats, ARP_MAX_TRIES};
+pub use fastpath::{CacheEntry, CacheKey, FastPath, FastPathStats};
 pub use host::{Host, HostCore, HostId, HostStats, DEFAULT_PROC_DELAY};
 pub use iface::{IfaceAddr, IfaceId, Interface, LanId};
-pub use ip::{ip_input, ip_send_packet, udp_send};
+pub use ip::{ip_input, ip_send_packet, resolve_route, udp_send};
 pub use proto::{
-    Effect, Effects, EncapSpec, Module, ModuleCtx, ModuleId, RouteDecision, SendOptions, SourceSel,
+    Effect, Effects, EncapSpec, Module, ModuleCtx, ModuleId, RouteAnswer, RouteDecision,
+    SendOptions, SourceSel,
 };
 pub use route::{RouteEntry, RouteTable};
 pub use sniff::frame_summary;

@@ -19,7 +19,7 @@ use std::any::Any;
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
-use mosquitonet_sim::{MetricsScope, SimDuration, SimTime};
+use mosquitonet_sim::{Counter, MetricsScope, SimDuration, SimTime};
 use mosquitonet_wire::{IcmpMessage, Ipv4Packet};
 
 use crate::host::HostCore;
@@ -36,7 +36,7 @@ use crate::udp::SocketId;
 pub struct ModuleId(pub usize);
 
 /// Where an outgoing packet's source address comes from.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum SourceSel {
     /// The application did not specify; the stack (and mobile IP policy)
     /// chooses. This is the paper's "requiring mobile IP" case.
@@ -83,6 +83,28 @@ pub struct RouteDecision {
     /// If set, encapsulate the packet with these outer addresses and route
     /// the result through `iface`/`next_hop`.
     pub encap: Option<EncapSpec>,
+}
+
+/// A module's answer to a cache-aware route query, telling the fast path
+/// whether the resolution may be replayed from the decision cache.
+#[derive(Clone, Debug)]
+pub enum RouteAnswer {
+    /// The module does not handle this destination; fall through to the
+    /// next module (or the kernel table). The fall-through is cacheable.
+    Pass,
+    /// The module decided the route. The decision is cacheable; `on_hit`
+    /// (if any) is a counter the cache must bump on every replayed hit so
+    /// per-mode statistics stay identical to the uncached path.
+    Decide {
+        /// The route decision.
+        decision: RouteDecision,
+        /// Counter charged once per lookup, hit or miss.
+        on_hit: Option<Counter>,
+    },
+    /// A one-shot resolution with side effects that must re-run on every
+    /// lookup (e.g. a policy counter was charged but the route then failed
+    /// to resolve). Never cached.
+    Once(Option<RouteDecision>),
 }
 
 /// A deferred action queued by a module and applied by the world.
@@ -339,6 +361,38 @@ pub trait Module: Any {
         src: SourceSel,
     ) -> Option<RouteDecision> {
         None
+    }
+
+    /// Cache-aware variant of [`Module::route_override`], consulted by the
+    /// fast-path decision cache. The default wraps `route_override`:
+    /// `Some` becomes a cacheable [`RouteAnswer::Decide`] and `None` a
+    /// cacheable [`RouteAnswer::Pass`]. Modules whose resolution has
+    /// per-lookup side effects (counter charges, probes) override this to
+    /// return [`RouteAnswer::Once`] where replaying a cached decision
+    /// would skip them.
+    fn route_override_cached(
+        &mut self,
+        core: &HostCore,
+        dst: Ipv4Addr,
+        src: SourceSel,
+    ) -> RouteAnswer {
+        match self.route_override(core, dst, src) {
+            Some(decision) => RouteAnswer::Decide {
+                decision,
+                on_hit: None,
+            },
+            None => RouteAnswer::Pass,
+        }
+    }
+
+    /// A monotone counter over every input that can change this module's
+    /// [`Module::route_override`] answers. The fast-path decision cache
+    /// folds it into its validity token: any bump flushes cached
+    /// decisions. Return `None` to disable caching entirely while this
+    /// module is installed (the conservative default is `Some(0)` —
+    /// correct for modules that never override routes).
+    fn route_generation(&self) -> Option<u64> {
+        Some(0)
     }
 
     /// A locally-addressed IP packet no built-in handler claimed

@@ -8,7 +8,7 @@
 
 use std::net::Ipv4Addr;
 
-use mosquitonet_wire::Cidr;
+use mosquitonet_wire::{Cidr, LpmTrie};
 
 use crate::iface::IfaceId;
 
@@ -53,7 +53,13 @@ pub struct RouteEntry {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct RouteTable {
+    /// Insertion-ordered entries, the source of truth for dumps and for
+    /// tie-break order within a prefix.
     entries: Vec<RouteEntry>,
+    /// Longest-prefix-match index: one bucket per distinct prefix, each
+    /// bucket holding that prefix's entries in insertion order.
+    trie: LpmTrie<Vec<RouteEntry>>,
+    generation: u64,
 }
 
 impl RouteTable {
@@ -62,19 +68,40 @@ impl RouteTable {
         RouteTable::default()
     }
 
+    /// A counter bumped on every mutation; the fast-path decision cache
+    /// compares it to detect route changes without per-call hooks.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Adds an entry. An entry with the same prefix and interface replaces
     /// the previous one (like `route add` after `route del`).
     pub fn add(&mut self, entry: RouteEntry) {
         self.entries
             .retain(|e| !(e.dest == entry.dest && e.iface == entry.iface));
         self.entries.push(entry);
+        match self.trie.get_mut(entry.dest) {
+            Some(bucket) => {
+                bucket.retain(|e| !(e.dest == entry.dest && e.iface == entry.iface));
+                bucket.push(entry);
+            }
+            None => {
+                self.trie.insert(entry.dest, vec![entry]);
+            }
+        }
+        self.generation += 1;
     }
 
     /// Removes all entries for `dest`; returns how many were removed.
     pub fn remove(&mut self, dest: Cidr) -> usize {
         let before = self.entries.len();
         self.entries.retain(|e| e.dest != dest);
-        before - self.entries.len()
+        let removed = before - self.entries.len();
+        if removed > 0 {
+            self.drop_from_bucket(dest, |e| e.dest != dest);
+            self.generation += 1;
+        }
+        removed
     }
 
     /// Removes the entry for `dest` through `iface` specifically (other
@@ -84,7 +111,12 @@ impl RouteTable {
         let before = self.entries.len();
         self.entries
             .retain(|e| !(e.dest == dest && e.iface == iface));
-        self.entries.len() != before
+        let removed = self.entries.len() != before;
+        if removed {
+            self.drop_from_bucket(dest, |e| !(e.dest == dest && e.iface == iface));
+            self.generation += 1;
+        }
+        removed
     }
 
     /// Removes all entries through `iface` (interface going away); returns
@@ -92,22 +124,24 @@ impl RouteTable {
     pub fn remove_iface(&mut self, iface: IfaceId) -> usize {
         let before = self.entries.len();
         self.entries.retain(|e| e.iface != iface);
-        before - self.entries.len()
+        let removed = before - self.entries.len();
+        if removed > 0 {
+            self.rebuild_trie();
+            self.generation += 1;
+        }
+        removed
     }
 
-    /// Longest-prefix-match lookup with metric tie-break.
+    /// Longest-prefix-match lookup with metric tie-break, O(32) in the
+    /// number of address bits regardless of table size.
     pub fn lookup(&self, dst: Ipv4Addr) -> Option<RouteEntry> {
-        self.entries
-            .iter()
-            .filter(|e| e.dest.contains(dst))
-            .max_by(|a, b| {
-                // Longer prefix wins; among equals the lower metric wins.
-                a.dest
-                    .prefix_len()
-                    .cmp(&b.dest.prefix_len())
-                    .then(b.metric.cmp(&a.metric))
-            })
-            .copied()
+        self.trie.lookup(dst).and_then(|(_, bucket)| {
+            bucket
+                .iter()
+                // Within the longest matching prefix, the lower metric wins.
+                .max_by(|a, b| b.metric.cmp(&a.metric))
+                .copied()
+        })
     }
 
     /// All entries (diagnostics, `netstat -r` style dumps).
@@ -123,6 +157,28 @@ impl RouteTable {
     /// True when the table is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    fn drop_from_bucket(&mut self, prefix: Cidr, keep: impl Fn(&RouteEntry) -> bool) {
+        if let Some(bucket) = self.trie.get_mut(prefix) {
+            bucket.retain(|e| keep(e));
+            if bucket.is_empty() {
+                self.trie.remove(prefix);
+            }
+        }
+    }
+
+    fn rebuild_trie(&mut self) {
+        let mut trie: LpmTrie<Vec<RouteEntry>> = LpmTrie::new();
+        for &e in &self.entries {
+            match trie.get_mut(e.dest) {
+                Some(bucket) => bucket.push(e),
+                None => {
+                    trie.insert(e.dest, vec![e]);
+                }
+            }
+        }
+        self.trie = trie;
     }
 }
 
@@ -213,6 +269,79 @@ mod tests {
         assert_eq!(rt.remove("36.135.0.0/24".parse().unwrap()), 1);
         assert_eq!(rt.remove_iface(IfaceId(1)), 2);
         assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn generation_bumps_only_on_real_changes() {
+        let mut rt = RouteTable::new();
+        let g0 = rt.generation();
+        rt.add(entry("36.135.0.0/24", None, 0, 0));
+        let g1 = rt.generation();
+        assert!(g1 > g0);
+        assert_eq!(rt.remove("10.0.0.0/8".parse().unwrap()), 0);
+        assert_eq!(rt.generation(), g1, "no-op remove leaves generation");
+        assert_eq!(rt.remove("36.135.0.0/24".parse().unwrap()), 1);
+        assert!(rt.generation() > g1);
+    }
+
+    #[test]
+    fn trie_lookup_agrees_with_linear_reference() {
+        // Deterministic LCG-driven table; the trie-backed lookup must match
+        // the original linear scan (filter + max_by) on every probe.
+        let mut rt = RouteTable::new();
+        let mut x: u32 = 0x1996_0001;
+        let mut step = || {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            x
+        };
+        for _ in 0..512 {
+            let addr = Ipv4Addr::from(step());
+            let len = (step() % 33) as u8;
+            let metric = step() % 4;
+            let iface = (step() % 3) as usize;
+            rt.add(RouteEntry {
+                dest: Cidr::new(addr, len),
+                gateway: None,
+                iface: IfaceId(iface),
+                metric,
+            });
+        }
+        for _ in 0..2048 {
+            let dst = Ipv4Addr::from(step());
+            let reference = rt
+                .entries()
+                .iter()
+                .filter(|e| e.dest.contains(dst))
+                .max_by(|a, b| {
+                    a.dest
+                        .prefix_len()
+                        .cmp(&b.dest.prefix_len())
+                        .then(b.metric.cmp(&a.metric))
+                })
+                .copied();
+            assert_eq!(rt.lookup(dst), reference, "disagree on {dst}");
+        }
+    }
+
+    #[test]
+    fn trie_stays_consistent_after_removals() {
+        let mut rt = RouteTable::new();
+        rt.add(entry("36.135.0.0/24", None, 0, 0));
+        rt.add(entry("36.135.0.0/24", None, 1, 1));
+        rt.add(entry("36.0.0.0/8", None, 2, 0));
+        assert!(rt.remove_for_iface("36.135.0.0/24".parse().unwrap(), IfaceId(0)));
+        assert_eq!(
+            rt.lookup(Ipv4Addr::new(36, 135, 0, 1)).unwrap().iface,
+            IfaceId(1)
+        );
+        rt.remove_iface(IfaceId(1));
+        assert_eq!(
+            rt.lookup(Ipv4Addr::new(36, 135, 0, 1)).unwrap().iface,
+            IfaceId(2),
+            "falls back to /8 after bucket removal"
+        );
+        assert_eq!(rt.remove("36.0.0.0/8".parse().unwrap()), 1);
+        assert!(rt.lookup(Ipv4Addr::new(36, 135, 0, 1)).is_none());
     }
 
     #[test]

@@ -7,10 +7,12 @@
 
 use std::collections::HashMap;
 
-use bytes::Bytes;
-use mosquitonet_link::{Attachment, AttachmentKey, EtherType, FaultVerdict, Frame, Lan};
+use bytes::BufMut;
+use mosquitonet_link::{
+    Attachment, AttachmentKey, EtherType, FaultVerdict, Frame, Lan, FRAME_HEADER_LEN,
+};
 use mosquitonet_sim::{MetricCell, Sim, SimDuration, TraceKind};
-use mosquitonet_wire::{ArpPacket, Ipv4Packet};
+use mosquitonet_wire::{ArpPacket, Ipv4Packet, MacAddr, PacketBuf, PacketBytes};
 
 use crate::arp::ArpAction;
 use crate::host::{Host, HostId};
@@ -152,6 +154,9 @@ pub fn register_metrics(sim: &mut NetSim) {
     for h in &w.hosts {
         let host_scope = registry.scope(h.core.name.clone());
         h.core.stats.register_into(&host_scope.scope("ip"));
+        h.fastpath
+            .stats
+            .register_into(&host_scope.scope("fastpath"));
         host_scope.register(
             "tcp/retransmits",
             MetricCell::Counter(h.core.tcp.retransmits.clone()),
@@ -375,12 +380,41 @@ pub fn bring_iface_up(sim: &mut NetSim, host: HostId, iface: IfaceId) {
 
 /// Hands a frame to a device for transmission onto its LAN.
 ///
+/// Convenience wrapper over [`transmit_wire`] for the control-plane paths
+/// (ARP, module-built frames) that assemble a [`Frame`] value: the payload
+/// is copied once into a pooled buffer and the header prepended in place.
+/// The IP output path skips this and assembles its wire bytes directly.
+pub(crate) fn transmit_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, frame: Frame) {
+    let mut buf = PacketBuf::with_headroom(FRAME_HEADER_LEN);
+    buf.put_slice(&frame.payload);
+    Frame::write_header(
+        frame.dst,
+        frame.src,
+        frame.ethertype,
+        buf.prepend(FRAME_HEADER_LEN),
+    );
+    transmit_wire(sim, host, iface, frame.dst, buf.freeze());
+}
+
+/// Hands fully-assembled wire bytes (frame header included) to a device
+/// for transmission onto its LAN; `dst` repeats the destination MAC so
+/// recipients are found without re-parsing the header.
+///
 /// The frame is charged the device's serialization + fixed cost, then each
 /// recipient is scheduled after the medium's (possibly jittered) one-way
-/// delay, minus frames the medium loses.
-pub(crate) fn transmit_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, frame: Frame) {
+/// delay, minus frames the medium loses. Fan-out clones of `wire` share
+/// one pooled backing buffer; only a fault-injected `corrupt` copy pays
+/// for its own storage.
+pub(crate) fn transmit_wire(
+    sim: &mut NetSim,
+    host: HostId,
+    iface: IfaceId,
+    dst: MacAddr,
+    wire: PacketBytes,
+) {
     let now = sim.now();
-    let wire_len = frame.wire_len();
+    let wire_len = wire.len();
+    let payload_len = wire_len - FRAME_HEADER_LEN;
     struct Tx {
         deliveries: Vec<(HostId, IfaceId, SimDuration, FaultVerdict)>,
         lan: LanId,
@@ -391,7 +425,7 @@ pub(crate) fn transmit_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, fra
     let plan = {
         let (w, rng) = sim.world_and_rng();
         let ifc = &mut w.hosts[host.0].core.ifaces[iface.0];
-        if frame.payload.len() > ifc.device.mtu {
+        if payload_len > ifc.device.mtu {
             // No fragmentation in this stack (DESIGN.md §6): oversized
             // packets die at the device, loudly.
             ifc.device.counters.tx_dropped_mtu.inc();
@@ -411,7 +445,7 @@ pub(crate) fn transmit_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, fra
             let mut lost = 0;
             {
                 let lan = &w.lans[lan_id.0];
-                for key in lan.recipients(frame.dst, src_mac) {
+                for key in lan.recipients(dst, src_mac) {
                     if lan.draw_loss(rng) {
                         lost += 1;
                         continue;
@@ -419,7 +453,6 @@ pub(crate) fn transmit_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, fra
                     reached.push((key, tx_time + lan.draw_delay(rng)));
                 }
             }
-            let payload_len = frame.payload.len();
             let mut judged = Vec::with_capacity(reached.len());
             let mut faults = Vec::new();
             {
@@ -491,7 +524,6 @@ pub(crate) fn transmit_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, fra
             format!("{code}: injected on {}", plan.lan_name),
         );
     }
-    let bytes = frame.to_bytes();
     let lan = plan.lan;
     for (h, i, delay, verdict) in plan.deliveries {
         let delay = delay + verdict.extra_delay;
@@ -500,12 +532,11 @@ pub(crate) fn transmit_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, fra
                 // The verdict's offset addresses the payload; skip the
                 // frame header so addressing stays intact and the damage
                 // is caught by the checksums that guard the payload.
-                let mut v = bytes.to_vec();
-                let at = mosquitonet_link::FRAME_HEADER_LEN + off;
-                v[at] ^= mask;
-                Bytes::from(v)
+                let mut v = wire.to_vec();
+                v[FRAME_HEADER_LEN + off] ^= mask;
+                PacketBytes::from_vec(v)
             }
-            None => bytes.clone(),
+            None => wire.clone(),
         };
         if let Some(gap) = verdict.duplicate_after {
             let dup = bytes.clone();
@@ -519,7 +550,13 @@ pub(crate) fn transmit_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, fra
 /// sent on and is up, stack processing is charged and the frame is
 /// dispatched. An interface that roamed away mid-flight never sees it —
 /// the wire it was on stayed behind.
-fn deliver_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, from_lan: LanId, bytes: Bytes) {
+fn deliver_frame(
+    sim: &mut NetSim,
+    host: HostId,
+    iface: IfaceId,
+    from_lan: LanId,
+    bytes: PacketBytes,
+) {
     if sim.world().hosts[host.0].core.ifaces[iface.0].lan != Some(from_lan) {
         let now = sim.now();
         let name = sim.world().hosts[host.0].core.name.clone();
@@ -550,7 +587,7 @@ fn deliver_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, from_lan: LanId
     sim.schedule_in(proc, move |sim| process_frame(sim, host, iface, bytes));
 }
 
-fn process_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, bytes: Bytes) {
+fn process_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, bytes: PacketBytes) {
     let Ok(frame) = Frame::parse(&bytes) else {
         sim.world_mut().hosts[host.0]
             .core
@@ -594,7 +631,11 @@ fn arp_input(sim: &mut NetSim, host: HostId, iface: IfaceId, arp: &ArpPacket) {
     let (released, action, my_mac) = {
         let core = &mut sim.world_mut().hosts[host.0].core;
         let my_mac = core.ifaces[iface.0].device.mac();
-        let my_addrs: Vec<_> = core.ifaces[iface.0].addrs.iter().map(|a| a.addr).collect();
+        let my_addrs: Vec<_> = core.ifaces[iface.0]
+            .addrs()
+            .iter()
+            .map(|a| a.addr)
+            .collect();
         let (released, action) = core.arp[iface.0].input(arp, my_mac, &my_addrs, now);
         (released, action, my_mac)
     };

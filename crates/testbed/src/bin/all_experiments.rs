@@ -18,7 +18,8 @@ fn main() {
     let json_pos = args.iter().position(|a| a == "--json");
     let json_path = json_pos.and_then(|i| args.get(i + 1)).cloned();
     if json_pos.is_some() && json_path.is_none() {
-        eprintln!("warning: --json requires a FILE argument; no JSON will be written");
+        eprintln!("error: --json requires a FILE argument");
+        std::process::exit(2);
     }
 
     let tab1 = experiments::run_tab1(20, seed);
@@ -33,6 +34,7 @@ fn main() {
     let a1 = experiments::run_a1(10, seed);
     let (a2, a2_metrics) = experiments::run_a2(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512], seed);
     let a3 = experiments::run_a3(seed);
+    let s1 = experiments::run_s1(10_000, seed);
 
     print!("{}", report::render_tab1(&tab1));
     println!(
@@ -53,9 +55,10 @@ fn main() {
     print!("{}", report::render_a1(&a1));
     print!("{}", report::render_a2(&a2));
     print!("{}", report::render_a3(&a3));
+    print!("{}", report::render_s1(&s1));
 
     // One machine-readable metrics sidecar per experiment.
-    let sidecars: [(&str, &Json); 11] = [
+    let sidecars: [(&str, &Json); 12] = [
         ("tab1", &tab1.metrics),
         ("tab1_far", &tab1_far.metrics),
         ("fig6", &fig6.metrics),
@@ -67,6 +70,7 @@ fn main() {
         ("a1", &a1.metrics),
         ("a2", &a2_metrics),
         ("a3", &a3.metrics),
+        ("s1_many_correspondents", &s1.metrics),
     ];
     for (name, metrics) in sidecars {
         match report::write_metrics_sidecar(name, metrics) {
@@ -90,6 +94,7 @@ fn main() {
             ("a2", Json::arr(a2.iter().map(|r| r.to_json()))),
             ("a2_metrics", a2_metrics.clone()),
             ("a3", a3.to_json()),
+            ("s1", s1.to_json()),
         ]);
         std::fs::write(&path, all.render_pretty()).expect("write json");
         eprintln!("wrote {path}");

@@ -1,0 +1,19 @@
+//! Scale experiment S1: a mobile host registered away from home sends to
+//! ~10 000 correspondents, exercising the unified route/policy decision
+//! cache — cold fill, warm replay, validity-token invalidation on a
+//! mid-run re-registration, then refill back to steady state.
+//! Usage: `s1_many_correspondents [correspondents] [seed]`.
+
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let correspondents: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10_000);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1996);
+    let result = experiments::run_s1(correspondents, seed);
+    print!("{}", report::render_s1(&result));
+    match report::write_metrics_sidecar("s1_many_correspondents", &result.metrics) {
+        Ok(path) => eprintln!("metrics sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics sidecar: {e}"),
+    }
+}

@@ -7,12 +7,13 @@
 
 use std::net::Ipv4Addr;
 
+use bytes::Bytes;
 use mosquitonet_core::{AddressPlan, SendMode, SwitchPlan, SwitchStyle};
 use mosquitonet_dhcp::{DhcpClientModule, ReusePolicy};
 use mosquitonet_link::{presets, FaultKind, FaultPlan};
 use mosquitonet_sim::{Histogram, Json, MetricsRegistry, Sim, SimDuration, Summary};
-use mosquitonet_stack::{self as stack, ModuleId, Network, RouteEntry};
-use mosquitonet_wire::{Cidr, MacAddr};
+use mosquitonet_stack::{self as stack, ModuleId, Network, RouteEntry, SendOptions};
+use mosquitonet_wire::{Cidr, IpProto, Ipv4Header, Ipv4Packet, MacAddr};
 
 use crate::topology::{
     self, build, MhMode, Testbed, TestbedConfig, CH_DEPT, CH_FAR, COA_DEPT, COA_DEPT_ALT,
@@ -1552,5 +1553,255 @@ impl A3Result {
             ),
             ("metrics", self.metrics.clone()),
         ])
+    }
+}
+
+// ---------------------------------------------------------------- S1
+
+/// Send modes cycled across the S1 correspondent population, so every
+/// cacheable decision shape (tunnel, triangle, direct-encap, local
+/// source) appears in the cache at scale.
+const S1_MODES: [SendMode; 4] = [
+    SendMode::ReverseTunnel,
+    SendMode::Triangle,
+    SendMode::DirectEncap,
+    SendMode::DirectLocal,
+];
+
+/// IP protocol number carried by the S1 probes. Nothing in the stack
+/// handles it — the experiment measures route resolution on the sending
+/// host, not end-to-end delivery.
+const S1_PROTO: u8 = 253;
+
+/// Cap on the mid-experiment re-registration wait. Generous because the
+/// switch rides through self-induced congestion at large populations: the
+/// routers answer every probe with an ICMP unreachable, and at 10 Mb/s
+/// tens of thousands of those serialize on the department router's
+/// transmitter for several sim-seconds — the registration reply queues
+/// behind them and the mobile host's deterministic retry backoff carries
+/// the switch to completion.
+const S1_SWITCH_CAP: SimDuration = SimDuration::from_secs(120);
+
+/// Drain window between phases: long enough for every in-flight frame
+/// (and the routers' deterministic ICMP unreachables) to settle.
+const S1_DRAIN: SimDuration = SimDuration::from_secs(2);
+
+/// The `i`-th correspondent's address. The 36.200.0.0/16 block has no
+/// subnet anywhere in the test-bed, so probes leave the mobile host on
+/// its real egress path and die upstream with a no-route drop.
+fn s1_correspondent(i: u32) -> Ipv4Addr {
+    Ipv4Addr::new(36, 200, (i >> 8) as u8, (i & 0xff) as u8)
+}
+
+/// One phase of the S1 scale run: exact deltas of the mobile host's
+/// `fastpath` counters over the phase.
+#[derive(Debug)]
+pub struct S1Row {
+    /// Phase label (`cold`, `warm`, `reregister`, `rewarm`, `steady`).
+    pub phase: &'static str,
+    /// Probe packets sent during the phase.
+    pub sends: u32,
+    /// Decision-cache hits charged during the phase.
+    pub hits: u64,
+    /// Full resolutions (cache misses) charged during the phase.
+    pub misses: u64,
+    /// Whole-cache flushes (validity-token moves) during the phase.
+    pub invalidations: u64,
+    /// Live cache entries when the phase ended.
+    pub cache_entries: u64,
+}
+
+impl S1Row {
+    /// Renders the row. Every field is an integer, so the export is
+    /// byte-stable across same-seed runs.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("phase", Json::from(self.phase)),
+            ("sends", Json::from(self.sends)),
+            ("hits", Json::UInt(self.hits)),
+            ("misses", Json::UInt(self.misses)),
+            ("invalidations", Json::UInt(self.invalidations)),
+            ("cache_entries", Json::UInt(self.cache_entries)),
+        ])
+    }
+}
+
+/// The S1 result: one row per phase plus the sidecar metrics.
+#[derive(Debug)]
+pub struct S1Result {
+    /// Correspondent population size.
+    pub correspondents: u32,
+    /// One row per phase, in run order.
+    pub rows: Vec<S1Row>,
+    /// Deterministic sidecar body (rows plus per-mode policy totals).
+    pub metrics: Json,
+}
+
+impl S1Result {
+    /// Renders as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("correspondents", Json::from(self.correspondents)),
+            ("rows", Json::arr(self.rows.iter().map(S1Row::to_json))),
+            ("metrics", self.metrics.clone()),
+        ])
+    }
+}
+
+fn s1_counters(tb: &Testbed) -> (u64, u64, u64) {
+    let fp = &tb.sim.world().host(tb.mh).fastpath;
+    (
+        fp.stats.hit.get(),
+        fp.stats.miss.get(),
+        fp.stats.invalidate.get(),
+    )
+}
+
+/// Runs `act` and records the fast-path counter deltas it caused.
+fn s1_phase(
+    tb: &mut Testbed,
+    rows: &mut Vec<S1Row>,
+    phase: &'static str,
+    sends: u32,
+    act: impl FnOnce(&mut Testbed),
+) {
+    let before = s1_counters(tb);
+    act(tb);
+    let after = s1_counters(tb);
+    rows.push(S1Row {
+        phase,
+        sends,
+        hits: after.0 - before.0,
+        misses: after.1 - before.1,
+        invalidations: after.2 - before.2,
+        cache_entries: tb.sim.world().host(tb.mh).fastpath.len() as u64,
+    });
+}
+
+/// One probe to every correspondent, back to back at the current instant
+/// — the per-packet work is exactly one route resolution plus transmit.
+fn s1_send_round(tb: &mut Testbed, correspondents: u32) {
+    for i in 0..correspondents {
+        let header = Ipv4Header::new(
+            Ipv4Addr::UNSPECIFIED,
+            s1_correspondent(i),
+            IpProto::Other(S1_PROTO),
+        );
+        let packet = Ipv4Packet::new(header, Bytes::from_static(b"s1-probe"));
+        stack::ip_send_packet(&mut tb.sim, tb.mh, packet, SendOptions::default());
+    }
+}
+
+/// Runs the many-correspondents scale experiment (S1).
+///
+/// A mobile host registered away from home holds `correspondents` learned
+/// Mobile Policy Table entries (cycling all four send modes) and sends one
+/// probe per correspondent per phase:
+///
+/// * `cold` — first contact; every probe is a full resolution that fills
+///   the unified decision cache.
+/// * `warm` — the same population again; steady state should be pure
+///   cache replay.
+/// * `reregister` — a same-subnet care-of switch. No probes; the row
+///   captures the control traffic's own lookups and the validity-token
+///   move that flushes the cache.
+/// * `rewarm` / `steady` — the refill after invalidation and the return
+///   to pure replay.
+///
+/// Every row is an exact counter delta and every RNG derives from `seed`,
+/// so the sidecar is byte-stable for a fixed (correspondents, seed).
+pub fn run_s1(correspondents: u32, seed: u64) -> S1Result {
+    assert!(
+        (1..=65_536).contains(&correspondents),
+        "correspondent population must fit the 36.200.0.0/16 plan"
+    );
+    let mut tb = build(TestbedConfig {
+        seed,
+        ..TestbedConfig::default()
+    });
+    settle_on_dept(&mut tb);
+
+    // The population: learned host entries cycling the four send modes.
+    {
+        let m = tb.mh_module();
+        for i in 0..correspondents {
+            m.policy
+                .learn(s1_correspondent(i), S1_MODES[(i % 4) as usize]);
+        }
+    }
+
+    let mut rows = Vec::new();
+    s1_phase(&mut tb, &mut rows, "cold", correspondents, |tb| {
+        s1_send_round(tb, correspondents)
+    });
+    tb.run_for(S1_DRAIN);
+    s1_phase(&mut tb, &mut rows, "warm", correspondents, |tb| {
+        s1_send_round(tb, correspondents)
+    });
+    tb.run_for(S1_DRAIN);
+
+    // The care-of address moves (same subnet, alternate address). The
+    // MobileHost bumps its route generation when registration completes,
+    // so the validity token moves and the next lookup flushes the cache.
+    s1_phase(&mut tb, &mut rows, "reregister", 0, |tb| {
+        let idx = tb.mh_module().timelines.len();
+        tb.with_mh(|mh, ctx| {
+            mh.switch_address(
+                ctx,
+                AddressPlan::Static {
+                    addr: COA_DEPT_ALT,
+                    subnet: topology::dept_subnet(),
+                    router: ROUTER_DEPT,
+                },
+            )
+        });
+        let slice = SimDuration::from_millis(100);
+        let mut waited = SimDuration::ZERO;
+        while tb.mh_module().timelines.len() <= idx {
+            assert!(
+                waited < S1_SWITCH_CAP,
+                "mid-experiment re-registration did not complete"
+            );
+            tb.run_for(slice);
+            waited += slice;
+        }
+    });
+
+    s1_phase(&mut tb, &mut rows, "rewarm", correspondents, |tb| {
+        s1_send_round(tb, correspondents)
+    });
+    tb.run_for(S1_DRAIN);
+    s1_phase(&mut tb, &mut rows, "steady", correspondents, |tb| {
+        s1_send_round(tb, correspondents)
+    });
+    tb.run_for(S1_DRAIN);
+
+    let policy_mode_totals = {
+        let m = tb.mh_module();
+        Json::arr(S1_MODES.map(|mode| {
+            let name = match mode {
+                SendMode::ReverseTunnel => "reverse_tunnel",
+                SendMode::Triangle => "triangle",
+                SendMode::DirectEncap => "direct_encap",
+                SendMode::DirectLocal => "direct_local",
+            };
+            Json::obj([
+                ("mode", Json::from(name)),
+                (
+                    "lookups",
+                    Json::UInt(m.policy.stats.counter_for(mode).get()),
+                ),
+            ])
+        }))
+    };
+    let metrics = Json::obj([
+        ("correspondents", Json::from(correspondents)),
+        ("rows", Json::arr(rows.iter().map(S1Row::to_json))),
+        ("policy_mode_totals", policy_mode_totals),
+    ]);
+    S1Result {
+        correspondents,
+        rows,
+        metrics,
     }
 }

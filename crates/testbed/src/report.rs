@@ -342,6 +342,34 @@ pub fn render_a3(r: &crate::experiments::A3Result) -> String {
     out
 }
 
+/// Renders the S1 many-correspondents scale run (decision cache at scale).
+pub fn render_s1(r: &crate::experiments::S1Result) -> String {
+    let mut out = String::new();
+    hr(
+        &mut out,
+        "S1 — Decision cache at scale (many correspondents)",
+    );
+    let _ = writeln!(out, "  correspondents: {}", r.correspondents);
+    let _ = writeln!(
+        out,
+        "  phase          sends     hits   misses  flushes  entries"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>7}  {:>7}  {:>7}  {:>7}  {:>7}",
+            row.phase, row.sends, row.hits, row.misses, row.invalidations, row.cache_entries,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  (one probe per correspondent per phase; the mid-run re-registration\n\
+         \x20  moves the validity token, so `rewarm` re-resolves what `warm`\n\
+         \x20  replayed from the cache)"
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

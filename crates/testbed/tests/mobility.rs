@@ -87,8 +87,8 @@ fn cold_switch_to_dept_keeps_connectivity() {
         .world()
         .host(tb.ha_host)
         .core
-        .tunnels
-        .contains_key(&MH_HOME));
+        .tunnel_to(MH_HOME)
+        .is_some());
 
     // Echo still works at the new location (give it a fresh window).
     let before = sender(&mut tb, sender_mid).received();
@@ -215,12 +215,12 @@ fn return_home_deregisters_and_restores_direct_path() {
         "binding removed on deregistration"
     );
     assert!(
-        !tb.sim
+        tb.sim
             .world()
             .host(tb.ha_host)
             .core
-            .tunnels
-            .contains_key(&MH_HOME),
+            .tunnel_to(MH_HOME)
+            .is_none(),
         "tunnel removed"
     );
     // Echoes flow directly again.

@@ -11,6 +11,7 @@ use std::net::Ipv4Addr;
 
 use crate::error::WireError;
 use crate::ipv4::{IpProto, Ipv4Header, Ipv4Packet};
+use crate::pktbuf::PacketBuf;
 
 /// Wraps `inner` in an outer IPv4 header from `outer_src` to `outer_dst`.
 ///
@@ -50,6 +51,27 @@ pub fn decapsulate(outer: &Ipv4Packet) -> Result<Ipv4Packet, WireError> {
         });
     }
     Ipv4Packet::parse(&outer.payload)
+}
+
+/// Prepends the outer IPv4 tunnel header **in place** onto a buffer that
+/// already holds the serialized inner packet.
+///
+/// Byte-for-byte equivalent to [`encapsulate`] followed by
+/// `to_bytes()`, but with zero copying of the inner packet: the 20 outer
+/// bytes are written into the buffer's reserved headroom. `inner_tos` is
+/// the inner header's TOS, copied to the outer header exactly as
+/// [`encapsulate`] does.
+///
+/// # Panics
+///
+/// Panics if the buffer lacks [`ENCAP_OVERHEAD`] bytes of headroom or the
+/// encapsulated packet would exceed the IPv4 total-length limit.
+pub fn prepend_outer(buf: &mut PacketBuf, inner_tos: u8, outer_src: Ipv4Addr, outer_dst: Ipv4Addr) {
+    let total = buf.len() + ENCAP_OVERHEAD;
+    assert!(total <= u16::MAX as usize, "encapsulated packet too large");
+    let mut outer = Ipv4Header::new(outer_src, outer_dst, IpProto::IpIp);
+    outer.tos = inner_tos;
+    outer.write_header(total as u16, buf.prepend(ENCAP_OVERHEAD));
 }
 
 /// The per-packet byte overhead of one level of encapsulation.
@@ -125,6 +147,20 @@ mod tests {
         let twice = encapsulate(&once, Ipv4Addr::new(3, 3, 3, 3), Ipv4Addr::new(4, 4, 4, 4));
         assert_eq!(twice.total_len(), i.total_len() + 2 * ENCAP_OVERHEAD);
         assert_eq!(decapsulate(&decapsulate(&twice).unwrap()).unwrap(), i);
+    }
+
+    #[test]
+    fn prepend_outer_matches_encapsulate() {
+        let mut i = inner();
+        i.header.tos = 0x08;
+        let ha = Ipv4Addr::new(36, 135, 0, 1);
+        let co = Ipv4Addr::new(36, 8, 0, 42);
+        let reference = encapsulate(&i, ha, co).to_bytes();
+
+        let mut buf = PacketBuf::with_headroom(ENCAP_OVERHEAD);
+        i.write_into(&mut buf);
+        prepend_outer(&mut buf, i.header.tos, ha, co);
+        assert_eq!(buf.as_slice(), &reference[..]);
     }
 
     #[test]

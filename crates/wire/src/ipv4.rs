@@ -1,10 +1,11 @@
 //! IPv4 headers and packets (RFC 791, options-free).
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes};
 use std::net::Ipv4Addr;
 
 use crate::checksum::internet_checksum;
 use crate::error::{need, WireError};
+use crate::pktbuf::PacketBuf;
 
 /// Length of the options-free IPv4 header this stack emits.
 pub const IPV4_HEADER_LEN: usize = 20;
@@ -86,6 +87,30 @@ impl Ipv4Header {
             dont_fragment: true,
         }
     }
+
+    /// Serializes this header into exactly [`IPV4_HEADER_LEN`] bytes of
+    /// `out`, with `total_len` as the total-length field and the checksum
+    /// computed in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not exactly [`IPV4_HEADER_LEN`] bytes.
+    pub fn write_header(&self, total_len: u16, out: &mut [u8]) {
+        assert_eq!(out.len(), IPV4_HEADER_LEN, "header slice must be 20 bytes");
+        out[0] = 0x45; // version 4, IHL 5
+        out[1] = self.tos;
+        out[2..4].copy_from_slice(&total_len.to_be_bytes());
+        out[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        let flags: u16 = if self.dont_fragment { 0x4000 } else { 0 };
+        out[6..8].copy_from_slice(&flags.to_be_bytes());
+        out[8] = self.ttl;
+        out[9] = self.protocol.number();
+        out[10..12].fill(0); // checksum placeholder
+        out[12..16].copy_from_slice(&self.src.octets());
+        out[16..20].copy_from_slice(&self.dst.octets());
+        let ck = internet_checksum(out, 0);
+        out[10..12].copy_from_slice(&ck.to_be_bytes());
+    }
 }
 
 /// A full IPv4 packet: header plus opaque payload bytes.
@@ -132,22 +157,34 @@ impl Ipv4Packet {
     pub fn to_bytes(&self) -> Bytes {
         let total = self.total_len();
         assert!(total <= u16::MAX as usize, "IPv4 packet too large: {total}");
-        let h = &self.header;
-        let mut buf = BytesMut::with_capacity(total);
-        buf.put_u8(0x45); // version 4, IHL 5
-        buf.put_u8(h.tos);
-        buf.put_u16(total as u16);
-        buf.put_u16(h.ident);
-        buf.put_u16(if h.dont_fragment { 0x4000 } else { 0 });
-        buf.put_u8(h.ttl);
-        buf.put_u8(h.protocol.number());
-        buf.put_u16(0); // checksum placeholder
-        buf.put_slice(&h.src.octets());
-        buf.put_slice(&h.dst.octets());
-        let ck = internet_checksum(&buf, 0);
-        buf[10..12].copy_from_slice(&ck.to_be_bytes());
+        let mut buf = Vec::with_capacity(total);
+        buf.resize(IPV4_HEADER_LEN, 0);
+        self.header.write_header(total as u16, &mut buf[..]);
+        buf.extend_from_slice(&self.payload);
+        Bytes::from(buf)
+    }
+
+    /// Serializes into `buf` without an intermediate allocation,
+    /// appending header then payload at the buffer's current tail.
+    ///
+    /// This is the transmit fast path: the caller reserves headroom for
+    /// the outer layers (frame header, optional tunnel header), writes the
+    /// packet once here, and the outer layers prepend in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet would exceed the 65 535-byte IPv4 total-length
+    /// limit; the simulator never builds such packets.
+    pub fn write_into(&self, buf: &mut PacketBuf) {
+        let total = self.total_len();
+        assert!(total <= u16::MAX as usize, "IPv4 packet too large: {total}");
+        let at = buf.len();
+        buf.put_slice(&[0u8; IPV4_HEADER_LEN]);
         buf.put_slice(&self.payload);
-        buf.freeze()
+        self.header.write_header(
+            total as u16,
+            &mut buf.as_mut_slice()[at..at + IPV4_HEADER_LEN],
+        );
     }
 
     /// Parses wire bytes, verifying version, lengths, and header checksum.
@@ -357,6 +394,17 @@ mod tests {
             Ipv4Packet::parse_header_prefix(&v6),
             Err(WireError::BadVersion(6))
         );
+    }
+
+    #[test]
+    fn write_into_matches_to_bytes() {
+        let mut pkt = sample();
+        pkt.header.ttl = 9;
+        pkt.header.tos = 0x10;
+        let mut buf = PacketBuf::with_headroom(14);
+        pkt.write_into(&mut buf);
+        assert_eq!(buf.as_slice(), &pkt.to_bytes()[..]);
+        assert_eq!(buf.headroom(), 14, "headroom untouched by appends");
     }
 
     #[test]

@@ -44,6 +44,8 @@ mod icmp;
 mod igmp;
 pub mod ipip;
 mod ipv4;
+mod lpm;
+mod pktbuf;
 mod tcpseg;
 mod udp;
 
@@ -54,5 +56,7 @@ pub use error::WireError;
 pub use icmp::{IcmpMessage, UnreachableCode};
 pub use igmp::{is_multicast, IgmpMessage, IGMP_LEN, IGMP_PROTO};
 pub use ipv4::{IpProto, Ipv4Header, Ipv4Packet, IPV4_HEADER_LEN};
+pub use lpm::LpmTrie;
+pub use pktbuf::{pool_size, PacketBuf, PacketBytes};
 pub use tcpseg::{TcpFlags, TcpSegment};
 pub use udp::UdpDatagram;

@@ -168,12 +168,12 @@ fn binding_expires_when_the_mobile_host_disappears() {
         "binding swept after expiry"
     );
     assert!(
-        !tb.sim
+        tb.sim
             .world()
             .host(tb.ha_host)
             .core
-            .tunnels
-            .contains_key(&MH_HOME),
+            .tunnel_to(MH_HOME)
+            .is_none(),
         "tunnel removed with the binding"
     );
     assert!(

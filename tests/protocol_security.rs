@@ -228,12 +228,12 @@ fn foreign_home_address_is_refused() {
     tb.run_for(SimDuration::from_secs(2));
     assert_eq!(tb.ha_module().accepted.get(), 0);
     assert!(
-        !tb.sim
+        tb.sim
             .world()
             .host(tb.ha_host)
             .core
-            .tunnels
-            .contains_key(&Ipv4Addr::new(36, 8, 0, 7)),
+            .tunnel_to(Ipv4Addr::new(36, 8, 0, 7))
+            .is_none(),
         "no tunnel hijack of a stationary host's address"
     );
 }
@@ -282,12 +282,12 @@ fn replay_after_the_mobile_host_returns_home_is_rejected() {
         "replayed registration refused after deregistration"
     );
     assert!(
-        !tb.sim
+        tb.sim
             .world()
             .host(tb.ha_host)
             .core
-            .tunnels
-            .contains_key(&MH_HOME),
+            .tunnel_to(MH_HOME)
+            .is_none(),
         "no hijack tunnel installed"
     );
 }

@@ -190,7 +190,7 @@ fn fifty_handoffs_without_leaks_or_stalls() {
         "route table stayed tidy: {:#?}",
         core.routes.entries()
     );
-    let eth_addrs = core.ifaces[tb.mh_eth.0].addrs.len();
+    let eth_addrs = core.ifaces[tb.mh_eth.0].addrs().len();
     assert!(eth_addrs <= 1, "one address per interface, got {eth_addrs}");
     let now = tb.sim.now();
     let current_coa = tb.mh_module().away_status().expect("away").1;
