@@ -12,9 +12,9 @@ use criterion::{black_box, Criterion};
 use mosquitonet_core::timing::{
     REGISTRATION_RETRY, REGISTRATION_RETRY_BUDGET, REGISTRATION_RETRY_MAX,
 };
-use mosquitonet_core::{MobilePolicyTable, RetryBackoff, SendMode};
+use mosquitonet_core::{BindingJournal, JournalRecord, MobilePolicyTable, RetryBackoff, SendMode};
 use mosquitonet_link::{presets, FaultPlan, FaultRates};
-use mosquitonet_sim::SimTime;
+use mosquitonet_sim::{SimDuration, SimTime};
 use mosquitonet_stack::{resolve_route, Host, HostId, IfaceId, RouteEntry, RouteTable, SourceSel};
 use mosquitonet_wire::{LpmTrie, MacAddr};
 
@@ -165,10 +165,36 @@ pub fn run_registration_backoff(c: &mut Criterion) -> Vec<(String, f64)> {
     results
 }
 
+/// The home agent's write-ahead bookkeeping: one journal append (the
+/// per-registration stable-storage cost that now sits on the accept
+/// path). The journal is cleared at each 4096-record high-water mark so
+/// the measurement stays an append, not a reallocation stampede.
+pub fn run_journal(c: &mut Criterion) -> Vec<(String, f64)> {
+    let mut journal = BindingJournal::new();
+    let rec = JournalRecord::Bind {
+        home: Ipv4Addr::new(36, 135, 0, 9),
+        care_of: Ipv4Addr::new(36, 8, 0, 42),
+        lifetime: SimDuration::from_secs(300),
+        ident: 1,
+        at: SimTime::ZERO,
+    };
+    let id = "journal/append".to_string();
+    let med = c.bench_function(&id, |b| {
+        b.iter(|| {
+            if journal.len() >= 4096 {
+                journal.clear();
+            }
+            journal.append(black_box(rec));
+        })
+    });
+    vec![(id, med)]
+}
+
 /// Every gated benchmark, in baseline order.
 pub fn run_all(c: &mut Criterion) -> Vec<(String, f64)> {
     let mut results = run_route_policy(c);
     results.extend(run_fast_path(c));
     results.extend(run_registration_backoff(c));
+    results.extend(run_journal(c));
     results
 }

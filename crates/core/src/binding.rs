@@ -43,7 +43,7 @@ pub struct Binding {
 /// assert_eq!(bt.bind(home, coa, life, 1, SimTime::ZERO), BindOutcome::ReplayRejected);
 /// assert_eq!(bt.get(home, SimTime::ZERO).unwrap().care_of, coa);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct BindingTable {
     bindings: HashMap<Ipv4Addr, Binding>,
     /// Replay floor for hosts with no live binding.
@@ -151,12 +151,14 @@ impl BindingTable {
 
     /// Removes and returns every binding that expired by `now`.
     pub fn sweep_expired(&mut self, now: SimTime) -> Vec<(Ipv4Addr, Binding)> {
-        let expired: Vec<Ipv4Addr> = self
+        let mut expired: Vec<Ipv4Addr> = self
             .bindings
             .iter()
             .filter(|(_, b)| b.expires <= now)
             .map(|(h, _)| *h)
             .collect();
+        // Address order, so per-binding expiry effects are deterministic.
+        expired.sort_unstable_by_key(|&h| u32::from(h));
         expired
             .into_iter()
             .map(|h| {
@@ -165,6 +167,20 @@ impl BindingTable {
                 (h, b)
             })
             .collect()
+    }
+
+    /// The bindings still live at `now`, in home-address order — sorted
+    /// so callers that emit effects per binding (restart re-serving)
+    /// stay deterministic despite the hash map underneath.
+    pub fn iter_live(&self, now: SimTime) -> impl Iterator<Item = (Ipv4Addr, Binding)> + '_ {
+        let mut live: Vec<(Ipv4Addr, Binding)> = self
+            .bindings
+            .iter()
+            .filter(|(_, b)| b.expires > now)
+            .map(|(h, b)| (*h, *b))
+            .collect();
+        live.sort_unstable_by_key(|&(h, _)| u32::from(h));
+        live.into_iter()
     }
 
     /// Count of bindings (including expired, pre-sweep).

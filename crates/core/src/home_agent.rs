@@ -11,9 +11,31 @@
 //! Request processing is charged the calibrated
 //! [`HA_PROCESSING`](crate::timing::HA_PROCESSING) delay (Figure 7's
 //! 1.48 ms) between receipt and reply.
+//!
+//! # Crash recovery
+//!
+//! Every accepted binding mutation is written ahead to a
+//! [`BindingJournal`]. A node crash wipes the in-memory table, the
+//! proxy-ARP entries, and the tunnel routes (they live in the kernel);
+//! the journal and the boot epoch survive on stable storage. On restart
+//! the agent increments its epoch, replays the journal (unless fault
+//! injection declared the storage lost), and re-installs proxy ARP and
+//! tunnels for every binding still alive — traffic resumes before the
+//! mobile hosts notice. The epoch rides in every registration reply, so
+//! a host that registered against the previous boot sees the change and
+//! re-registers from scratch.
+//!
+//! # Standby replication
+//!
+//! A primary configured with `replicate_to` forwards every accepted
+//! mutation as a [`BindingReplica`] message. The standby applies
+//! replicas to its table and journal only — it does not answer ARP for
+//! or tunnel to hosts it is not serving — until a mobile host fails over
+//! and registers with it directly, at which point the normal accept path
+//! installs proxy ARP, the tunnel, and the gratuitous ARP takeover.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
@@ -22,9 +44,10 @@ use mosquitonet_stack::{Effect, IfaceId, Module, ModuleCtx, SocketId};
 use mosquitonet_wire::Cidr;
 
 use crate::binding::{BindOutcome, BindingTable};
+use crate::journal::{BindingJournal, JournalRecord};
 use crate::messages::{
-    classify, BindingUpdate, MessageKind, RegistrationReply, RegistrationRequest, ReplyCode,
-    REGISTRATION_PORT,
+    classify, BindingReplica, BindingUpdate, MessageKind, RegistrationReply, RegistrationRequest,
+    ReplicaOp, ReplyCode, REGISTRATION_PORT,
 };
 use crate::timing::HA_PROCESSING;
 
@@ -53,6 +76,9 @@ pub struct HomeAgentConfig {
     /// Send a binding update to the previous care-of address when a host
     /// moves — enables the previous-foreign-agent forwarding of §5.1.
     pub notify_previous: bool,
+    /// Replicate every accepted binding mutation to this standby home
+    /// agent (its registration port). `None` disables replication.
+    pub replicate_to: Option<Ipv4Addr>,
 }
 
 impl HomeAgentConfig {
@@ -68,6 +94,7 @@ impl HomeAgentConfig {
             auth_keys: HashMap::new(),
             require_auth: false,
             notify_previous: false,
+            replicate_to: None,
         }
     }
 }
@@ -82,6 +109,17 @@ pub struct HomeAgent {
     cfg: HomeAgentConfig,
     /// The mobility binding table.
     pub bindings: BindingTable,
+    /// The write-ahead journal of accepted mutations (stable storage:
+    /// survives [`Module::on_crash`], unless fault injection says the
+    /// disk died with the node).
+    pub journal: BindingJournal,
+    /// The boot epoch, incremented on every restart and carried in each
+    /// registration reply. Stable storage, like the journal.
+    epoch: u16,
+    /// Home addresses this agent is actively standing in for (proxy ARP
+    /// + tunnel installed). A standby holds replicated bindings without
+    /// serving them.
+    serving: HashSet<Ipv4Addr>,
     sock: Option<SocketId>,
     pending: HashMap<u64, PendingRequest>,
     next_pending: u64,
@@ -100,6 +138,12 @@ pub struct HomeAgent {
     /// Registration requests that failed the wire checksum (counted,
     /// never acted on).
     pub corrupt_requests: Counter,
+    /// Binding replicas forwarded to the standby.
+    pub replicas_sent: Counter,
+    /// Binding replicas applied from the primary.
+    pub replicas_applied: Counter,
+    /// Journal records replayed across restarts.
+    pub journal_replayed: Counter,
 }
 
 impl HomeAgent {
@@ -108,6 +152,9 @@ impl HomeAgent {
         HomeAgent {
             cfg,
             bindings: BindingTable::new(),
+            journal: BindingJournal::new(),
+            epoch: 0,
+            serving: HashSet::new(),
             sock: None,
             pending: HashMap::new(),
             next_pending: TOKEN_PENDING_BASE,
@@ -117,12 +164,59 @@ impl HomeAgent {
             denied: Counter::default(),
             expiries: Counter::default(),
             corrupt_requests: Counter::default(),
+            replicas_sent: Counter::default(),
+            replicas_applied: Counter::default(),
+            journal_replayed: Counter::default(),
         }
     }
 
     /// The configuration (primarily for tests/experiments).
     pub fn config(&self) -> &HomeAgentConfig {
         &self.cfg
+    }
+
+    /// The current boot epoch.
+    pub fn epoch(&self) -> u16 {
+        self.epoch
+    }
+
+    /// True while this agent stands in (proxy ARP + tunnel) for `home`.
+    pub fn is_serving(&self, home: Ipv4Addr) -> bool {
+        self.serving.contains(&home)
+    }
+
+    /// Installs the stand-in state for `home` → `care_of`: the tunnel
+    /// route, the proxy-ARP entry, and (only on first takeover) the
+    /// gratuitous ARP that voids stale neighbor caches. Idempotent, so
+    /// refreshes after a restart or a standby takeover converge too.
+    fn ensure_serving(&mut self, ctx: &mut ModuleCtx<'_>, home: Ipv4Addr, care_of: Ipv4Addr) {
+        ctx.core.set_tunnel(home, care_of);
+        if self.serving.insert(home) {
+            ctx.core.arp_mut(self.cfg.home_iface).add_proxy(home);
+            ctx.fx.push(Effect::GratuitousArp {
+                iface: self.cfg.home_iface,
+                addr: home,
+            });
+        }
+    }
+
+    /// Tears down the stand-in state for `home`.
+    fn stop_serving(&mut self, ctx: &mut ModuleCtx<'_>, home: Ipv4Addr) {
+        ctx.core.clear_tunnel(home);
+        ctx.core.arp_mut(self.cfg.home_iface).remove_proxy(home);
+        self.serving.remove(&home);
+    }
+
+    /// Forwards an accepted mutation to the configured standby.
+    fn replicate(&mut self, ctx: &mut ModuleCtx<'_>, replica: BindingReplica) {
+        if let Some(standby) = self.cfg.replicate_to {
+            self.replicas_sent.inc();
+            ctx.fx.send_udp(
+                self.sock.expect("bound"),
+                (standby, REGISTRATION_PORT),
+                replica.to_bytes(),
+            );
+        }
     }
 
     fn reply(
@@ -144,6 +238,7 @@ impl HomeAgent {
             lifetime,
             home_addr: req.home_addr,
             home_agent: self.cfg.addr,
+            epoch: self.epoch,
             ident: req.ident,
         };
         ctx.fx
@@ -179,10 +274,21 @@ impl HomeAgent {
         if req.is_deregistration() {
             match self.bindings.unbind(req.home_addr, req.ident) {
                 Some(_removed) => {
-                    ctx.core.clear_tunnel(req.home_addr);
-                    ctx.core
-                        .arp_mut(self.cfg.home_iface)
-                        .remove_proxy(req.home_addr);
+                    self.journal.append(JournalRecord::Unbind {
+                        home: req.home_addr,
+                        ident: req.ident,
+                    });
+                    self.stop_serving(ctx, req.home_addr);
+                    self.replicate(
+                        ctx,
+                        BindingReplica {
+                            op: ReplicaOp::Unbind,
+                            lifetime: 0,
+                            home_addr: req.home_addr,
+                            care_of: Ipv4Addr::UNSPECIFIED,
+                            ident: req.ident,
+                        },
+                    );
                     ctx.fx.trace(format!("deregistered {}", req.home_addr));
                     self.reply(ctx, reply_to, ReplyCode::Accepted, 0, &req);
                 }
@@ -200,35 +306,43 @@ impl HomeAgent {
         }
 
         let granted = req.lifetime.min(self.cfg.max_lifetime);
-        let outcome = self.bindings.bind(
-            req.home_addr,
-            req.care_of,
-            SimDuration::from_secs(u64::from(granted)),
-            req.ident,
-            ctx.now,
+        let life = SimDuration::from_secs(u64::from(granted));
+        let outcome = self
+            .bindings
+            .bind(req.home_addr, req.care_of, life, req.ident, ctx.now);
+        if outcome == BindOutcome::ReplayRejected {
+            self.reply(ctx, reply_to, ReplyCode::DeniedIdent, 0, &req);
+            return;
+        }
+        // Accepted: journal it, become (or stay) the host's stand-in,
+        // and tell the standby.
+        self.journal.append(JournalRecord::Bind {
+            home: req.home_addr,
+            care_of: req.care_of,
+            lifetime: life,
+            ident: req.ident,
+            at: ctx.now,
+        });
+        self.ensure_serving(ctx, req.home_addr, req.care_of);
+        self.replicate(
+            ctx,
+            BindingReplica {
+                op: ReplicaOp::Bind,
+                lifetime: granted,
+                home_addr: req.home_addr,
+                care_of: req.care_of,
+                ident: req.ident,
+            },
         );
         match outcome {
-            BindOutcome::ReplayRejected => {
-                self.reply(ctx, reply_to, ReplyCode::DeniedIdent, 0, &req);
-            }
+            BindOutcome::ReplayRejected => unreachable!("handled above"),
             BindOutcome::Created => {
-                ctx.core.set_tunnel(req.home_addr, req.care_of);
-                ctx.core
-                    .arp_mut(self.cfg.home_iface)
-                    .add_proxy(req.home_addr);
-                // Void stale neighbor caches: the home address is now here.
-                ctx.fx.push(Effect::GratuitousArp {
-                    iface: self.cfg.home_iface,
-                    addr: req.home_addr,
-                });
                 ctx.fx.trace(format!(
                     "registered {} at care-of {}",
                     req.home_addr, req.care_of
                 ));
-                self.reply(ctx, reply_to, ReplyCode::Accepted, granted, &req);
             }
             BindOutcome::Moved { previous } => {
-                ctx.core.set_tunnel(req.home_addr, req.care_of);
                 ctx.fx.trace(format!(
                     "moved {} from {} to {}",
                     req.home_addr, previous, req.care_of
@@ -245,12 +359,56 @@ impl HomeAgent {
                         update.to_bytes(),
                     );
                 }
-                self.reply(ctx, reply_to, ReplyCode::Accepted, granted, &req);
             }
-            BindOutcome::Refreshed => {
-                self.reply(ctx, reply_to, ReplyCode::Accepted, granted, &req);
+            BindOutcome::Refreshed => {}
+        }
+        self.reply(ctx, reply_to, ReplyCode::Accepted, granted, &req);
+    }
+
+    /// Applies a replicated mutation from the primary: table and journal
+    /// only — a standby does not answer ARP for or tunnel to hosts it is
+    /// not serving.
+    fn apply_replica(&mut self, ctx: &mut ModuleCtx<'_>, replica: &BindingReplica) {
+        match replica.op {
+            ReplicaOp::Bind => {
+                let life = SimDuration::from_secs(u64::from(replica.lifetime));
+                let outcome = self.bindings.bind(
+                    replica.home_addr,
+                    replica.care_of,
+                    life,
+                    replica.ident,
+                    ctx.now,
+                );
+                if outcome == BindOutcome::ReplayRejected {
+                    return;
+                }
+                self.journal.append(JournalRecord::Bind {
+                    home: replica.home_addr,
+                    care_of: replica.care_of,
+                    lifetime: life,
+                    ident: replica.ident,
+                    at: ctx.now,
+                });
+            }
+            ReplicaOp::Unbind => {
+                if self
+                    .bindings
+                    .unbind(replica.home_addr, replica.ident)
+                    .is_none()
+                {
+                    return;
+                }
+                self.journal.append(JournalRecord::Unbind {
+                    home: replica.home_addr,
+                    ident: replica.ident,
+                });
             }
         }
+        self.replicas_applied.inc();
+        ctx.fx.trace(format!(
+            "replica applied: {:?} {}",
+            replica.op, replica.home_addr
+        ));
     }
 }
 
@@ -273,6 +431,9 @@ impl Module for HomeAgent {
             ("denied", &self.denied),
             ("binding_expiries", &self.expiries),
             ("corrupt_dropped", &self.corrupt_requests),
+            ("replicas_sent", &self.replicas_sent),
+            ("replicas_applied", &self.replicas_applied),
+            ("journal_replayed", &self.journal_replayed),
         ] {
             reg.register(name, MetricCell::Counter(cell.clone()));
         }
@@ -280,10 +441,14 @@ impl Module for HomeAgent {
 
     fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, token: u64) {
         if token == TOKEN_SWEEP {
-            for (home, binding) in self.bindings.sweep_expired(ctx.now) {
+            let expired = self.bindings.sweep_expired(ctx.now);
+            if !expired.is_empty() {
+                // One record reproduces the whole sweep on replay.
+                self.journal.append(JournalRecord::Sweep { at: ctx.now });
+            }
+            for (home, binding) in expired {
                 self.expiries.inc();
-                ctx.core.clear_tunnel(home);
-                ctx.core.arp_mut(self.cfg.home_iface).remove_proxy(home);
+                self.stop_serving(ctx, home);
                 ctx.fx.trace(format!(
                     "binding expired: {home} (was at {})",
                     binding.care_of
@@ -295,6 +460,52 @@ impl Module for HomeAgent {
         }
     }
 
+    fn on_crash(&mut self, _ctx: &mut ModuleCtx<'_>) {
+        // Volatile state dies with the node: the in-memory table, the
+        // serving set (the kernel's proxy-ARP and tunnel entries are
+        // wiped by the host crash itself), and any in-flight requests.
+        // The journal and the epoch live on stable storage.
+        self.bindings = BindingTable::new();
+        self.serving.clear();
+        self.pending.clear();
+        self.busy_until = mosquitonet_sim::SimTime::ZERO;
+    }
+
+    fn on_restart(&mut self, ctx: &mut ModuleCtx<'_>, storage_lost: bool) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if storage_lost {
+            // The disk died with the node: boot empty. The bumped epoch
+            // in replies makes every mobile host re-register from
+            // scratch, rebuilding the table the slow way.
+            self.journal.clear();
+            ctx.fx.trace(format!(
+                "ha restart: epoch {} with journal lost, booting empty",
+                self.epoch
+            ));
+        } else {
+            let (table, stats) = self.journal.replay();
+            self.journal_replayed
+                .add(stats.binds + stats.unbinds + stats.expiries);
+            self.bindings = table;
+            ctx.fx.trace(format!(
+                "ha restart: epoch {}, journal replayed ({} binds, {} unbinds, {} expiries)",
+                self.epoch, stats.binds, stats.unbinds, stats.expiries
+            ));
+            // Re-install the stand-in state for every binding still
+            // alive, so tunneled delivery resumes before the mobile
+            // hosts even notice the outage.
+            let live: Vec<(Ipv4Addr, Ipv4Addr)> = self
+                .bindings
+                .iter_live(ctx.now)
+                .map(|(home, b)| (home, b.care_of))
+                .collect();
+            for (home, care_of) in live {
+                self.ensure_serving(ctx, home, care_of);
+            }
+        }
+        ctx.fx.set_timer(SWEEP_INTERVAL, TOKEN_SWEEP);
+    }
+
     fn on_udp(
         &mut self,
         ctx: &mut ModuleCtx<'_>,
@@ -303,8 +514,20 @@ impl Module for HomeAgent {
         _dst: Ipv4Addr,
         payload: &Bytes,
     ) {
-        if classify(payload) != Some(MessageKind::Request) {
-            return;
+        match classify(payload) {
+            Some(MessageKind::Request) => {}
+            Some(MessageKind::Replica) => {
+                match BindingReplica::parse(payload) {
+                    Ok(replica) => self.apply_replica(ctx, &replica),
+                    Err(_) => {
+                        self.corrupt_requests.inc();
+                        ctx.fx
+                            .trace("drop.reg_corrupt: binding replica failed parse".to_string());
+                    }
+                }
+                return;
+            }
+            _ => return,
         }
         let request = match RegistrationRequest::parse(payload) {
             Ok(request) => request,

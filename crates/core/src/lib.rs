@@ -31,6 +31,7 @@ mod backoff;
 mod binding;
 mod foreign_agent;
 mod home_agent;
+mod journal;
 mod messages;
 mod mobile;
 mod policy;
@@ -40,9 +41,11 @@ pub use backoff::RetryBackoff;
 pub use binding::{BindOutcome, Binding, BindingTable};
 pub use foreign_agent::{FaMobileHost, ForeignAgent, ForeignAgentConfig, ADVERTISE_INTERVAL};
 pub use home_agent::{HomeAgent, HomeAgentConfig};
+pub use journal::{replay_into, BindingJournal, JournalRecord, ReplayStats};
 pub use messages::{
-    classify, keyed_digest, AgentAdvertisement, AuthExtension, BindingUpdate, MessageKind,
-    RegistrationReply, RegistrationRequest, ReplyCode, IDENT_WIRE_BITS, REGISTRATION_PORT,
+    classify, keyed_digest, AgentAdvertisement, AuthExtension, BindingReplica, BindingUpdate,
+    MessageKind, RegistrationReply, RegistrationRequest, ReplicaOp, ReplyCode, IDENT_WIRE_BITS,
+    REGISTRATION_PORT, REPLY_IDENT_WIRE_BITS,
 };
 pub use mobile::{
     AddressPlan, AutoSwitchConfig, Candidate, MobileHost, MobileHostConfig, RegistrationTimeline,

@@ -43,6 +43,14 @@ pub const REPLY_LEN: usize = 20;
 /// serialization masks to this width and replay comparison is unaffected.
 pub const IDENT_WIRE_BITS: u32 = 48;
 
+/// Width of the identification echo in a *reply*. Two further bytes of
+/// the reply's identification field carry the home agent's boot
+/// [`RegistrationReply::epoch`], leaving 32 bits for the echo — still far
+/// beyond any reachable counter value. An agent that has never restarted
+/// sends epoch 0, which makes the encoding byte-identical to the earlier
+/// 48-bit layout for all reachable identifications.
+pub const REPLY_IDENT_WIRE_BITS: u32 = 32;
+
 /// Masks an identification down to its wire width.
 fn ident_wire(ident: u64) -> u64 {
     ident & ((1 << IDENT_WIRE_BITS) - 1)
@@ -289,6 +297,11 @@ pub struct RegistrationReply {
     pub home_addr: Ipv4Addr,
     /// The replying home agent.
     pub home_agent: Ipv4Addr,
+    /// The agent's boot epoch: incremented on every restart, so a mobile
+    /// host can detect that the agent rebooted (and may have lost state)
+    /// even when the reply itself is an accept. Carried in the top 16 bits
+    /// of the draft's identification field (see [`REPLY_IDENT_WIRE_BITS`]).
+    pub epoch: u16,
     /// Echo of the request's identification.
     pub ident: u64,
 }
@@ -302,7 +315,8 @@ impl RegistrationReply {
         buf.put_u16(self.lifetime);
         buf.put_slice(&self.home_addr.octets());
         buf.put_slice(&self.home_agent.octets());
-        buf.put_slice(&ident_wire(self.ident).to_be_bytes()[2..]);
+        buf.put_u16(self.epoch);
+        buf.put_u32((self.ident & u64::from(u32::MAX)) as u32);
         debug_assert_eq!(buf.len(), REPLY_BODY_LEN);
         buf.put_u16(internet_checksum(&buf, 0));
         buf.freeze()
@@ -330,7 +344,8 @@ impl RegistrationReply {
             lifetime: u16::from_be_bytes([buf[2], buf[3]]),
             home_addr: Ipv4Addr::new(buf[4], buf[5], buf[6], buf[7]),
             home_agent: Ipv4Addr::new(buf[8], buf[9], buf[10], buf[11]),
-            ident: ident_from_wire(&buf[12..18]),
+            epoch: u16::from_be_bytes([buf[12], buf[13]]),
+            ident: u64::from(u32::from_be_bytes([buf[14], buf[15], buf[16], buf[17]])),
         })
     }
 }
@@ -377,6 +392,106 @@ impl BindingUpdate {
             lifetime: u16::from_be_bytes([buf[2], buf[3]]),
             home_addr: Ipv4Addr::new(buf[4], buf[5], buf[6], buf[7]),
             new_care_of: Ipv4Addr::new(buf[8], buf[9], buf[10], buf[11]),
+        })
+    }
+}
+
+/// Fixed length of a binding replica: an 18-byte body followed by the
+/// same trailing 16-bit checksum as [`REQUEST_LEN`].
+pub const REPLICA_LEN: usize = 20;
+
+/// Body length of a replica, excluding the trailing checksum.
+const REPLICA_BODY_LEN: usize = REPLICA_LEN - 2;
+
+/// The operation a [`BindingReplica`] carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReplicaOp {
+    /// Install or refresh a binding.
+    Bind,
+    /// Remove a binding (deregistration at the primary).
+    Unbind,
+}
+
+impl ReplicaOp {
+    fn number(self) -> u8 {
+        match self {
+            ReplicaOp::Bind => 0,
+            ReplicaOp::Unbind => 1,
+        }
+    }
+
+    fn from_number(n: u8) -> Result<ReplicaOp, WireError> {
+        Ok(match n {
+            0 => ReplicaOp::Bind,
+            1 => ReplicaOp::Unbind,
+            other => {
+                return Err(WireError::UnknownValue {
+                    field: "replica op",
+                    value: u16::from(other),
+                })
+            }
+        })
+    }
+}
+
+/// A binding replica (type 5): the primary home agent streams each
+/// accepted binding change to its standby so the standby can take over
+/// serving with warm state when the mobile host's registrations fail over
+/// to it. Like requests and replies it changes routing state, so it
+/// carries its own end-to-end body checksum.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BindingReplica {
+    /// What happened at the primary.
+    pub op: ReplicaOp,
+    /// Remaining binding lifetime in seconds (0 for [`ReplicaOp::Unbind`]).
+    pub lifetime: u16,
+    /// The mobile host's home address.
+    pub home_addr: Ipv4Addr,
+    /// Its care-of address (unspecified for [`ReplicaOp::Unbind`]).
+    pub care_of: Ipv4Addr,
+    /// The identification the primary accepted, so the standby's replay
+    /// floor matches the primary's.
+    pub ident: u64,
+}
+
+impl BindingReplica {
+    /// Serializes to bytes, appending the 16-bit body checksum.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(REPLICA_LEN);
+        buf.put_u8(5);
+        buf.put_u8(self.op.number());
+        buf.put_u16(self.lifetime);
+        buf.put_slice(&self.home_addr.octets());
+        buf.put_slice(&self.care_of.octets());
+        buf.put_slice(&ident_wire(self.ident).to_be_bytes()[2..]);
+        debug_assert_eq!(buf.len(), REPLICA_BODY_LEN);
+        buf.put_u16(internet_checksum(&buf, 0));
+        buf.freeze()
+    }
+
+    /// Parses from bytes, verifying the trailing body checksum.
+    pub fn parse(buf: &[u8]) -> Result<BindingReplica, WireError> {
+        if buf.len() < REPLICA_LEN {
+            return Err(WireError::Truncated {
+                needed: REPLICA_LEN,
+                got: buf.len(),
+            });
+        }
+        if buf[0] != 5 {
+            return Err(WireError::UnknownValue {
+                field: "registration type",
+                value: u16::from(buf[0]),
+            });
+        }
+        if !verify_checksum(&buf[..REPLICA_LEN], 0) {
+            return Err(WireError::BadChecksum);
+        }
+        Ok(BindingReplica {
+            op: ReplicaOp::from_number(buf[1])?,
+            lifetime: u16::from_be_bytes([buf[2], buf[3]]),
+            home_addr: Ipv4Addr::new(buf[4], buf[5], buf[6], buf[7]),
+            care_of: Ipv4Addr::new(buf[8], buf[9], buf[10], buf[11]),
+            ident: ident_from_wire(&buf[12..18]),
         })
     }
 }
@@ -432,6 +547,8 @@ pub enum MessageKind {
     Reply,
     /// A [`BindingUpdate`].
     Update,
+    /// A [`BindingReplica`].
+    Replica,
     /// An [`AgentAdvertisement`].
     Advertisement,
 }
@@ -442,6 +559,7 @@ pub fn classify(buf: &[u8]) -> Option<MessageKind> {
         1 => Some(MessageKind::Request),
         3 => Some(MessageKind::Reply),
         4 => Some(MessageKind::Update),
+        5 => Some(MessageKind::Replica),
         16 => Some(MessageKind::Advertisement),
         _ => None,
     }
@@ -518,6 +636,7 @@ mod tests {
             lifetime: 120,
             home_addr: Ipv4Addr::new(36, 135, 0, 9),
             home_agent: Ipv4Addr::new(36, 135, 0, 1),
+            epoch: 3,
             ident: 42,
         };
         let mut bytes = r.to_bytes().to_vec();
@@ -559,10 +678,76 @@ mod tests {
                 lifetime: 120,
                 home_addr: Ipv4Addr::new(36, 135, 0, 9),
                 home_agent: Ipv4Addr::new(36, 135, 0, 1),
+                epoch: 7,
                 ident: 42,
             };
             assert_eq!(RegistrationReply::parse(&r.to_bytes()).unwrap(), r);
         }
+    }
+
+    /// A never-restarted agent (epoch 0) serializes byte-identically to
+    /// the pre-epoch 48-bit-identification layout, so calibrated frame
+    /// timings and golden sidecars are unaffected.
+    #[test]
+    fn epoch_zero_reply_matches_legacy_layout() {
+        let r = RegistrationReply {
+            code: ReplyCode::Accepted,
+            lifetime: 300,
+            home_addr: Ipv4Addr::new(36, 135, 0, 9),
+            home_agent: Ipv4Addr::new(36, 135, 0, 1),
+            epoch: 0,
+            ident: 42,
+        };
+        let bytes = r.to_bytes();
+        // Legacy layout: 48-bit ident at [12..18].
+        let mut legacy = BytesMut::with_capacity(REPLY_LEN);
+        legacy.put_u8(3);
+        legacy.put_u8(0);
+        legacy.put_u16(300);
+        legacy.put_slice(&r.home_addr.octets());
+        legacy.put_slice(&r.home_agent.octets());
+        legacy.put_slice(&ident_wire(42).to_be_bytes()[2..]);
+        legacy.put_u16(internet_checksum(&legacy, 0));
+        assert_eq!(&bytes[..], &legacy[..]);
+    }
+
+    #[test]
+    fn replica_round_trip_both_ops() {
+        let bind = BindingReplica {
+            op: ReplicaOp::Bind,
+            lifetime: 180,
+            home_addr: Ipv4Addr::new(36, 135, 0, 9),
+            care_of: Ipv4Addr::new(36, 8, 0, 42),
+            ident: 9,
+        };
+        assert_eq!(BindingReplica::parse(&bind.to_bytes()).unwrap(), bind);
+        let unbind = BindingReplica {
+            op: ReplicaOp::Unbind,
+            lifetime: 0,
+            home_addr: Ipv4Addr::new(36, 135, 0, 9),
+            care_of: Ipv4Addr::UNSPECIFIED,
+            ident: 10,
+        };
+        assert_eq!(BindingReplica::parse(&unbind.to_bytes()).unwrap(), unbind);
+        assert_eq!(classify(&bind.to_bytes()), Some(MessageKind::Replica));
+    }
+
+    #[test]
+    fn corrupt_replica_fails_checksum() {
+        let mut bytes = BindingReplica {
+            op: ReplicaOp::Bind,
+            lifetime: 180,
+            home_addr: Ipv4Addr::new(36, 135, 0, 9),
+            care_of: Ipv4Addr::new(36, 8, 0, 42),
+            ident: 9,
+        }
+        .to_bytes()
+        .to_vec();
+        bytes[9] ^= 0x20; // flip a care-of bit
+        assert!(matches!(
+            BindingReplica::parse(&bytes),
+            Err(WireError::BadChecksum)
+        ));
     }
 
     #[test]
@@ -592,6 +777,7 @@ mod tests {
             lifetime: 0,
             home_addr: Ipv4Addr::UNSPECIFIED,
             home_agent: Ipv4Addr::UNSPECIFIED,
+            epoch: 0,
             ident: 0,
         };
         assert_eq!(classify(&reply.to_bytes()), Some(MessageKind::Reply));

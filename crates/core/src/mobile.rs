@@ -65,6 +65,9 @@ pub struct MobileHostConfig {
     pub home_router: Ipv4Addr,
     /// The home agent to register with.
     pub home_agent: Ipv4Addr,
+    /// Standby home agents to fail over to (in order) when the current
+    /// agent stops answering past a full retry budget.
+    pub standby_agents: Vec<Ipv4Addr>,
     /// The VIF that holds the home address while roaming.
     pub vif: IfaceId,
     /// Requested binding lifetime, seconds.
@@ -291,6 +294,22 @@ pub struct MobileHost {
     backoff: RetryBackoff,
     /// When the currently-held binding expires at the home agent.
     binding_expires_at: Option<SimTime>,
+    /// The home agent currently registered with (rotates through
+    /// `cfg.home_agent` + `cfg.standby_agents` on failover).
+    current_ha: Ipv4Addr,
+    /// The boot epoch seen in the last accepted reply; a change means the
+    /// agent restarted and the binding may have died with it.
+    last_epoch: Option<u16>,
+    /// True while no home agent is answering: the Mobile Policy Table
+    /// degrades reverse-tunnel destinations to direct encapsulation so
+    /// traffic keeps moving without an agent.
+    degraded: bool,
+    /// Home-agent boot-epoch changes observed in accepted replies.
+    pub epoch_changes: Counter,
+    /// Failovers to a different home agent.
+    pub ha_failovers: Counter,
+    /// Entries into degraded (agent-less) forwarding.
+    pub degradations: Counter,
     /// Bumped whenever location / registration state changes an answer
     /// `route_override` could give; folded with the policy table's
     /// generation into [`Module::route_generation`] so the fast-path
@@ -310,6 +329,7 @@ impl MobileHost {
             REGISTRATION_RETRY_BUDGET,
             u64::from(u32::from(cfg.home_addr)),
         );
+        let current_ha = cfg.home_agent;
         MobileHost {
             cfg,
             policy: MobilePolicyTable::new(SendMode::ReverseTunnel),
@@ -340,8 +360,24 @@ impl MobileHost {
             corrupt_replies: Counter::default(),
             backoff,
             binding_expires_at: None,
+            current_ha,
+            last_epoch: None,
+            degraded: false,
+            epoch_changes: Counter::default(),
+            ha_failovers: Counter::default(),
+            degradations: Counter::default(),
             route_gen: 0,
         }
+    }
+
+    /// The home agent currently being registered with.
+    pub fn current_home_agent(&self) -> Ipv4Addr {
+        self.current_ha
+    }
+
+    /// True while the host is forwarding without a reachable home agent.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Enables the automatic switch policy (call via `stack::dispatch`, or
@@ -788,7 +824,7 @@ impl MobileHost {
         let mut req = RegistrationRequest {
             lifetime,
             home_addr: self.cfg.home_addr,
-            home_agent: self.cfg.home_agent,
+            home_agent: self.current_ha,
             care_of,
             ident: self.ident,
             auth: None,
@@ -803,7 +839,7 @@ impl MobileHost {
         };
         ctx.fx.send_udp_opts(
             self.reg_sock.expect("bound"),
-            (self.cfg.home_agent, REGISTRATION_PORT),
+            (self.current_ha, REGISTRATION_PORT),
             req.to_bytes(),
             opts,
         );
@@ -816,8 +852,9 @@ impl MobileHost {
 
     /// Arms the retry timer from the backoff schedule. When the budget is
     /// spent, degrades gracefully: the binding is treated as lost, the
-    /// budget refills, and the next (from-scratch) attempt is scheduled at
-    /// the base interval rather than hammering on.
+    /// budget refills, the next attempt rotates to the next home agent
+    /// candidate, and — while away — the policy table falls back to
+    /// agent-less forwarding so traffic keeps moving.
     fn arm_retry(&mut self, ctx: &mut ModuleCtx<'_>) {
         let delay = match self.backoff.next_delay() {
             Some(d) => d,
@@ -832,11 +869,43 @@ impl MobileHost {
                         self.route_gen += 1;
                     }
                 }
+                if matches!(self.location, Location::Away { .. }) && !self.degraded {
+                    self.degraded = true;
+                    self.degradations.inc();
+                    self.route_gen += 1;
+                    ctx.fx.trace(
+                        "no home agent answering; degrading reverse tunnels to direct encapsulation"
+                            .to_string(),
+                    );
+                }
+                self.rotate_home_agent(ctx);
                 self.backoff.reset();
                 self.backoff.next_delay().expect("fresh budget")
             }
         };
         ctx.fx.set_timer(delay, TOKEN_REG_RETRY);
+    }
+
+    /// Advances `current_ha` to the next candidate in
+    /// `[home_agent] + standby_agents` (wrapping). No-op without standbys.
+    fn rotate_home_agent(&mut self, ctx: &mut ModuleCtx<'_>) {
+        if self.cfg.standby_agents.is_empty() {
+            return;
+        }
+        let ring: Vec<Ipv4Addr> = std::iter::once(self.cfg.home_agent)
+            .chain(self.cfg.standby_agents.iter().copied())
+            .collect();
+        let at = ring.iter().position(|&a| a == self.current_ha).unwrap_or(0);
+        let next = ring[(at + 1) % ring.len()];
+        if next != self.current_ha {
+            self.ha_failovers.inc();
+            self.route_gen += 1;
+            ctx.fx.trace(format!(
+                "failing over from home agent {} to {}",
+                self.current_ha, next
+            ));
+            self.current_ha = next;
+        }
     }
 
     fn handle_reply(&mut self, ctx: &mut ModuleCtx<'_>, reply: RegistrationReply) {
@@ -859,6 +928,18 @@ impl MobileHost {
         }
         self.registrations_accepted.inc();
         self.backoff.reset();
+        // A changed boot epoch means the agent restarted since our last
+        // accepted registration: its kernel state was rebuilt from the
+        // journal (or lost outright), so re-register from scratch below
+        // to reassert the binding under the new boot.
+        let epoch_changed = self.last_epoch.is_some_and(|e| e != reply.epoch);
+        self.last_epoch = Some(reply.epoch);
+        if self.degraded {
+            self.degraded = false;
+            self.route_gen += 1;
+            ctx.fx
+                .trace("home agent reachable again; restoring policy routing".to_string());
+        }
         if let Some(op) = &mut self.switching {
             // Only the reply to the switch's own registration advances the
             // switch; a straggling refresh reply arriving mid-switch (same
@@ -894,6 +975,15 @@ impl MobileHost {
                 token: TOKEN_BINDING_LAPSE,
             });
         }
+        if epoch_changed && self.switching.is_none() {
+            self.epoch_changes.inc();
+            ctx.fx.trace(format!(
+                "home agent boot epoch changed to {}; re-registering from scratch",
+                reply.epoch
+            ));
+            self.backoff.reset();
+            self.send_registration(ctx);
+        }
     }
 
     /// The policy resolution behind [`Module::route_override`], with cache
@@ -915,11 +1005,18 @@ impl MobileHost {
             SourceSel::Addr(a) if a != self.cfg.home_addr => return RouteAnswer::Pass,
             _ => {}
         }
-        if !registered {
+        if !registered && !self.degraded {
             // Mid-switch: nothing sensible to do; let normal routing try.
             return RouteAnswer::Pass;
         }
-        let mode = self.policy.lookup(dst);
+        let mut mode = self.policy.lookup(dst);
+        if self.degraded && mode == SendMode::ReverseTunnel {
+            // No home agent to tunnel through: fall back to direct
+            // encapsulation so the correspondent still sees the home
+            // address (the degradation ladder's next rung; DirectLocal
+            // destinations already bypass the agent).
+            mode = SendMode::DirectEncap;
+        }
         let on_hit = Some(self.policy.stats.counter_for(mode).clone());
         let route_to = |target: Ipv4Addr| -> Option<(IfaceId, Ipv4Addr)> {
             let rt = core.routes.lookup(target)?;
@@ -927,13 +1024,13 @@ impl MobileHost {
         };
         let decision = match mode {
             SendMode::ReverseTunnel => {
-                route_to(self.cfg.home_agent).map(|(out_iface, next_hop)| RouteDecision {
+                route_to(self.current_ha).map(|(out_iface, next_hop)| RouteDecision {
                     iface: out_iface,
                     src: self.cfg.home_addr,
                     next_hop,
                     encap: Some(EncapSpec {
                         outer_src: care_of,
-                        outer_dst: self.cfg.home_agent,
+                        outer_dst: self.current_ha,
                     }),
                 })
             }
@@ -1041,6 +1138,9 @@ impl Module for MobileHost {
             ("backoff_exhausted", &self.backoff_exhausted),
             ("binding_lapses", &self.binding_lapses),
             ("corrupt_dropped", &self.corrupt_replies),
+            ("epoch_changes", &self.epoch_changes),
+            ("ha_failovers", &self.ha_failovers),
+            ("degradations", &self.degradations),
         ] {
             reg.register(name, MetricCell::Counter(cell.clone()));
         }
@@ -1238,6 +1338,7 @@ mod tests {
             home_subnet: "36.135.0.0/24".parse().unwrap(),
             home_router: Ipv4Addr::new(36, 135, 0, 1),
             home_agent: Ipv4Addr::new(36, 135, 0, 1),
+            standby_agents: Vec::new(),
             vif,
             lifetime: crate::timing::DEFAULT_LIFETIME_SECS,
             auth: None,
@@ -1379,6 +1480,59 @@ mod tests {
         assert_eq!(
             mh.away_status(),
             Some((eth, Ipv4Addr::new(36, 8, 0, 42), false))
+        );
+    }
+
+    #[test]
+    fn degraded_reverse_tunnel_falls_back_to_direct_encap() {
+        let (host, mut mh, eth) = away_mobile();
+        mh.location = Location::Away {
+            iface: eth,
+            care_of: Ipv4Addr::new(36, 8, 0, 42),
+            registered: false,
+        };
+        mh.degraded = true;
+        let gen_before = mh.route_generation();
+        let d = mh
+            .route_override(&host.core, CH, SourceSel::Unspecified)
+            .expect("degraded forwarding still routes");
+        assert_eq!(d.src, mh.cfg.home_addr, "home role survives degradation");
+        let encap = d.encap.expect("falls back to direct encapsulation");
+        assert_eq!(encap.outer_dst, CH, "tunnel terminates at the CH, not the dead agent");
+        assert_eq!(encap.outer_src, Ipv4Addr::new(36, 8, 0, 42));
+        assert_eq!(mh.route_generation(), gen_before, "lookup itself moves no tokens");
+    }
+
+    #[test]
+    fn degraded_direct_local_policy_is_untouched() {
+        let (host, mut mh, eth) = away_mobile();
+        mh.location = Location::Away {
+            iface: eth,
+            care_of: Ipv4Addr::new(36, 8, 0, 42),
+            registered: false,
+        };
+        mh.degraded = true;
+        mh.policy.set(Cidr::host(CH), SendMode::DirectLocal);
+        let d = mh
+            .route_override(&host.core, CH, SourceSel::Unspecified)
+            .unwrap();
+        assert_eq!(d.src, Ipv4Addr::new(36, 8, 0, 42), "local role kept");
+        assert!(d.encap.is_none(), "DirectLocal already needs no agent");
+    }
+
+    #[test]
+    fn registered_reverse_tunnel_targets_current_home_agent() {
+        let (host, mut mh, _eth) = away_mobile();
+        let standby = Ipv4Addr::new(36, 135, 0, 3);
+        mh.cfg.standby_agents = vec![standby];
+        mh.current_ha = standby;
+        let d = mh
+            .route_override(&host.core, CH, SourceSel::Unspecified)
+            .unwrap();
+        assert_eq!(
+            d.encap.unwrap().outer_dst,
+            standby,
+            "reverse tunnel follows the failover target"
         );
     }
 

@@ -6,8 +6,10 @@ use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
 use mosquitonet_core::{
-    classify, AgentAdvertisement, BindOutcome, BindingTable, BindingUpdate, MobilePolicyTable,
-    RegistrationReply, RegistrationRequest, ReplyCode, SendMode, IDENT_WIRE_BITS,
+    classify, replay_into, AgentAdvertisement, BindOutcome, BindingJournal, BindingReplica,
+    BindingTable, BindingUpdate, JournalRecord, MobilePolicyTable, RegistrationReply,
+    RegistrationRequest, ReplayStats, ReplyCode, SendMode, IDENT_WIRE_BITS,
+    REPLY_IDENT_WIRE_BITS,
 };
 use mosquitonet_sim::{SimDuration, SimTime};
 use mosquitonet_wire::Cidr;
@@ -173,21 +175,27 @@ proptest! {
         let rep = RegistrationReply::parse(&data);
         let upd = BindingUpdate::parse(&data);
         let adv = AgentAdvertisement::parse(&data);
+        let repl = BindingReplica::parse(&data);
         match classify(&data) {
             Some(mosquitonet_core::MessageKind::Request) => {
-                prop_assert!(rep.is_err() && upd.is_err() && adv.is_err());
+                prop_assert!(rep.is_err() && upd.is_err() && adv.is_err() && repl.is_err());
             }
             Some(mosquitonet_core::MessageKind::Reply) => {
-                prop_assert!(req.is_err() && upd.is_err() && adv.is_err());
+                prop_assert!(req.is_err() && upd.is_err() && adv.is_err() && repl.is_err());
             }
             Some(mosquitonet_core::MessageKind::Update) => {
-                prop_assert!(req.is_err() && rep.is_err() && adv.is_err());
+                prop_assert!(req.is_err() && rep.is_err() && adv.is_err() && repl.is_err());
             }
             Some(mosquitonet_core::MessageKind::Advertisement) => {
-                prop_assert!(req.is_err() && rep.is_err() && upd.is_err());
+                prop_assert!(req.is_err() && rep.is_err() && upd.is_err() && repl.is_err());
+            }
+            Some(mosquitonet_core::MessageKind::Replica) => {
+                prop_assert!(req.is_err() && rep.is_err() && upd.is_err() && adv.is_err());
             }
             None => {
-                prop_assert!(req.is_err() && rep.is_err() && upd.is_err() && adv.is_err());
+                prop_assert!(
+                    req.is_err() && rep.is_err() && upd.is_err() && adv.is_err() && repl.is_err()
+                );
             }
         }
     }
@@ -199,7 +207,8 @@ proptest! {
         lifetime in any::<u16>(),
         home in arb_addr(),
         ha in arb_addr(),
-        ident in 0u64..(1 << IDENT_WIRE_BITS),
+        epoch in any::<u16>(),
+        ident in 0u64..(1 << REPLY_IDENT_WIRE_BITS),
     ) {
         let code = [
             ReplyCode::Accepted,
@@ -208,7 +217,44 @@ proptest! {
             ReplyCode::DeniedUnknownHome,
             ReplyCode::DeniedLifetime,
         ][code_idx];
-        let r = RegistrationReply { code, lifetime, home_addr: home, home_agent: ha, ident };
+        let r = RegistrationReply { code, lifetime, home_addr: home, home_agent: ha, epoch, ident };
         prop_assert_eq!(RegistrationReply::parse(&r.to_bytes()).unwrap(), r);
+    }
+
+    /// Journal replay is a pure fold: replaying any prefix and then the
+    /// remainder reaches exactly the state (table AND counters) of a
+    /// straight replay — the property crash recovery leans on when it
+    /// resumes from whatever the journal holds.
+    #[test]
+    fn journal_replay_splits_agree(
+        ops in proptest::collection::vec(
+            (0u8..3, arb_addr(), arb_addr(), any::<u64>(), 0u64..2_000, 1u64..600),
+            1..40,
+        ),
+        split_pct in 0usize..=100,
+    ) {
+        let mut journal = BindingJournal::new();
+        for (kind, home, coa, ident, at_secs, life_secs) in ops {
+            let at = SimTime::ZERO + SimDuration::from_secs(at_secs);
+            journal.append(match kind {
+                0 => JournalRecord::Bind {
+                    home,
+                    care_of: coa,
+                    lifetime: SimDuration::from_secs(life_secs),
+                    ident,
+                    at,
+                },
+                1 => JournalRecord::Unbind { home, ident },
+                _ => JournalRecord::Sweep { at },
+            });
+        }
+        let (straight, straight_stats) = journal.replay();
+        let split = (journal.len() * split_pct / 100).min(journal.len());
+        let mut table = BindingTable::new();
+        let mut stats = ReplayStats::default();
+        replay_into(&mut table, &mut stats, &journal.records()[..split]);
+        replay_into(&mut table, &mut stats, &journal.records()[split..]);
+        prop_assert_eq!(table, straight, "table diverged at split {}", split);
+        prop_assert_eq!(stats, straight_stats, "stats diverged at split {}", split);
     }
 }

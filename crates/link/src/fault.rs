@@ -287,6 +287,147 @@ impl FaultPlan {
     }
 }
 
+/// One scheduled node crash in a [`HostFaultPlan`].
+#[derive(Clone, Copy, Debug)]
+pub struct HostFaultEvent {
+    /// When the node crashes.
+    pub at: SimTime,
+    /// How long it stays down before restarting.
+    pub restart_after: SimDuration,
+    /// Whether the crash also destroys the node's durable storage (the
+    /// home agent's binding journal), forcing an empty-state boot.
+    pub lose_journal: bool,
+}
+
+/// A deterministic whole-node fault plan: scheduled crashes and restarts
+/// for one host, the node-level sibling of the per-link [`FaultPlan`].
+///
+/// Like the link plan it is pure decision + counting: the plan holds the
+/// schedule and the `fault.crash` / `fault.restart` counters, while the
+/// `mosquitonet-stack` world applies the events (wiping volatile state,
+/// powering interfaces, dispatching module crash/restart hooks) and
+/// records a trace entry per transition. Random schedules draw from the
+/// plan's own seeded [`SimRng`] at construction time, so two plans built
+/// with the same parameters and seed are identical and installing one
+/// never perturbs the engine's RNG stream.
+///
+/// # Examples
+///
+/// ```
+/// use mosquitonet_link::HostFaultPlan;
+/// use mosquitonet_sim::{SimDuration, SimTime};
+///
+/// let plan = HostFaultPlan::random(
+///     3,
+///     SimTime::ZERO + SimDuration::from_secs(10),
+///     SimDuration::from_secs(90),
+///     SimDuration::from_secs(2),
+///     SimDuration::from_secs(8),
+///     42,
+/// );
+/// assert_eq!(plan.events().len(), 3);
+/// // Crashes are ordered and each restart lands before the next crash.
+/// for pair in plan.events().windows(2) {
+///     assert!(pair[0].at + pair[0].restart_after < pair[1].at);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct HostFaultPlan {
+    events: Vec<HostFaultEvent>,
+    crashes: Counter,
+    restarts: Counter,
+}
+
+impl HostFaultPlan {
+    /// A plan with an explicit, already-ordered schedule. Each event's
+    /// restart must complete before the next crash begins.
+    pub fn scripted(events: Vec<HostFaultEvent>) -> HostFaultPlan {
+        for pair in events.windows(2) {
+            assert!(
+                pair[0].at + pair[0].restart_after < pair[1].at,
+                "host fault events overlap"
+            );
+        }
+        HostFaultPlan {
+            events,
+            crashes: Counter::default(),
+            restarts: Counter::default(),
+        }
+    }
+
+    /// `count` seeded-random crash/restart cycles. The window starting at
+    /// `start`, `span` long, is cut into `count` equal slots; each slot
+    /// gets one crash at a random offset in its first half and a downtime
+    /// drawn from `[min_down, max_down]` (clamped so the restart always
+    /// lands inside the slot — cycles never overlap).
+    pub fn random(
+        count: usize,
+        start: SimTime,
+        span: SimDuration,
+        min_down: SimDuration,
+        max_down: SimDuration,
+        seed: u64,
+    ) -> HostFaultPlan {
+        assert!(count > 0, "empty plan");
+        let mut rng = SimRng::new(seed);
+        let slot = SimDuration::from_nanos(span.as_nanos() / count as u64);
+        let half = slot.as_nanos() / 2;
+        assert!(
+            min_down.as_nanos() <= max_down.as_nanos() && max_down.as_nanos() < half,
+            "downtime bounds must fit a half slot"
+        );
+        let mut events = Vec::with_capacity(count);
+        for i in 0..count {
+            let slot_start = start + SimDuration::from_nanos(slot.as_nanos() * i as u64);
+            let at = slot_start + SimDuration::from_nanos(rng.range_u64(0..half.max(1)));
+            let restart_after = SimDuration::from_nanos(
+                rng.range_u64(min_down.as_nanos()..max_down.as_nanos() + 1),
+            );
+            // Every tenth crash (deterministically drawn) also loses the
+            // journal, exercising the empty-boot recovery path.
+            let lose_journal = rng.chance(0.1);
+            events.push(HostFaultEvent {
+                at,
+                restart_after,
+                lose_journal,
+            });
+        }
+        HostFaultPlan::scripted(events)
+    }
+
+    /// The crash schedule, in time order.
+    pub fn events(&self) -> &[HostFaultEvent] {
+        &self.events
+    }
+
+    /// Counts one applied crash (the stack world calls this).
+    pub fn note_crash(&self) {
+        self.crashes.inc();
+    }
+
+    /// Counts one applied restart (the stack world calls this).
+    pub fn note_restart(&self) {
+        self.restarts.inc();
+    }
+
+    /// Crashes applied so far.
+    pub fn crashes(&self) -> u64 {
+        self.crashes.get()
+    }
+
+    /// Restarts applied so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.get()
+    }
+
+    /// Registers the plan's counters under `scope` (the world binds each
+    /// host's plan at `{host}/fault.crash` and `{host}/fault.restart`).
+    pub fn register_metrics(&self, scope: &MetricsScope) {
+        scope.register("fault.crash", MetricCell::Counter(self.crashes.clone()));
+        scope.register("fault.restart", MetricCell::Counter(self.restarts.clone()));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,5 +560,65 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("lan.cell/fault.drop"), 1);
         assert_eq!(snap.counter("lan.cell/fault.corrupt"), 0);
+    }
+
+    #[test]
+    fn host_plan_random_is_deterministic_and_ordered() {
+        let mk = || {
+            HostFaultPlan::random(
+                5,
+                t(1_000),
+                SimDuration::from_secs(100),
+                SimDuration::from_secs(1),
+                SimDuration::from_secs(6),
+                0xfeed,
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.events().len(), 5);
+        for (ea, eb) in a.events().iter().zip(b.events()) {
+            assert_eq!(ea.at, eb.at);
+            assert_eq!(ea.restart_after, eb.restart_after);
+            assert_eq!(ea.lose_journal, eb.lose_journal);
+        }
+        for pair in a.events().windows(2) {
+            assert!(pair[0].at + pair[0].restart_after < pair[1].at);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "host fault events overlap")]
+    fn host_plan_rejects_overlapping_script() {
+        HostFaultPlan::scripted(vec![
+            HostFaultEvent {
+                at: t(0),
+                restart_after: SimDuration::from_secs(10),
+                lose_journal: false,
+            },
+            HostFaultEvent {
+                at: t(5_000),
+                restart_after: SimDuration::from_secs(1),
+                lose_journal: false,
+            },
+        ]);
+    }
+
+    #[test]
+    fn host_plan_counters_register() {
+        use mosquitonet_sim::MetricsRegistry;
+        let plan = HostFaultPlan::scripted(vec![HostFaultEvent {
+            at: t(10),
+            restart_after: SimDuration::from_secs(1),
+            lose_journal: true,
+        }]);
+        let reg = MetricsRegistry::new();
+        plan.register_metrics(&reg.scope("home-agent"));
+        plan.note_crash();
+        plan.note_crash();
+        plan.note_restart();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("home-agent/fault.crash"), 2);
+        assert_eq!(snap.counter("home-agent/fault.restart"), 1);
     }
 }

@@ -116,6 +116,18 @@ impl ArpState {
         self.learned_at.clear();
     }
 
+    /// Wipes *all* volatile ARP state — cache, proxy entries, and
+    /// in-progress resolutions (parked packets die with them). This is a
+    /// node crash, not a roam: unlike [`ArpState::clear_cache`], proxy
+    /// duties are forgotten too and must be re-installed by whatever
+    /// recovers (e.g. the home agent's journal replay).
+    pub fn crash_wipe(&mut self) {
+        self.cache.clear();
+        self.learned_at.clear();
+        self.proxies.clear();
+        self.pending.clear();
+    }
+
     /// Starts answering requests for `ip` with our MAC (proxy ARP).
     pub fn add_proxy(&mut self, ip: Ipv4Addr) {
         self.proxies.insert(ip);

@@ -263,6 +263,18 @@ impl HostCore {
         prev
     }
 
+    /// Removes every tunnel entry at once (a node crash loses them all).
+    /// Returns how many were installed; bumps the route-config generation
+    /// if any were, flushing dependent fast-path decisions.
+    pub fn clear_all_tunnels(&mut self) -> usize {
+        let n = self.tunnels.len();
+        if n > 0 {
+            self.tunnels.clear();
+            self.route_config_gen += 1;
+        }
+        n
+    }
+
     /// The care-of address packets to `dst` tunnel toward, if any.
     pub fn tunnel_to(&self, dst: Ipv4Addr) -> Option<Ipv4Addr> {
         self.tunnels.get(&dst).copied()
@@ -408,6 +420,9 @@ pub struct Host {
     pub(crate) module_timers: HashMap<(ModuleId, u64), EventId>,
     /// Armed TCP retransmission timers.
     pub(crate) tcp_timers: HashMap<ConnId, EventId>,
+    /// Scheduled node crashes/restarts, if fault injection targets this
+    /// host. Installed by experiments; applied by `world::install_host_faults`.
+    pub fault: Option<mosquitonet_link::HostFaultPlan>,
 }
 
 impl Host {
@@ -419,6 +434,7 @@ impl Host {
             modules: Vec::new(),
             module_timers: HashMap::new(),
             tcp_timers: HashMap::new(),
+            fault: None,
         }
     }
 

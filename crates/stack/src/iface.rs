@@ -41,6 +41,10 @@ pub struct Interface {
     pub is_vif: bool,
     /// Bumped on every address change.
     addr_gen: u64,
+    /// Bumped on every power transition (bring-up completion, bring-down,
+    /// crash). Folded into the fast-path validity token beside `addr_gen`
+    /// so cached route decisions through this interface die with it.
+    power_gen: u64,
 }
 
 impl Interface {
@@ -52,6 +56,7 @@ impl Interface {
             lan: None,
             is_vif: false,
             addr_gen: 0,
+            power_gen: 0,
         }
     }
 
@@ -65,6 +70,18 @@ impl Interface {
     /// choices never outlive a reconfiguration.
     pub fn addr_generation(&self) -> u64 {
         self.addr_gen
+    }
+
+    /// A counter bumped on every power transition; see `power_gen`.
+    pub fn power_generation(&self) -> u64 {
+        self.power_gen
+    }
+
+    /// Records a power transition (the world calls this when it brings the
+    /// device down or completes a bring-up), invalidating cached route
+    /// decisions that resolved through this interface.
+    pub fn note_power_change(&mut self) {
+        self.power_gen += 1;
     }
 
     /// Adds an address; replaces an identical address silently.

@@ -51,11 +51,11 @@ fn iface_src(host: &Host, iface: IfaceId, dst: Ipv4Addr) -> Ipv4Addr {
 /// The fast-path validity token: a wrapping sum of generation counters
 /// over every input that feeds a route decision. Any routing-relevant
 /// mutation — a kernel route change, a tunnel-binding move, an interface
-/// address change, a policy update or re-registration (via the owning
-/// module's `route_generation`) — changes the sum, flushing the decision
-/// cache on the next lookup. Returns `None` (caching disabled for this
-/// call) when a module slot is vacant (nested dispatch) or a module
-/// declares itself uncacheable.
+/// address change or power transition (down, bring-up, crash), a policy
+/// update or re-registration (via the owning module's `route_generation`)
+/// — changes the sum, flushing the decision cache on the next lookup.
+/// Returns `None` (caching disabled for this call) when a module slot is
+/// vacant (nested dispatch) or a module declares itself uncacheable.
 fn fastpath_token(host: &Host) -> Option<u64> {
     let core = &host.core;
     let mut token = core
@@ -64,7 +64,9 @@ fn fastpath_token(host: &Host) -> Option<u64> {
         .wrapping_add(core.route_config_generation())
         .wrapping_add(core.ifaces.len() as u64);
     for ifc in &core.ifaces {
-        token = token.wrapping_add(ifc.addr_generation());
+        token = token
+            .wrapping_add(ifc.addr_generation())
+            .wrapping_add(ifc.power_generation());
     }
     token = token.wrapping_add(host.modules.len() as u64);
     for slot in &host.modules {

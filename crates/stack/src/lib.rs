@@ -44,6 +44,6 @@ pub use tcp::{
 };
 pub use udp::{SocketId, UdpSocket, UdpTable};
 pub use world::{
-    add_module, bring_iface_up, dispatch, register_metrics, start, NetSim, Network,
-    ARP_RETRY_INTERVAL,
+    add_module, bring_iface_up, crash_host, dispatch, install_host_faults, register_metrics,
+    restart_host, start, NetSim, Network, ARP_RETRY_INTERVAL,
 };

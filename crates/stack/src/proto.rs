@@ -404,6 +404,20 @@ pub trait Module: Any {
     /// An interface finished powering up.
     fn on_iface_up(&mut self, ctx: &mut ModuleCtx<'_>, iface: IfaceId) {}
 
+    /// The host just crashed: wipe every piece of state that would live in
+    /// volatile memory on a real node (tables, pending work, serving
+    /// duties). State modeling durable storage — a write-ahead journal, a
+    /// boot epoch — survives; `on_restart` decides what to do with it.
+    /// Kernel-side volatile state (ARP, tunnels, fast path) is wiped by
+    /// the world itself before this hook runs.
+    fn on_crash(&mut self, ctx: &mut ModuleCtx<'_>) {}
+
+    /// The host finished rebooting after a crash: interfaces are powered
+    /// back up and timers may be armed again. `storage_lost` reports
+    /// whether the fault also destroyed durable storage, in which case
+    /// journaled state must not be replayed.
+    fn on_restart(&mut self, ctx: &mut ModuleCtx<'_>, storage_lost: bool) {}
+
     /// A TCP connection owned by this module changed state or delivered
     /// data.
     fn on_tcp_event(&mut self, ctx: &mut ModuleCtx<'_>, conn: ConnId, event: &TcpEvent) {}

@@ -11,7 +11,7 @@ use bytes::BufMut;
 use mosquitonet_link::{
     Attachment, AttachmentKey, EtherType, FaultVerdict, Frame, Lan, FRAME_HEADER_LEN,
 };
-use mosquitonet_sim::{MetricCell, Sim, SimDuration, TraceKind};
+use mosquitonet_sim::{MetricCell, Sim, SimDuration, SimTime, TraceKind};
 use mosquitonet_wire::{ArpPacket, Ipv4Packet, MacAddr, PacketBuf, PacketBytes};
 
 use crate::arp::ArpAction;
@@ -169,6 +169,11 @@ pub fn register_metrics(sim: &mut NetSim) {
         for module in h.modules.iter().flatten() {
             module.register_metrics(&host_scope);
         }
+        // A host-level fault plan counts the crashes/restarts it applied
+        // under `{host}/fault.{crash,restart}`.
+        if let Some(plan) = &h.fault {
+            plan.register_metrics(&host_scope);
+        }
     }
     // Fault-injection plans count what they perturb per LAN; bind each
     // plan's `fault.{kind}` counters under `lan.{name}/`.
@@ -262,6 +267,9 @@ pub(crate) fn apply_effects(sim: &mut NetSim, host: HostId, module: ModuleId, mu
             Effect::BringIfaceDown(iface) => {
                 let h = &mut sim.world_mut().hosts[host.0];
                 let _quiesce = h.core.iface_mut(iface).device.bring_down();
+                // Power transitions invalidate the fast path: a cached
+                // decision through this interface must not outlive it.
+                h.core.iface_mut(iface).note_power_change();
                 let name = h.core.name.clone();
                 let dev = h.core.iface(iface).device.name().to_string();
                 let now = sim.now();
@@ -352,8 +360,10 @@ pub(crate) fn set_tcp_timer(sim: &mut NetSim, host: HostId, conn: ConnId, op: cr
 }
 
 /// Begins powering an interface up; when the device is ready, every module
-/// on the host receives `on_iface_up`.
-pub fn bring_iface_up(sim: &mut NetSim, host: HostId, iface: IfaceId) {
+/// on the host receives `on_iface_up`. Returns the instant the device will
+/// be ready (callers sequencing work after the bring-up — e.g. a node
+/// restart — schedule at or after it).
+pub fn bring_iface_up(sim: &mut NetSim, host: HostId, iface: IfaceId) -> SimTime {
     let now = sim.now();
     let ready_at = {
         let dev = &mut sim.world_mut().hosts[host.0].core.iface_mut(iface).device;
@@ -365,6 +375,7 @@ pub fn bring_iface_up(sim: &mut NetSim, host: HostId, iface: IfaceId) {
         let now = sim.now();
         let h = &mut sim.world_mut().hosts[host.0];
         h.core.iface_mut(iface).device.poll(now);
+        h.core.iface_mut(iface).note_power_change();
         let name = h.core.name.clone();
         let dev = h.core.iface(iface).device.name().to_string();
         let modules = h.module_count();
@@ -373,6 +384,124 @@ pub fn bring_iface_up(sim: &mut NetSim, host: HostId, iface: IfaceId) {
         for m in 0..modules {
             dispatch(sim, host, ModuleId(m), |module, ctx| {
                 module.on_iface_up(ctx, iface);
+            });
+        }
+    });
+    ready_at
+}
+
+/// Schedules every crash/restart cycle in the host's installed fault plan
+/// (see [`Host::fault`]). Call once after installing the plan; pair with
+/// [`register_metrics`] so the plan's counters appear in sidecars.
+pub fn install_host_faults(sim: &mut NetSim, host: HostId) {
+    let events: Vec<mosquitonet_link::HostFaultEvent> = sim.world().hosts[host.0]
+        .fault
+        .as_ref()
+        .map(|p| p.events().to_vec())
+        .unwrap_or_default();
+    for ev in events {
+        sim.schedule_at(ev.at, move |sim| crash_host(sim, host));
+        sim.schedule_at(ev.at + ev.restart_after, move |sim| {
+            restart_host(sim, host, ev.lose_journal)
+        });
+    }
+}
+
+/// Crashes a node: every timer dies, every interface powers off, and all
+/// volatile state — ARP caches *and* proxy duties, VIF tunnel routes, the
+/// fast-path decision cache, each module's in-memory tables (via
+/// [`Module::on_crash`]) — is wiped. Static boot configuration (addresses,
+/// kernel routes, socket binds) survives, as it would in files on a real
+/// host. Counted as `{host}/fault.crash` when a plan is installed.
+pub fn crash_host(sim: &mut NetSim, host: HostId) {
+    let now = sim.now();
+    {
+        let h = &mut sim.world_mut().hosts[host.0];
+        if let Some(plan) = &h.fault {
+            plan.note_crash();
+        }
+        let name = h.core.name.clone();
+        sim.trace_mut().record(
+            now,
+            TraceKind::Marker,
+            name,
+            "fault.crash: node down, volatile state lost".to_string(),
+        );
+    }
+    // Every armed timer dies with the node.
+    let (module_timers, tcp_timers) = {
+        let h = &mut sim.world_mut().hosts[host.0];
+        (
+            std::mem::take(&mut h.module_timers),
+            std::mem::take(&mut h.tcp_timers),
+        )
+    };
+    for (_, ev) in module_timers {
+        sim.cancel(ev);
+    }
+    for (_, ev) in tcp_timers {
+        sim.cancel(ev);
+    }
+    {
+        let h = &mut sim.world_mut().hosts[host.0];
+        for i in 0..h.core.ifaces.len() {
+            let ifc = h.core.iface_mut(IfaceId(i));
+            let _quiesce = ifc.device.bring_down();
+            ifc.note_power_change();
+        }
+        for arp in &mut h.core.arp {
+            arp.crash_wipe();
+        }
+        h.core.clear_all_tunnels();
+        h.fastpath.flush();
+    }
+    let modules = sim.world().hosts[host.0].module_count();
+    for m in 0..modules {
+        dispatch(sim, host, ModuleId(m), |module, ctx| module.on_crash(ctx));
+    }
+}
+
+/// Restarts a crashed node: physical (LAN-attached, non-VIF) interfaces
+/// power back up, and once the slowest is ready every module receives
+/// [`Module::on_restart`] with `storage_lost` saying whether durable
+/// storage (e.g. the home agent's binding journal) was destroyed too.
+/// Counted as `{host}/fault.restart` when a plan is installed.
+pub fn restart_host(sim: &mut NetSim, host: HostId, storage_lost: bool) {
+    let now = sim.now();
+    {
+        let h = &sim.world().hosts[host.0];
+        if let Some(plan) = &h.fault {
+            plan.note_restart();
+        }
+        let name = h.core.name.clone();
+        sim.trace_mut().record(
+            now,
+            TraceKind::Marker,
+            name,
+            format!(
+                "fault.restart: node rebooting{}",
+                if storage_lost { ", journal lost" } else { "" }
+            ),
+        );
+    }
+    let n_ifaces = sim.world().hosts[host.0].core.ifaces.len();
+    let mut ready = now;
+    for i in 0..n_ifaces {
+        let ifc = sim.world().hosts[host.0].core.iface(IfaceId(i));
+        if ifc.is_vif || ifc.lan.is_none() {
+            continue;
+        }
+        let at = bring_iface_up(sim, host, IfaceId(i));
+        ready = ready.max(at);
+    }
+    // Same-time events fire FIFO, so scheduling after the bring-ups means
+    // the devices are up (and modules' on_iface_up has run) before the
+    // restart hooks see them.
+    sim.schedule_at(ready, move |sim| {
+        let modules = sim.world().hosts[host.0].module_count();
+        for m in 0..modules {
+            dispatch(sim, host, ModuleId(m), |module, ctx| {
+                module.on_restart(ctx, storage_lost)
             });
         }
     });
@@ -843,6 +972,85 @@ mod tests {
             sim.world().hosts[b.0].core.arp[ib.0].lookup(addr),
             Some(mac_a),
             "gratuitous ARP voided the stale entry across the wire"
+        );
+    }
+
+    #[test]
+    fn cached_decisions_invalidated_on_iface_down_and_tunnel_teardown() {
+        use crate::ip;
+        use crate::proto::SourceSel;
+        use crate::route::RouteEntry;
+
+        let mut net = Network::new();
+        let h = net.add_host("r");
+        let eth = net.hosts[h.0]
+            .core
+            .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(1)));
+        let lan = net.add_lan(presets::ethernet_lan("lan"));
+        net.attach(h, eth, lan);
+        net.hosts[h.0]
+            .core
+            .iface_mut(eth)
+            .add_addr(Ipv4Addr::new(10, 0, 0, 1), "10.0.0.0/24".parse().unwrap());
+        net.hosts[h.0].core.routes.add(RouteEntry {
+            dest: "10.0.0.0/24".parse().unwrap(),
+            gateway: None,
+            iface: eth,
+            metric: 0,
+        });
+        let mut sim = Sim::new(net);
+        bring_iface_up(&mut sim, h, eth);
+        sim.run();
+
+        let dst = Ipv4Addr::new(10, 0, 0, 7);
+        let warm = |sim: &mut NetSim| {
+            let host = &mut sim.world_mut().hosts[h.0];
+            ip::resolve_route(host, dst, SourceSel::Unspecified, None)
+        };
+
+        assert!(warm(&mut sim).is_some(), "route resolves while iface is up");
+        warm(&mut sim);
+        let hits = sim.world().hosts[h.0].fastpath.stats.hit.get();
+        assert_eq!(hits, 1, "second lookup is served from the decision cache");
+
+        // Interface power-down must invalidate every cached decision.
+        let mut fx = Effects::new();
+        fx.push(Effect::BringIfaceDown(eth));
+        apply_effects(&mut sim, h, ModuleId(0), fx);
+        warm(&mut sim);
+        {
+            let host = &sim.world().hosts[h.0];
+            assert_eq!(
+                host.fastpath.stats.hit.get(),
+                hits,
+                "no stale cache hit after interface down"
+            );
+            assert!(
+                host.fastpath.stats.invalidate.get() >= 1,
+                "iface down flushed the cache via the validity token"
+            );
+        }
+
+        // Tunnel-binding teardown must do the same.
+        let home = Ipv4Addr::new(36, 135, 0, 9);
+        sim.world_mut().hosts[h.0]
+            .core
+            .set_tunnel(home, Ipv4Addr::new(36, 8, 0, 42));
+        warm(&mut sim);
+        warm(&mut sim);
+        let hits = sim.world().hosts[h.0].fastpath.stats.hit.get();
+        let invalidations = sim.world().hosts[h.0].fastpath.stats.invalidate.get();
+        sim.world_mut().hosts[h.0].core.clear_tunnel(home);
+        warm(&mut sim);
+        let host = &sim.world().hosts[h.0];
+        assert_eq!(
+            host.fastpath.stats.hit.get(),
+            hits,
+            "no stale cache hit after tunnel teardown"
+        );
+        assert!(
+            host.fastpath.stats.invalidate.get() > invalidations,
+            "clear_tunnel flushed the cache via route_config_gen"
         );
     }
 }

@@ -1,0 +1,17 @@
+//! Chaos experiment C5: the home agent crashes mid-session and restarts
+//! with its binding journal intact; the correspondent's echo stream and
+//! the MH's registration state ride out the outage.
+//! Usage: `c5_ha_crash_recovery [seed]`.
+
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1996);
+    let result = experiments::run_c5(seed);
+    print!("{}", report::render_c5(&result));
+    match report::write_metrics_sidecar("c5_ha_crash_recovery", &result.metrics) {
+        Ok(path) => eprintln!("metrics sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics sidecar: {e}"),
+    }
+}

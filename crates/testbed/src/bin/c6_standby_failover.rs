@@ -1,0 +1,17 @@
+//! Chaos experiment C6: the primary home agent crashes permanently and
+//! the mobile host fails over to the replica-fed standby agent, which
+//! takes over proxy ARP and tunneling.
+//! Usage: `c6_standby_failover [seed]`.
+
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1996);
+    let result = experiments::run_c6(seed);
+    print!("{}", report::render_c6(&result));
+    match report::write_metrics_sidecar("c6_standby_failover", &result.metrics) {
+        Ok(path) => eprintln!("metrics sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics sidecar: {e}"),
+    }
+}

@@ -10,7 +10,7 @@ use std::net::Ipv4Addr;
 use bytes::Bytes;
 use mosquitonet_core::{AddressPlan, SendMode, SwitchPlan, SwitchStyle};
 use mosquitonet_dhcp::{DhcpClientModule, ReusePolicy};
-use mosquitonet_link::{presets, FaultKind, FaultPlan};
+use mosquitonet_link::{presets, FaultKind, FaultPlan, HostFaultEvent, HostFaultPlan};
 use mosquitonet_sim::{Histogram, Json, MetricsRegistry, Sim, SimDuration, Summary};
 use mosquitonet_stack::{self as stack, ModuleId, Network, RouteEntry, SendOptions};
 use mosquitonet_wire::{Cidr, IpProto, Ipv4Header, Ipv4Packet, MacAddr};
@@ -18,6 +18,7 @@ use mosquitonet_wire::{Cidr, IpProto, Ipv4Header, Ipv4Packet, MacAddr};
 use crate::topology::{
     self, build, MhMode, Testbed, TestbedConfig, CH_DEPT, CH_FAR, COA_DEPT, COA_DEPT_ALT,
     COA_FOREIGN, COA_FOREIGN2, COA_RADIO, FOREIGN_ROUTER, MH_HOME, ROUTER_DEPT, ROUTER_RADIO,
+    STANDBY_HA,
 };
 use crate::workload::{BulkSender, BulkSink, RegistrationStorm, UdpEchoResponder, UdpEchoSender};
 
@@ -1802,6 +1803,439 @@ pub fn run_s1(correspondents: u32, seed: u64) -> S1Result {
     S1Result {
         correspondents,
         rows,
+        metrics,
+    }
+}
+
+// ---------------------------------------------------------------- C5
+
+/// Result of the home-agent crash/recovery chaos experiment (claim C5):
+/// a correspondent's in-flight echo session rides out a home-agent crash
+/// because the restarted agent replays its binding journal and resumes
+/// proxying/tunneling, and the mobile host notices the new boot epoch in
+/// the next registration reply and re-registers from scratch.
+#[derive(Debug)]
+pub struct C5Result {
+    /// Echo probes the correspondent sent over the whole run.
+    pub sent: u64,
+    /// Echo replies it got back.
+    pub received: u64,
+    /// Probes lost in the settled window before the crash (expect 0).
+    pub lost_before: u64,
+    /// Probes lost between the crash and MH reconvergence.
+    pub lost_during: u64,
+    /// Probes lost after reconvergence (acceptance: 0).
+    pub lost_after: u64,
+    /// Crash-to-reconvergence, milliseconds.
+    pub reconverged_ms: u64,
+    /// Boot-epoch changes the MH detected (expect 1).
+    pub epoch_changes: u64,
+    /// Journal records the restarted agent replayed.
+    pub journal_replayed: u64,
+    /// The agent's boot epoch at the end of the run (expect 1).
+    pub ha_epoch: u64,
+    /// The metrics sidecar document.
+    pub metrics: Json,
+}
+
+impl C5Result {
+    /// Renders the summary scalars for the combined-results JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("sent", Json::UInt(self.sent)),
+            ("received", Json::UInt(self.received)),
+            ("lost_before", Json::UInt(self.lost_before)),
+            ("lost_during", Json::UInt(self.lost_during)),
+            ("lost_after", Json::UInt(self.lost_after)),
+            ("reconverged_ms", Json::UInt(self.reconverged_ms)),
+            ("epoch_changes", Json::UInt(self.epoch_changes)),
+            ("journal_replayed", Json::UInt(self.journal_replayed)),
+            ("ha_epoch", Json::UInt(self.ha_epoch)),
+        ])
+    }
+}
+
+/// Echo probe spacing for the crash experiments.
+const C5_ECHO_INTERVAL: SimDuration = SimDuration::from_millis(100);
+/// Quiet, settled time before the crash fires.
+const C5_CRASH_AFTER: SimDuration = SimDuration::from_secs(10);
+/// How long the agent stays down.
+const C5_DOWNTIME: SimDuration = SimDuration::from_secs(6);
+/// Post-reconvergence observation window.
+const C5_POST: SimDuration = SimDuration::from_secs(10);
+/// Loss windows stop this far before the run end so in-flight probes
+/// are not miscounted as lost.
+const C5_TAIL_MARGIN: SimDuration = SimDuration::from_secs(1);
+/// Reconvergence poll cap; well past the worst backoff schedule.
+const C5_RECONVERGE_CAP: SimDuration = SimDuration::from_secs(120);
+/// Short binding lifetime so renewals land inside the run.
+const C5_LIFETIME_SECS: u16 = 30;
+
+/// Runs claim C5: crash the (separate-host) home agent mid-session with
+/// its journal intact, restart it, and measure the correspondent's echo
+/// stream around the outage. Everything derives from `seed`.
+pub fn run_c5(seed: u64) -> C5Result {
+    let reg = MetricsRegistry::new();
+    let mut tb = build(TestbedConfig {
+        seed,
+        ha_on_router: false,
+        mh_lifetime: C5_LIFETIME_SECS,
+        ..TestbedConfig::default()
+    });
+    let sender_mid = install_echo(&mut tb, C5_ECHO_INTERVAL);
+    settle_on_dept(&mut tb);
+    let settled = tb.sim.now();
+
+    let crash_at = settled + C5_CRASH_AFTER;
+    let plan = HostFaultPlan::scripted(vec![HostFaultEvent {
+        at: crash_at,
+        restart_after: C5_DOWNTIME,
+        lose_journal: false,
+    }]);
+    plan.register_metrics(&reg.scope("c5/ha"));
+    let ha_host = tb.ha_host;
+    tb.sim.world_mut().host_mut(ha_host).fault = Some(plan);
+    stack::install_host_faults(&mut tb.sim, ha_host);
+    // Rebind host metrics so the plan's counters also appear in the run
+    // registry under `{host}/fault.*`.
+    stack::register_metrics(&mut tb.sim);
+
+    // Ride through the crash and the restart...
+    tb.run_for(C5_CRASH_AFTER + C5_DOWNTIME);
+    // ...then poll until the MH has seen the new boot epoch and holds an
+    // accepted registration again.
+    let slice = SimDuration::from_millis(100);
+    let mut waited = SimDuration::ZERO;
+    loop {
+        let m = tb.mh_module();
+        if m.epoch_changes.get() >= 1 && m.away_status().map(|s| s.2).unwrap_or(false) {
+            break;
+        }
+        assert!(
+            waited < C5_RECONVERGE_CAP,
+            "MH failed to reconverge after the home agent restart"
+        );
+        tb.run_for(slice);
+        waited += slice;
+    }
+    let reconverged = tb.sim.now();
+    tb.run_for(C5_POST);
+    let end = tb.sim.now();
+
+    let (epoch_changes, requests, retries) = {
+        let m = tb.mh_module();
+        (
+            m.epoch_changes.get(),
+            m.requests_sent.get(),
+            m.registration_retries.get(),
+        )
+    };
+    let (ha_epoch, journal_replayed, journal_len) = {
+        let ha = tb.ha_module();
+        (
+            u64::from(ha.epoch()),
+            ha.journal_replayed.get(),
+            ha.journal.len() as u64,
+        )
+    };
+    stack::Module::register_metrics(tb.mh_module(), &reg.scope("c5/mh"));
+    stack::Module::register_metrics(tb.ha_module(), &reg.scope("c5/ha"));
+
+    let s = sender_mut(&mut tb, sender_mid);
+    let sent = s.sent();
+    let received = s.received();
+    let lost_before = s.lost_in_window(settled, crash_at);
+    let lost_during = s.lost_in_window(crash_at, reconverged);
+    let lost_after = s.lost_in_window(reconverged, end - C5_TAIL_MARGIN);
+    let reconverged_ms = reconverged.saturating_since(crash_at).as_millis();
+
+    let metrics = Json::obj([
+        ("seed", Json::UInt(seed)),
+        (
+            "timeline_ms",
+            Json::obj([
+                ("settled", Json::UInt(settled.as_millis())),
+                ("crash", Json::UInt(crash_at.as_millis())),
+                ("restart", Json::UInt((crash_at + C5_DOWNTIME).as_millis())),
+                ("reconverged", Json::UInt(reconverged.as_millis())),
+                ("end", Json::UInt(end.as_millis())),
+            ]),
+        ),
+        (
+            "echo",
+            Json::obj([
+                ("sent", Json::UInt(sent)),
+                ("received", Json::UInt(received)),
+                ("lost_before", Json::UInt(lost_before)),
+                ("lost_during", Json::UInt(lost_during)),
+                ("lost_after", Json::UInt(lost_after)),
+            ]),
+        ),
+        (
+            "recovery",
+            Json::obj([
+                ("reconverged_ms", Json::UInt(reconverged_ms)),
+                ("epoch_changes", Json::UInt(epoch_changes)),
+                ("journal_replayed", Json::UInt(journal_replayed)),
+                ("journal_len", Json::UInt(journal_len)),
+                ("ha_epoch", Json::UInt(ha_epoch)),
+                ("requests_sent", Json::UInt(requests)),
+                ("retries", Json::UInt(retries)),
+            ]),
+        ),
+        ("registry", reg.to_json()),
+    ]);
+    C5Result {
+        sent,
+        received,
+        lost_before,
+        lost_during,
+        lost_after,
+        reconverged_ms,
+        epoch_changes,
+        journal_replayed,
+        ha_epoch,
+        metrics,
+    }
+}
+
+// ---------------------------------------------------------------- C6
+
+/// Result of the standby-failover chaos experiment (claim C6): the
+/// primary home agent crashes for good, and the mobile host — after its
+/// retry budget exhausts and a brief agent-less degradation — fails over
+/// to the standby agent, which has been absorbing binding replicas and
+/// takes over proxy ARP and tunneling.
+#[derive(Debug)]
+pub struct C6Result {
+    /// Inbound (CH→MH) probes sent / replies received.
+    pub in_sent: u64,
+    /// Inbound replies received.
+    pub in_received: u64,
+    /// Inbound probes lost between the crash and failover completion.
+    pub in_lost_during: u64,
+    /// Inbound probes lost after failover (acceptance: 0).
+    pub in_lost_after: u64,
+    /// Outbound (MH→CH) probes lost after failover (acceptance: 0).
+    pub out_lost_after: u64,
+    /// Crash-to-failover, milliseconds.
+    pub failover_ms: u64,
+    /// MH home-agent failovers (expect 1).
+    pub ha_failovers: u64,
+    /// MH entries into degraded agent-less forwarding (expect 1).
+    pub degradations: u64,
+    /// Policy lookups resolved as DirectEncap — the degraded window's
+    /// footprint (expect > 0).
+    pub direct_encap_lookups: u64,
+    /// Registrations the standby accepted directly (expect >= 1).
+    pub standby_accepted: u64,
+    /// Binding replicas the standby applied while passive.
+    pub replicas_applied: u64,
+    /// Packets the standby tunneled to the MH after taking over.
+    pub standby_encapsulated: u64,
+    /// The metrics sidecar document.
+    pub metrics: Json,
+}
+
+impl C6Result {
+    /// Renders the summary scalars for the combined-results JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("in_sent", Json::UInt(self.in_sent)),
+            ("in_received", Json::UInt(self.in_received)),
+            ("in_lost_during", Json::UInt(self.in_lost_during)),
+            ("in_lost_after", Json::UInt(self.in_lost_after)),
+            ("out_lost_after", Json::UInt(self.out_lost_after)),
+            ("failover_ms", Json::UInt(self.failover_ms)),
+            ("ha_failovers", Json::UInt(self.ha_failovers)),
+            ("degradations", Json::UInt(self.degradations)),
+            ("direct_encap_lookups", Json::UInt(self.direct_encap_lookups)),
+            ("standby_accepted", Json::UInt(self.standby_accepted)),
+            ("replicas_applied", Json::UInt(self.replicas_applied)),
+            ("standby_encapsulated", Json::UInt(self.standby_encapsulated)),
+        ])
+    }
+}
+
+/// Settled time before the primary dies.
+const C6_CRASH_AFTER: SimDuration = SimDuration::from_secs(5);
+/// The primary never comes back inside the run.
+const C6_NO_RESTART: SimDuration = SimDuration::from_secs(600);
+/// Post-failover observation window.
+const C6_POST: SimDuration = SimDuration::from_secs(15);
+/// Failover poll cap: renewal loss, a full retry budget, the binding
+/// lapse, and a second budget all fit well inside this.
+const C6_FAILOVER_CAP: SimDuration = SimDuration::from_secs(180);
+
+/// Runs claim C6: kill the primary home agent permanently and measure
+/// the failover to the replica-fed standby. Everything derives from
+/// `seed`.
+pub fn run_c6(seed: u64) -> C6Result {
+    let reg = MetricsRegistry::new();
+    let mut tb = build(TestbedConfig {
+        seed,
+        ha_on_router: false,
+        with_standby_ha: true,
+        mh_lifetime: C5_LIFETIME_SECS,
+        ..TestbedConfig::default()
+    });
+    let in_mid = install_echo(&mut tb, C5_ECHO_INTERVAL);
+    // An outbound stream too: MH → department correspondent. During the
+    // degraded window its packets leave as direct encapsulation, so the
+    // correspondent must decapsulate.
+    let ch = tb.ch_dept;
+    stack::add_module(&mut tb.sim, ch, Box::new(UdpEchoResponder::new(ECHO_PORT)));
+    tb.sim.world_mut().host_mut(ch).core.ipip_decap = true;
+    let mh = tb.mh;
+    let out_mid = stack::add_module(
+        &mut tb.sim,
+        mh,
+        Box::new(UdpEchoSender::new((CH_DEPT, ECHO_PORT), C5_ECHO_INTERVAL)),
+    );
+    settle_on_dept(&mut tb);
+    let settled = tb.sim.now();
+    let standby_host = tb.standby_host.expect("standby built");
+    let encap0 = tb
+        .sim
+        .world()
+        .host(standby_host)
+        .core
+        .stats
+        .encapsulated
+        .get();
+
+    let crash_at = settled + C6_CRASH_AFTER;
+    let plan = HostFaultPlan::scripted(vec![HostFaultEvent {
+        at: crash_at,
+        restart_after: C6_NO_RESTART,
+        lose_journal: false,
+    }]);
+    plan.register_metrics(&reg.scope("c6/primary"));
+    let ha_host = tb.ha_host;
+    tb.sim.world_mut().host_mut(ha_host).fault = Some(plan);
+    stack::install_host_faults(&mut tb.sim, ha_host);
+    stack::register_metrics(&mut tb.sim);
+
+    tb.run_for(C6_CRASH_AFTER);
+    // Poll until the MH holds an accepted registration *at the standby*.
+    let slice = SimDuration::from_millis(100);
+    let mut waited = SimDuration::ZERO;
+    loop {
+        let m = tb.mh_module();
+        if m.current_home_agent() == STANDBY_HA && m.away_status().map(|s| s.2).unwrap_or(false) {
+            break;
+        }
+        assert!(
+            waited < C6_FAILOVER_CAP,
+            "MH failed to fail over to the standby home agent"
+        );
+        tb.run_for(slice);
+        waited += slice;
+    }
+    let failover = tb.sim.now();
+    tb.run_for(C6_POST);
+    let end = tb.sim.now();
+
+    let (ha_failovers, degradations, exhausted, lapses, direct_encap_lookups) = {
+        let m = tb.mh_module();
+        (
+            m.ha_failovers.get(),
+            m.degradations.get(),
+            m.backoff_exhausted.get(),
+            m.binding_lapses.get(),
+            m.policy.stats.counter_for(SendMode::DirectEncap).get(),
+        )
+    };
+    let (standby_accepted, replicas_applied) = {
+        let sb = tb.standby_module();
+        (sb.accepted.get(), sb.replicas_applied.get())
+    };
+    let standby_encapsulated = tb
+        .sim
+        .world()
+        .host(standby_host)
+        .core
+        .stats
+        .encapsulated
+        .get()
+        - encap0;
+    stack::Module::register_metrics(tb.mh_module(), &reg.scope("c6/mh"));
+    stack::Module::register_metrics(tb.standby_module(), &reg.scope("c6/standby"));
+
+    let (in_sent, in_received, in_lost_during, in_lost_after) = {
+        let s = sender_mut(&mut tb, in_mid);
+        (
+            s.sent(),
+            s.received(),
+            s.lost_in_window(crash_at, failover),
+            s.lost_in_window(failover, end - C5_TAIL_MARGIN),
+        )
+    };
+    let (out_lost_during, out_lost_after) = {
+        let s: &mut UdpEchoSender = tb
+            .sim
+            .world_mut()
+            .host_mut(mh)
+            .module_mut(out_mid)
+            .expect("outbound echo sender");
+        (
+            s.lost_in_window(crash_at, failover),
+            s.lost_in_window(failover, end - C5_TAIL_MARGIN),
+        )
+    };
+    let failover_ms = failover.saturating_since(crash_at).as_millis();
+
+    let metrics = Json::obj([
+        ("seed", Json::UInt(seed)),
+        (
+            "timeline_ms",
+            Json::obj([
+                ("settled", Json::UInt(settled.as_millis())),
+                ("crash", Json::UInt(crash_at.as_millis())),
+                ("failover", Json::UInt(failover.as_millis())),
+                ("end", Json::UInt(end.as_millis())),
+            ]),
+        ),
+        (
+            "echo",
+            Json::obj([
+                ("in_sent", Json::UInt(in_sent)),
+                ("in_received", Json::UInt(in_received)),
+                ("in_lost_during", Json::UInt(in_lost_during)),
+                ("in_lost_after", Json::UInt(in_lost_after)),
+                ("out_lost_during", Json::UInt(out_lost_during)),
+                ("out_lost_after", Json::UInt(out_lost_after)),
+            ]),
+        ),
+        (
+            "failover",
+            Json::obj([
+                ("failover_ms", Json::UInt(failover_ms)),
+                ("ha_failovers", Json::UInt(ha_failovers)),
+                ("degradations", Json::UInt(degradations)),
+                ("backoff_exhausted", Json::UInt(exhausted)),
+                ("binding_lapses", Json::UInt(lapses)),
+                ("direct_encap_lookups", Json::UInt(direct_encap_lookups)),
+                ("standby_accepted", Json::UInt(standby_accepted)),
+                ("replicas_applied", Json::UInt(replicas_applied)),
+                ("standby_encapsulated", Json::UInt(standby_encapsulated)),
+            ]),
+        ),
+        ("registry", reg.to_json()),
+    ]);
+    C6Result {
+        in_sent,
+        in_received,
+        in_lost_during,
+        in_lost_after,
+        out_lost_after,
+        failover_ms,
+        ha_failovers,
+        degradations,
+        direct_encap_lookups,
+        standby_accepted,
+        replicas_applied,
+        standby_encapsulated,
         metrics,
     }
 }

@@ -262,6 +262,81 @@ pub fn render_c4(r: &C4Result) -> String {
     out
 }
 
+/// Renders the C5 (home-agent crash recovery) result.
+pub fn render_c5(r: &crate::experiments::C5Result) -> String {
+    let mut out = String::new();
+    hr(&mut out, "C5 — Home-agent crash recovery (journal replay)");
+    let _ = writeln!(
+        out,
+        "Mid-session crash of the (separate-host) home agent; journal\n\
+         survives, agent restarts with a new boot epoch.\n"
+    );
+    let _ = writeln!(out, "  echo probes sent       {:>6}", r.sent);
+    let _ = writeln!(out, "  echo replies received  {:>6}", r.received);
+    let _ = writeln!(out, "  lost before crash      {:>6}", r.lost_before);
+    let _ = writeln!(out, "  lost during outage     {:>6}", r.lost_during);
+    let _ = writeln!(out, "  lost after recovery    {:>6}", r.lost_after);
+    let _ = writeln!(
+        out,
+        "  reconverged in         {:>6} ms after the crash",
+        r.reconverged_ms
+    );
+    let _ = writeln!(
+        out,
+        "  journal records replayed {:>4}; boot epoch {} (MH detected {} change{})",
+        r.journal_replayed,
+        r.ha_epoch,
+        r.epoch_changes,
+        if r.epoch_changes == 1 { "" } else { "s" },
+    );
+    let _ = writeln!(
+        out,
+        "  (the restarted agent resumes proxy ARP and tunneling from the\n\
+         \x20  replayed journal before the MH even re-registers; the epoch\n\
+         \x20  bump in the next reply triggers a from-scratch registration)"
+    );
+    out
+}
+
+/// Renders the C6 (standby failover) result.
+pub fn render_c6(r: &crate::experiments::C6Result) -> String {
+    let mut out = String::new();
+    hr(&mut out, "C6 — Failover to the standby home agent");
+    let _ = writeln!(
+        out,
+        "Primary home agent crashes for good; the standby has been\n\
+         absorbing binding replicas and takes over when the MH's retry\n\
+         budget exhausts and it rotates agents.\n"
+    );
+    let _ = writeln!(out, "  inbound probes sent     {:>6}", r.in_sent);
+    let _ = writeln!(out, "  inbound replies         {:>6}", r.in_received);
+    let _ = writeln!(out, "  inbound lost in outage  {:>6}", r.in_lost_during);
+    let _ = writeln!(out, "  inbound lost after      {:>6}", r.in_lost_after);
+    let _ = writeln!(out, "  outbound lost after     {:>6}", r.out_lost_after);
+    let _ = writeln!(
+        out,
+        "  failed over in          {:>6} ms after the crash",
+        r.failover_ms
+    );
+    let _ = writeln!(
+        out,
+        "  failovers {} / degradations {} / direct-encap lookups {}",
+        r.ha_failovers, r.degradations, r.direct_encap_lookups
+    );
+    let _ = writeln!(
+        out,
+        "  standby: {} replicas applied, {} registrations accepted,\n\
+         \x20  {} packets tunneled to the MH after takeover",
+        r.replicas_applied, r.standby_accepted, r.standby_encapsulated
+    );
+    let _ = writeln!(
+        out,
+        "  (while no agent answered, reverse tunnels degraded to direct\n\
+         \x20  encapsulation so outbound traffic kept the home address)"
+    );
+    out
+}
+
 /// Renders the A1 (foreign-agent ablation) result.
 pub fn render_a1(r: &A1Result) -> String {
     let mut out = String::new();

@@ -32,6 +32,9 @@ pub const ROUTER_HOME: Ipv4Addr = Ipv4Addr::new(36, 135, 0, 1);
 /// A separate home agent's address (when not collocated).
 pub const HA_SEPARATE: Ipv4Addr = Ipv4Addr::new(36, 135, 0, 2);
 
+/// The standby home agent's address (failover experiments).
+pub const STANDBY_HA: Ipv4Addr = Ipv4Addr::new(36, 135, 0, 3);
+
 /// The router's address on the department net.
 pub const ROUTER_DEPT: Ipv4Addr = Ipv4Addr::new(36, 8, 0, 1);
 
@@ -159,6 +162,13 @@ pub struct TestbedConfig {
     pub ha_auth_key: Option<(u32, u64)>,
     /// Home agent refuses unauthenticated registrations.
     pub ha_require_auth: bool,
+    /// Build a standby home agent on the home net: the primary replicates
+    /// bindings to it, and the MH lists it as a failover target.
+    pub with_standby_ha: bool,
+    /// Binding lifetime the MH requests, seconds. The chaos experiments
+    /// shrink it so renewals (at lifetime/2) come fast enough to observe
+    /// crash recovery within a short run.
+    pub mh_lifetime: u16,
 }
 
 impl Default for TestbedConfig {
@@ -180,6 +190,8 @@ impl Default for TestbedConfig {
             mh_auth: None,
             ha_auth_key: None,
             ha_require_auth: false,
+            with_standby_ha: false,
+            mh_lifetime: mosquitonet_core::timing::DEFAULT_LIFETIME_SECS,
         }
     }
 }
@@ -211,6 +223,10 @@ pub struct Testbed {
     pub ha_host: HostId,
     /// The home agent module.
     pub ha_mod: ModuleId,
+    /// The standby home agent's host, if built.
+    pub standby_host: Option<HostId>,
+    /// The standby home agent module, if built.
+    pub standby_mod: Option<ModuleId>,
     /// The department correspondent host.
     pub ch_dept: HostId,
     /// The distant correspondent, if built.
@@ -347,15 +363,58 @@ pub fn build(cfg: TestbedConfig) -> Testbed {
         // The collocated HA decapsulates reverse-tunneled packets itself.
         net.host_mut(router).core.ipip_decap = true;
     }
+    // --- Optional standby home agent (failover experiments) ---
+    let (standby_host, standby_iface) = if cfg.with_standby_ha {
+        let sb = net.add_host("standby-agent");
+        let sb_if = net
+            .host_mut(sb)
+            .core
+            .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(31)));
+        {
+            let core = &mut net.host_mut(sb).core;
+            core.forwarding = true; // decapsulate + forward reverse tunnels
+            core.ipip_decap = true;
+            core.iface_mut(sb_if).add_addr(STANDBY_HA, home_subnet());
+            core.routes.add(RouteEntry {
+                dest: home_subnet(),
+                gateway: None,
+                iface: sb_if,
+                metric: 0,
+            });
+            core.routes.add(RouteEntry {
+                dest: Cidr::DEFAULT,
+                gateway: Some(ROUTER_HOME),
+                iface: sb_if,
+                metric: 0,
+            });
+        }
+        net.attach(sb, sb_if, lan_home);
+        (Some(sb), Some(sb_if))
+    } else {
+        (None, None)
+    };
+
     let mut ha_cfg = HomeAgentConfig::new(ha_addr, ha_iface, home_subnet());
     ha_cfg.notify_previous = cfg.ha_notify_previous;
     ha_cfg.require_auth = cfg.ha_require_auth;
     if let Some((spi, key)) = cfg.ha_auth_key {
         ha_cfg.auth_keys.insert(MH_HOME, (spi, key));
     }
+    if cfg.with_standby_ha {
+        ha_cfg.replicate_to = Some(STANDBY_HA);
+    }
     let ha_mod = net
         .host_mut(ha_host)
         .add_module(Box::new(HomeAgent::new(ha_cfg)));
+
+    let standby_mod = standby_host.map(|sb| {
+        let sb_cfg = HomeAgentConfig::new(
+            STANDBY_HA,
+            standby_iface.expect("built together"),
+            home_subnet(),
+        );
+        net.host_mut(sb).add_module(Box::new(HomeAgent::new(sb_cfg)))
+    });
 
     // --- Mobile-IP client module ---
     let mh_mod = match cfg.mh_mode {
@@ -365,8 +424,13 @@ pub fn build(cfg: TestbedConfig) -> Testbed {
                 home_subnet: home_subnet(),
                 home_router: ROUTER_HOME,
                 home_agent: ha_addr,
+                standby_agents: if cfg.with_standby_ha {
+                    vec![STANDBY_HA]
+                } else {
+                    Vec::new()
+                },
                 vif: mh_vif,
-                lifetime: mosquitonet_core::timing::DEFAULT_LIFETIME_SECS,
+                lifetime: cfg.mh_lifetime,
                 auth: cfg.mh_auth,
             };
             net.host_mut(mh)
@@ -742,6 +806,9 @@ pub fn build(cfg: TestbedConfig) -> Testbed {
     if !cfg.ha_on_router {
         to_up.push((ha_host, IfaceId(0)));
     }
+    if let (Some(sb), Some(sb_if)) = (standby_host, standby_iface) {
+        to_up.push((sb, sb_if));
+    }
     if let Some(h) = dhcp_host {
         to_up.push((h, IfaceId(0)));
     }
@@ -765,6 +832,8 @@ pub fn build(cfg: TestbedConfig) -> Testbed {
         router_radio_if,
         ha_host,
         ha_mod,
+        standby_host,
+        standby_mod,
         ch_dept,
         ch_far,
         dhcp_mod,
@@ -846,6 +915,17 @@ impl Testbed {
             .host_mut(ha_host)
             .module_mut(ha_mod)
             .expect("home agent module")
+    }
+
+    /// Read/inspect the standby home agent (panics if not built).
+    pub fn standby_module(&mut self) -> &mut HomeAgent {
+        let sb_mod = self.standby_mod.expect("standby built");
+        let sb_host = self.standby_host.expect("standby built");
+        self.sim
+            .world_mut()
+            .host_mut(sb_host)
+            .module_mut(sb_mod)
+            .expect("standby home agent module")
     }
 
     /// Physically carries the MH's Ethernet cable to another LAN (or

@@ -1,0 +1,65 @@
+//! Golden-file test for the C5 home-agent crash-recovery experiment.
+//!
+//! `run_c5` crashes the home agent mid-session (journal intact) and
+//! restarts it; every RNG in play derives from the seed, so the sidecar
+//! export must be byte-stable for a fixed seed. If a deliberate protocol
+//! or timing change moves the export, regenerate with
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p mosquitonet-testbed --test c5_golden
+//! ```
+//! and review the diff like any other golden change.
+
+use mosquitonet_testbed::experiments::run_c5;
+use mosquitonet_testbed::report::metrics_sidecar;
+
+const SEED: u64 = 1996;
+
+#[test]
+fn c5_export_matches_golden_and_session_survives_the_crash() {
+    let result = run_c5(SEED);
+
+    // The acceptance bar: the in-flight correspondent session survives
+    // the crash+restart. The settled window before the crash is clean,
+    // the outage costs packets, and after the MH reconverges (epoch
+    // change seen, re-registered) not one more probe is lost.
+    assert_eq!(result.lost_before, 0, "pre-crash window must be clean");
+    assert!(result.lost_during > 0, "the outage must actually bite");
+    assert_eq!(
+        result.lost_after, 0,
+        "post-reconvergence probes must all complete"
+    );
+    // The restart really went through the journal and the epoch machinery.
+    assert_eq!(result.ha_epoch, 1, "one restart, one epoch bump");
+    assert_eq!(result.epoch_changes, 1, "MH saw exactly one epoch change");
+    assert!(
+        result.journal_replayed >= 1,
+        "the restarted agent must replay the MH's binding"
+    );
+
+    let rendered = metrics_sidecar("c5_ha_crash_recovery", &result.metrics).render_pretty();
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/c5_ha_crash_recovery.metrics.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &rendered).expect("update golden");
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "C5 export drifted from the golden file; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// Two same-seed runs must produce byte-identical sidecars: the crash
+/// schedule is scripted, every RNG is seeded, and nothing reads the wall
+/// clock.
+#[test]
+fn c5_same_seed_runs_are_byte_identical() {
+    let a = run_c5(7).metrics.render_pretty();
+    let b = run_c5(7).metrics.render_pretty();
+    assert_eq!(a, b);
+}

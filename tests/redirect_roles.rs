@@ -200,6 +200,7 @@ fn redirect_steers_local_role_but_not_the_tunnel() {
                 home_subnet: cidr("10.1.0.0/24"),
                 home_router: ip("10.1.0.1"),
                 home_agent: ip("10.1.0.1"),
+                standby_agents: Vec::new(),
                 vif: mh_vif,
                 lifetime: 300,
                 auth: None,
