@@ -1,9 +1,10 @@
 //! Micro-benchmarks for the registration control path: one
 //! [`RetryBackoff`](mosquitonet_core::RetryBackoff) draw, one
-//! [`FaultPlan`](mosquitonet_link::FaultPlan) verdict, and one
-//! write-ahead [`BindingJournal`](mosquitonet_core::BindingJournal)
-//! append. All are gated — `bench_gate` compares the same measurements
-//! against `bench/baseline.json` in CI.
+//! [`FaultPlan`](mosquitonet_link::FaultPlan) verdict, one write-ahead
+//! [`BindingJournal`](mosquitonet_core::BindingJournal) append, and one
+//! authentication-extension MAC verification. All are gated —
+//! `bench_gate` compares the same measurements against
+//! `bench/baseline.json` in CI.
 
 use criterion::Criterion;
 
@@ -11,5 +12,6 @@ fn main() {
     let mut c = Criterion::default().configure_from_args().sample_size(60);
     mosquitonet_bench::gate::run_registration_backoff(&mut c);
     mosquitonet_bench::gate::run_journal(&mut c);
+    mosquitonet_bench::gate::run_mac(&mut c);
     c.final_summary();
 }

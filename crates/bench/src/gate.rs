@@ -190,11 +190,33 @@ pub fn run_journal(c: &mut Criterion) -> Vec<(String, f64)> {
     vec![(id, med)]
 }
 
+/// The registration authentication path: one MAC verification over a
+/// signed registration request's body — the per-message cost the home
+/// agent now pays up front for every authenticated registration.
+pub fn run_mac(c: &mut Criterion) -> Vec<(String, f64)> {
+    let req = mosquitonet_core::RegistrationRequest {
+        lifetime: 300,
+        home_addr: Ipv4Addr::new(36, 135, 0, 9),
+        home_agent: Ipv4Addr::new(36, 135, 0, 2),
+        care_of: Ipv4Addr::new(36, 8, 0, 42),
+        ident: 1996,
+        auth: None,
+    }
+    .sign(0x100, 0x6d6f_7371_7569_746f);
+    assert!(req.verify(0x6d6f_7371_7569_746f), "bench fixture must verify");
+    let id = "mac_verify".to_string();
+    let med = c.bench_function(&id, |b| {
+        b.iter(|| black_box(&req).verify(black_box(0x6d6f_7371_7569_746f)))
+    });
+    vec![(id, med)]
+}
+
 /// Every gated benchmark, in baseline order.
 pub fn run_all(c: &mut Criterion) -> Vec<(String, f64)> {
     let mut results = run_route_policy(c);
     results.extend(run_fast_path(c));
     results.extend(run_registration_backoff(c));
     results.extend(run_journal(c));
+    results.extend(run_mac(c));
     results
 }

@@ -261,6 +261,10 @@ pub struct FaMobileHost {
     /// Notify the previous foreign agent of the new care-of address when
     /// registering, so it can forward in-flight packets (§5.1).
     pub notify_previous: bool,
+    /// Mobile–home authentication `(SPI, key)`. When set, every
+    /// registration request is signed (the relaying FA forwards the
+    /// trailing extension untouched). `None` keeps the unkeyed layout.
+    pub auth: Option<(u32, u64)>,
     /// Completed registrations.
     pub registrations: Counter,
     /// Retransmissions fired by the retry timer.
@@ -295,6 +299,7 @@ impl FaMobileHost {
             previous_fa: None,
             ident: 0,
             notify_previous: false,
+            auth: None,
             registrations: Counter::default(),
             retries: Counter::default(),
             stale_retries: Counter::default(),
@@ -353,7 +358,7 @@ impl FaMobileHost {
     fn register_via(&mut self, ctx: &mut ModuleCtx<'_>, fa: Ipv4Addr) {
         self.pending_fa = Some(fa);
         self.ident += 1;
-        let req = RegistrationRequest {
+        let mut req = RegistrationRequest {
             lifetime: self.lifetime,
             home_addr: self.home_addr,
             home_agent: self.home_agent,
@@ -361,6 +366,9 @@ impl FaMobileHost {
             ident: self.ident,
             auth: None,
         };
+        if let Some((spi, key)) = self.auth {
+            req = req.sign(spi, key);
+        }
         ctx.fx.send_udp_opts(
             self.sock.expect("bound"),
             (fa, REGISTRATION_PORT),

@@ -138,6 +138,12 @@ pub struct HomeAgent {
     /// Registration requests that failed the wire checksum (counted,
     /// never acted on).
     pub corrupt_requests: Counter,
+    /// Registrations denied because authentication was missing or wrong
+    /// (spoofed or tampered requests).
+    pub auth_failures: Counter,
+    /// Authenticated registrations denied because the identification did
+    /// not advance past the replay window (replayed requests).
+    pub auth_replays: Counter,
     /// Binding replicas forwarded to the standby.
     pub replicas_sent: Counter,
     /// Binding replicas applied from the primary.
@@ -164,6 +170,8 @@ impl HomeAgent {
             denied: Counter::default(),
             expiries: Counter::default(),
             corrupt_requests: Counter::default(),
+            auth_failures: Counter::default(),
+            auth_replays: Counter::default(),
             replicas_sent: Counter::default(),
             replicas_applied: Counter::default(),
             journal_replayed: Counter::default(),
@@ -233,14 +241,20 @@ impl HomeAgent {
         } else {
             self.denied.inc();
         }
-        let reply = RegistrationReply {
+        let mut reply = RegistrationReply {
             code,
             lifetime,
             home_addr: req.home_addr,
             home_agent: self.cfg.addr,
             epoch: self.epoch,
             ident: req.ident,
+            auth: None,
         };
+        // A keyed host gets a signed reply, so forged denials can't knock
+        // its binding down. Unkeyed hosts keep the pre-auth byte layout.
+        if let Some(&(spi, key)) = self.cfg.auth_keys.get(&req.home_addr) {
+            reply = reply.sign(spi, key);
+        }
         ctx.fx
             .send_udp(self.sock.expect("bound"), to, reply.to_bytes());
     }
@@ -266,7 +280,26 @@ impl HomeAgent {
                 .get(&req.home_addr)
                 .is_some_and(|&(_spi, key)| req.verify(key));
             if !ok {
+                self.auth_failures.inc();
+                ctx.fx.trace(format!(
+                    "drop.auth_fail: registration for {} unsigned or bad digest",
+                    req.home_addr
+                ));
                 self.reply(ctx, reply_to, ReplyCode::DeniedAuth, 0, &req);
+                return;
+            }
+            // Anti-replay window, checked up front for authenticated
+            // hosts: the identification must advance past everything this
+            // agent has ever accepted for the address — including floors
+            // restored by journal replay after a crash, so a replayed
+            // capture stays dead across restarts.
+            if req.ident <= self.bindings.last_ident(req.home_addr) {
+                self.auth_replays.inc();
+                ctx.fx.trace(format!(
+                    "drop.auth_replay: registration for {} replays ident {}",
+                    req.home_addr, req.ident
+                ));
+                self.reply(ctx, reply_to, ReplyCode::DeniedIdent, 0, &req);
                 return;
             }
         }
@@ -436,6 +469,17 @@ impl Module for HomeAgent {
             ("journal_replayed", &self.journal_replayed),
         ] {
             reg.register(name, MetricCell::Counter(cell.clone()));
+        }
+        // Auth refusal counters exist only on keyed agents, so unkeyed
+        // topologies keep their pre-authentication metric sets (and the
+        // golden sidecars pinned to them) byte-identical.
+        if !self.cfg.auth_keys.is_empty() || self.cfg.require_auth {
+            for (name, cell) in [
+                ("auth_fail", &self.auth_failures),
+                ("auth_replay", &self.auth_replays),
+            ] {
+                reg.register(name, MetricCell::Counter(cell.clone()));
+            }
         }
     }
 

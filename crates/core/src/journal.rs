@@ -13,6 +13,14 @@
 //! Records carry absolute sim times, so replay is a pure fold over the
 //! record sequence: replaying any prefix and then the remainder reaches
 //! the same state as a straight run (see the `journal_replay_*` proptests).
+//!
+//! The journal is also what makes the registration protocol's anti-replay
+//! window (docs/security.md) survive a crash: every accepted record
+//! carries its identification, so replay restores each host's
+//! identification floor — live bindings' `last_ident` and the retired
+//! floors of deregistered or expired hosts alike. A captured registration
+//! replayed against a freshly restarted agent is rejected exactly as it
+//! would have been before the crash.
 
 use std::net::Ipv4Addr;
 
@@ -241,6 +249,34 @@ mod tests {
             assert_eq!(table, straight, "split at {split}");
             assert_eq!(stats, straight_stats, "split at {split}");
         }
+    }
+
+    /// The anti-replay window of a *live* binding survives replay: the
+    /// restarted agent's `last_ident` floor equals the pre-crash one, so
+    /// a captured registration stays dead across the restart.
+    #[test]
+    fn replay_restores_live_binding_replay_floor() {
+        let mut journal = BindingJournal::new();
+        for ident in 1..=4u64 {
+            journal.append(JournalRecord::Bind {
+                home: MH,
+                care_of: COA1,
+                lifetime: life(),
+                ident,
+                at: t(ident),
+            });
+        }
+        let (mut table, _) = journal.replay();
+        assert_eq!(table.last_ident(MH), 4);
+        assert_eq!(
+            table.bind(MH, COA2, life(), 4, t(10)),
+            BindOutcome::ReplayRejected,
+            "replayed capture rejected after restart"
+        );
+        assert!(matches!(
+            table.bind(MH, COA2, life(), 5, t(10)),
+            BindOutcome::Moved { .. }
+        ));
     }
 
     #[test]

@@ -44,8 +44,8 @@ pub use home_agent::{HomeAgent, HomeAgentConfig};
 pub use journal::{replay_into, BindingJournal, JournalRecord, ReplayStats};
 pub use messages::{
     classify, keyed_digest, AgentAdvertisement, AuthExtension, BindingReplica, BindingUpdate,
-    MessageKind, RegistrationReply, RegistrationRequest, ReplicaOp, ReplyCode, IDENT_WIRE_BITS,
-    REGISTRATION_PORT, REPLY_IDENT_WIRE_BITS,
+    MessageKind, RegistrationReply, RegistrationRequest, ReplicaOp, ReplyCode, AUTH_EXT_LEN,
+    IDENT_WIRE_BITS, REGISTRATION_PORT, REPLICA_LEN, REPLY_IDENT_WIRE_BITS, REPLY_LEN, REQUEST_LEN,
 };
 pub use mobile::{
     AddressPlan, AutoSwitchConfig, Candidate, MobileHost, MobileHostConfig, RegistrationTimeline,

@@ -15,7 +15,7 @@
 use bytes::{BufMut, Bytes, BytesMut};
 use std::net::Ipv4Addr;
 
-use mosquitonet_wire::{internet_checksum, verify_checksum, WireError};
+use mosquitonet_wire::{internet_checksum, verify_checksum, AuthTlv, WireError};
 
 /// UDP port for registration traffic (RFC 2002's 434).
 pub const REGISTRATION_PORT: u16 = 434;
@@ -67,8 +67,10 @@ const REQUEST_BODY_LEN: usize = REQUEST_LEN - 2;
 /// Body length of a reply, excluding the trailing checksum.
 const REPLY_BODY_LEN: usize = REPLY_LEN - 2;
 
-/// Length of the optional authentication extension.
-pub const AUTH_EXT_LEN: usize = 14;
+/// Length of the optional authentication extension (see
+/// [`mosquitonet_wire::AUTH_TLV_LEN`] — the encoding lives in the wire
+/// crate alongside the checksum it complements).
+pub const AUTH_EXT_LEN: usize = mosquitonet_wire::AUTH_TLV_LEN;
 
 /// Reply codes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -114,37 +116,15 @@ impl ReplyCode {
 }
 
 /// The optional authentication extension: a keyed digest over the message
-/// body.
-///
-/// The digest is a keyed FNV-1a-64 — an interface-compatible stand-in for
-/// the draft's keyed-MD5, *not* cryptographically secure (the paper
-/// implemented no authentication at all; this extension exists to exercise
-/// the protocol path the paper prescribes for production use).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct AuthExtension {
-    /// Security parameter index selecting the key.
-    pub spi: u32,
-    /// Keyed digest over the message body.
-    pub digest: u64,
-}
+/// body. The MAC construction and TLV encoding live in the wire crate
+/// (see [`mosquitonet_wire::AuthTlv`]); this is the same type under the
+/// protocol's name for it.
+pub type AuthExtension = AuthTlv;
 
-/// Computes the keyed digest over `body` with `key`.
+/// Computes the keyed digest over `body` with `key` (the wire crate's
+/// [`mosquitonet_wire::keyed_mac`]).
 pub fn keyed_digest(body: &[u8], spi: u32, key: u64) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ key;
-    let mut mix = |b: u8| {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    };
-    for &b in body {
-        mix(b);
-    }
-    for b in spi.to_be_bytes() {
-        mix(b);
-    }
-    for b in key.to_be_bytes() {
-        mix(b);
-    }
-    h
+    mosquitonet_wire::keyed_mac(body, spi, key)
 }
 
 /// A registration request (type 1): "please forward my packets to this
@@ -216,21 +196,14 @@ impl RegistrationRequest {
         let mut buf = self.body_bytes();
         buf.put_u16(internet_checksum(&buf, 0));
         if let Some(a) = self.auth {
-            buf.put_u8(32); // extension type
-            buf.put_u8(AUTH_EXT_LEN as u8);
-            buf.put_u32(a.spi);
-            buf.put_u64(a.digest);
+            a.encode_into(&mut buf);
         }
         buf.freeze()
     }
 
     /// Attaches an authentication extension computed with `key`.
     pub fn sign(mut self, spi: u32, key: u64) -> RegistrationRequest {
-        let body = self.body_bytes();
-        self.auth = Some(AuthExtension {
-            spi,
-            digest: keyed_digest(&body, spi, key),
-        });
+        self.auth = Some(AuthTlv::compute(&self.body_bytes(), spi, key));
         self
     }
 
@@ -238,7 +211,7 @@ impl RegistrationRequest {
     pub fn verify(&self, key: u64) -> bool {
         match self.auth {
             None => false,
-            Some(a) => keyed_digest(&self.body_bytes(), a.spi, key) == a.digest,
+            Some(a) => a.verify(&self.body_bytes(), key),
         }
     }
 
@@ -259,7 +232,7 @@ impl RegistrationRequest {
         if !verify_checksum(&buf[..REQUEST_LEN], 0) {
             return Err(WireError::BadChecksum);
         }
-        let auth = parse_auth(&buf[REQUEST_LEN..])?;
+        let auth = AuthTlv::parse_trailing(&buf[REQUEST_LEN..])?;
         Ok(RegistrationRequest {
             lifetime: u16::from_be_bytes([buf[2], buf[3]]),
             home_addr: Ipv4Addr::new(buf[4], buf[5], buf[6], buf[7]),
@@ -269,21 +242,6 @@ impl RegistrationRequest {
             auth,
         })
     }
-}
-
-fn parse_auth(rest: &[u8]) -> Result<Option<AuthExtension>, WireError> {
-    if rest.is_empty() {
-        return Ok(None);
-    }
-    if rest.len() < AUTH_EXT_LEN || rest[0] != 32 || rest[1] != AUTH_EXT_LEN as u8 {
-        return Err(WireError::BadLength);
-    }
-    Ok(Some(AuthExtension {
-        spi: u32::from_be_bytes([rest[2], rest[3], rest[4], rest[5]]),
-        digest: u64::from_be_bytes([
-            rest[6], rest[7], rest[8], rest[9], rest[10], rest[11], rest[12], rest[13],
-        ]),
-    }))
 }
 
 /// A registration reply (type 3).
@@ -304,12 +262,15 @@ pub struct RegistrationReply {
     pub epoch: u16,
     /// Echo of the request's identification.
     pub ident: u64,
+    /// Optional authentication. A keyed home agent signs its replies so a
+    /// mobile host can reject forged denials (an off-path attacker must
+    /// not be able to knock down a binding by spoofing a `DeniedAuth`).
+    pub auth: Option<AuthExtension>,
 }
 
 impl RegistrationReply {
-    /// Serializes to bytes, appending the 16-bit body checksum.
-    pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(REPLY_LEN);
+    fn body_bytes(&self) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(REPLY_LEN + AUTH_EXT_LEN);
         buf.put_u8(3);
         buf.put_u8(self.code.number());
         buf.put_u16(self.lifetime);
@@ -318,8 +279,34 @@ impl RegistrationReply {
         buf.put_u16(self.epoch);
         buf.put_u32((self.ident & u64::from(u32::MAX)) as u32);
         debug_assert_eq!(buf.len(), REPLY_BODY_LEN);
+        buf
+    }
+
+    /// Serializes to bytes, appending the 16-bit body checksum and then
+    /// the authentication extension when present (same trailer order as a
+    /// request, so an unkeyed reply is byte-identical to the pre-auth
+    /// layout).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = self.body_bytes();
         buf.put_u16(internet_checksum(&buf, 0));
+        if let Some(a) = self.auth {
+            a.encode_into(&mut buf);
+        }
         buf.freeze()
+    }
+
+    /// Attaches an authentication extension computed with `key`.
+    pub fn sign(mut self, spi: u32, key: u64) -> RegistrationReply {
+        self.auth = Some(AuthTlv::compute(&self.body_bytes(), spi, key));
+        self
+    }
+
+    /// Verifies the attached extension against `key`.
+    pub fn verify(&self, key: u64) -> bool {
+        match self.auth {
+            None => false,
+            Some(a) => a.verify(&self.body_bytes(), key),
+        }
     }
 
     /// Parses from bytes, verifying the trailing body checksum.
@@ -339,6 +326,7 @@ impl RegistrationReply {
         if !verify_checksum(&buf[..REPLY_LEN], 0) {
             return Err(WireError::BadChecksum);
         }
+        let auth = AuthTlv::parse_trailing(&buf[REPLY_LEN..])?;
         Ok(RegistrationReply {
             code: ReplyCode::from_number(buf[1])?,
             lifetime: u16::from_be_bytes([buf[2], buf[3]]),
@@ -346,6 +334,7 @@ impl RegistrationReply {
             home_agent: Ipv4Addr::new(buf[8], buf[9], buf[10], buf[11]),
             epoch: u16::from_be_bytes([buf[12], buf[13]]),
             ident: u64::from(u32::from_be_bytes([buf[14], buf[15], buf[16], buf[17]])),
+            auth,
         })
     }
 }
@@ -638,6 +627,7 @@ mod tests {
             home_agent: Ipv4Addr::new(36, 135, 0, 1),
             epoch: 3,
             ident: 42,
+            auth: None,
         };
         let mut bytes = r.to_bytes().to_vec();
         bytes[3] ^= 0x08; // flip a lifetime bit
@@ -680,6 +670,7 @@ mod tests {
                 home_agent: Ipv4Addr::new(36, 135, 0, 1),
                 epoch: 7,
                 ident: 42,
+                auth: None,
             };
             assert_eq!(RegistrationReply::parse(&r.to_bytes()).unwrap(), r);
         }
@@ -697,6 +688,7 @@ mod tests {
             home_agent: Ipv4Addr::new(36, 135, 0, 1),
             epoch: 0,
             ident: 42,
+            auth: None,
         };
         let bytes = r.to_bytes();
         // Legacy layout: 48-bit ident at [12..18].
@@ -779,6 +771,7 @@ mod tests {
             home_agent: Ipv4Addr::UNSPECIFIED,
             epoch: 0,
             ident: 0,
+            auth: None,
         };
         assert_eq!(classify(&reply.to_bytes()), Some(MessageKind::Reply));
         assert_eq!(classify(&[99]), None);
@@ -794,6 +787,42 @@ mod tests {
             RegistrationRequest::parse(&bytes[..10]),
             Err(WireError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn signed_reply_round_trips_and_verifies() {
+        let r = RegistrationReply {
+            code: ReplyCode::Accepted,
+            lifetime: 120,
+            home_addr: Ipv4Addr::new(36, 135, 0, 9),
+            home_agent: Ipv4Addr::new(36, 135, 0, 1),
+            epoch: 2,
+            ident: 42,
+            auth: None,
+        }
+        .sign(7, 0xdead_beef);
+        let back = RegistrationReply::parse(&r.to_bytes()).unwrap();
+        assert_eq!(back, r);
+        assert!(back.verify(0xdead_beef));
+        assert!(!back.verify(0xdead_beee), "wrong key fails");
+    }
+
+    #[test]
+    fn forged_denial_fails_reply_verification() {
+        // An off-path attacker forges a DeniedAuth to knock the binding
+        // down; without the key its digest cannot match.
+        let forged = RegistrationReply {
+            code: ReplyCode::DeniedAuth,
+            lifetime: 0,
+            home_addr: Ipv4Addr::new(36, 135, 0, 9),
+            home_agent: Ipv4Addr::new(36, 135, 0, 1),
+            epoch: 0,
+            ident: 42,
+            auth: None,
+        }
+        .sign(7, 0x4141_4141); // attacker's guess at the key
+        let back = RegistrationReply::parse(&forged.to_bytes()).unwrap();
+        assert!(!back.verify(0xdead_beef));
     }
 
     #[test]

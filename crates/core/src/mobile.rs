@@ -276,6 +276,9 @@ pub struct MobileHost {
     /// Registration replies that failed the wire checksum (counted, never
     /// acted on).
     pub corrupt_replies: Counter,
+    /// Registration replies rejected because this keyed host required a
+    /// valid signature and the reply had none (forged or tampered).
+    pub auth_failures: Counter,
     /// Completed hand-offs.
     pub handoffs: Counter,
     /// Triangle-route probes that timed out (correspondent reverted to the
@@ -358,6 +361,7 @@ impl MobileHost {
             backoff_exhausted: Counter::default(),
             binding_lapses: Counter::default(),
             corrupt_replies: Counter::default(),
+            auth_failures: Counter::default(),
             backoff,
             binding_expires_at: None,
             current_ha,
@@ -909,6 +913,17 @@ impl MobileHost {
     }
 
     fn handle_reply(&mut self, ctx: &mut ModuleCtx<'_>, reply: RegistrationReply) {
+        // A keyed host trusts only signed replies: a forged denial must
+        // not cancel the retry timer or count as a real denial.
+        if let Some((_spi, key)) = self.cfg.auth {
+            if !reply.verify(key) {
+                self.auth_failures.inc();
+                ctx.fx.trace(
+                    "drop.auth_fail: registration reply unsigned or bad digest".to_string(),
+                );
+                return;
+            }
+        }
         if reply.ident != self.ident || reply.home_addr != self.cfg.home_addr {
             return; // stale or foreign
         }
@@ -1143,6 +1158,12 @@ impl Module for MobileHost {
             ("degradations", &self.degradations),
         ] {
             reg.register(name, MetricCell::Counter(cell.clone()));
+        }
+        // Registered only on keyed hosts, mirroring the home agent: an
+        // unkeyed host's metric set is byte-identical to the
+        // pre-authentication layout the golden sidecars pin.
+        if self.cfg.auth.is_some() {
+            reg.register("auth_fail", MetricCell::Counter(self.auth_failures.clone()));
         }
         let mobility = scope.scope("mobility");
         for (name, cell) in [

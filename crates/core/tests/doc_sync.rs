@@ -1,0 +1,177 @@
+//! Keeps `docs/PROTOCOL.md` honest: every example encoding and every
+//! layout constant the document states is re-derived here from the real
+//! encoders. If an encoder changes, this test fails until the document
+//! (and the goldens) are updated with it.
+
+use std::net::Ipv4Addr;
+
+use mosquitonet_core::{
+    AgentAdvertisement, BindingReplica, BindingUpdate, RegistrationRequest, RegistrationReply,
+    ReplicaOp, ReplyCode, AUTH_EXT_LEN, IDENT_WIRE_BITS, REGISTRATION_PORT, REPLICA_LEN,
+    REPLY_IDENT_WIRE_BITS, REPLY_LEN, REQUEST_LEN,
+};
+use mosquitonet_wire::{AUTH_TLV_LEN, AUTH_TLV_TYPE};
+
+/// The worked example's parameters, as stated in the document.
+const HOME: Ipv4Addr = Ipv4Addr::new(36, 135, 0, 9);
+const AGENT: Ipv4Addr = Ipv4Addr::new(36, 135, 0, 2);
+const CARE_OF: Ipv4Addr = Ipv4Addr::new(36, 8, 0, 42);
+const FA: Ipv4Addr = Ipv4Addr::new(36, 8, 0, 4);
+const SPI: u32 = 0x100;
+const KEY: u64 = 0x6d6f_7371_7569_746f;
+
+fn doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/PROTOCOL.md");
+    std::fs::read_to_string(path).expect("docs/PROTOCOL.md must exist")
+}
+
+/// Collapses all whitespace runs to single spaces, so assertions are
+/// immune to the document's line wrapping.
+fn normalized(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Extracts the hex bytes of the fenced block tagged
+/// `<!-- doc-sync: name -->`.
+fn example(text: &str, name: &str) -> Vec<u8> {
+    let marker = format!("<!-- doc-sync: {name} -->");
+    let after = text
+        .split_once(&marker)
+        .unwrap_or_else(|| panic!("marker {marker:?} missing from PROTOCOL.md"))
+        .1;
+    let fence = after
+        .split_once("```")
+        .and_then(|(_, rest)| rest.split_once("```"))
+        .unwrap_or_else(|| panic!("no fenced block after {marker:?}"))
+        .0;
+    fence
+        .split_whitespace()
+        .map(|tok| {
+            u8::from_str_radix(tok, 16)
+                .unwrap_or_else(|_| panic!("bad hex token {tok:?} under {marker:?}"))
+        })
+        .collect()
+}
+
+fn request() -> RegistrationRequest {
+    RegistrationRequest {
+        lifetime: 300,
+        home_addr: HOME,
+        home_agent: AGENT,
+        care_of: CARE_OF,
+        ident: 7,
+        auth: None,
+    }
+}
+
+fn reply() -> RegistrationReply {
+    RegistrationReply {
+        code: ReplyCode::Accepted,
+        lifetime: 300,
+        home_addr: HOME,
+        home_agent: AGENT,
+        epoch: 1,
+        ident: 7,
+        auth: None,
+    }
+}
+
+#[test]
+fn doc_protocol_sync_examples_match_encoders() {
+    let text = doc();
+
+    let unsigned = request().to_bytes();
+    assert_eq!(example(&text, "request-unsigned"), unsigned.as_ref());
+    assert_eq!(unsigned.len(), REQUEST_LEN);
+
+    let signed = request().sign(SPI, KEY).to_bytes();
+    assert_eq!(example(&text, "request-signed"), signed.as_ref());
+    assert_eq!(signed.len(), REQUEST_LEN + AUTH_EXT_LEN);
+    assert_eq!(
+        &signed[..REQUEST_LEN],
+        unsigned.as_ref(),
+        "signing must only append, never rewrite the base layout"
+    );
+    assert!(
+        RegistrationRequest::parse(&signed).expect("parse").verify(KEY),
+        "the documented signed example must verify with the documented key"
+    );
+
+    let reply_unsigned = reply().to_bytes();
+    assert_eq!(example(&text, "reply-unsigned"), reply_unsigned.as_ref());
+    assert_eq!(reply_unsigned.len(), REPLY_LEN);
+
+    let reply_signed = reply().sign(SPI, KEY).to_bytes();
+    assert_eq!(example(&text, "reply-signed"), reply_signed.as_ref());
+    assert_eq!(&reply_signed[..REPLY_LEN], reply_unsigned.as_ref());
+    assert!(RegistrationReply::parse(&reply_signed).expect("parse").verify(KEY));
+
+    let update = BindingUpdate {
+        lifetime: 30,
+        home_addr: HOME,
+        new_care_of: CARE_OF,
+    }
+    .to_bytes();
+    assert_eq!(example(&text, "update"), update.as_ref());
+    assert_eq!(update.len(), 12);
+
+    let replica = BindingReplica {
+        op: ReplicaOp::Bind,
+        lifetime: 300,
+        home_addr: HOME,
+        care_of: CARE_OF,
+        ident: 7,
+    }
+    .to_bytes();
+    assert_eq!(example(&text, "replica"), replica.as_ref());
+    assert_eq!(replica.len(), REPLICA_LEN);
+
+    let advert = AgentAdvertisement {
+        seq: 9,
+        agent_addr: FA,
+    }
+    .to_bytes();
+    assert_eq!(example(&text, "advertisement"), advert.as_ref());
+    assert_eq!(advert.len(), 8);
+}
+
+#[test]
+fn doc_protocol_sync_tables_state_the_real_constants() {
+    let text = normalized(&doc());
+    for needed in [
+        format!("UDP port {REGISTRATION_PORT}"),
+        // Fixed lengths.
+        format!("Fixed length {REQUEST_LEN} bytes"),
+        format!("Fixed length {REPLY_LEN} bytes"),
+        format!("Fixed length {REPLICA_LEN} bytes"),
+        "Fixed length 12 bytes".to_string(),
+        "Fixed length 8 bytes".to_string(),
+        // The authentication TLV.
+        format!("extension type = {AUTH_TLV_TYPE}"),
+        format!("extension length = {AUTH_TLV_LEN}"),
+        format!("{AUTH_TLV_LEN}-byte authentication extension"),
+        // Identification widths.
+        format!("identification ({IDENT_WIRE_BITS} bits, strictly increasing"),
+        format!("identification echo (low {REPLY_IDENT_WIRE_BITS} bits)"),
+        // Checksum offsets: always the last two fixed bytes.
+        format!(
+            "| {} | 2 | Internet checksum over bytes 0–{} |",
+            REQUEST_LEN - 2,
+            REQUEST_LEN - 3
+        ),
+        format!(
+            "| {} | 2 | Internet checksum over bytes 0–{} |",
+            REPLY_LEN - 2,
+            REPLY_LEN - 3
+        ),
+        // The extension trails the fixed layout.
+        format!("| {REQUEST_LEN} | {AUTH_EXT_LEN} | authentication extension (optional, below) |"),
+        format!("| {REPLY_LEN} | {AUTH_EXT_LEN} | authentication extension (optional) |"),
+    ] {
+        assert!(
+            text.contains(&needed),
+            "PROTOCOL.md no longer states {needed:?} — update the document \
+             to match the code (or this test to match the document)"
+        );
+    }
+}

@@ -33,6 +33,7 @@ fn main() {
     let c4 = experiments::run_c4(4, seed);
     let c5 = experiments::run_c5(seed);
     let c6 = experiments::run_c6(seed);
+    let c7 = experiments::run_c7(seed);
     let a1 = experiments::run_a1(10, seed);
     let (a2, a2_metrics) = experiments::run_a2(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512], seed);
     let a3 = experiments::run_a3(seed);
@@ -56,13 +57,14 @@ fn main() {
     print!("{}", report::render_c4(&c4));
     print!("{}", report::render_c5(&c5));
     print!("{}", report::render_c6(&c6));
+    print!("{}", report::render_c7(&c7));
     print!("{}", report::render_a1(&a1));
     print!("{}", report::render_a2(&a2));
     print!("{}", report::render_a3(&a3));
     print!("{}", report::render_s1(&s1));
 
     // One machine-readable metrics sidecar per experiment.
-    let sidecars: [(&str, &Json); 14] = [
+    let sidecars: [(&str, &Json); 15] = [
         ("tab1", &tab1.metrics),
         ("tab1_far", &tab1_far.metrics),
         ("fig6", &fig6.metrics),
@@ -73,6 +75,7 @@ fn main() {
         ("c4_lossy_registration", &c4.metrics),
         ("c5_ha_crash_recovery", &c5.metrics),
         ("c6_standby_failover", &c6.metrics),
+        ("c7_spoofed_registration", &c7.metrics),
         ("a1", &a1.metrics),
         ("a2", &a2_metrics),
         ("a3", &a3.metrics),
@@ -98,6 +101,7 @@ fn main() {
             ("c4", c4.to_json()),
             ("c5", c5.to_json()),
             ("c6", c6.to_json()),
+            ("c7", c7.to_json()),
             ("a1", a1.to_json()),
             ("a2", Json::arr(a2.iter().map(|r| r.to_json()))),
             ("a2_metrics", a2_metrics.clone()),

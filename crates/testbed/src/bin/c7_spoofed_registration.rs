@@ -1,0 +1,18 @@
+//! Chaos experiment C7: an on-subnet attacker injects spoofed and
+//! byte-exact replayed registrations at a home agent that requires
+//! authentication, with a crash/restart in between; the binding never
+//! moves and the journaled replay floor survives the restart.
+//! Usage: `c7_spoofed_registration [seed]`.
+
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1996);
+    let result = experiments::run_c7(seed);
+    print!("{}", report::render_c7(&result));
+    match report::write_metrics_sidecar("c7_spoofed_registration", &result.metrics) {
+        Ok(path) => eprintln!("metrics sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics sidecar: {e}"),
+    }
+}

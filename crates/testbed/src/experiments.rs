@@ -8,7 +8,7 @@
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
-use mosquitonet_core::{AddressPlan, SendMode, SwitchPlan, SwitchStyle};
+use mosquitonet_core::{AddressPlan, RegistrationRequest, SendMode, SwitchPlan, SwitchStyle};
 use mosquitonet_dhcp::{DhcpClientModule, ReusePolicy};
 use mosquitonet_link::{presets, FaultKind, FaultPlan, HostFaultEvent, HostFaultPlan};
 use mosquitonet_sim::{Histogram, Json, MetricsRegistry, Sim, SimDuration, Summary};
@@ -16,11 +16,13 @@ use mosquitonet_stack::{self as stack, ModuleId, Network, RouteEntry, SendOption
 use mosquitonet_wire::{Cidr, IpProto, Ipv4Header, Ipv4Packet, MacAddr};
 
 use crate::topology::{
-    self, build, MhMode, Testbed, TestbedConfig, CH_DEPT, CH_FAR, COA_DEPT, COA_DEPT_ALT,
-    COA_FOREIGN, COA_FOREIGN2, COA_RADIO, FOREIGN_ROUTER, MH_HOME, ROUTER_DEPT, ROUTER_RADIO,
-    STANDBY_HA,
+    self, build, MhMode, Testbed, TestbedConfig, ATTACKER_DEPT, CH_DEPT, CH_FAR, COA_DEPT,
+    COA_DEPT_ALT, COA_FOREIGN, COA_FOREIGN2, COA_RADIO, FOREIGN_ROUTER, HA_SEPARATE, MH_HOME,
+    ROUTER_DEPT, ROUTER_RADIO, STANDBY_HA,
 };
-use crate::workload::{BulkSender, BulkSink, RegistrationStorm, UdpEchoResponder, UdpEchoSender};
+use crate::workload::{
+    BulkSender, BulkSink, RegistrationAttacker, RegistrationStorm, UdpEchoResponder, UdpEchoSender,
+};
 
 /// Echo port used by all loss experiments.
 pub const ECHO_PORT: u16 = 7;
@@ -2236,6 +2238,291 @@ pub fn run_c6(seed: u64) -> C6Result {
         standby_accepted,
         replicas_applied,
         standby_encapsulated,
+        metrics,
+    }
+}
+
+// ---------------------------------------------------------------- C7
+
+/// Result of the spoofed/replayed-registration chaos experiment (claim
+/// C7): with registration authentication required, an on-subnet attacker
+/// injecting forged and byte-exact replayed registrations — before and
+/// after a home-agent crash/restart — never moves the binding, never
+/// gets a registration accepted, and never perturbs the mobile host's
+/// traffic outside the crash window itself.
+#[derive(Debug)]
+pub struct C7Result {
+    /// Echo probes the correspondent sent over the whole run.
+    pub sent: u64,
+    /// Echo replies it got back.
+    pub received: u64,
+    /// Probes lost across the spoof + replay phases (acceptance: 0 — the
+    /// attack must not disturb the session).
+    pub lost_attack: u64,
+    /// Probes lost after the post-crash reconvergence (acceptance: 0).
+    pub lost_after: u64,
+    /// Forged registrations injected (unsigned and wrong-key).
+    pub spoofs: u64,
+    /// Byte-exact replayed registrations injected (incl. post-restart).
+    pub replays: u64,
+    /// Injections the home agent accepted (acceptance: 0).
+    pub attacker_accepted: u64,
+    /// Denial replies the attacker collected (expect = injections).
+    pub attacker_denied: u64,
+    /// Home-agent `reg/auth_fail` count (expect = spoofs).
+    pub auth_failures: u64,
+    /// Home-agent `reg/auth_replay` count (expect = replays).
+    pub auth_replays: u64,
+    /// True when the binding pointed at the genuine care-of address at
+    /// every checkpoint (acceptance: true).
+    pub binding_intact: bool,
+    /// The agent's boot epoch at the end of the run (expect 1).
+    pub ha_epoch: u64,
+    /// The metrics sidecar document.
+    pub metrics: Json,
+}
+
+impl C7Result {
+    /// Renders the summary scalars for the combined-results JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("sent", Json::UInt(self.sent)),
+            ("received", Json::UInt(self.received)),
+            ("lost_attack", Json::UInt(self.lost_attack)),
+            ("lost_after", Json::UInt(self.lost_after)),
+            ("spoofs", Json::UInt(self.spoofs)),
+            ("replays", Json::UInt(self.replays)),
+            ("attacker_accepted", Json::UInt(self.attacker_accepted)),
+            ("attacker_denied", Json::UInt(self.attacker_denied)),
+            ("auth_failures", Json::UInt(self.auth_failures)),
+            ("auth_replays", Json::UInt(self.auth_replays)),
+            ("binding_intact", Json::Bool(self.binding_intact)),
+            ("ha_epoch", Json::UInt(self.ha_epoch)),
+        ])
+    }
+}
+
+/// SPI provisioned for the MH/HA pair in the keyed topology.
+const C7_SPI: u32 = 0x100;
+/// The shared key. In a real deployment this comes from out-of-band
+/// provisioning; in the testbed it is part of the topology (the attacker
+/// does not have it — that is the point).
+const C7_KEY: u64 = 0x6d6f_7371_7569_746f;
+/// Identification the forger guesses. Far above anything the MH will
+/// use, proving the upfront auth check (not the replay window) stops it.
+const C7_SPOOF_IDENT: u64 = 1 << 40;
+/// Observation window after each injection batch.
+const C7_PHASE: SimDuration = SimDuration::from_secs(2);
+/// How long the agent stays down.
+const C7_DOWNTIME: SimDuration = SimDuration::from_secs(4);
+/// Post-reconvergence observation window.
+const C7_POST: SimDuration = SimDuration::from_secs(6);
+
+/// Runs claim C7: spoof and replay registrations at a home agent that
+/// requires authentication, crash/restart the agent in between, and
+/// verify the binding never moves and the replay floor survives the
+/// restart. Everything derives from `seed`.
+pub fn run_c7(seed: u64) -> C7Result {
+    let reg = MetricsRegistry::new();
+    let mut tb = build(TestbedConfig {
+        seed,
+        ha_on_router: false,
+        mh_lifetime: C5_LIFETIME_SECS,
+        mh_auth: Some((C7_SPI, C7_KEY)),
+        ha_auth_key: Some((C7_SPI, C7_KEY)),
+        ha_require_auth: true,
+        with_attacker: true,
+        ..TestbedConfig::default()
+    });
+    let sender_mid = install_echo(&mut tb, C5_ECHO_INTERVAL);
+    let attacker_host = tb.attacker_host.expect("attacker host");
+    let att_mid = stack::add_module(
+        &mut tb.sim,
+        attacker_host,
+        Box::new(RegistrationAttacker::new(HA_SEPARATE)),
+    );
+    fn attacker_at(
+        tb: &mut Testbed,
+        host: stack::HostId,
+        mid: ModuleId,
+    ) -> &mut RegistrationAttacker {
+        tb.sim
+            .world_mut()
+            .host_mut(host)
+            .module_mut(mid)
+            .expect("attacker module")
+    }
+
+    settle_on_dept(&mut tb);
+    let settled = tb.sim.now();
+    let binding_at = |tb: &mut Testbed| {
+        let now = tb.sim.now();
+        tb.ha_module().bindings.get(MH_HOME, now).map(|b| b.care_of)
+    };
+    let mut binding_intact = binding_at(&mut tb) == Some(COA_DEPT);
+
+    // Phase A — forgery. The attacker knows the protocol and the MH's
+    // home address but not the key: one unsigned request, one signed
+    // with a guessed key, both pointing the binding at the attacker.
+    let forged = RegistrationRequest {
+        lifetime: 600,
+        home_addr: MH_HOME,
+        home_agent: HA_SEPARATE,
+        care_of: ATTACKER_DEPT,
+        ident: C7_SPOOF_IDENT,
+        auth: None,
+    };
+    let wrong_key = forged.clone().sign(C7_SPI, 0x4141_4141_4141_4141);
+    {
+        let a = attacker_at(&mut tb, attacker_host, att_mid);
+        a.inject(forged.to_bytes(), "unsigned forgery");
+        a.inject(wrong_key.to_bytes(), "wrong-key forgery");
+    }
+    tb.run_for(C7_PHASE);
+    binding_intact &= binding_at(&mut tb) == Some(COA_DEPT);
+
+    // Phase B — replay. Being on the visited LAN, the attacker could
+    // capture the MH's registration off the wire; the MAC is over the
+    // message, so the capture carries a valid signature. Reconstruct the
+    // byte-exact capture from the agent's accepted state (signing is
+    // deterministic) and play it back twice: verbatim and one older.
+    let floor = tb.ha_module().bindings.last_ident(MH_HOME);
+    assert!(floor > 0, "MH never registered");
+    let captured = |ident: u64| {
+        RegistrationRequest {
+            lifetime: C5_LIFETIME_SECS,
+            home_addr: MH_HOME,
+            home_agent: HA_SEPARATE,
+            care_of: COA_DEPT,
+            ident,
+            auth: None,
+        }
+        .sign(C7_SPI, C7_KEY)
+        .to_bytes()
+    };
+    {
+        let a = attacker_at(&mut tb, attacker_host, att_mid);
+        a.inject(captured(floor), "verbatim replay");
+        a.inject(captured(floor.saturating_sub(1)), "stale replay");
+    }
+    tb.run_for(C7_PHASE);
+    binding_intact &= binding_at(&mut tb) == Some(COA_DEPT);
+    let attack_end = tb.sim.now();
+
+    // Phase C — the PR 4 restart path. Crash the agent (journal intact),
+    // let the MH reconverge, then replay the pre-crash capture again:
+    // the journal-restored floor must still refuse it.
+    let crash_at = attack_end;
+    let plan = HostFaultPlan::scripted(vec![HostFaultEvent {
+        at: crash_at,
+        restart_after: C7_DOWNTIME,
+        lose_journal: false,
+    }]);
+    plan.register_metrics(&reg.scope("c7/ha"));
+    let ha_host = tb.ha_host;
+    tb.sim.world_mut().host_mut(ha_host).fault = Some(plan);
+    stack::install_host_faults(&mut tb.sim, ha_host);
+    stack::register_metrics(&mut tb.sim);
+
+    tb.run_for(C7_DOWNTIME);
+    let slice = SimDuration::from_millis(100);
+    let mut waited = SimDuration::ZERO;
+    loop {
+        let m = tb.mh_module();
+        if m.epoch_changes.get() >= 1 && m.away_status().map(|s| s.2).unwrap_or(false) {
+            break;
+        }
+        assert!(
+            waited < C5_RECONVERGE_CAP,
+            "MH failed to reconverge after the home agent restart"
+        );
+        tb.run_for(slice);
+        waited += slice;
+    }
+    let reconverged = tb.sim.now();
+    attacker_at(&mut tb, attacker_host, att_mid).inject(captured(floor), "post-restart replay");
+    tb.run_for(C7_POST);
+    let end = tb.sim.now();
+    binding_intact &= binding_at(&mut tb) == Some(COA_DEPT);
+
+    let (auth_failures, auth_replays, ha_epoch) = {
+        let ha = tb.ha_module();
+        (
+            ha.auth_failures.get(),
+            ha.auth_replays.get(),
+            u64::from(ha.epoch()),
+        )
+    };
+    stack::Module::register_metrics(tb.mh_module(), &reg.scope("c7/mh"));
+    stack::Module::register_metrics(tb.ha_module(), &reg.scope("c7/ha"));
+    let (injected, attacker_accepted, attacker_denied) = {
+        let a = attacker_at(&mut tb, attacker_host, att_mid);
+        stack::Module::register_metrics(a, &reg.scope("c7/attacker"));
+        (a.injected.get(), a.accepted.get(), a.denied.get())
+    };
+    let spoofs = 2;
+    let replays = injected - spoofs;
+
+    let s = sender_mut(&mut tb, sender_mid);
+    let sent = s.sent();
+    let received = s.received();
+    let lost_attack = s.lost_in_window(settled, attack_end);
+    let lost_during = s.lost_in_window(crash_at, reconverged);
+    let lost_after = s.lost_in_window(reconverged, end - C5_TAIL_MARGIN);
+
+    let metrics = Json::obj([
+        ("seed", Json::UInt(seed)),
+        (
+            "timeline_ms",
+            Json::obj([
+                ("settled", Json::UInt(settled.as_millis())),
+                ("attack_end", Json::UInt(attack_end.as_millis())),
+                ("crash", Json::UInt(crash_at.as_millis())),
+                ("restart", Json::UInt((crash_at + C7_DOWNTIME).as_millis())),
+                ("reconverged", Json::UInt(reconverged.as_millis())),
+                ("end", Json::UInt(end.as_millis())),
+            ]),
+        ),
+        (
+            "echo",
+            Json::obj([
+                ("sent", Json::UInt(sent)),
+                ("received", Json::UInt(received)),
+                ("lost_attack", Json::UInt(lost_attack)),
+                ("lost_during_crash", Json::UInt(lost_during)),
+                ("lost_after", Json::UInt(lost_after)),
+            ]),
+        ),
+        (
+            "attack",
+            Json::obj([
+                ("spoofs", Json::UInt(spoofs)),
+                ("replays", Json::UInt(replays)),
+                ("injected", Json::UInt(injected)),
+                ("attacker_accepted", Json::UInt(attacker_accepted)),
+                ("attacker_denied", Json::UInt(attacker_denied)),
+                ("auth_failures", Json::UInt(auth_failures)),
+                ("auth_replays", Json::UInt(auth_replays)),
+                ("replay_floor", Json::UInt(floor)),
+                ("binding_intact", Json::Bool(binding_intact)),
+                ("ha_epoch", Json::UInt(ha_epoch)),
+            ]),
+        ),
+        ("registry", reg.to_json()),
+    ]);
+    C7Result {
+        sent,
+        received,
+        lost_attack,
+        lost_after,
+        spoofs,
+        replays,
+        attacker_accepted,
+        attacker_denied,
+        auth_failures,
+        auth_replays,
+        binding_intact,
+        ha_epoch,
         metrics,
     }
 }

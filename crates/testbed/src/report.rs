@@ -337,6 +337,44 @@ pub fn render_c6(r: &crate::experiments::C6Result) -> String {
     out
 }
 
+/// Renders the C7 (spoofed/replayed registration) result.
+pub fn render_c7(r: &crate::experiments::C7Result) -> String {
+    let mut out = String::new();
+    hr(&mut out, "C7 — Spoofed and replayed registrations");
+    let _ = writeln!(
+        out,
+        "The home agent requires authenticated registrations; an on-subnet\n\
+         attacker injects forgeries and byte-exact replays, then the agent\n\
+         crashes and restarts (journal intact) and the replay repeats.\n"
+    );
+    let _ = writeln!(out, "  echo probes sent        {:>6}", r.sent);
+    let _ = writeln!(out, "  echo replies received   {:>6}", r.received);
+    let _ = writeln!(out, "  lost during attack      {:>6}", r.lost_attack);
+    let _ = writeln!(out, "  lost after recovery     {:>6}", r.lost_after);
+    let _ = writeln!(
+        out,
+        "  injected: {} forgeries, {} replays; accepted {}",
+        r.spoofs, r.replays, r.attacker_accepted
+    );
+    let _ = writeln!(
+        out,
+        "  home agent denied: {} auth failures, {} replays (attacker saw {} denials)",
+        r.auth_failures, r.auth_replays, r.attacker_denied
+    );
+    let _ = writeln!(
+        out,
+        "  binding intact: {}; boot epoch {}",
+        if r.binding_intact { "yes" } else { "NO" },
+        r.ha_epoch
+    );
+    let _ = writeln!(
+        out,
+        "  (the replay floor is journaled with each accepted binding, so\n\
+         \x20  the restarted agent refuses the pre-crash capture too)"
+    );
+    out
+}
+
 /// Renders the A1 (foreign-agent ablation) result.
 pub fn render_a1(r: &A1Result) -> String {
     let mut out = String::new();

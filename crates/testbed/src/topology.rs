@@ -70,6 +70,11 @@ pub const COA_FOREIGN: Ipv4Addr = Ipv4Addr::new(128, 32, 0, 42);
 /// The department net's foreign agent (baseline experiments).
 pub const FA_DEPT_ADDR: Ipv4Addr = Ipv4Addr::new(36, 8, 0, 4);
 
+/// The attacker host on the department net (the C7 spoof/replay
+/// experiment): an ordinary on-subnet machine with no special powers
+/// beyond sending UDP to the registration port.
+pub const ATTACKER_DEPT: Ipv4Addr = Ipv4Addr::new(36, 8, 0, 66);
+
 /// The foreign site's foreign agent (baseline experiments).
 pub const FA_FOREIGN_ADDR: Ipv4Addr = Ipv4Addr::new(128, 32, 0, 4);
 
@@ -165,6 +170,10 @@ pub struct TestbedConfig {
     /// Build a standby home agent on the home net: the primary replicates
     /// bindings to it, and the MH lists it as a failover target.
     pub with_standby_ha: bool,
+    /// Build an attacker host on the department net (address
+    /// [`ATTACKER_DEPT`]). The host is plain — experiments attach their
+    /// own injector module to it.
+    pub with_attacker: bool,
     /// Binding lifetime the MH requests, seconds. The chaos experiments
     /// shrink it so renewals (at lifetime/2) come fast enough to observe
     /// crash recovery within a short run.
@@ -191,6 +200,7 @@ impl Default for TestbedConfig {
             ha_auth_key: None,
             ha_require_auth: false,
             with_standby_ha: false,
+            with_attacker: false,
             mh_lifetime: mosquitonet_core::timing::DEFAULT_LIFETIME_SECS,
         }
     }
@@ -249,6 +259,8 @@ pub struct Testbed {
     pub fa_foreign2: Option<(HostId, ModuleId)>,
     /// The foreign site's router, if built.
     pub foreign_router: Option<HostId>,
+    /// The attacker host on the department net, if built.
+    pub attacker_host: Option<HostId>,
     /// The department foreign agent `(host, module)`, if built.
     pub fa_dept: Option<(HostId, ModuleId)>,
     /// The foreign site's foreign agent `(host, module)`, if built.
@@ -506,6 +518,35 @@ pub fn build(cfg: TestbedConfig) -> Testbed {
         (Some(srv_host), Some(mid))
     } else {
         (None, None)
+    };
+
+    // --- Optional attacker host on the department net ---
+    let attacker_host = if cfg.with_attacker {
+        let atk = net.add_host("attacker");
+        let atk_if = net
+            .host_mut(atk)
+            .core
+            .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(90)));
+        {
+            let core = &mut net.host_mut(atk).core;
+            core.iface_mut(atk_if).add_addr(ATTACKER_DEPT, dept_subnet());
+            core.routes.add(RouteEntry {
+                dest: dept_subnet(),
+                gateway: None,
+                iface: atk_if,
+                metric: 0,
+            });
+            core.routes.add(RouteEntry {
+                dest: Cidr::DEFAULT,
+                gateway: Some(ROUTER_DEPT),
+                iface: atk_if,
+                metric: 0,
+            });
+        }
+        net.attach(atk, atk_if, lan_dept);
+        Some(atk)
+    } else {
+        None
     };
 
     // --- Optional Internet cloud, distant correspondent, foreign site ---
@@ -812,6 +853,9 @@ pub fn build(cfg: TestbedConfig) -> Testbed {
     if let Some(h) = dhcp_host {
         to_up.push((h, IfaceId(0)));
     }
+    if let Some(h) = attacker_host {
+        to_up.push((h, IfaceId(0)));
+    }
     to_up.extend(extra_up);
     for (h, i) in to_up {
         stack::bring_iface_up(&mut sim, h, i);
@@ -844,6 +888,7 @@ pub fn build(cfg: TestbedConfig) -> Testbed {
         lan_foreign,
         lan_foreign2,
         foreign_router,
+        attacker_host,
         fa_dept,
         fa_foreign,
         fa_foreign2,

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
-use mosquitonet_sim::{SimDuration, SimTime};
+use mosquitonet_sim::{Counter, MetricCell, MetricsScope, SimDuration, SimTime};
 use mosquitonet_stack::{ConnId, Module, ModuleCtx, SocketId, TcpEvent};
 
 /// One probe in an echo stream.
@@ -459,6 +459,111 @@ impl Module for TcpStreamClient {
             TcpEvent::Data(d) => self.echoed.extend_from_slice(d),
             TcpEvent::Reset => self.reset = true,
             _ => {}
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// An on-subnet attacker injecting registration messages at the home
+/// agent (the C7 spoof/replay experiment). It has no special powers: an
+/// ordinary host that can send UDP to port 434 and, being on the visited
+/// LAN, could have captured the mobile host's registration bytes off the
+/// wire.
+///
+/// The module is a scripted injector: the harness queues raw payloads
+/// (forged requests, byte-exact replayed captures) and a polling timer
+/// drains the queue — enqueueing mid-run never perturbs the event
+/// schedule of the rest of the simulation.
+pub struct RegistrationAttacker {
+    /// The home agent under attack.
+    pub home_agent: Ipv4Addr,
+    /// How often the queue is drained.
+    pub poll: SimDuration,
+    /// Payloads injected onto the wire.
+    pub injected: Counter,
+    /// Replies naming one of our injections' home addresses that came
+    /// back `Accepted` — the experiment asserts this stays zero.
+    pub accepted: Counter,
+    /// Denial replies received (the home agent answered, and refused).
+    pub denied: Counter,
+    pending: Vec<(Bytes, &'static str)>,
+    sock: Option<SocketId>,
+}
+
+impl RegistrationAttacker {
+    /// Creates an idle attacker aimed at `home_agent`.
+    pub fn new(home_agent: Ipv4Addr) -> RegistrationAttacker {
+        RegistrationAttacker {
+            home_agent,
+            poll: SimDuration::from_millis(100),
+            injected: Counter::default(),
+            accepted: Counter::default(),
+            denied: Counter::default(),
+            pending: Vec::new(),
+            sock: None,
+        }
+    }
+
+    /// Queues a raw registration-port payload; sent at the next poll tick.
+    pub fn inject(&mut self, payload: Bytes, label: &'static str) {
+        self.pending.push((payload, label));
+    }
+}
+
+impl Module for RegistrationAttacker {
+    fn name(&self) -> &'static str {
+        "registration-attacker"
+    }
+
+    fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        self.sock = ctx.udp_bind(None, 0);
+        assert!(self.sock.is_some());
+        ctx.fx.set_timer(self.poll, TOKEN_SEND);
+    }
+
+    fn register_metrics(&self, scope: &MetricsScope) {
+        let attack = scope.scope("attack");
+        for (name, cell) in [
+            ("injected", &self.injected),
+            ("accepted", &self.accepted),
+            ("denied", &self.denied),
+        ] {
+            attack.register(name, MetricCell::Counter(cell.clone()));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, token: u64) {
+        if token == TOKEN_SEND {
+            for (payload, label) in std::mem::take(&mut self.pending) {
+                self.injected.inc();
+                ctx.fx.trace(format!("attacker injects {label}"));
+                ctx.fx.send_udp(
+                    self.sock.expect("bound"),
+                    (self.home_agent, mosquitonet_core::REGISTRATION_PORT),
+                    payload,
+                );
+            }
+            ctx.fx.set_timer(self.poll, TOKEN_SEND);
+        }
+    }
+
+    fn on_udp(
+        &mut self,
+        _ctx: &mut ModuleCtx<'_>,
+        _sock: SocketId,
+        _src: (Ipv4Addr, u16),
+        _dst: Ipv4Addr,
+        payload: &Bytes,
+    ) {
+        if let Ok(reply) = mosquitonet_core::RegistrationReply::parse(payload) {
+            if reply.code == mosquitonet_core::ReplyCode::Accepted {
+                self.accepted.inc();
+            } else {
+                self.denied.inc();
+            }
         }
     }
 

@@ -45,6 +45,7 @@ mod igmp;
 pub mod ipip;
 mod ipv4;
 mod lpm;
+mod mac;
 mod pktbuf;
 mod tcpseg;
 mod udp;
@@ -57,6 +58,7 @@ pub use icmp::{IcmpMessage, UnreachableCode};
 pub use igmp::{is_multicast, IgmpMessage, IGMP_LEN, IGMP_PROTO};
 pub use ipv4::{IpProto, Ipv4Header, Ipv4Packet, IPV4_HEADER_LEN};
 pub use lpm::LpmTrie;
+pub use mac::{keyed_mac, AuthTlv, AUTH_TLV_LEN, AUTH_TLV_TYPE};
 pub use pktbuf::{pool_size, PacketBuf, PacketBytes};
 pub use tcpseg::{TcpFlags, TcpSegment};
 pub use udp::UdpDatagram;

@@ -10,8 +10,8 @@ use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
 use mosquitonet_wire::{
-    internet_checksum, ipip, ArpOp, ArpPacket, Cidr, IcmpMessage, IpProto, Ipv4Header, Ipv4Packet,
-    MacAddr, TcpFlags, TcpSegment, UdpDatagram,
+    internet_checksum, ipip, keyed_mac, ArpOp, ArpPacket, AuthTlv, Cidr, IcmpMessage, IpProto,
+    Ipv4Header, Ipv4Packet, MacAddr, TcpFlags, TcpSegment, UdpDatagram, AUTH_TLV_LEN,
 };
 
 fn arb_ipv4_addr() -> impl Strategy<Value = Ipv4Addr> {
@@ -273,6 +273,74 @@ proptest! {
     // ---- corruption: ARP carries no checksum, but its fixed preamble
     // (htype/ptype/hlen/plen/op) is fully validated — any single-bit flip
     // there must be rejected.
+
+    // ---- keyed MAC: the per-byte FNV step is a bijection of the state
+    // (the prime is odd), so two equal-length bodies differing in a single
+    // bit can NEVER share a digest — the property is exact, not
+    // probabilistic, which is what lets signed-registration tampering
+    // tests assert rejection instead of sampling it.
+
+    #[test]
+    fn keyed_mac_detects_any_single_bitflip(
+        body in proptest::collection::vec(any::<u8>(), 1..64),
+        spi in any::<u32>(),
+        key in any::<u64>(),
+        flip in any::<proptest::sample::Index>(),
+    ) {
+        let base = keyed_mac(&body, spi, key);
+        let bit = flip.index(body.len() * 8);
+        let mut mutated = body.clone();
+        mutated[bit / 8] ^= 1 << (bit % 8);
+        prop_assert_ne!(keyed_mac(&mutated, spi, key), base, "bit {} collided", bit);
+    }
+
+    #[test]
+    fn keyed_mac_is_deterministic_and_key_sensitive(
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        spi in any::<u32>(),
+        key in any::<u64>(),
+        other_key in any::<u64>(),
+    ) {
+        prop_assert_eq!(keyed_mac(&body, spi, key), keyed_mac(&body, spi, key));
+        if other_key != key {
+            // Equal-length inputs under different initial states cannot
+            // collide either: the whole compression is a bijection per key.
+            prop_assert_ne!(keyed_mac(&body, spi, key), keyed_mac(&body, spi, other_key));
+        }
+    }
+
+    #[test]
+    fn auth_tlv_round_trips_and_verifies(
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        spi in any::<u32>(),
+        key in any::<u64>(),
+        wrong in any::<u64>(),
+    ) {
+        let tlv = AuthTlv::compute(&body, spi, key);
+        let mut buf = bytes::BytesMut::new();
+        tlv.encode_into(&mut buf);
+        prop_assert_eq!(buf.len(), AUTH_TLV_LEN);
+        prop_assert_eq!(AuthTlv::parse_trailing(&buf).unwrap(), Some(tlv));
+        prop_assert!(tlv.verify(&body, key));
+        if wrong != key {
+            prop_assert!(!tlv.verify(&body, wrong));
+        }
+    }
+
+    #[test]
+    fn auth_tlv_truncation_rejected(
+        spi in any::<u32>(),
+        digest in any::<u64>(),
+        cut in 1usize..AUTH_TLV_LEN,
+    ) {
+        let tlv = AuthTlv { spi, digest };
+        let mut buf = bytes::BytesMut::new();
+        tlv.encode_into(&mut buf);
+        prop_assert!(
+            AuthTlv::parse_trailing(&buf[..cut]).is_err(),
+            "prefix of {} parsed", cut
+        );
+    }
 
     #[test]
     fn arp_preamble_bitflips_rejected(
