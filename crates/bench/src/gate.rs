@@ -203,10 +203,40 @@ pub fn run_mac(c: &mut Criterion) -> Vec<(String, f64)> {
         auth: None,
     }
     .sign(0x100, 0x6d6f_7371_7569_746f);
-    assert!(req.verify(0x6d6f_7371_7569_746f), "bench fixture must verify");
+    assert!(
+        req.verify(0x6d6f_7371_7569_746f),
+        "bench fixture must verify"
+    );
     let id = "mac_verify".to_string();
     let med = c.bench_function(&id, |b| {
         b.iter(|| black_box(&req).verify(black_box(0x6d6f_7371_7569_746f)))
+    });
+    vec![(id, med)]
+}
+
+/// The flight recorder's disabled-mode hop cost: the branch every packet
+/// touch pays when tracing is off. One call rounds to 0 ns (the baseline
+/// format stores whole nanoseconds, and the gate treats 0 as "missing"),
+/// so the closure batches 100 calls — the stored number is ns per 100
+/// hops, and the observability budget of ≤ 2 ns/hop means the gate bound
+/// is 200.
+pub fn run_flightrec(c: &mut Criterion) -> Vec<(String, f64)> {
+    let mut rec = mosquitonet_sim::FlightRecorder::new();
+    assert!(!rec.is_enabled(), "fixture must measure the disabled path");
+    let id = "flightrec/hop_disabled_x100".to_string();
+    let med = c.bench_function(&id, |b| {
+        b.iter(|| {
+            for i in 0..100u64 {
+                rec.hop(
+                    black_box(i + 1),
+                    SimTime::ZERO,
+                    0,
+                    "udp",
+                    mosquitonet_sim::HopAction::Sent,
+                );
+            }
+            rec.len()
+        })
     });
     vec![(id, med)]
 }
@@ -218,5 +248,6 @@ pub fn run_all(c: &mut Criterion) -> Vec<(String, f64)> {
     results.extend(run_registration_backoff(c));
     results.extend(run_journal(c));
     results.extend(run_mac(c));
+    results.extend(run_flightrec(c));
     results
 }

@@ -100,6 +100,7 @@ impl ForeignAgent {
                 src: SourceSel::Addr(self.cfg.addr),
                 iface: Some(self.cfg.iface),
                 ttl: None,
+                label: Some("fa-adv"),
             },
         );
         ctx.fx.set_timer(ADVERTISE_INTERVAL, TOKEN_ADVERTISE);
@@ -350,6 +351,7 @@ impl FaMobileHost {
                 src: SourceSel::Addr(self.home_addr),
                 iface: Some(self.iface),
                 ttl: None,
+                label: Some("fa-sol"),
             },
         );
         ctx.fx.trace("fa-mh moved; soliciting agents".to_string());
@@ -377,6 +379,7 @@ impl FaMobileHost {
                 src: SourceSel::Addr(self.home_addr),
                 iface: Some(self.iface),
                 ttl: None,
+                label: Some("reg"),
             },
         );
         // Previous-FA notification: tell the agent we just left where we

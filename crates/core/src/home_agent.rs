@@ -116,9 +116,9 @@ pub struct HomeAgent {
     /// The boot epoch, incremented on every restart and carried in each
     /// registration reply. Stable storage, like the journal.
     epoch: u16,
-    /// Home addresses this agent is actively standing in for (proxy ARP
-    /// + tunnel installed). A standby holds replicated bindings without
-    /// serving them.
+    /// Home addresses this agent is actively standing in for (proxy
+    /// ARP plus an installed tunnel). A standby holds replicated
+    /// bindings without serving them.
     serving: HashSet<Ipv4Addr>,
     sock: Option<SocketId>,
     pending: HashMap<u64, PendingRequest>,

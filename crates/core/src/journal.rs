@@ -223,7 +223,10 @@ mod tests {
             BindOutcome::ReplayRejected,
             "expiry floor survives replay"
         );
-        assert_eq!(table.bind(MH, COA2, life(), 10, t(12)), BindOutcome::Created);
+        assert_eq!(
+            table.bind(MH, COA2, life(), 10, t(12)),
+            BindOutcome::Created
+        );
     }
 
     /// Prefix + remainder replay equals a straight run (the unit-sized

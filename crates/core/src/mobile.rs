@@ -840,6 +840,7 @@ impl MobileHost {
             src: SourceSel::Addr(care_of),
             iface: None,
             ttl: None,
+            label: Some("reg"),
         };
         ctx.fx.send_udp_opts(
             self.reg_sock.expect("bound"),
@@ -918,9 +919,8 @@ impl MobileHost {
         if let Some((_spi, key)) = self.cfg.auth {
             if !reply.verify(key) {
                 self.auth_failures.inc();
-                ctx.fx.trace(
-                    "drop.auth_fail: registration reply unsigned or bad digest".to_string(),
-                );
+                ctx.fx
+                    .trace("drop.auth_fail: registration reply unsigned or bad digest".to_string());
                 return;
             }
         }
@@ -1519,9 +1519,16 @@ mod tests {
             .expect("degraded forwarding still routes");
         assert_eq!(d.src, mh.cfg.home_addr, "home role survives degradation");
         let encap = d.encap.expect("falls back to direct encapsulation");
-        assert_eq!(encap.outer_dst, CH, "tunnel terminates at the CH, not the dead agent");
+        assert_eq!(
+            encap.outer_dst, CH,
+            "tunnel terminates at the CH, not the dead agent"
+        );
         assert_eq!(encap.outer_src, Ipv4Addr::new(36, 8, 0, 42));
-        assert_eq!(mh.route_generation(), gen_before, "lookup itself moves no tokens");
+        assert_eq!(
+            mh.route_generation(),
+            gen_before,
+            "lookup itself moves no tokens"
+        );
     }
 
     #[test]

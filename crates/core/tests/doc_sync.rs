@@ -6,7 +6,7 @@
 use std::net::Ipv4Addr;
 
 use mosquitonet_core::{
-    AgentAdvertisement, BindingReplica, BindingUpdate, RegistrationRequest, RegistrationReply,
+    AgentAdvertisement, BindingReplica, BindingUpdate, RegistrationReply, RegistrationRequest,
     ReplicaOp, ReplyCode, AUTH_EXT_LEN, IDENT_WIRE_BITS, REGISTRATION_PORT, REPLICA_LEN,
     REPLY_IDENT_WIRE_BITS, REPLY_LEN, REQUEST_LEN,
 };
@@ -93,7 +93,9 @@ fn doc_protocol_sync_examples_match_encoders() {
         "signing must only append, never rewrite the base layout"
     );
     assert!(
-        RegistrationRequest::parse(&signed).expect("parse").verify(KEY),
+        RegistrationRequest::parse(&signed)
+            .expect("parse")
+            .verify(KEY),
         "the documented signed example must verify with the documented key"
     );
 
@@ -104,7 +106,9 @@ fn doc_protocol_sync_examples_match_encoders() {
     let reply_signed = reply().sign(SPI, KEY).to_bytes();
     assert_eq!(example(&text, "reply-signed"), reply_signed.as_ref());
     assert_eq!(&reply_signed[..REPLY_LEN], reply_unsigned.as_ref());
-    assert!(RegistrationReply::parse(&reply_signed).expect("parse").verify(KEY));
+    assert!(RegistrationReply::parse(&reply_signed)
+        .expect("parse")
+        .verify(KEY));
 
     let update = BindingUpdate {
         lifetime: 30,

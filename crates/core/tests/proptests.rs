@@ -8,8 +8,7 @@ use std::net::Ipv4Addr;
 use mosquitonet_core::{
     classify, replay_into, AgentAdvertisement, BindOutcome, BindingJournal, BindingReplica,
     BindingTable, BindingUpdate, JournalRecord, MobilePolicyTable, RegistrationReply,
-    RegistrationRequest, ReplayStats, ReplyCode, SendMode, IDENT_WIRE_BITS,
-    REPLY_IDENT_WIRE_BITS,
+    RegistrationRequest, ReplayStats, ReplyCode, SendMode, IDENT_WIRE_BITS, REPLY_IDENT_WIRE_BITS,
 };
 use mosquitonet_sim::{SimDuration, SimTime};
 use mosquitonet_wire::Cidr;

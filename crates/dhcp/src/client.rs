@@ -152,6 +152,7 @@ impl DhcpClientMachine {
                 src: SourceSel::Unspecified,
                 iface: Some(self.iface),
                 ttl: None,
+                label: Some("dhcp"),
             },
         );
     }
@@ -181,6 +182,7 @@ impl DhcpClientMachine {
                     src: SourceSel::Addr(lease.addr),
                     iface: Some(self.iface),
                     ttl: None,
+                    label: Some("dhcp"),
                 },
             );
         }

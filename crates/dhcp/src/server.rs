@@ -192,6 +192,7 @@ impl DhcpServer {
             src: SourceSel::Addr(self.my_addr),
             iface: Some(self.iface),
             ttl: None,
+            label: Some("dhcp"),
         };
         ctx.fx.send_udp_opts(
             self.sock.expect("socket bound"),

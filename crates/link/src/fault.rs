@@ -92,6 +92,30 @@ impl FaultVerdict {
             && self.extra_delay.is_zero()
             && self.corrupt.is_none()
     }
+
+    /// The `fault.{kind}` codes this verdict injects, in trace order.
+    /// Empty for a clean verdict; a drop verdict is only `fault.drop`
+    /// (nothing else in it applies).
+    pub fn codes(&self) -> Vec<&'static str> {
+        let mut v = Vec::new();
+        if self.drop {
+            v.push(FaultKind::Drop.code());
+            return v;
+        }
+        if self.duplicate_after.is_some() {
+            v.push(FaultKind::Duplicate.code());
+        }
+        if self.corrupt.is_some() {
+            v.push(FaultKind::Corrupt.code());
+        }
+        if self.reordered {
+            v.push(FaultKind::Reorder.code());
+        }
+        if self.delayed {
+            v.push(FaultKind::Delay.code());
+        }
+        v
+    }
 }
 
 /// A deterministic fault-injection plan for one link.

@@ -4,7 +4,9 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
 
+use crate::flightrec::{FlightRecorder, HopAction};
 use crate::metrics::MetricsRegistry;
+use crate::profile::Profiler;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
@@ -52,6 +54,8 @@ pub struct Sim<W> {
     rng: SimRng,
     trace: Trace,
     metrics: MetricsRegistry,
+    flights: FlightRecorder,
+    profiler: Profiler,
     events_executed: u64,
 }
 
@@ -103,6 +107,8 @@ impl<W> Sim<W> {
             rng: SimRng::new(seed),
             trace: Trace::new(),
             metrics: MetricsRegistry::new(),
+            flights: FlightRecorder::new(),
+            profiler: Profiler::new(),
             events_executed: 0,
         }
     }
@@ -148,6 +154,35 @@ impl<W> Sim<W> {
     /// that stay live for the whole simulation.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The packet flight recorder (disabled by default).
+    pub fn flights(&self) -> &FlightRecorder {
+        &self.flights
+    }
+
+    /// Exclusive access to the flight recorder.
+    pub fn flights_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.flights
+    }
+
+    /// Records one hop for `flight` at the current virtual time; a cheap
+    /// no-op when the recorder is disabled or `flight` is
+    /// [`NO_FLIGHT`](crate::flightrec::NO_FLIGHT).
+    #[inline]
+    pub fn record_hop(&mut self, flight: u64, host: u32, point: &'static str, action: HopAction) {
+        let now = self.now;
+        self.flights.hop(flight, now, host, point, action);
+    }
+
+    /// The engine wall-time profiler (disabled by default).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Exclusive access to the profiler.
+    pub fn profiler_mut(&mut self) -> &mut Profiler {
+        &mut self.profiler
     }
 
     /// Number of events executed so far.
@@ -224,7 +259,9 @@ impl<W> Sim<W> {
                 debug_assert!(ev.at >= self.now);
                 self.now = ev.at;
                 self.events_executed += 1;
+                let t0 = self.profiler.begin();
                 (ev.run)(self);
+                self.profiler.end_tick(t0);
                 true
             }
             None => false,
@@ -265,7 +302,9 @@ impl<W> Sim<W> {
             }
             self.now = ev.at;
             self.events_executed += 1;
+            let t0 = self.profiler.begin();
             (ev.run)(self);
+            self.profiler.end_tick(t0);
         }
         if self.now < deadline {
             self.now = deadline;

@@ -29,19 +29,25 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod flightrec;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 mod rng;
 mod stats;
 mod time;
 mod trace;
 
 pub use engine::{EventId, Sim};
+pub use flightrec::{
+    Blackout, CapturedFrame, FlightRecorder, HopAction, HopEvent, Journey, Outcome, NO_FLIGHT,
+};
 pub use json::Json;
 pub use metrics::{
     Counter, DeltaEntry, Gauge, HistogramSnapshot, LatencyHistogram, MetricCell, MetricValue,
     MetricsRegistry, MetricsScope, Snapshot, SnapshotDelta,
 };
+pub use profile::Profiler;
 pub use rng::SimRng;
 pub use stats::{Histogram, Summary};
 pub use time::{SimDuration, SimTime};

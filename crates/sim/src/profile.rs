@@ -1,0 +1,243 @@
+//! Wall-clock profiler for the engine event loop.
+//!
+//! The simulation's *virtual* clock is deterministic; this module measures
+//! the *real* time the engine spends executing events — the whole-system
+//! profile the Mpps saturation work needs. Two levels of accounting:
+//!
+//! - **tick duration** — real nanoseconds per executed event, measured
+//!   around the closure call in [`Sim::step`](crate::Sim::step) /
+//!   `run_until`;
+//! - **per-module dispatch** — real nanoseconds per protocol-module
+//!   upcall, keyed by the module's static name (recorded by the stack's
+//!   dispatcher).
+//!
+//! Samples land in the existing metric cells ([`Counter`] totals plus a
+//! [`LatencyHistogram`] per label) and are registered under `profile/…` in
+//! whatever [`MetricsRegistry`] the profiler is enabled against, so
+//! sidecar exports pick them up for free. Because wall time is
+//! nondeterministic, the profiler is **off by default** and nothing is
+//! registered until [`Profiler::enable`] runs — golden exports never see
+//! these rows.
+//!
+//! The clock itself sits behind the `profile-clock` cargo feature
+//! (default-on). With the feature off, [`Profiler::begin`] compiles to a
+//! constant `None` and every recording call is dead code.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::metrics::{Counter, LatencyHistogram, MetricsRegistry};
+use crate::time::SimDuration;
+
+/// Histogram bucket bounds for profile samples, in microseconds. Event
+/// handlers are fast; sub-microsecond ticks land in the first bucket and
+/// the exact mean is recoverable from the `total_ns` counter.
+const PROFILE_BOUNDS_US: &[u64] = &[1, 2, 5, 10, 25, 50, 100, 250, 1000, 10_000];
+
+#[cfg(feature = "profile-clock")]
+fn clock_ns() -> u64 {
+    use std::time::Instant;
+    std::thread_local! {
+        static BASE: Instant = Instant::now();
+    }
+    BASE.with(|b| b.elapsed().as_nanos() as u64)
+}
+
+/// The metric cells accounting one profiled label.
+#[derive(Clone, Debug)]
+struct Cells {
+    calls: Counter,
+    total_ns: Counter,
+    hist: LatencyHistogram,
+}
+
+impl Cells {
+    fn new() -> Cells {
+        Cells {
+            calls: Counter::new(),
+            total_ns: Counter::new(),
+            hist: LatencyHistogram::with_bounds(PROFILE_BOUNDS_US),
+        }
+    }
+
+    fn record(&self, ns: u64) {
+        self.calls.inc();
+        self.total_ns.add(ns);
+        self.hist.record(SimDuration::from_nanos(ns));
+    }
+
+    fn register(&self, registry: &MetricsRegistry, prefix: &str) {
+        registry.register_counter(format!("{prefix}/calls"), &self.calls);
+        registry.register_counter(format!("{prefix}/total_ns"), &self.total_ns);
+        registry.register_histogram(format!("{prefix}/us"), &self.hist);
+    }
+}
+
+/// Per-subsystem wall-time accounting for the sim engine.
+///
+/// Disabled by default; the hot-path cost while disabled is one branch in
+/// [`Profiler::begin`]. Enable with a registry to start sampling:
+///
+/// ```
+/// use mosquitonet_sim::{MetricsRegistry, Sim, SimDuration};
+///
+/// let reg = MetricsRegistry::new();
+/// let mut sim = Sim::new(0u64);
+/// sim.profiler_mut().enable(&reg);
+/// sim.schedule_in(SimDuration::from_millis(1), |_| {});
+/// sim.run();
+/// # #[cfg(feature = "profile-clock")]
+/// assert_eq!(reg.snapshot().counter("profile/tick/calls"), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Profiler {
+    enabled: bool,
+    registry: Option<MetricsRegistry>,
+    tick: Option<Cells>,
+    modules: BTreeMap<&'static str, Cells>,
+}
+
+impl Profiler {
+    /// Creates a disabled profiler.
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// Enables sampling and registers all profile cells (current and
+    /// future) under `profile/…` in `registry`.
+    pub fn enable(&mut self, registry: &MetricsRegistry) {
+        self.enabled = true;
+        let tick = self.tick.get_or_insert_with(Cells::new);
+        tick.register(registry, "profile/tick");
+        for (name, cells) in &self.modules {
+            cells.register(registry, &format!("profile/module.{name}"));
+        }
+        self.registry = Some(registry.clone());
+    }
+
+    /// Stops sampling. Already-registered cells keep their totals.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// True when sampling.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Takes a wall-clock timestamp, or `None` when disabled (or the
+    /// `profile-clock` feature is compiled out). Pass the result to
+    /// [`Profiler::end_tick`] or [`Profiler::end_module`].
+    #[inline]
+    pub fn begin(&self) -> Option<u64> {
+        #[cfg(feature = "profile-clock")]
+        {
+            if self.enabled {
+                return Some(clock_ns());
+            }
+        }
+        None
+    }
+
+    /// Accounts one engine tick started at `started` (from
+    /// [`Profiler::begin`]); a no-op for `None`.
+    pub fn end_tick(&mut self, started: Option<u64>) {
+        let Some(t0) = started else { return };
+        let ns = self.elapsed_since(t0);
+        self.tick.get_or_insert_with(Cells::new).record(ns);
+    }
+
+    /// Accounts one protocol-module dispatch started at `started`;
+    /// a no-op for `None`. The first sample for a new module name
+    /// registers its cells under `profile/module.{name}/…`.
+    pub fn end_module(&mut self, name: &'static str, started: Option<u64>) {
+        let Some(t0) = started else { return };
+        let ns = self.elapsed_since(t0);
+        if !self.modules.contains_key(name) {
+            let cells = Cells::new();
+            if let Some(reg) = &self.registry {
+                cells.register(reg, &format!("profile/module.{name}"));
+            }
+            self.modules.insert(name, cells);
+        }
+        self.modules.get(name).expect("just inserted").record(ns);
+    }
+
+    fn elapsed_since(&self, t0: u64) -> u64 {
+        #[cfg(feature = "profile-clock")]
+        {
+            clock_ns().saturating_sub(t0)
+        }
+        #[cfg(not(feature = "profile-clock"))]
+        {
+            let _ = t0;
+            0
+        }
+    }
+
+    /// Deterministically-ordered summary of everything sampled so far
+    /// (labels sorted; values are wall-clock and therefore vary run to
+    /// run — never golden-pin this).
+    pub fn to_json(&self) -> Json {
+        let row = |cells: &Cells| {
+            Json::obj([
+                ("calls", Json::UInt(cells.calls.get())),
+                ("total_ns", Json::UInt(cells.total_ns.get())),
+                ("hist", cells.hist.snapshot().to_json()),
+            ])
+        };
+        let mut members = Vec::new();
+        if let Some(tick) = &self.tick {
+            members.push(("tick".to_string(), row(tick)));
+        }
+        for (name, cells) in &self.modules {
+            members.push((format!("module.{name}"), row(cells)));
+        }
+        Json::Obj(members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_samples_nothing() {
+        let mut p = Profiler::new();
+        assert!(p.begin().is_none());
+        p.end_tick(None);
+        p.end_module("mobile", None);
+        assert_eq!(p.to_json().render(), "{}");
+    }
+
+    #[cfg(feature = "profile-clock")]
+    #[test]
+    fn enabled_profiler_accounts_ticks_and_modules() {
+        let reg = MetricsRegistry::new();
+        let mut p = Profiler::new();
+        p.enable(&reg);
+        let t0 = p.begin();
+        assert!(t0.is_some());
+        p.end_tick(t0);
+        let m0 = p.begin();
+        p.end_module("mobile", m0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("profile/tick/calls"), 1);
+        assert_eq!(snap.counter("profile/module.mobile/calls"), 1);
+        let text = p.to_json().render();
+        assert!(text.contains("\"module.mobile\""), "{text}");
+    }
+
+    #[cfg(feature = "profile-clock")]
+    #[test]
+    fn late_enable_registers_existing_module_cells() {
+        let mut p = Profiler::new();
+        p.enabled = true; // sample before any registry is attached
+        let m0 = p.begin();
+        p.end_module("ha", m0);
+        let reg = MetricsRegistry::new();
+        p.enable(&reg);
+        assert_eq!(reg.snapshot().counter("profile/module.ha/calls"), 1);
+    }
+}

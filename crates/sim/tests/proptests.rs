@@ -141,4 +141,52 @@ proptest! {
             prop_assert!((lo..lo + span).contains(&x));
         }
     }
+
+    /// Flight-ring wraparound never reorders or cross-wires hops: the
+    /// survivors are exactly the newest `capacity` events in recording
+    /// order, the overwrite counter accounts for the rest, and every
+    /// reconstructed journey holds only its own flight's hops.
+    #[test]
+    fn flight_ring_wraparound_keeps_order_and_flight_integrity(
+        ops in proptest::collection::vec((0usize..5, 0u32..4), 0..600),
+        capacity in 1usize..48,
+    ) {
+        use mosquitonet_sim::{FlightRecorder, HopAction, SimTime};
+        let mut rec = FlightRecorder::with_capacity(capacity);
+        rec.set_enabled(true);
+        let flights: Vec<u64> = (0..5).map(|_| rec.begin_flight(None)).collect();
+        for (i, &(f, host)) in ops.iter().enumerate() {
+            let at = SimTime::from_nanos(i as u64 * 1_000);
+            rec.hop(flights[f], at, host, "udp", HopAction::Sent);
+        }
+
+        let kept = rec.hops_in_order();
+        let expect_len = ops.len().min(capacity);
+        prop_assert_eq!(kept.len(), expect_len);
+        prop_assert_eq!(rec.overwritten(), (ops.len() - expect_len) as u64);
+        let base = ops.len() - expect_len;
+        for (idx, h) in kept.iter().enumerate() {
+            let (f, host) = ops[base + idx];
+            prop_assert_eq!(h.flight, flights[f]);
+            prop_assert_eq!(h.host, host);
+            prop_assert_eq!(h.at.as_nanos(), (base + idx) as u64 * 1_000);
+        }
+        for w in kept.windows(2) {
+            prop_assert!(w[0].seq < w[1].seq, "ring yielded out-of-order hops");
+        }
+
+        let journeys = rec.journeys();
+        let mut total = 0usize;
+        for j in &journeys {
+            prop_assert!(!j.hops.is_empty());
+            for h in &j.hops {
+                prop_assert_eq!(h.flight, j.flight, "journey mixed flights");
+            }
+            for w in j.hops.windows(2) {
+                prop_assert!(w[0].seq < w[1].seq, "journey hops out of order");
+            }
+            total += j.hops.len();
+        }
+        prop_assert_eq!(total, expect_len, "journeys must partition the ring");
+    }
 }

@@ -31,8 +31,9 @@ pub struct PendingArp {
     /// advance this one's try counter.
     pub generation: u64,
     /// Packets parked until the address resolves (bounded, like the
-    /// kernel's single-packet ARP queue but a little more generous).
-    pub queue: Vec<Ipv4Packet>,
+    /// kernel's single-packet ARP queue but a little more generous), each
+    /// paired with its flight-recorder id.
+    pub queue: Vec<(Ipv4Packet, u64)>,
 }
 
 /// ARP activity counters (detached cells; the world binds them per
@@ -143,32 +144,42 @@ impl ArpState {
         self.proxies.contains(&ip)
     }
 
-    /// Parks a packet awaiting resolution of `ip`. Returns the new
-    /// resolution's generation if this is a *new* resolution (the caller
-    /// should transmit an ARP request and arm a retry timer carrying that
-    /// generation), or `None` if one is already in progress.
+    /// Parks a packet (tagged with its flight id) awaiting resolution of
+    /// `ip`. The first return value is the new resolution's generation if
+    /// this is a *new* resolution (the caller should transmit an ARP
+    /// request and arm a retry timer carrying that generation), or `None`
+    /// if one is already in progress.
     ///
     /// The queue is bounded; the oldest parked packet is dropped on
-    /// overflow, matching kernel behaviour under ARP backlog.
-    pub fn park(&mut self, ip: Ipv4Addr, packet: Ipv4Packet) -> Option<u64> {
+    /// overflow, matching kernel behaviour under ARP backlog — the second
+    /// return value is the evicted packet's flight id, so the caller can
+    /// record the silent casualty in the flight recorder.
+    pub fn park(
+        &mut self,
+        ip: Ipv4Addr,
+        packet: Ipv4Packet,
+        flight: u64,
+    ) -> (Option<u64>, Option<u64>) {
         let entry = self.pending.entry(ip);
         match entry {
             std::collections::hash_map::Entry::Occupied(mut o) => {
                 let p = o.get_mut();
-                if p.queue.len() >= ARP_QUEUE_DEPTH {
-                    p.queue.remove(0);
-                }
-                p.queue.push(packet);
-                None
+                let evicted = if p.queue.len() >= ARP_QUEUE_DEPTH {
+                    Some(p.queue.remove(0).1)
+                } else {
+                    None
+                };
+                p.queue.push((packet, flight));
+                (None, evicted)
             }
             std::collections::hash_map::Entry::Vacant(v) => {
                 self.next_generation += 1;
                 v.insert(PendingArp {
                     tries: 1,
                     generation: self.next_generation,
-                    queue: vec![packet],
+                    queue: vec![(packet, flight)],
                 });
-                Some(self.next_generation)
+                (Some(self.next_generation), None)
             }
         }
     }
@@ -177,7 +188,7 @@ impl ArpState {
     /// fires. Returns `true` if another request should be transmitted,
     /// `false` if the resolution completed or was superseded (a stale
     /// timer), or the parked packets if resolution has now failed.
-    pub fn retry(&mut self, ip: Ipv4Addr, generation: u64) -> Result<bool, Vec<Ipv4Packet>> {
+    pub fn retry(&mut self, ip: Ipv4Addr, generation: u64) -> Result<bool, Vec<(Ipv4Packet, u64)>> {
         match self.pending.get_mut(&ip) {
             None => Ok(false),                                  // resolved meanwhile
             Some(p) if p.generation != generation => Ok(false), // stale timer
@@ -203,7 +214,7 @@ impl ArpState {
         my_mac: MacAddr,
         my_addrs: &[Ipv4Addr],
         now: SimTime,
-    ) -> (Vec<Ipv4Packet>, ArpAction) {
+    ) -> (Vec<(Ipv4Packet, u64)>, ArpAction) {
         // Learn / refresh from the sender fields. A gratuitous ARP also
         // lands here, overwriting stale entries — the paper's mechanism for
         // voiding caches after (de)registration.
@@ -338,9 +349,10 @@ mod tests {
     fn replies_resolve_pending_and_release_queue() {
         let mut arp = ArpState::new();
         let generation = arp
-            .park(MH, pkt(MH))
+            .park(MH, pkt(MH), 1)
+            .0
             .expect("first park starts a resolution");
-        assert!(arp.park(MH, pkt(MH)).is_none(), "second does not");
+        assert!(arp.park(MH, pkt(MH), 2).0.is_none(), "second does not");
         let _ = generation;
         assert!(arp.is_pending(MH));
         let reply = ArpPacket {
@@ -360,9 +372,17 @@ mod tests {
     #[test]
     fn park_queue_is_bounded() {
         let mut arp = ArpState::new();
-        for _ in 0..10 {
-            arp.park(MH, pkt(MH));
+        let mut evicted = Vec::new();
+        for flight in 1..=10u64 {
+            if let (_, Some(victim)) = arp.park(MH, pkt(MH), flight) {
+                evicted.push(victim);
+            }
         }
+        assert_eq!(
+            evicted,
+            vec![1, 2, 3, 4, 5, 6, 7],
+            "oldest flights evicted first, each reported exactly once"
+        );
         let reply = ArpPacket {
             op: ArpOp::Reply,
             sender_mac: MacAddr::from_index(9),
@@ -372,12 +392,15 @@ mod tests {
         };
         let (released, _) = arp.input(&reply, my_mac(), &[ME], t0());
         assert_eq!(released.len(), ARP_QUEUE_DEPTH);
+        let survivors: Vec<u64> = released.iter().map(|(_, f)| *f).collect();
+        assert_eq!(survivors, vec![8, 9, 10], "newest parked flights survive");
     }
 
     #[test]
     fn retry_gives_up_after_max_tries() {
         let mut arp = ArpState::new();
-        let generation = arp.park(MH, pkt(MH)).expect("new resolution");
+        let (generation, _) = arp.park(MH, pkt(MH), 0);
+        let generation = generation.expect("new resolution");
         assert!(arp.retry(MH, generation).unwrap()); // try 2
         assert!(arp.retry(MH, generation).unwrap()); // try 3
         let failed = arp.retry(MH, generation).unwrap_err();
@@ -392,7 +415,7 @@ mod tests {
     #[test]
     fn stale_generation_timer_cannot_advance_a_new_resolution() {
         let mut arp = ArpState::new();
-        let gen1 = arp.park(MH, pkt(MH)).expect("resolution 1");
+        let gen1 = arp.park(MH, pkt(MH), 0).0.expect("resolution 1");
         // Resolution 1 completes via a reply...
         let reply = ArpPacket {
             op: ArpOp::Reply,
@@ -404,7 +427,7 @@ mod tests {
         arp.input(&reply, my_mac(), &[ME], t0());
         // ...the cache entry is later removed, and a NEW resolution starts.
         arp.remove(MH);
-        let gen2 = arp.park(MH, pkt(MH)).expect("resolution 2");
+        let gen2 = arp.park(MH, pkt(MH), 0).0.expect("resolution 2");
         assert_ne!(gen1, gen2);
         // The stale timer from resolution 1 fires: it must be a no-op.
         assert!(matches!(arp.retry(MH, gen1), Ok(false)));

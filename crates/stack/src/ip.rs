@@ -19,7 +19,7 @@ use std::net::Ipv4Addr;
 
 use bytes::Bytes;
 use mosquitonet_link::{EtherType, Frame, FRAME_HEADER_LEN};
-use mosquitonet_sim::TraceKind;
+use mosquitonet_sim::{HopAction, TraceKind, NO_FLIGHT};
 use mosquitonet_wire::{
     ipip, IcmpMessage, IpProto, Ipv4Header, Ipv4Packet, PacketBuf, TcpSegment, UdpDatagram,
     UnreachableCode,
@@ -206,6 +206,7 @@ pub fn udp_send(
     payload: Bytes,
     opts: SendOptions,
 ) {
+    let flight = sim.flights_mut().begin_flight(opts.label);
     let (decision, src_port) = {
         let h = &mut sim.world_mut().hosts[host.0];
         let Some(s) = h.core.udp.get(sock) else {
@@ -232,13 +233,23 @@ pub fn udp_send(
             header.ident = h.core.next_ident();
             let pkt = Ipv4Packet::new(header, bytes);
             let proc = h.core.proc_delay;
-            sim.schedule_in(proc, move |sim| ip_input(sim, host, None, pkt, 0));
+            sim.record_hop(flight, host.0 as u32, "udp", HopAction::Sent);
+            sim.schedule_in(proc, move |sim| {
+                ip_input_flight(sim, host, None, pkt, 0, flight)
+            });
             return;
         }
         match resolve_route(h, dst.0, src_sel, opts.iface) {
             Some(d) => (d, src_port),
             None => {
                 h.core.stats.dropped_no_route.inc();
+                sim.record_hop(flight, host.0 as u32, "udp", HopAction::Sent);
+                sim.record_hop(
+                    flight,
+                    host.0 as u32,
+                    "udp",
+                    HopAction::Dropped("drop.no_route"),
+                );
                 return;
             }
         }
@@ -250,13 +261,15 @@ pub fn udp_send(
         header.ttl = ttl;
     }
     header.ident = sim.world_mut().hosts[host.0].core.next_ident();
-    send_resolved(sim, host, Ipv4Packet::new(header, bytes), decision);
+    sim.record_hop(flight, host.0 as u32, "udp", HopAction::Sent);
+    send_resolved(sim, host, Ipv4Packet::new(header, bytes), decision, flight);
 }
 
 /// Sends a raw IP packet (used for ICMP and by module effects). A packet
 /// with an unspecified source engages source selection and the mobility
 /// hooks; a concrete source is honored as-is.
 pub fn ip_send_packet(sim: &mut NetSim, host: HostId, mut packet: Ipv4Packet, opts: SendOptions) {
+    let flight = sim.flights_mut().begin_flight(opts.label);
     let dst = packet.header.dst;
     let src_sel = if packet.header.src.is_unspecified() {
         opts.src
@@ -269,7 +282,10 @@ pub fn ip_send_packet(sim: &mut NetSim, host: HostId, mut packet: Ipv4Packet, op
             packet.header.src = dst;
         }
         let proc = sim.world().hosts[host.0].core.proc_delay;
-        sim.schedule_in(proc, move |sim| ip_input(sim, host, None, packet, 0));
+        sim.record_hop(flight, host.0 as u32, "ip", HopAction::Sent);
+        sim.schedule_in(proc, move |sim| {
+            ip_input_flight(sim, host, None, packet, 0, flight)
+        });
         return;
     }
     let decision = {
@@ -278,19 +294,34 @@ pub fn ip_send_packet(sim: &mut NetSim, host: HostId, mut packet: Ipv4Packet, op
             Some(d) => d,
             None => {
                 h.core.stats.dropped_no_route.inc();
+                sim.record_hop(flight, host.0 as u32, "ip", HopAction::Sent);
+                sim.record_hop(
+                    flight,
+                    host.0 as u32,
+                    "ip",
+                    HopAction::Dropped("drop.no_route"),
+                );
                 return;
             }
         }
     };
     packet.header.src = decision.src;
-    send_resolved(sim, host, packet, decision);
+    sim.record_hop(flight, host.0 as u32, "ip", HopAction::Sent);
+    send_resolved(sim, host, packet, decision, flight);
 }
 
 /// Sends a packet along a resolved decision, encapsulating if requested.
-fn send_resolved(sim: &mut NetSim, host: HostId, packet: Ipv4Packet, decision: RouteDecision) {
+fn send_resolved(
+    sim: &mut NetSim,
+    host: HostId,
+    packet: Ipv4Packet,
+    decision: RouteDecision,
+    flight: u64,
+) {
     sim.world_mut().hosts[host.0].core.stats.ip_output.inc();
     if decision.encap.is_some() {
         sim.world_mut().hosts[host.0].core.stats.encapsulated.inc();
+        sim.record_hop(flight, host.0 as u32, "tunnel", HopAction::Encap);
     }
     transmit_ip(
         sim,
@@ -299,6 +330,7 @@ fn send_resolved(sim: &mut NetSim, host: HostId, packet: Ipv4Packet, decision: R
         packet,
         decision.encap,
         decision.next_hop,
+        flight,
     );
 }
 
@@ -309,8 +341,9 @@ pub(crate) fn ip_transmit(
     iface: IfaceId,
     packet: Ipv4Packet,
     next_hop: Ipv4Addr,
+    flight: u64,
 ) {
-    transmit_ip(sim, host, iface, packet, None, next_hop);
+    transmit_ip(sim, host, iface, packet, None, next_hop, flight);
 }
 
 /// The single serialization point of the output path: once the
@@ -326,11 +359,12 @@ fn transmit_ip(
     packet: Ipv4Packet,
     encap: Option<EncapSpec>,
     next_hop: Ipv4Addr,
+    flight: u64,
 ) {
     // Broadcast detection looks at the *outer* destination when the packet
     // is to be encapsulated.
     let header_dst = encap.map(|e| e.outer_dst).unwrap_or(packet.header.dst);
-    let (my_mac, dst_mac, solicit) = {
+    let (my_mac, dst_mac, solicit, evicted) = {
         let h = &mut sim.world_mut().hosts[host.0];
         let ifc = h.core.iface(iface);
         let my_mac = ifc.device.mac();
@@ -339,18 +373,33 @@ fn transmit_ip(
             || header_dst.is_multicast()
             || ifc.is_subnet_broadcast(next_hop);
         if broadcast {
-            (my_mac, Some(mosquitonet_wire::MacAddr::BROADCAST), None)
+            (
+                my_mac,
+                Some(mosquitonet_wire::MacAddr::BROADCAST),
+                None,
+                None,
+            )
         } else if let Some(mac) = h.core.arp[iface.0].lookup(next_hop) {
-            (my_mac, Some(mac), None)
+            (my_mac, Some(mac), None, None)
         } else {
             let parked = match encap {
                 Some(e) => ipip::encapsulate(&packet, e.outer_src, e.outer_dst),
                 None => packet.clone(),
             };
-            let generation = h.core.arp[iface.0].park(next_hop, parked);
-            (my_mac, None, generation)
+            let (generation, evicted) = h.core.arp[iface.0].park(next_hop, parked, flight);
+            (my_mac, None, generation, evicted)
         }
     };
+    if let Some(victim) = evicted {
+        // The bounded ARP queue silently dropped its oldest occupant; the
+        // flight recorder is the only witness (no counter moves here).
+        sim.record_hop(
+            victim,
+            host.0 as u32,
+            "arp",
+            HopAction::Dropped("drop.arp_queue"),
+        );
+    }
     match dst_mac {
         Some(mac) => {
             let headroom = FRAME_HEADER_LEN
@@ -365,6 +414,7 @@ fn transmit_ip(
                 ipip::prepend_outer(&mut buf, packet.header.tos, e.outer_src, e.outer_dst);
             }
             Frame::write_header(mac, my_mac, EtherType::Ipv4, buf.prepend(FRAME_HEADER_LEN));
+            buf.set_flight(flight);
             world::transmit_wire(sim, host, iface, mac, buf.freeze());
         }
         None => {
@@ -378,13 +428,29 @@ fn transmit_ip(
 /// IP input: local delivery or forwarding.
 ///
 /// `iface` is `None` for loopback-delivered packets; `depth` counts
-/// decapsulation nesting.
+/// decapsulation nesting. Packets entering here are untracked by the
+/// flight recorder; the stack's own paths use the flight-carrying
+/// internal variant.
 pub fn ip_input(
     sim: &mut NetSim,
     host: HostId,
     iface: Option<IfaceId>,
     packet: Ipv4Packet,
     depth: u32,
+) {
+    ip_input_flight(sim, host, iface, packet, depth, NO_FLIGHT);
+}
+
+/// [`ip_input`] with the packet's flight id threaded through (the id
+/// travels in packet-buffer metadata on the wire, and as an explicit
+/// parameter between parse and retransmit).
+pub(crate) fn ip_input_flight(
+    sim: &mut NetSim,
+    host: HostId,
+    iface: Option<IfaceId>,
+    packet: Ipv4Packet,
+    depth: u32,
+    flight: u64,
 ) {
     let (local, broadcast, forwarding) = {
         let core = &mut sim.world_mut().hosts[host.0].core;
@@ -403,20 +469,26 @@ pub fn ip_input(
             .core
             .is_multicast_member(iface, packet.header.dst);
         if member {
-            local_deliver(sim, host, iface, packet, depth);
+            local_deliver(sim, host, iface, packet, depth, flight);
         }
         return;
     }
     if local || broadcast {
-        local_deliver(sim, host, iface, packet, depth);
+        local_deliver(sim, host, iface, packet, depth, flight);
     } else if forwarding {
-        forward(sim, host, iface, packet);
+        forward(sim, host, iface, packet, flight);
     } else {
         sim.world_mut().hosts[host.0]
             .core
             .stats
             .dropped_not_local
             .inc();
+        sim.record_hop(
+            flight,
+            host.0 as u32,
+            "ip",
+            HopAction::Dropped("drop.not_local"),
+        );
         if sim.trace().is_enabled() {
             let name = sim.world().hosts[host.0].core.name.clone();
             let detail = format!(
@@ -431,10 +503,22 @@ pub fn ip_input(
 }
 
 /// The forwarding path (routers, home agents, foreign agents).
-fn forward(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, mut packet: Ipv4Packet) {
+fn forward(
+    sim: &mut NetSim,
+    host: HostId,
+    in_iface: Option<IfaceId>,
+    mut packet: Ipv4Packet,
+    flight: u64,
+) {
     // TTL.
     if packet.header.ttl <= 1 {
         sim.world_mut().hosts[host.0].core.stats.dropped_ttl.inc();
+        sim.record_hop(
+            flight,
+            host.0 as u32,
+            "ip.fwd",
+            HopAction::Dropped("drop.ttl"),
+        );
         if sim.trace().is_enabled() {
             let name = sim.world().hosts[host.0].core.name.clone();
             let detail = format!("drop.ttl: {} -> {}", packet.header.src, packet.header.dst);
@@ -470,6 +554,12 @@ fn forward(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, mut packet
                         .stats
                         .dropped_no_route
                         .inc();
+                    sim.record_hop(
+                        flight,
+                        host.0 as u32,
+                        "tunnel",
+                        HopAction::Dropped("drop.no_route"),
+                    );
                     return;
                 }
             }
@@ -477,6 +567,7 @@ fn forward(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, mut packet
         let core = &mut sim.world_mut().hosts[host.0].core;
         core.stats.forwarded.inc();
         core.stats.encapsulated.inc();
+        sim.record_hop(flight, host.0 as u32, "tunnel", HopAction::Encap);
         if sim.trace().is_enabled() {
             let name = sim.world().hosts[host.0].core.name.clone();
             let detail = format!("tunnel {} -> care-of {}", packet.header.dst, care_of);
@@ -494,6 +585,7 @@ fn forward(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, mut packet
                 outer_dst: care_of,
             }),
             rt.gateway.unwrap_or(care_of),
+            flight,
         );
         return;
     }
@@ -511,6 +603,12 @@ fn forward(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, mut packet
                 .stats
                 .dropped_no_route
                 .inc();
+            sim.record_hop(
+                flight,
+                host.0 as u32,
+                "ip.fwd",
+                HopAction::Dropped("drop.no_route"),
+            );
             let quote = packet.invoking_quote();
             icmp_error(
                 sim,
@@ -542,6 +640,12 @@ fn forward(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, mut packet
                 .stats
                 .dropped_filter
                 .inc();
+            sim.record_hop(
+                flight,
+                host.0 as u32,
+                "ip.fwd",
+                HopAction::Dropped("drop.filter.ingress"),
+            );
             if sim.trace().is_enabled() {
                 let name = sim.world().hosts[host.0].core.name.clone();
                 let detail = format!(
@@ -590,8 +694,9 @@ fn forward(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, mut packet
     }
 
     sim.world_mut().hosts[host.0].core.stats.forwarded.inc();
+    sim.record_hop(flight, host.0 as u32, "ip.fwd", HopAction::Forwarded);
     let next_hop = rt.gateway.unwrap_or(packet.header.dst);
-    ip_transmit(sim, host, rt.iface, packet, next_hop);
+    ip_transmit(sim, host, rt.iface, packet, next_hop, flight);
 }
 
 /// Sends an ICMP error/notification from this host to `dst`.
@@ -606,30 +711,33 @@ fn icmp_error(sim: &mut NetSim, host: HostId, dst: Ipv4Addr, msg: IcmpMessage) {
     ip_send_packet(sim, host, packet, SendOptions::default());
 }
 
-/// Delivery to local transports.
+/// Delivery to local transports. The `Delivered` (or terminal `Dropped`)
+/// hop is recorded per transport, after its parse succeeds.
 fn local_deliver(
     sim: &mut NetSim,
     host: HostId,
     in_iface: Option<IfaceId>,
     packet: Ipv4Packet,
     depth: u32,
+    flight: u64,
 ) {
     sim.world_mut().hosts[host.0].core.stats.delivered.inc();
     match packet.header.protocol {
-        IpProto::Udp => udp_input(sim, host, &packet),
-        IpProto::Icmp => icmp_input(sim, host, in_iface, &packet),
-        IpProto::Tcp => tcp_input(sim, host, &packet),
-        IpProto::IpIp => ipip_input(sim, host, in_iface, packet, depth),
-        IpProto::Other(mosquitonet_wire::IGMP_PROTO) => igmp_input(sim, host, &packet),
-        IpProto::Other(_) => unclaimed_input(sim, host, &packet),
+        IpProto::Udp => udp_input(sim, host, &packet, flight),
+        IpProto::Icmp => icmp_input(sim, host, in_iface, &packet, flight),
+        IpProto::Tcp => tcp_input(sim, host, &packet, flight),
+        IpProto::IpIp => ipip_input(sim, host, in_iface, packet, depth, flight),
+        IpProto::Other(mosquitonet_wire::IGMP_PROTO) => igmp_input(sim, host, &packet, flight),
+        IpProto::Other(_) => unclaimed_input(sim, host, &packet, flight),
     }
 }
 
-fn igmp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet) {
+fn igmp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet, flight: u64) {
     // Host-side IGMP subset: reports/queries are traced, not acted on
     // (there is no multicast router to satisfy).
     match mosquitonet_wire::IgmpMessage::parse(&packet.payload) {
         Ok(msg) => {
+            sim.record_hop(flight, host.0 as u32, "igmp", HopAction::Delivered);
             let name = sim.world().hosts[host.0].core.name.clone();
             let now = sim.now();
             sim.trace_mut().record(
@@ -645,11 +753,17 @@ fn igmp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet) {
                 .stats
                 .dropped_malformed
                 .inc();
+            sim.record_hop(
+                flight,
+                host.0 as u32,
+                "igmp",
+                HopAction::Dropped("drop.malformed"),
+            );
         }
     }
 }
 
-fn udp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet) {
+fn udp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet, flight: u64) {
     let dgram = match UdpDatagram::parse(&packet.payload, packet.header.src, packet.header.dst) {
         Ok(d) => d,
         Err(_) => {
@@ -658,6 +772,12 @@ fn udp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet) {
                 .stats
                 .dropped_malformed
                 .inc();
+            sim.record_hop(
+                flight,
+                host.0 as u32,
+                "udp",
+                HopAction::Dropped("drop.malformed"),
+            );
             return;
         }
     };
@@ -673,6 +793,7 @@ fn udp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet) {
                 .get(sock)
                 .expect("live")
                 .owner;
+            sim.record_hop(flight, host.0 as u32, "udp", HopAction::Delivered);
             let src = (packet.header.src, dgram.src_port);
             let dst_addr = packet.header.dst;
             let payload = dgram.payload.clone();
@@ -681,6 +802,12 @@ fn udp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet) {
             });
         }
         None => {
+            sim.record_hop(
+                flight,
+                host.0 as u32,
+                "udp",
+                HopAction::Dropped("drop.no_socket"),
+            );
             // Port unreachable — but never for broadcasts or multicasts
             // (RFC 1122: ICMP errors are never sent for non-unicast
             // datagrams).
@@ -706,7 +833,13 @@ fn non_unicast_dst(sim: &NetSim, host: HostId, dst: Ipv4Addr) -> bool {
     dst.is_multicast() || sim.world().hosts[host.0].core.is_broadcast_addr(dst)
 }
 
-fn icmp_input(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, packet: &Ipv4Packet) {
+fn icmp_input(
+    sim: &mut NetSim,
+    host: HostId,
+    in_iface: Option<IfaceId>,
+    packet: &Ipv4Packet,
+    flight: u64,
+) {
     let msg = match IcmpMessage::parse(&packet.payload) {
         Ok(m) => m,
         Err(_) => {
@@ -715,9 +848,16 @@ fn icmp_input(sim: &mut NetSim, host: HostId, in_iface: Option<IfaceId>, packet:
                 .stats
                 .dropped_malformed
                 .inc();
+            sim.record_hop(
+                flight,
+                host.0 as u32,
+                "icmp",
+                HopAction::Dropped("drop.malformed"),
+            );
             return;
         }
     };
+    sim.record_hop(flight, host.0 as u32, "icmp", HopAction::Delivered);
     match &msg {
         IcmpMessage::EchoRequest { .. }
             // The mobile host's *local role* (§5.2): answer pings addressed
@@ -768,15 +908,17 @@ fn ipip_input(
     in_iface: Option<IfaceId>,
     packet: Ipv4Packet,
     depth: u32,
+    flight: u64,
 ) {
     let decap_enabled = sim.world().hosts[host.0].core.ipip_decap;
     if !decap_enabled || depth >= MAX_DECAP_DEPTH {
-        unclaimed_input(sim, host, &packet);
+        unclaimed_input(sim, host, &packet, flight);
         return;
     }
     match ipip::decapsulate(&packet) {
         Ok(inner) => {
             sim.world_mut().hosts[host.0].core.stats.decapsulated.inc();
+            sim.record_hop(flight, host.0 as u32, "tunnel", HopAction::Decap);
             if sim.trace().is_enabled() {
                 let name = sim.world().hosts[host.0].core.name.clone();
                 let detail = format!(
@@ -789,7 +931,7 @@ fn ipip_input(
             }
             // "The packet... will take the reverse of the dotted path" —
             // the inner packet re-enters IP as if freshly received.
-            ip_input(sim, host, in_iface, inner, depth + 1);
+            ip_input_flight(sim, host, in_iface, inner, depth + 1, flight);
         }
         Err(_) => {
             sim.world_mut().hosts[host.0]
@@ -797,26 +939,39 @@ fn ipip_input(
                 .stats
                 .dropped_malformed
                 .inc();
+            sim.record_hop(
+                flight,
+                host.0 as u32,
+                "tunnel",
+                HopAction::Dropped("drop.malformed"),
+            );
         }
     }
 }
 
-fn unclaimed_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet) {
+fn unclaimed_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet, flight: u64) {
     let modules = sim.world().hosts[host.0].module_count();
     for m in 0..modules {
         let claimed = world::dispatch(sim, host, ModuleId(m), |module, ctx| {
             module.on_ip_unclaimed(ctx, packet)
         });
         if claimed {
+            sim.record_hop(flight, host.0 as u32, "module", HopAction::Delivered);
             return;
         }
     }
     // Nobody wanted it.
     let core = &mut sim.world_mut().hosts[host.0].core;
     core.stats.unclaimed.inc();
+    sim.record_hop(
+        flight,
+        host.0 as u32,
+        "ip",
+        HopAction::Dropped("drop.unclaimed"),
+    );
 }
 
-fn tcp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet) {
+fn tcp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet, flight: u64) {
     let seg = match TcpSegment::parse(&packet.payload, packet.header.src, packet.header.dst) {
         Ok(s) => s,
         Err(_) => {
@@ -825,9 +980,16 @@ fn tcp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet) {
                 .stats
                 .dropped_malformed
                 .inc();
+            sim.record_hop(
+                flight,
+                host.0 as u32,
+                "tcp",
+                HopAction::Dropped("drop.malformed"),
+            );
             return;
         }
     };
+    sim.record_hop(flight, host.0 as u32, "tcp", HopAction::Delivered);
     let local = (packet.header.dst, seg.dst_port);
     let remote = (packet.header.src, seg.src_port);
     let conn = sim.world().hosts[host.0]

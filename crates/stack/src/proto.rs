@@ -56,6 +56,9 @@ pub struct SendOptions {
     pub iface: Option<IfaceId>,
     /// Override the default TTL.
     pub ttl: Option<u8>,
+    /// Flight-recorder label for the packet's journey (e.g. `"reg"` for
+    /// registration traffic); ignored unless the recorder is enabled.
+    pub label: Option<&'static str>,
 }
 
 /// Tunnel endpoints for one level of IP-in-IP encapsulation.
@@ -313,6 +316,7 @@ impl ModuleCtx<'_> {
                 src: SourceSel::Unspecified,
                 iface: Some(iface),
                 ttl: Some(1),
+                label: Some("igmp"),
             },
         });
     }

@@ -11,7 +11,7 @@ use bytes::BufMut;
 use mosquitonet_link::{
     Attachment, AttachmentKey, EtherType, FaultVerdict, Frame, Lan, FRAME_HEADER_LEN,
 };
-use mosquitonet_sim::{MetricCell, Sim, SimDuration, SimTime, TraceKind};
+use mosquitonet_sim::{HopAction, MetricCell, Sim, SimDuration, SimTime, TraceKind};
 use mosquitonet_wire::{ArpPacket, Ipv4Packet, MacAddr, PacketBuf, PacketBytes};
 
 use crate::arp::ArpAction;
@@ -210,8 +210,9 @@ pub fn dispatch<R>(
     f: impl FnOnce(&mut dyn Module, &mut ModuleCtx<'_>) -> R,
 ) -> R {
     let now = sim.now();
+    let t0 = sim.profiler().begin();
     let mut fx = Effects::new();
-    let result = {
+    let (result, mod_name) = {
         let w = sim.world_mut();
         let h = &mut w.hosts[host.0];
         let Some(mut m) = h.take_module(module) else {
@@ -220,6 +221,7 @@ pub fn dispatch<R>(
                 h.core.name
             );
         };
+        let name = m.name();
         let mut ctx = ModuleCtx {
             core: &mut h.core,
             fx: &mut fx,
@@ -228,10 +230,11 @@ pub fn dispatch<R>(
         };
         let r = f(m.as_mut(), &mut ctx);
         h.put_module(module, m);
-        r
+        (r, name)
     };
     drain_pending_tcp(sim, host);
     apply_effects(sim, host, module, fx);
+    sim.profiler_mut().end_module(mod_name, t0);
     result
 }
 
@@ -285,7 +288,7 @@ pub(crate) fn apply_effects(sim: &mut NetSim, host: HostId, module: ModuleId, mu
                     EtherType::Arp,
                     arp.to_bytes(),
                 );
-                transmit_frame(sim, host, iface, frame);
+                transmit_frame(sim, host, iface, frame, mosquitonet_sim::NO_FLIGHT);
             }
             Effect::Trace { detail } => {
                 let name = sim.world().hosts[host.0].core.name.clone();
@@ -513,7 +516,17 @@ pub fn restart_host(sim: &mut NetSim, host: HostId, storage_lost: bool) {
 /// (ARP, module-built frames) that assemble a [`Frame`] value: the payload
 /// is copied once into a pooled buffer and the header prepended in place.
 /// The IP output path skips this and assembles its wire bytes directly.
-pub(crate) fn transmit_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, frame: Frame) {
+/// `flight` tags the buffer for the flight recorder ([`NO_FLIGHT`] for
+/// untracked control traffic like ARP).
+///
+/// [`NO_FLIGHT`]: mosquitonet_sim::NO_FLIGHT
+pub(crate) fn transmit_frame(
+    sim: &mut NetSim,
+    host: HostId,
+    iface: IfaceId,
+    frame: Frame,
+    flight: u64,
+) {
     let mut buf = PacketBuf::with_headroom(FRAME_HEADER_LEN);
     buf.put_slice(&frame.payload);
     Frame::write_header(
@@ -522,6 +535,7 @@ pub(crate) fn transmit_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, fra
         frame.ethertype,
         buf.prepend(FRAME_HEADER_LEN),
     );
+    buf.set_flight(flight);
     transmit_wire(sim, host, iface, frame.dst, buf.freeze());
 }
 
@@ -542,6 +556,7 @@ pub(crate) fn transmit_wire(
     wire: PacketBytes,
 ) {
     let now = sim.now();
+    let flight = wire.flight();
     let wire_len = wire.len();
     let payload_len = wire_len - FRAME_HEADER_LEN;
     struct Tx {
@@ -551,6 +566,7 @@ pub(crate) fn transmit_wire(
         lost: u64,
         faults: Vec<&'static str>,
     }
+    let mut tx_drop: Option<&'static str> = None;
     let plan = {
         let (w, rng) = sim.world_and_rng();
         let ifc = &mut w.hosts[host.0].core.ifaces[iface.0];
@@ -558,9 +574,11 @@ pub(crate) fn transmit_wire(
             // No fragmentation in this stack (DESIGN.md §6): oversized
             // packets die at the device, loudly.
             ifc.device.counters.tx_dropped_mtu.inc();
+            tx_drop = Some("drop.tx_mtu");
             None
         } else if !ifc.device.note_tx(wire_len) {
             w.hosts[host.0].core.stats.dropped_iface_down.inc();
+            tx_drop = Some("drop.iface_down");
             None
         } else if let Some(lan_id) = ifc.lan {
             // Frames queue behind the transmitter (half-duplex serial
@@ -591,21 +609,9 @@ pub(crate) fn transmit_wire(
                         Some(fault) => fault.judge(now, payload_len),
                         None => FaultVerdict::default(),
                     };
+                    faults.extend(verdict.codes());
                     if verdict.drop {
-                        faults.push("fault.drop");
                         continue;
-                    }
-                    if verdict.duplicate_after.is_some() {
-                        faults.push("fault.duplicate");
-                    }
-                    if verdict.corrupt.is_some() {
-                        faults.push("fault.corrupt");
-                    }
-                    if verdict.reordered {
-                        faults.push("fault.reorder");
-                    }
-                    if verdict.delayed {
-                        faults.push("fault.delay");
                     }
                     judged.push((key, delay, verdict));
                 }
@@ -626,11 +632,23 @@ pub(crate) fn transmit_wire(
         } else {
             // Unattached interface: the cable is unplugged.
             w.hosts[host.0].core.stats.dropped_iface_down.inc();
+            tx_drop = Some("drop.iface_down");
             None
         }
     };
-    let Some(plan) = plan else { return };
+    let Some(plan) = plan else {
+        if let Some(reason) = tx_drop {
+            sim.record_hop(flight, host.0 as u32, "dev", HopAction::Dropped(reason));
+        }
+        return;
+    };
     if plan.lost > 0 {
+        sim.record_hop(
+            flight,
+            host.0 as u32,
+            "wire",
+            HopAction::Dropped("drop.medium_loss"),
+        );
         let name = sim.world().hosts[host.0].core.name.clone();
         sim.trace_mut().record(
             now,
@@ -640,6 +658,14 @@ pub(crate) fn transmit_wire(
         );
     }
     for code in &plan.faults {
+        if *code == "fault.drop" {
+            sim.record_hop(
+                flight,
+                host.0 as u32,
+                "wire",
+                HopAction::Dropped("fault.drop"),
+            );
+        }
         let kind = if *code == "fault.drop" {
             TraceKind::PacketDropped
         } else {
@@ -663,7 +689,7 @@ pub(crate) fn transmit_wire(
                 // is caught by the checksums that guard the payload.
                 let mut v = wire.to_vec();
                 v[FRAME_HEADER_LEN + off] ^= mask;
-                PacketBytes::from_vec(v)
+                PacketBytes::from_vec(v).with_flight(wire.flight())
             }
             None => wire.clone(),
         };
@@ -688,6 +714,12 @@ fn deliver_frame(
 ) {
     if sim.world().hosts[host.0].core.ifaces[iface.0].lan != Some(from_lan) {
         let now = sim.now();
+        sim.record_hop(
+            bytes.flight(),
+            host.0 as u32,
+            "wire",
+            HopAction::Dropped("drop.left_lan"),
+        );
         let name = sim.world().hosts[host.0].core.name.clone();
         sim.trace_mut().record(
             now,
@@ -703,6 +735,12 @@ fn deliver_frame(
     };
     if !accepted {
         let now = sim.now();
+        sim.record_hop(
+            bytes.flight(),
+            host.0 as u32,
+            "dev",
+            HopAction::Dropped("drop.iface_down"),
+        );
         let name = sim.world().hosts[host.0].core.name.clone();
         sim.trace_mut().record(
             now,
@@ -717,12 +755,25 @@ fn deliver_frame(
 }
 
 fn process_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, bytes: PacketBytes) {
+    // Capture-mode taps feed the pcap sidecar: raw frame bytes, before any
+    // parsing, exactly as tcpdump would see them.
+    if sim.flights().capture_enabled() && sim.world().hosts[host.0].core.capture {
+        let now = sim.now();
+        let raw = bytes.to_vec();
+        sim.flights_mut().capture_frame(now, host.0 as u32, &raw);
+    }
     let Ok(frame) = Frame::parse(&bytes) else {
         sim.world_mut().hosts[host.0]
             .core
             .stats
             .dropped_malformed
             .inc();
+        sim.record_hop(
+            bytes.flight(),
+            host.0 as u32,
+            "wire",
+            HopAction::Dropped("drop.malformed"),
+        );
         return;
     };
     if sim.world().hosts[host.0].core.capture {
@@ -745,12 +796,20 @@ fn process_frame(sim: &mut NetSim, host: HostId, iface: IfaceId, bytes: PacketBy
                 .inc(),
         },
         EtherType::Ipv4 => match Ipv4Packet::parse(&frame.payload) {
-            Ok(pkt) => ip::ip_input(sim, host, Some(iface), pkt, 0),
-            Err(_) => sim.world_mut().hosts[host.0]
-                .core
-                .stats
-                .dropped_malformed
-                .inc(),
+            Ok(pkt) => ip::ip_input_flight(sim, host, Some(iface), pkt, 0, bytes.flight()),
+            Err(_) => {
+                sim.world_mut().hosts[host.0]
+                    .core
+                    .stats
+                    .dropped_malformed
+                    .inc();
+                sim.record_hop(
+                    bytes.flight(),
+                    host.0 as u32,
+                    "ip",
+                    HopAction::Dropped("drop.malformed"),
+                );
+            }
         },
     }
 }
@@ -768,14 +827,15 @@ fn arp_input(sim: &mut NetSim, host: HostId, iface: IfaceId, arp: &ArpPacket) {
         let (released, action) = core.arp[iface.0].input(arp, my_mac, &my_addrs, now);
         (released, action, my_mac)
     };
-    // Send packets that were parked awaiting this resolution.
-    for pkt in released {
+    // Send packets that were parked awaiting this resolution; each keeps
+    // the flight id it parked with.
+    for (pkt, flight) in released {
         let frame = Frame::new(arp.sender_mac, my_mac, EtherType::Ipv4, pkt.to_bytes());
-        transmit_frame(sim, host, iface, frame);
+        transmit_frame(sim, host, iface, frame, flight);
     }
     if let ArpAction::Reply(reply) = action {
         let frame = Frame::new(arp.sender_mac, my_mac, EtherType::Arp, reply.to_bytes());
-        transmit_frame(sim, host, iface, frame);
+        transmit_frame(sim, host, iface, frame, mosquitonet_sim::NO_FLIGHT);
     }
 }
 
@@ -804,7 +864,7 @@ pub(crate) fn arp_solicit(
         EtherType::Arp,
         req.to_bytes(),
     );
-    transmit_frame(sim, host, iface, frame);
+    transmit_frame(sim, host, iface, frame, mosquitonet_sim::NO_FLIGHT);
     sim.schedule_in(ARP_RETRY_INTERVAL, move |sim| {
         arp_retry(sim, host, iface, target, generation);
     });
@@ -826,6 +886,14 @@ fn arp_retry(
             let core = &mut sim.world_mut().hosts[host.0].core;
             core.stats.dropped_arp_failure.add(n);
             let name = core.name.clone();
+            for (_, flight) in &dropped {
+                sim.record_hop(
+                    *flight,
+                    host.0 as u32,
+                    "arp",
+                    HopAction::Dropped("drop.arp_failure"),
+                );
+            }
             let now = sim.now();
             sim.trace_mut().record(
                 now,
@@ -894,7 +962,7 @@ mod tests {
             EtherType::Arp,
             ArpPacket::gratuitous(MacAddr::from_index(1), Ipv4Addr::new(1, 1, 1, 1)).to_bytes(),
         );
-        transmit_frame(&mut sim, h, eth, frame);
+        transmit_frame(&mut sim, h, eth, frame, mosquitonet_sim::NO_FLIGHT);
         assert_eq!(
             sim.world().hosts[h.0].core.stats.dropped_iface_down.get(),
             1
@@ -966,7 +1034,7 @@ mod tests {
         let mac_a = MacAddr::from_index(1);
         let g = ArpPacket::gratuitous(mac_a, addr);
         let frame = Frame::new(MacAddr::BROADCAST, mac_a, EtherType::Arp, g.to_bytes());
-        transmit_frame(&mut sim, a, ia, frame);
+        transmit_frame(&mut sim, a, ia, frame, mosquitonet_sim::NO_FLIGHT);
         sim.run();
         assert_eq!(
             sim.world().hosts[b.0].core.arp[ib.0].lookup(addr),

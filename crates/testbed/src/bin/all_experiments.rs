@@ -87,6 +87,18 @@ fn main() {
             Err(e) => eprintln!("warning: could not write {name} metrics sidecar: {e}"),
         }
     }
+    // The chaos runs additionally export their flight-recorder journeys.
+    let journeys: [(&str, &Json); 3] = [
+        ("c5_ha_crash_recovery", &c5.journeys),
+        ("c6_standby_failover", &c6.journeys),
+        ("c7_spoofed_registration", &c7.journeys),
+    ];
+    for (name, doc) in journeys {
+        match report::write_journeys_sidecar(name, doc) {
+            Ok(path) => eprintln!("journeys sidecar: {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {name} journeys sidecar: {e}"),
+        }
+    }
 
     if let Some(path) = json_path {
         let all = Json::obj([

@@ -14,4 +14,13 @@ fn main() {
         Ok(path) => eprintln!("metrics sidecar: {}", path.display()),
         Err(e) => eprintln!("warning: could not write metrics sidecar: {e}"),
     }
+    match report::write_journeys_sidecar("c5_ha_crash_recovery", &result.journeys) {
+        Ok(path) => eprintln!("journeys sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write journeys sidecar: {e}"),
+    }
+    match report::write_pcap("c5_ha_crash_recovery", &result.captures) {
+        Ok(Some(path)) => eprintln!("pcap capture: {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: could not write pcap capture: {e}"),
+    }
 }

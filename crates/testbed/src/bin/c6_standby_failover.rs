@@ -14,4 +14,8 @@ fn main() {
         Ok(path) => eprintln!("metrics sidecar: {}", path.display()),
         Err(e) => eprintln!("warning: could not write metrics sidecar: {e}"),
     }
+    match report::write_journeys_sidecar("c6_standby_failover", &result.journeys) {
+        Ok(path) => eprintln!("journeys sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write journeys sidecar: {e}"),
+    }
 }

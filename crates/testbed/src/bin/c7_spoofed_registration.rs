@@ -15,4 +15,8 @@ fn main() {
         Ok(path) => eprintln!("metrics sidecar: {}", path.display()),
         Err(e) => eprintln!("warning: could not write metrics sidecar: {e}"),
     }
+    match report::write_journeys_sidecar("c7_spoofed_registration", &result.journeys) {
+        Ok(path) => eprintln!("journeys sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write journeys sidecar: {e}"),
+    }
 }

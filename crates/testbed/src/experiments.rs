@@ -11,7 +11,7 @@ use bytes::Bytes;
 use mosquitonet_core::{AddressPlan, RegistrationRequest, SendMode, SwitchPlan, SwitchStyle};
 use mosquitonet_dhcp::{DhcpClientModule, ReusePolicy};
 use mosquitonet_link::{presets, FaultKind, FaultPlan, HostFaultEvent, HostFaultPlan};
-use mosquitonet_sim::{Histogram, Json, MetricsRegistry, Sim, SimDuration, Summary};
+use mosquitonet_sim::{CapturedFrame, Histogram, Json, MetricsRegistry, Sim, SimDuration, Summary};
 use mosquitonet_stack::{self as stack, ModuleId, Network, RouteEntry, SendOptions};
 use mosquitonet_wire::{Cidr, IpProto, Ipv4Header, Ipv4Packet, MacAddr};
 
@@ -45,6 +45,33 @@ fn sender_mut(tb: &mut Testbed, mid: ModuleId) -> &mut UdpEchoSender {
         .host_mut(ch)
         .module_mut(mid)
         .expect("echo sender")
+}
+
+/// Host index → display-name table for the journey export.
+fn host_names(tb: &Testbed) -> Vec<String> {
+    tb.sim
+        .world()
+        .hosts
+        .iter()
+        .map(|h| h.core.name.clone())
+        .collect()
+}
+
+/// Exports the run's flight-recorder document, naming hosts and (when
+/// `origin` is set) deriving the blackout window for flights born there.
+fn journeys_json(tb: &Testbed, origin: Option<&str>) -> Json {
+    tb.sim.flights().export(&host_names(tb), origin)
+}
+
+/// Appends the engine profile to a metrics document when profiling was
+/// enabled for the run (`MOSQUITONET_PROFILE`); a no-op otherwise so the
+/// golden sidecars stay byte-identical.
+fn append_profile(tb: &Testbed, metrics: &mut Json) {
+    if tb.sim.profiler().is_enabled() {
+        if let Json::Obj(members) = metrics {
+            members.push(("profile".to_string(), tb.sim.profiler().to_json()));
+        }
+    }
 }
 
 fn settle_on_dept(tb: &mut Testbed) {
@@ -1838,6 +1865,19 @@ pub struct C5Result {
     pub ha_epoch: u64,
     /// The metrics sidecar document.
     pub metrics: Json,
+    /// The flight-recorder journeys sidecar document.
+    pub journeys: Json,
+    /// Blackout window reconstructed purely from correspondent-origin
+    /// flights, as `(lost, first_us, last_us)`. `None` when no flight
+    /// from the correspondent was dropped.
+    pub blackout: Option<(u64, u64, u64)>,
+    /// Send times (µs) of the probes the sender itself counted lost in
+    /// the crash-to-reconvergence window — the ground truth the flight
+    /// recorder's blackout must match exactly.
+    pub lost_during_times_us: Vec<u64>,
+    /// Wire frames captured at the router for pcap export. Empty unless
+    /// the run was built with `MOSQUITONET_PCAP` set.
+    pub captures: Vec<CapturedFrame>,
 }
 
 impl C5Result {
@@ -1887,6 +1927,12 @@ pub fn run_c5(seed: u64) -> C5Result {
     let sender_mid = install_echo(&mut tb, C5_ECHO_INTERVAL);
     settle_on_dept(&mut tb);
     let settled = tb.sim.now();
+    // Reset the flight recorder at the settled mark so the journeys
+    // export — and the blackout derived from it — covers exactly the
+    // window the loss accounting does. Probes dropped while the MH was
+    // still switching onto the department net are setup noise, not part
+    // of the measured outage.
+    tb.sim.flights_mut().clear();
 
     let crash_at = settled + C5_CRASH_AFTER;
     let plan = HostFaultPlan::scripted(vec![HostFaultEvent {
@@ -1949,9 +1995,14 @@ pub fn run_c5(seed: u64) -> C5Result {
     let lost_before = s.lost_in_window(settled, crash_at);
     let lost_during = s.lost_in_window(crash_at, reconverged);
     let lost_after = s.lost_in_window(reconverged, end - C5_TAIL_MARGIN);
+    let lost_during_times_us: Vec<u64> = s
+        .lost_sent_times(crash_at, reconverged)
+        .into_iter()
+        .map(|t| t.as_micros())
+        .collect();
     let reconverged_ms = reconverged.saturating_since(crash_at).as_millis();
 
-    let metrics = Json::obj([
+    let mut metrics = Json::obj([
         ("seed", Json::UInt(seed)),
         (
             "timeline_ms",
@@ -1987,6 +2038,15 @@ pub fn run_c5(seed: u64) -> C5Result {
         ),
         ("registry", reg.to_json()),
     ]);
+    append_profile(&tb, &mut metrics);
+    let journeys = journeys_json(&tb, Some("ch-dept"));
+    let ch = tb.ch_dept;
+    let blackout = tb
+        .sim
+        .flights()
+        .blackout(ch.0 as u32)
+        .map(|b| (b.lost, b.first.as_micros(), b.last.as_micros()));
+    let captures = tb.sim.flights().captures().to_vec();
     C5Result {
         sent,
         received,
@@ -1998,6 +2058,10 @@ pub fn run_c5(seed: u64) -> C5Result {
         journal_replayed,
         ha_epoch,
         metrics,
+        journeys,
+        blackout,
+        lost_during_times_us,
+        captures,
     }
 }
 
@@ -2037,6 +2101,8 @@ pub struct C6Result {
     pub standby_encapsulated: u64,
     /// The metrics sidecar document.
     pub metrics: Json,
+    /// The flight-recorder journeys sidecar document.
+    pub journeys: Json,
 }
 
 impl C6Result {
@@ -2051,10 +2117,16 @@ impl C6Result {
             ("failover_ms", Json::UInt(self.failover_ms)),
             ("ha_failovers", Json::UInt(self.ha_failovers)),
             ("degradations", Json::UInt(self.degradations)),
-            ("direct_encap_lookups", Json::UInt(self.direct_encap_lookups)),
+            (
+                "direct_encap_lookups",
+                Json::UInt(self.direct_encap_lookups),
+            ),
             ("standby_accepted", Json::UInt(self.standby_accepted)),
             ("replicas_applied", Json::UInt(self.replicas_applied)),
-            ("standby_encapsulated", Json::UInt(self.standby_encapsulated)),
+            (
+                "standby_encapsulated",
+                Json::UInt(self.standby_encapsulated),
+            ),
         ])
     }
 }
@@ -2187,7 +2259,7 @@ pub fn run_c6(seed: u64) -> C6Result {
     };
     let failover_ms = failover.saturating_since(crash_at).as_millis();
 
-    let metrics = Json::obj([
+    let mut metrics = Json::obj([
         ("seed", Json::UInt(seed)),
         (
             "timeline_ms",
@@ -2225,6 +2297,8 @@ pub fn run_c6(seed: u64) -> C6Result {
         ),
         ("registry", reg.to_json()),
     ]);
+    append_profile(&tb, &mut metrics);
+    let journeys = journeys_json(&tb, Some("ch-dept"));
     C6Result {
         in_sent,
         in_received,
@@ -2239,6 +2313,7 @@ pub fn run_c6(seed: u64) -> C6Result {
         replicas_applied,
         standby_encapsulated,
         metrics,
+        journeys,
     }
 }
 
@@ -2280,6 +2355,8 @@ pub struct C7Result {
     pub ha_epoch: u64,
     /// The metrics sidecar document.
     pub metrics: Json,
+    /// The flight-recorder journeys sidecar document.
+    pub journeys: Json,
 }
 
 impl C7Result {
@@ -2372,7 +2449,7 @@ pub fn run_c7(seed: u64) -> C7Result {
         ident: C7_SPOOF_IDENT,
         auth: None,
     };
-    let wrong_key = forged.clone().sign(C7_SPI, 0x4141_4141_4141_4141);
+    let wrong_key = forged.sign(C7_SPI, 0x4141_4141_4141_4141);
     {
         let a = attacker_at(&mut tb, attacker_host, att_mid);
         a.inject(forged.to_bytes(), "unsigned forgery");
@@ -2470,7 +2547,7 @@ pub fn run_c7(seed: u64) -> C7Result {
     let lost_during = s.lost_in_window(crash_at, reconverged);
     let lost_after = s.lost_in_window(reconverged, end - C5_TAIL_MARGIN);
 
-    let metrics = Json::obj([
+    let mut metrics = Json::obj([
         ("seed", Json::UInt(seed)),
         (
             "timeline_ms",
@@ -2510,6 +2587,8 @@ pub fn run_c7(seed: u64) -> C7Result {
         ),
         ("registry", reg.to_json()),
     ]);
+    append_profile(&tb, &mut metrics);
+    let journeys = journeys_json(&tb, Some("ch-dept"));
     C7Result {
         sent,
         received,
@@ -2524,5 +2603,6 @@ pub fn run_c7(seed: u64) -> C7Result {
         binding_intact,
         ha_epoch,
         metrics,
+        journeys,
     }
 }

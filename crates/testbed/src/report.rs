@@ -11,7 +11,8 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use mosquitonet_sim::Json;
+use mosquitonet_sim::{CapturedFrame, Json};
+use mosquitonet_wire::PcapWriter;
 
 use crate::experiments::{
     A1Result, A2Row, C1Row, C2Result, C3Result, C4Result, Fig6Result, Fig7Result, Tab1Result,
@@ -49,6 +50,64 @@ pub fn write_metrics_sidecar(experiment: &str, metrics: &Json) -> std::io::Resul
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target/metrics"));
     write_metrics_sidecar_in(&dir, experiment, metrics)
+}
+
+/// Schema tag stamped into every journeys sidecar file.
+pub const JOURNEYS_SIDECAR_SCHEMA: &str = "mosquitonet.journeys/v1";
+
+/// Wraps an experiment's flight-recorder export in the sidecar envelope.
+pub fn journeys_sidecar(experiment: &str, journeys: &Json) -> Json {
+    Json::obj([
+        ("schema", Json::from(JOURNEYS_SIDECAR_SCHEMA)),
+        ("experiment", Json::from(experiment)),
+        ("journeys", journeys.clone()),
+    ])
+}
+
+/// Writes `{dir}/{experiment}.journeys.json` (pretty-printed, byte-stable
+/// for a given run) and returns its path.
+pub fn write_journeys_sidecar_in(
+    dir: &Path,
+    experiment: &str,
+    journeys: &Json,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{experiment}.journeys.json"));
+    std::fs::write(
+        &path,
+        journeys_sidecar(experiment, journeys).render_pretty(),
+    )?;
+    Ok(path)
+}
+
+/// Writes the journeys sidecar to the default location, `target/metrics/`
+/// (overridable with the `MOSQUITONET_METRICS_DIR` environment variable).
+pub fn write_journeys_sidecar(experiment: &str, journeys: &Json) -> std::io::Result<PathBuf> {
+    let dir = std::env::var_os("MOSQUITONET_METRICS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/metrics"));
+    write_journeys_sidecar_in(&dir, experiment, journeys)
+}
+
+/// Writes `{dir}/{experiment}.pcap` from the run's captured wire frames
+/// (default `target/metrics/`, overridable with `MOSQUITONET_METRICS_DIR`).
+/// Returns `None` — writing nothing — when the capture is empty, which is
+/// the normal case unless the run was built with `MOSQUITONET_PCAP` set.
+pub fn write_pcap(experiment: &str, frames: &[CapturedFrame]) -> std::io::Result<Option<PathBuf>> {
+    if frames.is_empty() {
+        return Ok(None);
+    }
+    let dir = std::env::var_os("MOSQUITONET_METRICS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/metrics"));
+    std::fs::create_dir_all(&dir)?;
+    let mut w = PcapWriter::new();
+    for f in frames {
+        w.frame(f.at.as_micros(), &f.bytes);
+    }
+    let path = dir.join(format!("{experiment}.pcap"));
+    std::fs::write(&path, w.finish())?;
+    Ok(Some(path))
 }
 
 fn hr(out: &mut String, title: &str) {

@@ -425,7 +425,8 @@ pub fn build(cfg: TestbedConfig) -> Testbed {
             standby_iface.expect("built together"),
             home_subnet(),
         );
-        net.host_mut(sb).add_module(Box::new(HomeAgent::new(sb_cfg)))
+        net.host_mut(sb)
+            .add_module(Box::new(HomeAgent::new(sb_cfg)))
     });
 
     // --- Mobile-IP client module ---
@@ -529,7 +530,8 @@ pub fn build(cfg: TestbedConfig) -> Testbed {
             .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(90)));
         {
             let core = &mut net.host_mut(atk).core;
-            core.iface_mut(atk_if).add_addr(ATTACKER_DEPT, dept_subnet());
+            core.iface_mut(atk_if)
+                .add_addr(ATTACKER_DEPT, dept_subnet());
             core.routes.add(RouteEntry {
                 dest: dept_subnet(),
                 gateway: None,
@@ -835,6 +837,22 @@ pub fn build(cfg: TestbedConfig) -> Testbed {
     };
 
     let mut sim = Sim::with_seed(net, cfg.seed);
+
+    // The flight recorder is a pure observer: ids come from a counter,
+    // never the RNG, so enabling it cannot perturb a seeded run (the
+    // golden sidecars prove it). Capture mode (pcap export) and the
+    // engine profiler stay opt-in via the environment — wall-clock
+    // profiles are nondeterministic and must never leak into goldens.
+    sim.flights_mut().set_enabled(true);
+    if std::env::var_os("MOSQUITONET_PCAP").is_some() {
+        sim.flights_mut().set_capture(true);
+        // Tap the router: every inter-net frame crosses it.
+        sim.world_mut().host_mut(router).core.capture = true;
+    }
+    if std::env::var_os("MOSQUITONET_PROFILE").is_some() {
+        let reg = sim.metrics().clone();
+        sim.profiler_mut().enable(&reg);
+    }
 
     // Power up all infrastructure interfaces plus the MH's home Ethernet.
     let mut to_up: Vec<(HostId, IfaceId)> = vec![

@@ -14,7 +14,7 @@ use std::net::Ipv4Addr;
 
 use bytes::Bytes;
 use mosquitonet_sim::{Counter, MetricCell, MetricsScope, SimDuration, SimTime};
-use mosquitonet_stack::{ConnId, Module, ModuleCtx, SocketId, TcpEvent};
+use mosquitonet_stack::{ConnId, Module, ModuleCtx, SendOptions, SocketId, TcpEvent};
 
 /// One probe in an echo stream.
 #[derive(Clone, Copy, Debug)]
@@ -92,6 +92,20 @@ impl UdpEchoSender {
             .count() as u64
     }
 
+    /// Send times of the probes in `[from, to)` that never came back,
+    /// sorted ascending — the ground truth the flight recorder's blackout
+    /// reconstruction is checked against.
+    pub fn lost_sent_times(&self, from: SimTime, to: SimTime) -> Vec<SimTime> {
+        let mut times: Vec<SimTime> = self
+            .records
+            .values()
+            .filter(|r| r.sent_at >= from && r.sent_at < to && r.echoed_at.is_none())
+            .map(|r| r.sent_at)
+            .collect();
+        times.sort();
+        times
+    }
+
     /// Round-trip times of all returned echoes, in send order.
     pub fn rtts(&self) -> Vec<SimDuration> {
         let mut seqs: Vec<_> = self
@@ -136,8 +150,15 @@ impl Module for UdpEchoSender {
         let mut payload = Vec::with_capacity(8 + self.padding);
         payload.extend_from_slice(&seq.to_be_bytes());
         payload.resize(8 + self.padding, 0xEC);
-        ctx.fx
-            .send_udp(self.sock.expect("bound"), self.dst, Bytes::from(payload));
+        ctx.fx.send_udp_opts(
+            self.sock.expect("bound"),
+            self.dst,
+            Bytes::from(payload),
+            SendOptions {
+                label: Some("echo"),
+                ..SendOptions::default()
+            },
+        );
         ctx.fx.set_timer(self.interval, TOKEN_SEND);
     }
 
@@ -203,7 +224,15 @@ impl Module for UdpEchoResponder {
         payload: &Bytes,
     ) {
         self.echoed += 1;
-        ctx.fx.send_udp(sock, src, payload.clone());
+        ctx.fx.send_udp_opts(
+            sock,
+            src,
+            payload.clone(),
+            SendOptions {
+                label: Some("echo-reply"),
+                ..SendOptions::default()
+            },
+        );
     }
 
     fn as_any(&mut self) -> &mut dyn Any {

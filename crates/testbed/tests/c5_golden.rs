@@ -11,7 +11,7 @@
 //! and review the diff like any other golden change.
 
 use mosquitonet_testbed::experiments::run_c5;
-use mosquitonet_testbed::report::metrics_sidecar;
+use mosquitonet_testbed::report::{journeys_sidecar, metrics_sidecar};
 
 const SEED: u64 = 1996;
 
@@ -51,6 +51,60 @@ fn c5_export_matches_golden_and_session_survives_the_crash() {
         rendered, golden,
         "C5 export drifted from the golden file; if intentional, \
          regenerate with UPDATE_GOLDEN=1"
+    );
+
+    let journeys = journeys_sidecar("c5_ha_crash_recovery", &result.journeys).render_pretty();
+    let journeys_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/c5_ha_crash_recovery.journeys.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(journeys_path, &journeys).expect("update journeys golden");
+    }
+    let journeys_golden = std::fs::read_to_string(journeys_path)
+        .expect("journeys golden missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        journeys, journeys_golden,
+        "C5 journeys export drifted from the golden file; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// The flight recorder's reconstruction of the outage must agree exactly
+/// with the sender's own bookkeeping: during the home-agent downtime the
+/// correspondent's probes all die inside the network, so the number of
+/// dropped correspondent-origin flights equals the probes the sender
+/// counted lost in the crash-to-reconvergence window, and the blackout
+/// edges equal the first and last lost send times.
+#[test]
+fn c5_blackout_from_flights_equals_golden_loss_window() {
+    let result = run_c5(SEED);
+    assert_eq!(result.lost_before, 0, "pre-crash window must be clean");
+    assert_eq!(
+        result.lost_after, 0,
+        "post-reconvergence window must be clean"
+    );
+    let (lost, first_us, last_us) = result
+        .blackout
+        .expect("the outage drops probes, so a blackout must be derivable");
+    assert_eq!(
+        lost, result.lost_during,
+        "dropped correspondent flights must equal the sender's loss count"
+    );
+    assert_eq!(
+        lost as usize,
+        result.lost_during_times_us.len(),
+        "sender bookkeeping is self-consistent"
+    );
+    assert_eq!(
+        Some(first_us),
+        result.lost_during_times_us.first().copied(),
+        "blackout start must be the first lost probe's send time"
+    );
+    assert_eq!(
+        Some(last_us),
+        result.lost_during_times_us.last().copied(),
+        "blackout end must be the last lost probe's send time"
     );
 }
 

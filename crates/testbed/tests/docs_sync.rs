@@ -1,0 +1,94 @@
+//! Documentation-sync check for drop-reason codes.
+//!
+//! Drop reasons are stable, greppable tokens: the same `drop.{reason}`
+//! string appears in trace lines, metric names, and flight-recorder hop
+//! records. `docs/telemetry.md` is the registry of those codes, so every
+//! code used anywhere in workspace source must appear there — a new drop
+//! site without a doc row fails this test.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("read_dir") {
+        let p = entry.expect("dir entry").path();
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rs_files(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Extracts `drop.{reason}` codes from source text. A code is `drop.`
+/// followed by lowercase/digit/underscore/dot characters (trailing dots
+/// trimmed). A match immediately followed by `(` is a method call on a
+/// counter field (`stats.drop.inc()`), not a code, and a bare `drop.`
+/// with nothing after it (e.g. the `drop.{reason}` placeholder in prose)
+/// is ignored.
+fn drop_codes(text: &str) -> BTreeSet<String> {
+    let bytes = text.as_bytes();
+    let mut out = BTreeSet::new();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find("drop.") {
+        let start = from + pos;
+        let mut end = start + "drop.".len();
+        while end < bytes.len()
+            && (bytes[end].is_ascii_lowercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_'
+                || bytes[end] == b'.')
+        {
+            end += 1;
+        }
+        let mut code = &text[start..end];
+        while code.ends_with('.') {
+            code = &code[..code.len() - 1];
+        }
+        if code.len() > "drop.".len() && bytes.get(end).copied() != Some(b'(') {
+            out.insert(code.to_string());
+        }
+        from = end.max(start + 1);
+    }
+    out
+}
+
+#[test]
+fn every_drop_code_in_source_is_documented_in_telemetry_md() {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    rs_files(&root.join("crates"), &mut files);
+    assert!(files.len() > 10, "scanner must see the workspace sources");
+    let mut codes = BTreeSet::new();
+    for f in &files {
+        codes.extend(drop_codes(
+            &std::fs::read_to_string(f).expect("read source"),
+        ));
+    }
+    // Scanner sanity: codes known to be in the tree must be found.
+    for known in ["drop.no_route", "drop.ttl", "drop.medium_loss"] {
+        assert!(codes.contains(known), "scanner failed to find {known}");
+    }
+    // And the method-call false positive must not be. (The code is
+    // assembled at runtime so this test file does not plant it.)
+    let method_call = format!("drop.{}", "inc");
+    assert!(
+        !codes.contains(&method_call),
+        "scanner must skip counter method calls"
+    );
+
+    let doc = std::fs::read_to_string(root.join("docs/telemetry.md")).expect("docs/telemetry.md");
+    let missing: Vec<&String> = codes.iter().filter(|c| !doc.contains(c.as_str())).collect();
+    assert!(
+        missing.is_empty(),
+        "drop codes used in source but missing from docs/telemetry.md: \
+         {missing:?} — every stable drop.{{reason}} code needs a row there"
+    );
+}

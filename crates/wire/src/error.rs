@@ -23,6 +23,8 @@ pub enum WireError {
     BadLength,
     /// ARP hardware/protocol types other than Ethernet/IPv4.
     UnsupportedArp,
+    /// A container file's magic number was not recognized (pcap export).
+    BadMagic(u32),
     /// An enumerated field held an unknown discriminant.
     UnknownValue {
         /// Which field.
@@ -45,6 +47,7 @@ impl fmt::Display for WireError {
             }
             WireError::BadLength => write!(f, "inconsistent length field"),
             WireError::UnsupportedArp => write!(f, "non-Ethernet/IPv4 ARP"),
+            WireError::BadMagic(m) => write!(f, "unrecognized file magic {m:#010x}"),
             WireError::UnknownValue { field, value } => {
                 write!(f, "unknown value {value} in field {field}")
             }

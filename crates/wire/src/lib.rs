@@ -46,6 +46,7 @@ pub mod ipip;
 mod ipv4;
 mod lpm;
 mod mac;
+pub mod pcap;
 mod pktbuf;
 mod tcpseg;
 mod udp;
@@ -59,6 +60,7 @@ pub use igmp::{is_multicast, IgmpMessage, IGMP_LEN, IGMP_PROTO};
 pub use ipv4::{IpProto, Ipv4Header, Ipv4Packet, IPV4_HEADER_LEN};
 pub use lpm::LpmTrie;
 pub use mac::{keyed_mac, AuthTlv, AUTH_TLV_LEN, AUTH_TLV_TYPE};
+pub use pcap::{PcapFrame, PcapReader, PcapWriter};
 pub use pktbuf::{pool_size, PacketBuf, PacketBytes};
 pub use tcpseg::{TcpFlags, TcpSegment};
 pub use udp::UdpDatagram;

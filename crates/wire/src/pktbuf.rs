@@ -81,6 +81,9 @@ pub fn pool_size() -> usize {
 pub struct PacketBuf {
     data: Vec<u8>,
     start: usize,
+    /// Flight-recorder id riding alongside the bytes (never serialized;
+    /// `0` = untracked).
+    flight: u64,
 }
 
 impl PacketBuf {
@@ -92,7 +95,21 @@ impl PacketBuf {
         PacketBuf {
             data,
             start: headroom,
+            flight: 0,
         }
+    }
+
+    /// Tags the buffer with a flight-recorder id. The id is sidecar
+    /// metadata: it survives [`freeze`](PacketBuf::freeze) and
+    /// [`PacketBytes`] clones but is never written into the bytes, so the
+    /// wire image is identical with or without tracing.
+    pub fn set_flight(&mut self, flight: u64) {
+        self.flight = flight;
+    }
+
+    /// The flight id riding on this buffer (`0` = untracked).
+    pub fn flight(&self) -> u64 {
+        self.flight
     }
 
     /// Bytes of headroom still available for [`prepend`](PacketBuf::prepend).
@@ -140,7 +157,8 @@ impl PacketBuf {
         &mut self.data[self.start..self.start + n]
     }
 
-    /// Freezes into an immutable, cheaply-cloneable [`PacketBytes`].
+    /// Freezes into an immutable, cheaply-cloneable [`PacketBytes`],
+    /// carrying the flight id along.
     pub fn freeze(mut self) -> PacketBytes {
         let data = std::mem::take(&mut self.data);
         let start = self.start;
@@ -148,6 +166,7 @@ impl PacketBuf {
         PacketBytes {
             inner: Rc::new(PooledVec { data }),
             start,
+            flight: self.flight,
         }
     }
 }
@@ -206,16 +225,34 @@ impl Drop for PooledVec {
 pub struct PacketBytes {
     inner: Rc<PooledVec>,
     start: usize,
+    /// Flight-recorder id (metadata only; clones share it, the wire
+    /// image never contains it).
+    flight: u64,
 }
 
 impl PacketBytes {
     /// Wraps an owned vector (the fault-injection `corrupt` path, which
-    /// genuinely needs its own mutated copy).
+    /// genuinely needs its own mutated copy). The copy starts untracked;
+    /// use [`with_flight`](PacketBytes::with_flight) to re-attach the
+    /// original packet's flight id.
     pub fn from_vec(data: Vec<u8>) -> PacketBytes {
         PacketBytes {
             inner: Rc::new(PooledVec { data }),
             start: 0,
+            flight: 0,
         }
+    }
+
+    /// Returns the same bytes tagged with `flight` (used when a mutated
+    /// copy must keep the original packet's identity).
+    pub fn with_flight(mut self, flight: u64) -> PacketBytes {
+        self.flight = flight;
+        self
+    }
+
+    /// The flight id riding on these bytes (`0` = untracked).
+    pub fn flight(&self) -> u64 {
+        self.flight
     }
 
     /// Length in bytes.
@@ -324,6 +361,22 @@ mod tests {
         b.put_slice(&vec![0u8; POOL_MAX_CAPACITY + 1]);
         drop(b.freeze());
         assert_eq!(pool_size(), 0);
+    }
+
+    #[test]
+    fn flight_id_rides_outside_the_bytes() {
+        let mut b = PacketBuf::with_headroom(2);
+        b.put_slice(b"payload");
+        b.set_flight(42);
+        assert_eq!(b.flight(), 42);
+        let before = b.as_slice().to_vec();
+        let frozen = b.freeze();
+        assert_eq!(frozen.flight(), 42, "freeze carries the id");
+        assert_eq!(frozen.clone().flight(), 42, "clones share the id");
+        assert_eq!(&frozen[..], &before[..], "bytes unchanged by tagging");
+        let copy = PacketBytes::from_vec(frozen.to_vec());
+        assert_eq!(copy.flight(), 0, "fresh copies start untracked");
+        assert_eq!(copy.with_flight(42).flight(), 42);
     }
 
     #[test]

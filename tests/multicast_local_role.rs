@@ -71,6 +71,7 @@ impl Module for GroupPublisher {
                 src: SourceSel::Unspecified,
                 iface: Some(self.iface),
                 ttl: Some(1),
+                label: Some("multicast"),
             },
         );
         if self.sent < 20 {
