@@ -107,14 +107,17 @@ fn main() -> ExitCode {
     };
     let baseline = parse_flat_object(&text);
 
-    let mut failures = 0u32;
+    // Every id is measured and judged before the gate decides: a run with
+    // several regressions reports all of them, not just the first.
+    let mut regressions: Vec<(String, f64, f64, f64)> = Vec::new();
+    let mut missing: Vec<(String, f64)> = Vec::new();
     println!("\nbench gate (threshold {threshold:.2}x):");
     for (id, measured) in &results {
         match baseline.iter().find(|(k, _)| k == id) {
             Some((_, base)) if *base > 0.0 => {
                 let ratio = measured / base;
                 let verdict = if ratio > threshold {
-                    failures += 1;
+                    regressions.push((id.clone(), *measured, *base, ratio));
                     "FAIL"
                 } else {
                     "ok"
@@ -125,16 +128,37 @@ fn main() -> ExitCode {
                 );
             }
             _ => {
-                failures += 1;
+                missing.push((id.clone(), *measured));
                 println!("  {id:<36} {measured:>10.1} ns — MISSING from baseline");
             }
         }
     }
-    if failures > 0 {
+    // Baseline entries nothing measured any more are stale — a renamed or
+    // deleted benchmark should drop its baseline row in the same change.
+    let stale: Vec<&str> = baseline
+        .iter()
+        .filter(|(k, _)| !results.iter().any(|(id, _)| id == k))
+        .map(|(k, _)| k.as_str())
+        .collect();
+    if !stale.is_empty() && results.len() >= baseline.len() {
+        for id in &stale {
+            println!("  {id:<36} baseline entry is stale (no such benchmark)");
+        }
+    }
+
+    if !regressions.is_empty() || !missing.is_empty() {
         eprintln!(
-            "bench gate: {failures} benchmark(s) regressed past {threshold:.2}x \
-             (or lack a baseline); if intentional, regenerate with UPDATE_BASELINE=1"
+            "bench gate: {} regression(s), {} missing baseline(s) at {threshold:.2}x:",
+            regressions.len(),
+            missing.len()
         );
+        for (id, measured, base, ratio) in &regressions {
+            eprintln!("  {id:<36} {measured:>10.1} ns vs {base:>8.0} ns = {ratio:.2}x");
+        }
+        for (id, measured) in &missing {
+            eprintln!("  {id:<36} {measured:>10.1} ns — no baseline entry");
+        }
+        eprintln!("if intentional, regenerate with UPDATE_BASELINE=1");
         return ExitCode::FAILURE;
     }
     println!(

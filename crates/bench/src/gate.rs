@@ -241,6 +241,48 @@ pub fn run_flightrec(c: &mut Criterion) -> Vec<(String, f64)> {
     vec![(id, med)]
 }
 
+/// The S3 whole-system saturation path, gated as wall nanoseconds per
+/// delivered packet: each iteration drives a small-but-saturating S3 run
+/// (topology build, registration settle, batched bursts through the
+/// engine, sink collection) and the closure's median ns/op is divided by
+/// the packets a run delivers. The reverse-tunnel and direct-encap
+/// topologies are gated separately — they stress different hop chains
+/// (MH→HA→CH with decap-and-forward vs MH→CH with transparent decap).
+pub fn run_saturation(c: &mut Criterion) -> Vec<(String, f64)> {
+    use mosquitonet_testbed::experiments::{run_s3_mode, S3Config, S3Mode};
+
+    // Small enough for criterion to iterate, large enough that per-packet
+    // work dominates the fixed topology/settle cost.
+    let cfg = S3Config {
+        pairs: 2,
+        burst: 8,
+        ticks: 5,
+        seed: 1996,
+        batching: true,
+    };
+    let mut results = Vec::new();
+    for (mode, id) in [
+        (S3Mode::ReverseTunnel, "s3/pps_tunnel"),
+        (S3Mode::DirectEncap, "s3/pps_direct"),
+    ] {
+        let mut delivered = 0u64;
+        let med = c.bench_function(id, |b| {
+            b.iter(|| {
+                let (row, _) = run_s3_mode(black_box(mode), &cfg);
+                delivered = row.delivered;
+                row.delivered
+            })
+        });
+        if med > 0.0 {
+            assert!(delivered > 0, "saturation fixture must deliver");
+            results.push((id.to_string(), med / delivered as f64));
+        } else {
+            results.push((id.to_string(), 0.0));
+        }
+    }
+    results
+}
+
 /// Every gated benchmark, in baseline order.
 pub fn run_all(c: &mut Criterion) -> Vec<(String, f64)> {
     let mut results = run_route_policy(c);
@@ -249,5 +291,6 @@ pub fn run_all(c: &mut Criterion) -> Vec<(String, f64)> {
     results.extend(run_journal(c));
     results.extend(run_mac(c));
     results.extend(run_flightrec(c));
+    results.extend(run_saturation(c));
     results
 }

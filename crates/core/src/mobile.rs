@@ -19,7 +19,7 @@ use bytes::Bytes;
 use mosquitonet_sim::{Counter, MetricCell, MetricsScope, SimDuration, SimTime};
 use mosquitonet_stack::{
     Effect, EncapSpec, HostCore, IfaceId, Module, ModuleCtx, RouteAnswer, RouteDecision,
-    RouteEntry, SocketId, SourceSel,
+    RouteEntry, SocketId, SourceSel, UdpBatchItem,
 };
 use mosquitonet_wire::{Cidr, IcmpMessage};
 
@@ -293,6 +293,10 @@ pub struct MobileHost {
     autoswitch_stable: u32,
     /// Switches the automatic policy initiated (instrumentation).
     pub autoswitches: Counter,
+    /// Datagrams that arrived through multi-datagram batched deliveries
+    /// (plain state, not a registered metric — the batch path must leave
+    /// metric exports byte-identical to the unbatched path).
+    batched_datagrams: u64,
     /// Retransmission schedule for the current registration attempt.
     backoff: RetryBackoff,
     /// When the currently-held binding expires at the home agent.
@@ -362,6 +366,7 @@ impl MobileHost {
             binding_lapses: Counter::default(),
             corrupt_replies: Counter::default(),
             auth_failures: Counter::default(),
+            batched_datagrams: 0,
             backoff,
             binding_expires_at: None,
             current_ha,
@@ -913,6 +918,40 @@ impl MobileHost {
         }
     }
 
+    /// Datagrams that arrived through multi-datagram batched deliveries.
+    pub fn batched_datagrams(&self) -> u64 {
+        self.batched_datagrams
+    }
+
+    /// Handles one datagram on a socket this module owns — the shared body
+    /// of `on_udp` and `on_udp_batch`.
+    fn udp_datagram(&mut self, ctx: &mut ModuleCtx<'_>, sock: SocketId, payload: &Bytes) {
+        if Some(sock) == self.dhcp_sock {
+            let Some(dhcp) = &mut self.dhcp else { return };
+            if let ClientEvent::Acquired(lease) = dhcp.on_udp(ctx.fx, payload, ctx.now) {
+                if let Some(op) = &mut self.switching {
+                    if op.phase == Phase::Acquiring {
+                        op.target = Some((lease.addr, lease.subnet, lease.router));
+                        op.phase = Phase::Configuring;
+                        ctx.fx.set_timer(CONFIGURE_IFACE, TOKEN_CONFIGURED);
+                    }
+                }
+            }
+            return;
+        }
+        if Some(sock) == self.reg_sock && classify(payload) == Some(MessageKind::Reply) {
+            match RegistrationReply::parse(payload) {
+                Ok(reply) => self.handle_reply(ctx, reply),
+                Err(_) => {
+                    // Detected (wire checksum), counted, never acted on.
+                    self.corrupt_replies.inc();
+                    ctx.fx
+                        .trace("drop.reg_corrupt: registration reply failed parse".to_string());
+                }
+            }
+        }
+    }
+
     fn handle_reply(&mut self, ctx: &mut ModuleCtx<'_>, reply: RegistrationReply) {
         // A keyed host trusts only signed replies: a forged denial must
         // not cancel the retry timer or count as a real denial.
@@ -1263,29 +1302,15 @@ impl Module for MobileHost {
         _dst: Ipv4Addr,
         payload: &Bytes,
     ) {
-        if Some(sock) == self.dhcp_sock {
-            let Some(dhcp) = &mut self.dhcp else { return };
-            if let ClientEvent::Acquired(lease) = dhcp.on_udp(ctx.fx, payload, ctx.now) {
-                if let Some(op) = &mut self.switching {
-                    if op.phase == Phase::Acquiring {
-                        op.target = Some((lease.addr, lease.subnet, lease.router));
-                        op.phase = Phase::Configuring;
-                        ctx.fx.set_timer(CONFIGURE_IFACE, TOKEN_CONFIGURED);
-                    }
-                }
-            }
-            return;
+        self.udp_datagram(ctx, sock, payload);
+    }
+
+    fn on_udp_batch(&mut self, ctx: &mut ModuleCtx<'_>, sock: SocketId, batch: &[UdpBatchItem]) {
+        if batch.len() > 1 {
+            self.batched_datagrams += batch.len() as u64;
         }
-        if Some(sock) == self.reg_sock && classify(payload) == Some(MessageKind::Reply) {
-            match RegistrationReply::parse(payload) {
-                Ok(reply) => self.handle_reply(ctx, reply),
-                Err(_) => {
-                    // Detected (wire checksum), counted, never acted on.
-                    self.corrupt_replies.inc();
-                    ctx.fx
-                        .trace("drop.reg_corrupt: registration reply failed parse".to_string());
-                }
-            }
+        for item in batch {
+            self.udp_datagram(ctx, sock, &item.payload);
         }
     }
 

@@ -57,6 +57,12 @@ pub struct Sim<W> {
     flights: FlightRecorder,
     profiler: Profiler,
     events_executed: u64,
+    /// Per-tick batching (default on): `run`/`run_until` drain every
+    /// event scheduled at the same instant as one batch, amortizing
+    /// profiler and loop overhead. Execution order is identical to the
+    /// unbatched path, so same-seed runs stay byte-identical.
+    batching: bool,
+    batches_executed: u64,
 }
 
 struct HeapEntry<W>(QueuedEvent<W>);
@@ -110,6 +116,8 @@ impl<W> Sim<W> {
             flights: FlightRecorder::new(),
             profiler: Profiler::new(),
             events_executed: 0,
+            batching: true,
+            batches_executed: 0,
         }
     }
 
@@ -190,6 +198,25 @@ impl<W> Sim<W> {
         self.events_executed
     }
 
+    /// Enables or disables per-tick batching in [`Sim::run`] and
+    /// [`Sim::run_until`]. On by default; the unbatched path executes the
+    /// same events in the same order one profiler tick at a time, and
+    /// exists so determinism tests can compare the two modes.
+    pub fn set_batching(&mut self, on: bool) {
+        self.batching = on;
+    }
+
+    /// True when `run`/`run_until` drain same-instant batches.
+    pub fn batching_enabled(&self) -> bool {
+        self.batching
+    }
+
+    /// Number of per-tick batches drained by the batched path so far.
+    /// Stays zero when batching is off or only [`Sim::step`] is used.
+    pub fn batches_executed(&self) -> u64 {
+        self.batches_executed
+    }
+
     /// Number of events currently pending (cancelled events excluded).
     pub fn pending_events(&self) -> usize {
         self.queued.len()
@@ -268,9 +295,78 @@ impl<W> Sim<W> {
         }
     }
 
+    /// Drains the full batch of events scheduled at the next runnable
+    /// instant (bounded by `deadline` when given), including same-instant
+    /// events the batch members schedule mid-batch. Returns `false` when
+    /// no runnable event at or before the deadline remains.
+    ///
+    /// Execution order is identical to repeated [`Sim::step`]: the heap
+    /// pops same-time entries in id (FIFO) order, and events scheduled
+    /// mid-batch get strictly larger ids than everything already drained.
+    fn run_batch(&mut self, deadline: Option<SimTime>) -> bool {
+        let Some(first) = self.pop_runnable() else {
+            return false;
+        };
+        if deadline.is_some_and(|d| first.at > d) {
+            // Past the deadline; push the event back untouched.
+            self.queued.insert(first.id);
+            self.queue.push(Reverse(HeapEntry(first)));
+            return false;
+        }
+        debug_assert!(first.at >= self.now);
+        let batch_at = first.at;
+        self.now = batch_at;
+        let t0 = self.profiler.begin();
+        self.events_executed += 1;
+        let mut in_batch: u64 = 1;
+        (first.run)(self);
+        loop {
+            // Pull every remaining same-instant entry off the heap. Ids
+            // stay in `queued` until the event actually runs, so
+            // `pending_events` and `cancel` observe the same states as
+            // the unbatched path.
+            let mut drained: Vec<QueuedEvent<W>> = Vec::new();
+            while let Some(Reverse(entry)) = self.queue.peek() {
+                if entry.0.at != batch_at {
+                    break;
+                }
+                let Some(Reverse(HeapEntry(ev))) = self.queue.pop() else {
+                    break;
+                };
+                if self.cancelled.remove(&ev.id) {
+                    continue;
+                }
+                drained.push(ev);
+            }
+            if drained.is_empty() {
+                break;
+            }
+            for ev in drained {
+                // A batch member may have cancelled a later same-instant
+                // event after it was drained; honor that here.
+                if !self.queued.remove(&ev.id) {
+                    self.cancelled.remove(&ev.id);
+                    continue;
+                }
+                self.events_executed += 1;
+                in_batch += 1;
+                (ev.run)(self);
+            }
+            // Loop again: batch members may have scheduled new events at
+            // this same instant (with larger ids, preserving FIFO).
+        }
+        self.profiler.end_batch(t0, in_batch);
+        self.batches_executed += 1;
+        true
+    }
+
     /// Runs until the event queue is exhausted.
     pub fn run(&mut self) {
-        while self.step() {}
+        if self.batching {
+            while self.run_batch(None) {}
+        } else {
+            while self.step() {}
+        }
     }
 
     /// Runs events until (and including) those scheduled at `deadline`,
@@ -278,33 +374,37 @@ impl<W> Sim<W> {
     ///
     /// Events scheduled after `deadline` remain queued.
     pub fn run_until(&mut self, deadline: SimTime) {
-        // Not a `while let`: the borrow from `peek` must end before
-        // `pop_runnable` can take `&mut self`.
-        #[allow(clippy::while_let_loop)]
-        loop {
-            let Some(Reverse(entry)) = self.queue.peek() else {
-                break;
-            };
-            if entry.0.at > deadline {
-                break;
+        if self.batching {
+            while self.run_batch(Some(deadline)) {}
+        } else {
+            // Not a `while let`: the borrow from `peek` must end before
+            // `pop_runnable` can take `&mut self`.
+            #[allow(clippy::while_let_loop)]
+            loop {
+                let Some(Reverse(entry)) = self.queue.peek() else {
+                    break;
+                };
+                if entry.0.at > deadline {
+                    break;
+                }
+                // The peeked entry may have been cancelled; pop_runnable
+                // skips those and may drain the queue entirely.
+                let Some(ev) = self.pop_runnable() else {
+                    break;
+                };
+                if ev.at > deadline {
+                    // The runnable event (after skipping cancelled ones) is
+                    // past the deadline; push it back untouched.
+                    self.queued.insert(ev.id);
+                    self.queue.push(Reverse(HeapEntry(ev)));
+                    break;
+                }
+                self.now = ev.at;
+                self.events_executed += 1;
+                let t0 = self.profiler.begin();
+                (ev.run)(self);
+                self.profiler.end_tick(t0);
             }
-            // The peeked entry may have been cancelled; pop_runnable skips
-            // those and may drain the queue entirely.
-            let Some(ev) = self.pop_runnable() else {
-                break;
-            };
-            if ev.at > deadline {
-                // The runnable event (after skipping cancelled ones) is past
-                // the deadline; push it back untouched.
-                self.queued.insert(ev.id);
-                self.queue.push(Reverse(HeapEntry(ev)));
-                break;
-            }
-            self.now = ev.at;
-            self.events_executed += 1;
-            let t0 = self.profiler.begin();
-            (ev.run)(self);
-            self.profiler.end_tick(t0);
         }
         if self.now < deadline {
             self.now = deadline;
@@ -460,5 +560,124 @@ mod tests {
         sim.run_for(SimDuration::from_secs(1));
         sim.run_for(SimDuration::from_secs(2));
         assert_eq!(sim.now().as_millis(), 3000);
+    }
+
+    #[test]
+    fn batching_is_on_by_default_and_counts_batches() {
+        let mut sim = Sim::new(0u32);
+        assert!(sim.batching_enabled());
+        for _ in 0..3 {
+            sim.schedule_at(SimTime::from_nanos(5), |sim| *sim.world_mut() += 1);
+        }
+        sim.schedule_in(SimDuration::from_millis(1), |sim| *sim.world_mut() += 10);
+        sim.run();
+        assert_eq!(*sim.world(), 13);
+        assert_eq!(sim.events_executed(), 4);
+        // Three same-instant events drain as one batch; the later event
+        // is a batch of one.
+        assert_eq!(sim.batches_executed(), 2);
+    }
+
+    #[test]
+    fn batched_same_time_events_fire_fifo() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(());
+        for i in 0..100 {
+            let order = Rc::clone(&order);
+            sim.schedule_at(SimTime::from_nanos(42), move |_| {
+                order.borrow_mut().push(i);
+            });
+        }
+        assert!(sim.batching_enabled());
+        sim.run();
+        assert_eq!(*order.borrow(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_member_scheduling_same_instant_keeps_fifo() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(());
+        let at = SimTime::from_nanos(7);
+        {
+            let order = Rc::clone(&order);
+            sim.schedule_at(at, move |sim| {
+                order.borrow_mut().push("first");
+                let order2 = Rc::clone(&order);
+                // Scheduled mid-batch at the same instant: must run after
+                // every already-scheduled same-instant event.
+                sim.schedule_at(at, move |_| order2.borrow_mut().push("late"));
+            });
+        }
+        {
+            let order = Rc::clone(&order);
+            sim.schedule_at(at, move |_| order.borrow_mut().push("second"));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["first", "second", "late"]);
+        assert_eq!(sim.batches_executed(), 1);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn batch_member_can_cancel_later_same_instant_event() {
+        let mut sim = Sim::new(0u32);
+        let at = SimTime::from_nanos(3);
+        let victim = Rc::new(RefCell::new(None));
+        {
+            let victim = Rc::clone(&victim);
+            sim.schedule_at(at, move |sim| {
+                let id = victim.borrow_mut().take().expect("victim id set");
+                assert!(sim.cancel(id));
+                *sim.world_mut() += 1;
+            });
+        }
+        let id = sim.schedule_at(at, |sim| *sim.world_mut() += 100);
+        *victim.borrow_mut() = Some(id);
+        sim.run();
+        assert_eq!(*sim.world(), 1, "cancelled batch member must not run");
+        assert_eq!(sim.events_executed(), 1);
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn batched_and_unbatched_runs_are_identical() {
+        fn run(batching: bool) -> (Vec<u64>, u64, SimTime) {
+            let mut sim = Sim::with_seed(Vec::new(), 1996);
+            sim.set_batching(batching);
+            fn tick(sim: &mut Sim<Vec<u64>>) {
+                let jitter = sim.rng().range_u64(0..3);
+                sim.world_mut().push(jitter);
+                if sim.world().len() < 50 {
+                    // Frequently lands on the same instant, exercising
+                    // the batch drain.
+                    sim.schedule_in(SimDuration::from_nanos(jitter), tick);
+                }
+            }
+            for _ in 0..4 {
+                sim.schedule_in(SimDuration::ZERO, tick);
+            }
+            sim.run_until(SimTime::ZERO + SimDuration::from_millis(1));
+            sim.run();
+            let executed = sim.events_executed();
+            let now = sim.now();
+            (sim.into_world(), executed, now)
+        }
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn batched_run_until_respects_deadline() {
+        let mut sim = Sim::new(Vec::<u64>::new());
+        for ms in [5u64, 10, 10, 15] {
+            sim.schedule_in(SimDuration::from_millis(ms), move |sim| {
+                sim.world_mut().push(ms);
+            });
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(12));
+        assert_eq!(*sim.world(), vec![5, 10, 10]);
+        assert_eq!(sim.now().as_millis(), 12);
+        assert_eq!(sim.pending_events(), 1);
+        sim.run();
+        assert_eq!(*sim.world(), vec![5, 10, 10, 15]);
     }
 }

@@ -94,6 +94,10 @@ pub struct Profiler {
     enabled: bool,
     registry: Option<MetricsRegistry>,
     tick: Option<Cells>,
+    /// One sample per batched engine drain (see [`Profiler::end_batch`]).
+    batch: Option<Cells>,
+    /// Total events executed inside batched drains.
+    batch_events: Counter,
     modules: BTreeMap<&'static str, Cells>,
 }
 
@@ -109,6 +113,9 @@ impl Profiler {
         self.enabled = true;
         let tick = self.tick.get_or_insert_with(Cells::new);
         tick.register(registry, "profile/tick");
+        let batch = self.batch.get_or_insert_with(Cells::new);
+        batch.register(registry, "profile/batch");
+        registry.register_counter("profile/batch/events".to_string(), &self.batch_events);
         for (name, cells) in &self.modules {
             cells.register(registry, &format!("profile/module.{name}"));
         }
@@ -146,6 +153,20 @@ impl Profiler {
         let Some(t0) = started else { return };
         let ns = self.elapsed_since(t0);
         self.tick.get_or_insert_with(Cells::new).record(ns);
+    }
+
+    /// Accounts one batched engine drain of `events` events started at
+    /// `started`; a no-op for `None`. The whole batch counts as one
+    /// `profile/tick` sample (a batch of one is indistinguishable from an
+    /// unbatched tick) and additionally lands in `profile/batch/…`, with
+    /// `profile/batch/events` accumulating batch sizes so the mean batch
+    /// width is `events / calls`.
+    pub fn end_batch(&mut self, started: Option<u64>, events: u64) {
+        let Some(t0) = started else { return };
+        let ns = self.elapsed_since(t0);
+        self.tick.get_or_insert_with(Cells::new).record(ns);
+        self.batch.get_or_insert_with(Cells::new).record(ns);
+        self.batch_events.add(events);
     }
 
     /// Accounts one protocol-module dispatch started at `started`;
@@ -191,6 +212,17 @@ impl Profiler {
         if let Some(tick) = &self.tick {
             members.push(("tick".to_string(), row(tick)));
         }
+        if let Some(batch) = &self.batch {
+            members.push((
+                "batch".to_string(),
+                Json::obj([
+                    ("calls", Json::UInt(batch.calls.get())),
+                    ("events", Json::UInt(self.batch_events.get())),
+                    ("total_ns", Json::UInt(batch.total_ns.get())),
+                    ("hist", batch.hist.snapshot().to_json()),
+                ]),
+            ));
+        }
         for (name, cells) in &self.modules {
             members.push((format!("module.{name}"), row(cells)));
         }
@@ -227,6 +259,21 @@ mod tests {
         assert_eq!(snap.counter("profile/module.mobile/calls"), 1);
         let text = p.to_json().render();
         assert!(text.contains("\"module.mobile\""), "{text}");
+    }
+
+    #[cfg(feature = "profile-clock")]
+    #[test]
+    fn end_batch_accounts_tick_and_batch_cells() {
+        let reg = MetricsRegistry::new();
+        let mut p = Profiler::new();
+        p.enable(&reg);
+        let t0 = p.begin();
+        p.end_batch(t0, 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("profile/tick/calls"), 1);
+        assert_eq!(snap.counter("profile/batch/calls"), 1);
+        assert_eq!(snap.counter("profile/batch/events"), 3);
+        assert!(p.to_json().render().contains("\"batch\""));
     }
 
     #[cfg(feature = "profile-clock")]

@@ -29,7 +29,9 @@ use mosquitonet_sim::Counter;
 
 use crate::host::{Host, HostId};
 use crate::iface::IfaceId;
-use crate::proto::{EncapSpec, ModuleId, RouteAnswer, RouteDecision, SendOptions, SourceSel};
+use crate::proto::{
+    EncapSpec, ModuleId, RouteAnswer, RouteDecision, SendOptions, SourceSel, UdpBatchItem,
+};
 use crate::tcp::{ConnId, TcpOut, TcpTable};
 use crate::udp::SocketId;
 use crate::world::{self, NetSim};
@@ -263,6 +265,96 @@ pub fn udp_send(
     header.ident = sim.world_mut().hosts[host.0].core.next_ident();
     sim.record_hop(flight, host.0 as u32, "udp", HopAction::Sent);
     send_resolved(sim, host, Ipv4Packet::new(header, bytes), decision, flight);
+}
+
+/// Sends a burst of UDP datagrams from `sock` to one destination,
+/// resolving the route once for the whole burst.
+///
+/// Wire behavior — one datagram per payload, in order, each with its own
+/// IP ident and flight — matches `payloads.len()` calls to [`udp_send`];
+/// the saved work is the repeated socket lookup and route resolution (the
+/// fast-path decision cache is consulted once, not per packet). Bursts to
+/// a local address are additionally delivered in a single engine event,
+/// reaching the owning module through one
+/// [`crate::proto::Module::on_udp_batch`] call.
+pub fn udp_send_burst(
+    sim: &mut NetSim,
+    host: HostId,
+    sock: SocketId,
+    dst: (Ipv4Addr, u16),
+    payloads: Vec<Bytes>,
+    opts: SendOptions,
+) {
+    if payloads.is_empty() {
+        return;
+    }
+    let (src_sel, src_port, local) = {
+        let h = &sim.world().hosts[host.0];
+        let Some(s) = h.core.udp.get(sock) else {
+            return; // closed socket
+        };
+        let src_sel = match (opts.src, s.local_addr) {
+            (SourceSel::Addr(a), _) => SourceSel::Addr(a),
+            (SourceSel::Unspecified, Some(a)) => SourceSel::Addr(a),
+            (SourceSel::Unspecified, None) => SourceSel::Unspecified,
+        };
+        (src_sel, s.port, h.core.is_local_addr(dst.0))
+    };
+    // Local destination: build every packet now, deliver the lot in one
+    // engine event after the usual processing delay.
+    if local {
+        let src = match src_sel {
+            SourceSel::Addr(a) => a,
+            SourceSel::Unspecified => dst.0,
+        };
+        let mut pkts = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            let flight = sim.flights_mut().begin_flight(opts.label);
+            let dgram = UdpDatagram::new(src_port, dst.1, payload);
+            let bytes = dgram.to_bytes(src, dst.0);
+            let mut header = Ipv4Header::new(src, dst.0, IpProto::Udp);
+            header.ident = sim.world_mut().hosts[host.0].core.next_ident();
+            sim.record_hop(flight, host.0 as u32, "udp", HopAction::Sent);
+            pkts.push((Ipv4Packet::new(header, bytes), flight));
+        }
+        let proc = sim.world().hosts[host.0].core.proc_delay;
+        sim.schedule_in(proc, move |sim| udp_input_burst(sim, host, pkts));
+        return;
+    }
+    let decision = {
+        let h = &mut sim.world_mut().hosts[host.0];
+        resolve_route(h, dst.0, src_sel, opts.iface)
+    };
+    let Some(decision) = decision else {
+        for _ in &payloads {
+            let flight = sim.flights_mut().begin_flight(opts.label);
+            sim.world_mut().hosts[host.0]
+                .core
+                .stats
+                .dropped_no_route
+                .inc();
+            sim.record_hop(flight, host.0 as u32, "udp", HopAction::Sent);
+            sim.record_hop(
+                flight,
+                host.0 as u32,
+                "udp",
+                HopAction::Dropped("drop.no_route"),
+            );
+        }
+        return;
+    };
+    for payload in payloads {
+        let flight = sim.flights_mut().begin_flight(opts.label);
+        let dgram = UdpDatagram::new(src_port, dst.1, payload);
+        let bytes = dgram.to_bytes(decision.src, dst.0);
+        let mut header = Ipv4Header::new(decision.src, dst.0, IpProto::Udp);
+        if let Some(ttl) = opts.ttl {
+            header.ttl = ttl;
+        }
+        header.ident = sim.world_mut().hosts[host.0].core.next_ident();
+        sim.record_hop(flight, host.0 as u32, "udp", HopAction::Sent);
+        send_resolved(sim, host, Ipv4Packet::new(header, bytes), decision, flight);
+    }
 }
 
 /// Sends a raw IP packet (used for ICMP and by module effects). A packet
@@ -794,11 +886,15 @@ fn udp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet, flight: u64) {
                 .expect("live")
                 .owner;
             sim.record_hop(flight, host.0 as u32, "udp", HopAction::Delivered);
-            let src = (packet.header.src, dgram.src_port);
-            let dst_addr = packet.header.dst;
-            let payload = dgram.payload.clone();
+            let item = UdpBatchItem {
+                src: (packet.header.src, dgram.src_port),
+                dst: packet.header.dst,
+                payload: dgram.payload.clone(),
+            };
+            // A wire arrival is a batch of one; the default
+            // `on_udp_batch` forwards it to `on_udp` unchanged.
             world::dispatch(sim, host, owner, move |m, ctx| {
-                m.on_udp(ctx, sock, src, dst_addr, &payload);
+                m.on_udp_batch(ctx, sock, std::slice::from_ref(&item));
             });
         }
         None => {
@@ -825,6 +921,105 @@ fn udp_input(sim: &mut NetSim, host: HostId, packet: &Ipv4Packet, flight: u64) {
             }
         }
     }
+}
+
+/// Delivers a burst of locally-destined UDP packets in one engine event
+/// (the receive side of [`udp_send_burst`]'s local shortcut). Per-packet
+/// accounting matches `ip_input_flight` + `local_deliver` + `udp_input`
+/// exactly; runs of consecutive datagrams for the same socket reach the
+/// owning module as one `on_udp_batch` call, flushed whenever the target
+/// socket changes so cross-socket ordering is preserved.
+fn udp_input_burst(sim: &mut NetSim, host: HostId, pkts: Vec<(Ipv4Packet, u64)>) {
+    fn flush(
+        sim: &mut NetSim,
+        host: HostId,
+        sock: Option<SocketId>,
+        group: &mut Vec<UdpBatchItem>,
+    ) {
+        let Some(sock) = sock else { return };
+        if group.is_empty() {
+            return;
+        }
+        let owner = sim.world().hosts[host.0]
+            .core
+            .udp
+            .get(sock)
+            .expect("live")
+            .owner;
+        let batch = std::mem::take(group);
+        world::dispatch(sim, host, owner, move |m, ctx| {
+            m.on_udp_batch(ctx, sock, &batch);
+        });
+    }
+
+    let mut group: Vec<UdpBatchItem> = Vec::new();
+    let mut group_sock: Option<SocketId> = None;
+    for (packet, flight) in pkts {
+        {
+            let core = &mut sim.world_mut().hosts[host.0].core;
+            core.stats.ip_input.inc();
+            core.stats.delivered.inc();
+        }
+        let dgram = match UdpDatagram::parse(&packet.payload, packet.header.src, packet.header.dst)
+        {
+            Ok(d) => d,
+            Err(_) => {
+                flush(sim, host, group_sock.take(), &mut group);
+                sim.world_mut().hosts[host.0]
+                    .core
+                    .stats
+                    .dropped_malformed
+                    .inc();
+                sim.record_hop(
+                    flight,
+                    host.0 as u32,
+                    "udp",
+                    HopAction::Dropped("drop.malformed"),
+                );
+                continue;
+            }
+        };
+        let target = sim.world().hosts[host.0]
+            .core
+            .udp
+            .deliver_to(packet.header.dst, dgram.dst_port);
+        match target {
+            Some(sock) => {
+                if group_sock != Some(sock) {
+                    flush(sim, host, group_sock.take(), &mut group);
+                    group_sock = Some(sock);
+                }
+                sim.record_hop(flight, host.0 as u32, "udp", HopAction::Delivered);
+                group.push(UdpBatchItem {
+                    src: (packet.header.src, dgram.src_port),
+                    dst: packet.header.dst,
+                    payload: dgram.payload.clone(),
+                });
+            }
+            None => {
+                flush(sim, host, group_sock.take(), &mut group);
+                sim.record_hop(
+                    flight,
+                    host.0 as u32,
+                    "udp",
+                    HopAction::Dropped("drop.no_socket"),
+                );
+                if !non_unicast_dst(sim, host, packet.header.dst) {
+                    let quote = packet.invoking_quote();
+                    icmp_error(
+                        sim,
+                        host,
+                        packet.header.src,
+                        IcmpMessage::DestUnreachable {
+                            code: UnreachableCode::Port,
+                            invoking: quote,
+                        },
+                    );
+                }
+            }
+        }
+    }
+    flush(sim, host, group_sock, &mut group);
 }
 
 /// True when `dst` must never be replied or errored to: a multicast group

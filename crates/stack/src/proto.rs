@@ -124,6 +124,20 @@ pub enum Effect {
         /// Send options.
         opts: SendOptions,
     },
+    /// Send a burst of UDP datagrams from `sock` to one destination,
+    /// resolving the route once for the whole burst (the batched
+    /// saturation path). The wire behavior — one datagram per payload, in
+    /// order — is identical to queueing `payloads.len()` `SendUdp`s.
+    SendUdpBurst {
+        /// Originating socket.
+        sock: SocketId,
+        /// Destination address and port shared by the burst.
+        dst: (Ipv4Addr, u16),
+        /// One datagram payload per entry, sent in order.
+        payloads: Vec<Bytes>,
+        /// Send options shared by the burst.
+        opts: SendOptions,
+    },
     /// Send a raw, fully-formed IP packet (ICMP probes, odd protocols).
     SendIp {
         /// The packet; a `0.0.0.0` source engages source selection.
@@ -216,6 +230,22 @@ impl Effects {
         });
     }
 
+    /// Convenience: queue a UDP burst to one destination.
+    pub fn send_udp_burst(
+        &mut self,
+        sock: SocketId,
+        dst: (Ipv4Addr, u16),
+        payloads: Vec<Bytes>,
+        opts: SendOptions,
+    ) {
+        self.push(Effect::SendUdpBurst {
+            sock,
+            dst,
+            payloads,
+            opts,
+        });
+    }
+
     /// Convenience: arm a timer.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
         self.push(Effect::SetTimer { delay, token });
@@ -250,6 +280,17 @@ impl Effects {
             opts: SendOptions::default(),
         });
     }
+}
+
+/// One datagram of a batched UDP delivery (see [`Module::on_udp_batch`]).
+#[derive(Clone, Debug)]
+pub struct UdpBatchItem {
+    /// Sender address and port.
+    pub src: (Ipv4Addr, u16),
+    /// Destination address the datagram was sent to.
+    pub dst: Ipv4Addr,
+    /// Payload.
+    pub payload: Bytes,
 }
 
 /// Context handed to module callbacks.
@@ -347,6 +388,17 @@ pub trait Module: Any {
         dst: Ipv4Addr,
         payload: &Bytes,
     ) {
+    }
+
+    /// A batch of datagrams arrived on a UDP socket owned by this module
+    /// within one engine tick, in arrival order. The default delivers
+    /// them one at a time through [`Module::on_udp`], so modules that
+    /// never override this hook behave identically under batching;
+    /// batch-aware modules override it to amortize per-datagram work.
+    fn on_udp_batch(&mut self, ctx: &mut ModuleCtx<'_>, sock: SocketId, batch: &[UdpBatchItem]) {
+        for item in batch {
+            self.on_udp(ctx, sock, item.src, item.dst, &item.payload);
+        }
     }
 
     /// An ICMP message addressed to this host arrived.

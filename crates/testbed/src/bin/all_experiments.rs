@@ -38,6 +38,10 @@ fn main() {
     let (a2, a2_metrics) = experiments::run_a2(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512], seed);
     let a3 = experiments::run_a3(seed);
     let s1 = experiments::run_s1(10_000, seed);
+    let s3 = experiments::run_s3(&experiments::S3Config {
+        seed,
+        ..experiments::S3Config::default()
+    });
 
     print!("{}", report::render_tab1(&tab1));
     println!(
@@ -62,6 +66,7 @@ fn main() {
     print!("{}", report::render_a2(&a2));
     print!("{}", report::render_a3(&a3));
     print!("{}", report::render_s1(&s1));
+    print!("{}", report::render_s3(&s3));
 
     // One machine-readable metrics sidecar per experiment.
     let sidecars: [(&str, &Json); 15] = [
@@ -99,6 +104,12 @@ fn main() {
             Err(e) => eprintln!("warning: could not write {name} journeys sidecar: {e}"),
         }
     }
+    // S3's deterministic result goes into a bench sidecar (byte-stable
+    // for a fixed seed; wall-clock rates are deliberately excluded).
+    match report::write_bench_sidecar("s3_saturation", &s3.to_json()) {
+        Ok(path) => eprintln!("bench sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write s3 bench sidecar: {e}"),
+    }
 
     if let Some(path) = json_path {
         let all = Json::obj([
@@ -119,6 +130,7 @@ fn main() {
             ("a2_metrics", a2_metrics.clone()),
             ("a3", a3.to_json()),
             ("s1", s1.to_json()),
+            ("s3", s3.to_json()),
         ]);
         std::fs::write(&path, all.render_pretty()).expect("write json");
         eprintln!("wrote {path}");

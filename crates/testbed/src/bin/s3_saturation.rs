@@ -1,0 +1,64 @@
+//! Saturation experiment S3: sustained bulk traffic through N
+//! MH↔correspondent pairs across the reverse-tunnel, direct-encap, and
+//! foreign-agent topologies, driven through the engine's batched
+//! per-tick packet path. Reports exact virtual-time rates (pps,
+//! ns/packet, per-hop counter deltas) in a byte-stable
+//! `mosquitonet.bench/v1` sidecar, plus wall-clock Mpps in a separate
+//! `BENCH_s3.json` artifact that is never golden-diffed.
+//! Usage: `s3_saturation [pairs] [burst] [ticks] [seed] [batching(0|1)]`.
+
+use mosquitonet_sim::Json;
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let defaults = experiments::S3Config::default();
+    let cfg = experiments::S3Config {
+        pairs: args
+            .next()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(defaults.pairs),
+        burst: args
+            .next()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(defaults.burst),
+        ticks: args
+            .next()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(defaults.ticks),
+        seed: args
+            .next()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(defaults.seed),
+        batching: args.next().map(|a| a != "0").unwrap_or(defaults.batching),
+    };
+    let result = experiments::run_s3(&cfg);
+    print!("{}", report::render_s3(&result));
+
+    match report::write_bench_sidecar("s3_saturation", &result.to_json()) {
+        Ok(path) => eprintln!("bench sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench sidecar: {e}"),
+    }
+
+    // The wall-clock companion: deterministic body plus real elapsed
+    // rates, for the CI `BENCH_s3.json` artifact.
+    let wall = Json::obj([
+        ("schema", Json::from("mosquitonet.bench-wall/v1")),
+        ("experiment", Json::from("s3_saturation")),
+        ("bench", result.to_json()),
+        ("wall", result.wall_json()),
+    ]);
+    let dir = std::env::var_os("MOSQUITONET_METRICS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/metrics"));
+    if let Err(e) = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(dir.join("BENCH_s3.json"), wall.render_pretty()))
+    {
+        eprintln!("warning: could not write BENCH_s3.json: {e}");
+    } else {
+        eprintln!(
+            "wall-clock artifact: {}",
+            dir.join("BENCH_s3.json").display()
+        );
+    }
+}

@@ -11,7 +11,9 @@ use bytes::Bytes;
 use mosquitonet_core::{AddressPlan, RegistrationRequest, SendMode, SwitchPlan, SwitchStyle};
 use mosquitonet_dhcp::{DhcpClientModule, ReusePolicy};
 use mosquitonet_link::{presets, FaultKind, FaultPlan, HostFaultEvent, HostFaultPlan};
-use mosquitonet_sim::{CapturedFrame, Histogram, Json, MetricsRegistry, Sim, SimDuration, Summary};
+use mosquitonet_sim::{
+    CapturedFrame, Histogram, Json, MetricsRegistry, Sim, SimDuration, SimTime, Summary,
+};
 use mosquitonet_stack::{self as stack, ModuleId, Network, RouteEntry, SendOptions};
 use mosquitonet_wire::{Cidr, IpProto, Ipv4Header, Ipv4Packet, MacAddr};
 
@@ -21,7 +23,8 @@ use crate::topology::{
     ROUTER_DEPT, ROUTER_RADIO, STANDBY_HA,
 };
 use crate::workload::{
-    BulkSender, BulkSink, RegistrationAttacker, RegistrationStorm, UdpEchoResponder, UdpEchoSender,
+    BulkSender, BulkSink, RegistrationAttacker, RegistrationStorm, SaturationSender,
+    SaturationSink, UdpEchoResponder, UdpEchoSender,
 };
 
 /// Echo port used by all loss experiments.
@@ -1834,6 +1837,423 @@ pub fn run_s1(correspondents: u32, seed: u64) -> S1Result {
         rows,
         metrics,
     }
+}
+
+// ---------------------------------------------------------------- S3
+
+/// Base port for the S3 per-pair sinks.
+const S3_PORT_BASE: u16 = 9000;
+
+/// Virtual gap between sender ticks, milliseconds.
+const S3_TICK_MS: u64 = 10;
+
+/// Payload bytes per S3 datagram.
+const S3_PAYLOAD_LEN: usize = 64;
+
+/// Drain window after the last tick so every in-flight frame lands. The
+/// offered load deliberately exceeds the 10 Mb/s + 800 µs/frame Ethernet
+/// model (~1.1 kframes/s), so frames queue behind the transmitter and the
+/// tail needs roughly `sent × 874 µs` beyond the send window to land.
+const S3_DRAIN: SimDuration = SimDuration::from_secs(5);
+
+/// Configuration of one S3 saturation run.
+#[derive(Clone, Copy, Debug)]
+pub struct S3Config {
+    /// MH↔correspondent pairs pumping concurrently.
+    pub pairs: u32,
+    /// Datagrams per sender tick.
+    pub burst: u32,
+    /// Sender ticks (run length = `ticks` × 10 ms of virtual time).
+    pub ticks: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Whether the engine drains per-tick batches (the default) or steps
+    /// one event at a time; results must be byte-identical either way.
+    pub batching: bool,
+}
+
+impl Default for S3Config {
+    fn default() -> S3Config {
+        S3Config {
+            pairs: 4,
+            burst: 16,
+            ticks: 50,
+            seed: 1996,
+            batching: true,
+        }
+    }
+}
+
+/// Forwarding topology an S3 mode pushes its traffic through.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum S3Mode {
+    /// MH → home agent (encap) → correspondent: the §3.2 reverse tunnel.
+    ReverseTunnel,
+    /// MH → correspondent directly, IP-in-IP encapsulated end to end.
+    DirectEncap,
+    /// MH attached through a foreign agent; traffic follows whatever the
+    /// FA client's routing dictates.
+    ForeignAgent,
+    /// Pairs split between a direct-encap correspondent on the department
+    /// net and a reverse-tunnel correspondent across the cloud — the
+    /// mixed tunnel/direct topology the determinism proptest runs on.
+    Mixed,
+}
+
+impl S3Mode {
+    /// The three modes of the standard report (Mixed is test-only).
+    pub fn all() -> [S3Mode; 3] {
+        [
+            S3Mode::ReverseTunnel,
+            S3Mode::DirectEncap,
+            S3Mode::ForeignAgent,
+        ]
+    }
+
+    /// Stable key used in sidecars and bench ids.
+    pub fn key(self) -> &'static str {
+        match self {
+            S3Mode::ReverseTunnel => "tunnel",
+            S3Mode::DirectEncap => "direct",
+            S3Mode::ForeignAgent => "fa",
+            S3Mode::Mixed => "mixed",
+        }
+    }
+
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            S3Mode::ReverseTunnel => "reverse tunnel via home agent",
+            S3Mode::DirectEncap => "direct IP-in-IP to correspondent",
+            S3Mode::ForeignAgent => "foreign-agent attachment",
+            S3Mode::Mixed => "mixed tunnel/direct split",
+        }
+    }
+}
+
+/// One S3 mode's measured row. Every field except `wall_ns` is a
+/// deterministic virtual-time quantity; `wall_ns` is real elapsed time
+/// and is deliberately excluded from [`S3Row::to_json`] so the bench
+/// sidecar stays byte-stable.
+#[derive(Debug)]
+pub struct S3Row {
+    /// Mode key (`tunnel`, `direct`, `fa`, `mixed`).
+    pub mode: &'static str,
+    /// Datagrams the senders queued.
+    pub sent: u64,
+    /// Datagrams the sinks received.
+    pub delivered: u64,
+    /// Payload bytes the sinks received.
+    pub bytes: u64,
+    /// `on_udp_batch` invocations at the sinks (≥ 1 datagram each).
+    pub deliveries: u64,
+    /// Widest single batched delivery observed.
+    pub max_batch: u64,
+    /// MH `ip/output` delta over the run.
+    pub mh_output: u64,
+    /// MH packets IP-in-IP encapsulated.
+    pub mh_encapsulated: u64,
+    /// Home-agent-host packets forwarded.
+    pub ha_forwarded: u64,
+    /// Home-agent-host packets decapsulated (reverse-tunnel inner hop).
+    pub ha_decapsulated: u64,
+    /// Engine events executed during the measurement window.
+    pub events: u64,
+    /// Engine batches drained during the measurement window (equals
+    /// `events` when batching is off — every event is a batch of one).
+    pub batches: u64,
+    /// Virtual span between first and last sink arrival, nanoseconds.
+    pub span_ns: u64,
+    /// Delivered packets per second of *virtual* time (integer math).
+    pub pps: u64,
+    /// Virtual nanoseconds per delivered packet.
+    pub ns_per_packet: u64,
+    /// Real (wall-clock) nanoseconds the measurement window took. Never
+    /// golden-pinned; exported only through [`S3Result::wall_json`].
+    pub wall_ns: u64,
+}
+
+impl S3Row {
+    /// Renders the deterministic fields (everything but `wall_ns`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("mode", Json::from(self.mode)),
+            ("sent", Json::UInt(self.sent)),
+            ("delivered", Json::UInt(self.delivered)),
+            ("bytes", Json::UInt(self.bytes)),
+            ("deliveries", Json::UInt(self.deliveries)),
+            ("max_batch", Json::UInt(self.max_batch)),
+            ("mh_output", Json::UInt(self.mh_output)),
+            ("mh_encapsulated", Json::UInt(self.mh_encapsulated)),
+            ("ha_forwarded", Json::UInt(self.ha_forwarded)),
+            ("ha_decapsulated", Json::UInt(self.ha_decapsulated)),
+            ("events", Json::UInt(self.events)),
+            ("batches", Json::UInt(self.batches)),
+            ("span_ns", Json::UInt(self.span_ns)),
+            ("pps", Json::UInt(self.pps)),
+            ("ns_per_packet", Json::UInt(self.ns_per_packet)),
+        ])
+    }
+}
+
+/// The S3 result: one row per mode plus the run parameters.
+#[derive(Debug)]
+pub struct S3Result {
+    /// The configuration measured.
+    pub cfg: S3Config,
+    /// One row per mode, report order.
+    pub rows: Vec<S3Row>,
+}
+
+impl S3Result {
+    /// The deterministic bench-sidecar body: parameters plus per-mode
+    /// rows, integers only, byte-stable for a fixed config.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("pairs", Json::from(self.cfg.pairs)),
+            ("burst", Json::from(self.cfg.burst)),
+            ("ticks", Json::from(self.cfg.ticks)),
+            ("tick_ms", Json::UInt(S3_TICK_MS)),
+            ("payload_len", Json::UInt(S3_PAYLOAD_LEN as u64)),
+            ("seed", Json::UInt(self.cfg.seed)),
+            ("batching", Json::from(self.cfg.batching)),
+            ("modes", Json::arr(self.rows.iter().map(S3Row::to_json))),
+        ])
+    }
+
+    /// The wall-clock companion (for the `BENCH_s3.json` CI artifact):
+    /// real elapsed time and the wall-rate per mode. Nondeterministic by
+    /// nature — never diffed against a golden.
+    pub fn wall_json(&self) -> Json {
+        Json::arr(self.rows.iter().map(|r| {
+            let wall_pps = if r.wall_ns > 0 {
+                (r.delivered as u128 * 1_000_000_000 / r.wall_ns as u128) as u64
+            } else {
+                0
+            };
+            let wall_ns_per_packet = r.wall_ns.checked_div(r.delivered).unwrap_or(0);
+            Json::obj([
+                ("mode", Json::from(r.mode)),
+                ("wall_ns", Json::UInt(r.wall_ns)),
+                ("wall_pps", Json::UInt(wall_pps)),
+                ("wall_ns_per_packet", Json::UInt(wall_ns_per_packet)),
+            ])
+        }))
+    }
+}
+
+/// Runs one S3 mode and returns its row plus the run's flight-recorder
+/// journeys export (the determinism proptest compares both).
+pub fn run_s3_mode(mode: S3Mode, cfg: &S3Config) -> (S3Row, Json) {
+    let mut tb = match mode {
+        S3Mode::ForeignAgent => build(TestbedConfig {
+            seed: cfg.seed,
+            with_foreign_site: true,
+            with_foreign_agents: true,
+            mh_mode: MhMode::ForeignAgent,
+            ..TestbedConfig::default()
+        }),
+        S3Mode::Mixed => build(TestbedConfig {
+            seed: cfg.seed,
+            with_far_ch: true,
+            ..TestbedConfig::default()
+        }),
+        S3Mode::ReverseTunnel | S3Mode::DirectEncap => build(TestbedConfig {
+            seed: cfg.seed,
+            ..TestbedConfig::default()
+        }),
+    };
+    tb.sim.set_batching(cfg.batching);
+
+    // Settle the MH away from home before any bulk traffic flows.
+    if mode == S3Mode::ForeignAgent {
+        let lan_f1 = tb.lan_foreign.expect("foreign site");
+        tb.move_mh_eth(Some(lan_f1));
+        let eth = tb.mh_eth;
+        let mh_id = tb.mh;
+        stack::bring_iface_up(&mut tb.sim, mh_id, eth);
+        tb.run_for(SimDuration::from_secs(1));
+        tb.with_fa_mh(|m, ctx| m.moved(ctx));
+        tb.run_for(SimDuration::from_secs(3));
+        assert!(
+            tb.fa_mh_module().current_fa().is_some(),
+            "FA-mode MH failed to register"
+        );
+    } else {
+        settle_on_dept(&mut tb);
+    }
+
+    // Teach the Mobile Policy Table the forwarding mode under test.
+    match mode {
+        S3Mode::ReverseTunnel => {
+            tb.mh_module()
+                .policy
+                .set(Cidr::host(CH_DEPT), SendMode::ReverseTunnel);
+        }
+        S3Mode::DirectEncap => {
+            tb.mh_module()
+                .policy
+                .set(Cidr::host(CH_DEPT), SendMode::DirectEncap);
+        }
+        S3Mode::Mixed => {
+            let m = tb.mh_module();
+            m.policy.set(Cidr::host(CH_DEPT), SendMode::DirectEncap);
+            m.policy.set(Cidr::host(CH_FAR), SendMode::ReverseTunnel);
+        }
+        S3Mode::ForeignAgent => {}
+    }
+
+    // Direct-encap correspondents must decapsulate the IP-in-IP traffic
+    // addressed to them (paper §3.2: "transparent IP-in-IP decapsulation").
+    match mode {
+        S3Mode::DirectEncap | S3Mode::Mixed => {
+            let ch = tb.ch_dept;
+            tb.sim.world_mut().host_mut(ch).core.ipip_decap = true;
+        }
+        S3Mode::ReverseTunnel | S3Mode::ForeignAgent => {}
+    }
+
+    // Prime ARP along every path with one throwaway datagram per
+    // destination (the reply is an ICMP port-unreachable, which warms the
+    // reverse direction too). Without this the first measured burst races
+    // ARP resolution and overflows the pending-ARP queue.
+    {
+        let mh = tb.mh;
+        let mut dests = vec![CH_DEPT];
+        if mode == S3Mode::Mixed {
+            dests.push(CH_FAR);
+        }
+        for dst in dests {
+            let primer =
+                SaturationSender::new((dst, S3_PORT_BASE - 1), 1, SimDuration::from_millis(1), 1);
+            stack::add_module(&mut tb.sim, mh, Box::new(primer));
+        }
+        tb.run_for(SimDuration::from_millis(500));
+    }
+
+    // One sink + one sender per pair. Mixed alternates pairs between the
+    // department (direct) and far (tunnel) correspondents.
+    let mut sinks: Vec<(stack::HostId, ModuleId)> = Vec::new();
+    let mut senders: Vec<ModuleId> = Vec::new();
+    for i in 0..cfg.pairs {
+        let (sink_host, dst_addr) = match mode {
+            S3Mode::Mixed if i % 2 == 1 => (tb.ch_far.expect("far CH"), CH_FAR),
+            _ => (tb.ch_dept, CH_DEPT),
+        };
+        let port = S3_PORT_BASE + i as u16;
+        let sid = stack::add_module(&mut tb.sim, sink_host, Box::new(SaturationSink::new(port)));
+        sinks.push((sink_host, sid));
+        let mh = tb.mh;
+        let mut sender = SaturationSender::new(
+            (dst_addr, port),
+            cfg.burst,
+            SimDuration::from_millis(S3_TICK_MS),
+            cfg.ticks,
+        );
+        sender.payload_len = S3_PAYLOAD_LEN;
+        senders.push(stack::add_module(&mut tb.sim, mh, Box::new(sender)));
+    }
+
+    // Baselines, then the measurement window.
+    let mh_out0 = tb.sim.world().host(tb.mh).core.stats.ip_output.get();
+    let mh_enc0 = tb.sim.world().host(tb.mh).core.stats.encapsulated.get();
+    let ha = tb.ha_host;
+    let ha_fwd0 = tb.sim.world().host(ha).core.stats.forwarded.get();
+    let ha_dec0 = tb.sim.world().host(ha).core.stats.decapsulated.get();
+    let events0 = tb.sim.events_executed();
+    let batches0 = tb.sim.batches_executed();
+
+    let wall_start = std::time::Instant::now();
+    tb.run_for(SimDuration::from_millis(S3_TICK_MS * cfg.ticks as u64) + S3_DRAIN);
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+
+    let mut sent = 0u64;
+    for mid in &senders {
+        let mh = tb.mh;
+        let s: &mut SaturationSender = tb
+            .sim
+            .world_mut()
+            .host_mut(mh)
+            .module_mut(*mid)
+            .expect("sender");
+        sent += s.sent;
+    }
+    let (mut delivered, mut bytes, mut deliveries, mut max_batch) = (0u64, 0u64, 0u64, 0u64);
+    let (mut first, mut last): (Option<SimTime>, Option<SimTime>) = (None, None);
+    for (host, mid) in &sinks {
+        let s: &mut SaturationSink = tb
+            .sim
+            .world_mut()
+            .host_mut(*host)
+            .module_mut(*mid)
+            .expect("sink");
+        delivered += s.datagrams;
+        bytes += s.bytes;
+        deliveries += s.deliveries;
+        max_batch = max_batch.max(s.max_batch);
+        let (f, l) = (s.first_at, s.last_at);
+        first = match (first, f) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        last = match (last, l) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    let span_ns = match (first, last) {
+        (Some(f), Some(l)) if l > f => (l - f).as_nanos(),
+        _ => 0,
+    };
+    let pps = if span_ns > 0 {
+        (delivered as u128 * 1_000_000_000 / span_ns as u128) as u64
+    } else {
+        0
+    };
+    let ns_per_packet = if delivered > 0 && span_ns > 0 {
+        span_ns / delivered
+    } else {
+        0
+    };
+
+    let row = S3Row {
+        mode: mode.key(),
+        sent,
+        delivered,
+        bytes,
+        deliveries,
+        max_batch,
+        mh_output: tb.sim.world().host(tb.mh).core.stats.ip_output.get() - mh_out0,
+        mh_encapsulated: tb.sim.world().host(tb.mh).core.stats.encapsulated.get() - mh_enc0,
+        ha_forwarded: tb.sim.world().host(ha).core.stats.forwarded.get() - ha_fwd0,
+        ha_decapsulated: tb.sim.world().host(ha).core.stats.decapsulated.get() - ha_dec0,
+        events: tb.sim.events_executed() - events0,
+        batches: if cfg.batching {
+            tb.sim.batches_executed() - batches0
+        } else {
+            tb.sim.events_executed() - events0
+        },
+        span_ns,
+        pps,
+        ns_per_packet,
+        wall_ns,
+    };
+    (row, journeys_json(&tb, None))
+}
+
+/// Runs the S3 saturation experiment: sustained bursts through `pairs`
+/// MH↔correspondent pairs across the reverse-tunnel, direct-encap, and
+/// foreign-agent topologies. Every reported quantity is an exact counter
+/// or virtual-time delta, so the bench sidecar is byte-stable for a fixed
+/// config; wall-clock rates ride along separately via
+/// [`S3Result::wall_json`].
+pub fn run_s3(cfg: &S3Config) -> S3Result {
+    let rows = S3Mode::all()
+        .into_iter()
+        .map(|mode| run_s3_mode(mode, cfg).0)
+        .collect();
+    S3Result { cfg: *cfg, rows }
 }
 
 // ---------------------------------------------------------------- C5

@@ -89,6 +89,42 @@ pub fn write_journeys_sidecar(experiment: &str, journeys: &Json) -> std::io::Res
     write_journeys_sidecar_in(&dir, experiment, journeys)
 }
 
+/// Schema tag stamped into every bench sidecar file.
+pub const BENCH_SIDECAR_SCHEMA: &str = "mosquitonet.bench/v1";
+
+/// Wraps a benchmark's deterministic result body in the sidecar envelope.
+/// Only virtual-time/counter quantities belong in `bench` — wall-clock
+/// numbers would break the byte-stability the golden diff relies on.
+pub fn bench_sidecar(experiment: &str, bench: &Json) -> Json {
+    Json::obj([
+        ("schema", Json::from(BENCH_SIDECAR_SCHEMA)),
+        ("experiment", Json::from(experiment)),
+        ("bench", bench.clone()),
+    ])
+}
+
+/// Writes `{dir}/{experiment}.bench.json` (pretty-printed, byte-stable
+/// for a given config+seed) and returns its path.
+pub fn write_bench_sidecar_in(
+    dir: &Path,
+    experiment: &str,
+    bench: &Json,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{experiment}.bench.json"));
+    std::fs::write(&path, bench_sidecar(experiment, bench).render_pretty())?;
+    Ok(path)
+}
+
+/// Writes the bench sidecar to the default location, `target/metrics/`
+/// (overridable with the `MOSQUITONET_METRICS_DIR` environment variable).
+pub fn write_bench_sidecar(experiment: &str, bench: &Json) -> std::io::Result<PathBuf> {
+    let dir = std::env::var_os("MOSQUITONET_METRICS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/metrics"));
+    write_bench_sidecar_in(&dir, experiment, bench)
+}
+
 /// Writes `{dir}/{experiment}.pcap` from the run's captured wire frames
 /// (default `target/metrics/`, overridable with `MOSQUITONET_METRICS_DIR`).
 /// Returns `None` — writing nothing — when the capture is empty, which is
@@ -538,6 +574,58 @@ pub fn render_s1(r: &crate::experiments::S1Result) -> String {
         "  (one probe per correspondent per phase; the mid-run re-registration\n\
          \x20  moves the validity token, so `rewarm` re-resolves what `warm`\n\
          \x20  replayed from the cache)"
+    );
+    out
+}
+
+/// Renders the S3 whole-system saturation run. Virtual-time rates come
+/// from the result rows; wall-clock rates are printed alongside but live
+/// only in the human report and the `BENCH_s3.json` artifact, never in
+/// the golden-diffed bench sidecar.
+pub fn render_s3(r: &crate::experiments::S3Result) -> String {
+    let mut out = String::new();
+    hr(
+        &mut out,
+        "S3 — Whole-system saturation (batched per-tick packet path)",
+    );
+    let _ = writeln!(
+        out,
+        "  {} pairs x {} datagrams per 10 ms tick x {} ticks, seed {}, batching {}",
+        r.cfg.pairs,
+        r.cfg.burst,
+        r.cfg.ticks,
+        r.cfg.seed,
+        if r.cfg.batching { "on" } else { "off" },
+    );
+    let _ = writeln!(
+        out,
+        "  {:>7} {:>9} {:>10} {:>10} {:>9} {:>10} {:>12} {:>10}",
+        "mode", "sent", "delivered", "events", "batches", "vpps", "ns/pkt(v)", "Mpps(wall)"
+    );
+    for row in &r.rows {
+        let wall_mpps = if row.wall_ns > 0 {
+            row.delivered as f64 * 1_000.0 / row.wall_ns as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  {:>7} {:>9} {:>10} {:>10} {:>9} {:>10} {:>12} {:>10.3}",
+            row.mode,
+            row.sent,
+            row.delivered,
+            row.events,
+            row.batches,
+            row.pps,
+            row.ns_per_packet,
+            wall_mpps,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  (vpps / ns-per-packet are virtual-time rates — exact and\n\
+         \x20  seed-stable; the wall Mpps column is real elapsed time and\n\
+         \x20  varies run to run)"
     );
     out
 }

@@ -14,7 +14,7 @@ use std::net::Ipv4Addr;
 
 use bytes::Bytes;
 use mosquitonet_sim::{Counter, MetricCell, MetricsScope, SimDuration, SimTime};
-use mosquitonet_stack::{ConnId, Module, ModuleCtx, SendOptions, SocketId, TcpEvent};
+use mosquitonet_stack::{ConnId, Module, ModuleCtx, SendOptions, SocketId, TcpEvent, UdpBatchItem};
 
 /// One probe in an echo stream.
 #[derive(Clone, Copy, Debug)]
@@ -708,6 +708,148 @@ impl Module for RegistrationStorm {
                 }
             }
         }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The S3 saturation sender: every tick, queues a whole burst of
+/// sequence-stamped datagrams to one destination through the batched
+/// [`mosquitonet_stack::Effect::SendUdpBurst`] path, so the route is
+/// resolved once per burst and same-instant bursts across pairs drain as
+/// one engine batch.
+pub struct SaturationSender {
+    /// Destination (a [`SaturationSink`] port on the correspondent).
+    pub dst: (Ipv4Addr, u16),
+    /// Datagrams per tick.
+    pub burst: u32,
+    /// Payload bytes per datagram.
+    pub payload_len: usize,
+    /// Gap between ticks.
+    pub interval: SimDuration,
+    /// Ticks to emit (the run length).
+    pub ticks: u32,
+    /// Datagrams queued so far.
+    pub sent: u64,
+    ticks_done: u32,
+    sock: Option<SocketId>,
+}
+
+impl SaturationSender {
+    /// Creates a sender pumping `burst` datagrams every `interval` for
+    /// `ticks` ticks.
+    pub fn new(dst: (Ipv4Addr, u16), burst: u32, interval: SimDuration, ticks: u32) -> Self {
+        SaturationSender {
+            dst,
+            burst,
+            payload_len: 64,
+            interval,
+            ticks,
+            sent: 0,
+            ticks_done: 0,
+            sock: None,
+        }
+    }
+}
+
+impl Module for SaturationSender {
+    fn name(&self) -> &'static str {
+        "sat-sender"
+    }
+
+    fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        self.sock = ctx.udp_bind(None, 0);
+        ctx.fx.set_timer(SimDuration::ZERO, TOKEN_SEND);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, _token: u64) {
+        if self.ticks_done >= self.ticks {
+            return;
+        }
+        self.ticks_done += 1;
+        let mut payloads = Vec::with_capacity(self.burst as usize);
+        for _ in 0..self.burst {
+            self.sent += 1;
+            let mut payload = vec![0x53u8; self.payload_len];
+            payload[..8].copy_from_slice(&self.sent.to_be_bytes());
+            payloads.push(Bytes::from(payload));
+        }
+        ctx.fx.send_udp_burst(
+            self.sock.expect("bound"),
+            self.dst,
+            payloads,
+            SendOptions {
+                label: Some("s3"),
+                ..SendOptions::default()
+            },
+        );
+        if self.ticks_done < self.ticks {
+            ctx.fx.set_timer(self.interval, TOKEN_SEND);
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The S3 saturation sink: a batch-aware counter. Overrides
+/// `on_udp_batch` so a multi-datagram delivery is accounted in one call,
+/// tracking how wide the batches actually were.
+pub struct SaturationSink {
+    /// Port to serve.
+    pub port: u16,
+    /// Bytes received.
+    pub bytes: u64,
+    /// Datagrams received.
+    pub datagrams: u64,
+    /// `on_udp_batch` invocations (each covers ≥ 1 datagram).
+    pub deliveries: u64,
+    /// Widest single delivery seen.
+    pub max_batch: u64,
+    /// First arrival.
+    pub first_at: Option<SimTime>,
+    /// Latest arrival.
+    pub last_at: Option<SimTime>,
+}
+
+impl SaturationSink {
+    /// Creates a sink on `port`.
+    pub fn new(port: u16) -> SaturationSink {
+        SaturationSink {
+            port,
+            bytes: 0,
+            datagrams: 0,
+            deliveries: 0,
+            max_batch: 0,
+            first_at: None,
+            last_at: None,
+        }
+    }
+}
+
+impl Module for SaturationSink {
+    fn name(&self) -> &'static str {
+        "sat-sink"
+    }
+
+    fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        ctx.udp_bind(None, self.port).expect("port free");
+    }
+
+    fn on_udp_batch(&mut self, ctx: &mut ModuleCtx<'_>, _sock: SocketId, batch: &[UdpBatchItem]) {
+        self.deliveries += 1;
+        self.max_batch = self.max_batch.max(batch.len() as u64);
+        for item in batch {
+            self.bytes += item.payload.len() as u64;
+            self.datagrams += 1;
+        }
+        if self.first_at.is_none() {
+            self.first_at = Some(ctx.now);
+        }
+        self.last_at = Some(ctx.now);
     }
 
     fn as_any(&mut self) -> &mut dyn Any {

@@ -1,0 +1,98 @@
+//! Golden-file test for the S3 saturation benchmark's deterministic
+//! sidecar.
+//!
+//! Every quantity in the `mosquitonet.bench/v1` sidecar is an exact
+//! counter or a virtual-time delta — wall-clock rates are kept out of it
+//! by construction — so the export must be byte-stable for a fixed
+//! config. CI runs the `s3_saturation` binary at these same smoke-scale
+//! parameters and diffs its sidecar against the golden kept here. If a
+//! deliberate change to the packet path moves the export, regenerate with
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p mosquitonet-testbed --test s3_golden
+//! ```
+//! and review the diff like any other golden change.
+
+use mosquitonet_testbed::experiments::{run_s3, S3Config};
+use mosquitonet_testbed::report::bench_sidecar;
+
+/// CI's smoke-scale parameters: `s3_saturation 2 8 10 1996`.
+const SMOKE: S3Config = S3Config {
+    pairs: 2,
+    burst: 8,
+    ticks: 10,
+    seed: 1996,
+    batching: true,
+};
+
+#[test]
+fn s3_export_matches_golden_and_saturates_cleanly() {
+    let result = run_s3(&SMOKE);
+
+    assert_eq!(result.rows.len(), 3, "tunnel, direct, and fa rows");
+    for row in &result.rows {
+        let expected = u64::from(SMOKE.pairs) * u64::from(SMOKE.burst) * u64::from(SMOKE.ticks);
+        assert_eq!(
+            row.sent, expected,
+            "{}: senders must pump every tick",
+            row.mode
+        );
+        assert_eq!(
+            row.delivered, row.sent,
+            "{}: the drain window must land every queued frame",
+            row.mode
+        );
+        assert!(
+            row.pps > 0,
+            "{}: a delivery rate must be measured",
+            row.mode
+        );
+        assert!(
+            row.batches <= row.events,
+            "{}: a batch executes at least one event",
+            row.mode
+        );
+        assert_ne!(row.wall_ns, 0, "{}: wall clock must advance", row.mode);
+    }
+    let tunnel = &result.rows[0];
+    assert!(
+        tunnel.ha_decapsulated >= tunnel.sent,
+        "reverse tunnel must route every datagram through the home agent"
+    );
+    let direct = &result.rows[1];
+    assert_eq!(
+        direct.ha_forwarded, 0,
+        "direct encapsulation must bypass the home agent"
+    );
+
+    let rendered = bench_sidecar("s3_saturation", &result.to_json()).render_pretty();
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/s3_saturation.bench.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &rendered).expect("update golden");
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "S3 bench export drifted from the golden file; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// Two same-seed runs must produce byte-identical bench sidecars.
+#[test]
+fn s3_same_seed_runs_are_byte_identical() {
+    let cfg = S3Config {
+        pairs: 1,
+        burst: 4,
+        ticks: 5,
+        seed: 7,
+        batching: true,
+    };
+    let a = run_s3(&cfg).to_json().render_pretty();
+    let b = run_s3(&cfg).to_json().render_pretty();
+    assert_eq!(a, b);
+}
