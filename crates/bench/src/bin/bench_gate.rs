@@ -65,6 +65,27 @@ fn write_baseline(results: &[(String, f64)]) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Prints the multi-thread scaling efficiency from the sharded S3 ids:
+/// mt1 wall-ns/packet over mt4. 1.00x means four threads bought nothing
+/// (expected on a single-core runner); 4.00x is perfect scaling. Purely
+/// informational — the gate judges each id against its own baseline.
+fn print_scaling_line(results: &[(String, f64)]) {
+    let find = |id: &str| {
+        results
+            .iter()
+            .find(|(k, _)| k == id)
+            .map(|(_, ns)| *ns)
+            .filter(|ns| *ns > 0.0)
+    };
+    if let (Some(mt1), Some(mt4)) = (find("s3/pps_mt1"), find("s3/pps_mt4")) {
+        println!(
+            "scaling: s3/pps_mt4 {mt4:.1} ns/pkt vs mt1 {mt1:.1} ns/pkt \
+             = {:.2}x speedup at 4 threads",
+            mt1 / mt4
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let threshold: f64 = std::env::var("BENCH_GATE_TOLERANCE")
         .ok()
@@ -80,6 +101,8 @@ fn main() -> ExitCode {
         .filter(|(_, ns)| *ns > 0.0) // 0 = skipped by a name filter
         .collect();
     c.final_summary();
+
+    print_scaling_line(&results);
 
     if std::env::var_os("UPDATE_BASELINE").is_some() {
         match write_baseline(&results) {

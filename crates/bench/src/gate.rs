@@ -280,6 +280,42 @@ pub fn run_saturation(c: &mut Criterion) -> Vec<(String, f64)> {
             results.push((id.to_string(), 0.0));
         }
     }
+    results.extend(run_sharded_saturation(c));
+    results
+}
+
+/// Gates the sharded S3 wall rate at 1 and 4 worker threads (4 shards
+/// either way, so the partition overhead is identical and only the
+/// threading differs). Each id is compared to its own baseline, so the
+/// gate stays honest on any core count; `bench_gate` additionally prints
+/// the mt4-vs-mt1 scaling efficiency from these two ids.
+pub fn run_sharded_saturation(c: &mut Criterion) -> Vec<(String, f64)> {
+    use mosquitonet_testbed::experiments::{run_s3_sharded, S3Config};
+
+    let cfg = S3Config {
+        pairs: 2,
+        burst: 8,
+        ticks: 5,
+        seed: 1996,
+        batching: true,
+    };
+    let mut results = Vec::new();
+    for (threads, id) in [(1usize, "s3/pps_mt1"), (4, "s3/pps_mt4")] {
+        let mut delivered = 0u64;
+        let med = c.bench_function(id, |b| {
+            b.iter(|| {
+                let r = run_s3_sharded(&cfg, 4, black_box(threads));
+                delivered = r.row.delivered;
+                r.row.delivered
+            })
+        });
+        if med > 0.0 {
+            assert!(delivered > 0, "sharded saturation fixture must deliver");
+            results.push((id.to_string(), med / delivered as f64));
+        } else {
+            results.push((id.to_string(), 0.0));
+        }
+    }
     results
 }
 

@@ -228,6 +228,19 @@ impl Lan {
         self.delay.draw(rng)
     }
 
+    /// The smallest delay this medium can ever draw (`base - jitter`).
+    /// For an inter-shard trunk this is the conservative scheduler's
+    /// lookahead bound: no frame sent at `t` can arrive before
+    /// `t + min_latency()`.
+    pub fn min_latency(&self) -> SimDuration {
+        SimDuration::from_nanos(
+            self.delay
+                .base
+                .as_nanos()
+                .saturating_sub(self.delay.jitter.as_nanos()),
+        )
+    }
+
     /// Draws whether the medium loses a frame.
     pub fn draw_loss(&self, rng: &mut SimRng) -> bool {
         rng.chance(self.loss_probability)

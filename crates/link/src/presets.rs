@@ -162,6 +162,27 @@ pub fn internet_cloud(name: impl Into<String>, one_way: SimDuration) -> Lan {
     Lan::new(name, LanKind::Ethernet, DelayModel::fixed(one_way), 0.0)
 }
 
+/// Default one-way latency of the inter-shard backbone trunk: a campus
+/// backbone hop (switch fabric + a few hundred meters of fiber), well
+/// above the intra-LAN 5 µs so the conservative scheduler gets a useful
+/// lookahead window.
+pub const TRUNK_ONE_WAY: SimDuration = SimDuration::from_micros(50);
+
+/// The inter-shard backbone segment. Its delay is **fixed and lossless by
+/// contract**: the sharded engine uses the minimum cross-shard link
+/// latency as its conservative lookahead, so a trunk must never deliver a
+/// frame earlier than `tx_time + one_way` and must not draw engine
+/// randomness (jitter or loss would both break byte-identity across
+/// thread counts, because per-shard RNG streams advance independently).
+/// [`Lan::min_latency`] on the returned segment is the lookahead bound.
+pub fn backbone_trunk(name: impl Into<String>, one_way: SimDuration) -> Lan {
+    assert!(
+        one_way > SimDuration::ZERO,
+        "a zero-latency trunk gives the sharded scheduler no lookahead"
+    );
+    Lan::new(name, LanKind::Ethernet, DelayModel::fixed(one_way), 0.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +246,23 @@ mod tests {
         // paper's observed 1.25 s window (registration adds the rest).
         let worst = eth.power.bring_down + radio.power.bring_up;
         assert!(worst < SimDuration::from_millis(1250));
+    }
+
+    #[test]
+    fn backbone_trunk_latency_is_the_lookahead_bound() {
+        let trunk = backbone_trunk("backbone", TRUNK_ONE_WAY);
+        assert_eq!(trunk.min_latency(), TRUNK_ONE_WAY);
+        assert_eq!(trunk.loss_probability, 0.0, "trunks are lossless");
+        let mut rng = SimRng::new(9);
+        // Fixed delay: no randomness is drawn, so the trunk never
+        // perturbs a shard's RNG stream.
+        assert_eq!(trunk.draw_delay(&mut rng), TRUNK_ONE_WAY);
+        let jittery = radio_cell("cell");
+        assert_eq!(
+            jittery.min_latency(),
+            RADIO_PROPAGATION_BASE - RADIO_PROPAGATION_JITTER,
+            "min_latency subtracts jitter"
+        );
     }
 
     #[test]

@@ -369,11 +369,57 @@ impl<W> Sim<W> {
         }
     }
 
+    /// Time of the next runnable event, or `None` when the queue holds
+    /// nothing but cancelled entries. Cancelled heads encountered along
+    /// the way are discarded, which is why this takes `&mut self`.
+    pub fn next_event_at(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.queue.peek() {
+            let id = entry.0.id;
+            if self.cancelled.contains(&id) {
+                self.queue.pop();
+                self.cancelled.remove(&id);
+                continue;
+            }
+            return Some(entry.0.at);
+        }
+        None
+    }
+
+    /// Runs every event scheduled strictly before `end` without advancing
+    /// the clock past the last executed event. This is the conservative
+    /// time-window primitive of the sharded scheduler: a shard may safely
+    /// execute everything below the window bound because cross-shard
+    /// traffic can only arrive at or after it (the lookahead contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` is not in the future — a window that cannot make
+    /// progress indicates a broken barrier computation.
+    pub fn run_window(&mut self, end: SimTime) {
+        assert!(
+            end > self.now,
+            "empty window: end {end:?} <= now {:?}",
+            self.now
+        );
+        // `at < end` over nanosecond instants is `at <= end - 1ns`.
+        let deadline = SimTime::from_nanos(end.as_nanos() - 1);
+        self.drain_until(deadline);
+    }
+
     /// Runs events until (and including) those scheduled at `deadline`,
     /// then advances the clock to `deadline` even if the queue drained early.
     ///
     /// Events scheduled after `deadline` remain queued.
     pub fn run_until(&mut self, deadline: SimTime) {
+        self.drain_until(deadline);
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Executes every event with `at <= deadline` without the final clock
+    /// advance of [`Sim::run_until`].
+    fn drain_until(&mut self, deadline: SimTime) {
         if self.batching {
             while self.run_batch(Some(deadline)) {}
         } else {
@@ -405,9 +451,6 @@ impl<W> Sim<W> {
                 (ev.run)(self);
                 self.profiler.end_tick(t0);
             }
-        }
-        if self.now < deadline {
-            self.now = deadline;
         }
     }
 

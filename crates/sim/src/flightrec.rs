@@ -42,6 +42,13 @@ const EXPORT_MAX_DROPS: usize = 100;
 /// Rows in the exported `top_hops` table.
 const EXPORT_TOP_HOPS: usize = 10;
 
+/// Bit position of the shard id inside namespaced flight ids: shard `s`
+/// allocates ids `(s << FLIGHT_SHARD_SHIFT) + 1, + 2, …`, so ids from
+/// different shards can never collide and a merged export sorts shard 0's
+/// flights first. Shard 0's ids are numerically identical to an
+/// unsharded run's.
+pub const FLIGHT_SHARD_SHIFT: u32 = 48;
+
 /// What happened to a packet at one hop.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum HopAction {
@@ -97,6 +104,22 @@ pub struct HopEvent {
     pub point: &'static str,
     /// What happened.
     pub action: HopAction,
+}
+
+/// A `Send` snapshot of one shard's recorder, produced by
+/// [`FlightRecorder::dump`] on the worker thread that owns the shard and
+/// consumed by [`FlightRecorder::merged`] after the run.
+#[derive(Clone, Debug)]
+pub struct FlightDump {
+    /// Stable shard id (same-instant tie-break during the merge).
+    pub shard: u32,
+    /// Surviving hops in insertion order, host indices already offset
+    /// into the merged host table.
+    pub hops: Vec<HopEvent>,
+    /// Flight labels, sorted by flight id.
+    pub labels: Vec<(u64, &'static str)>,
+    /// Hops this segment lost to ring wraparound.
+    pub overwritten: u64,
 }
 
 /// A captured wire frame (pcap export feed).
@@ -236,6 +259,9 @@ pub struct FlightRecorder {
     enabled: bool,
     capture: bool,
     next_flight: u64,
+    /// High bits OR-ed into every allocated flight id (zero outside
+    /// sharded runs). See [`FlightRecorder::set_flight_namespace`].
+    flight_base: u64,
     next_seq: u64,
     /// Ring storage; at most `capacity` entries, oldest overwritten first.
     ring: Vec<HopEvent>,
@@ -308,6 +334,14 @@ impl FlightRecorder {
         self.captures_dropped = 0;
     }
 
+    /// Partitions the flight-id space for a sharded run: ids allocated
+    /// after this call are `(shard << FLIGHT_SHARD_SHIFT) + counter`, so
+    /// per-shard recorders hand out globally unique ids without any
+    /// cross-thread coordination. Shard 0 keeps the unsharded numbering.
+    pub fn set_flight_namespace(&mut self, shard: u32) {
+        self.flight_base = u64::from(shard) << FLIGHT_SHARD_SHIFT;
+    }
+
     /// Allocates a flight id for a packet leaving its origin, optionally
     /// tagged with a static label. Returns [`NO_FLIGHT`] when disabled.
     pub fn begin_flight(&mut self, label: Option<&'static str>) -> u64 {
@@ -315,10 +349,12 @@ impl FlightRecorder {
             return NO_FLIGHT;
         }
         self.next_flight += 1;
+        debug_assert!(self.next_flight < 1 << FLIGHT_SHARD_SHIFT);
+        let id = self.flight_base + self.next_flight;
         if let Some(l) = label {
-            self.labels.insert(self.next_flight, l);
+            self.labels.insert(id, l);
         }
-        self.next_flight
+        id
     }
 
     /// Records one hop. A no-op when disabled or when `flight` is
@@ -457,6 +493,53 @@ impl FlightRecorder {
             lost += 1;
         }
         (lost > 0).then_some(Blackout { lost, first, last })
+    }
+
+    /// Snapshots this recorder's state as plain `Send` data for merging
+    /// across shards. `shard` is the segment's stable shard id (the
+    /// deterministic tie-break for same-instant hops from different
+    /// shards) and `host_base` the offset added to every hop's host index
+    /// so per-shard indices map into the merged run's host-name table.
+    pub fn dump(&self, shard: u32, host_base: u32) -> FlightDump {
+        let mut labels: Vec<(u64, &'static str)> =
+            self.labels.iter().map(|(&f, &l)| (f, l)).collect();
+        labels.sort_unstable_by_key(|&(f, _)| f);
+        let mut hops = self.hops_in_order();
+        for h in &mut hops {
+            h.host += host_base;
+        }
+        FlightDump {
+            shard,
+            hops,
+            labels,
+            overwritten: self.overwritten,
+        }
+    }
+
+    /// Builds a single recorder holding every shard's hops, merged in
+    /// `(time, shard, seq)` order — the order a single-threaded run over
+    /// the union topology would have recorded them. Flight ids must
+    /// already be disjoint across dumps (see
+    /// [`FlightRecorder::set_flight_namespace`]); the merged ring is
+    /// sized to hold every surviving hop, so merging never re-drops.
+    pub fn merged(mut dumps: Vec<FlightDump>) -> FlightRecorder {
+        dumps.sort_unstable_by_key(|d| d.shard);
+        let total: usize = dumps.iter().map(|d| d.hops.len()).sum();
+        let mut rec = FlightRecorder::with_capacity(total.max(1));
+        rec.set_enabled(true);
+        let mut all: Vec<(u32, HopEvent)> = Vec::with_capacity(total);
+        let mut overwritten = 0u64;
+        for d in dumps {
+            overwritten += d.overwritten;
+            rec.labels.extend(d.labels);
+            all.extend(d.hops.into_iter().map(|h| (d.shard, h)));
+        }
+        all.sort_unstable_by_key(|&(shard, h)| (h.at, shard, h.seq));
+        for (_, h) in all {
+            rec.hop_slow(h.flight, h.at, h.host, h.point, h.action);
+        }
+        rec.overwritten = overwritten;
+        rec
     }
 
     /// Renders the journeys document (`mosquitonet.journeys/v1` body):
@@ -706,6 +789,44 @@ mod tests {
         assert!(text.contains("\"first_us\":10000"));
         assert!(text.contains("drop.iface_down"));
         assert!(text.contains("\"sum_us\":5000"), "e2e delay 5 ms: {text}");
+    }
+
+    #[test]
+    fn namespaced_ids_merge_in_time_shard_seq_order() {
+        // Shard 0: a flight that leaves, crosses to shard 1, and whose
+        // reply lands back — recorded across two recorders.
+        let mut a = FlightRecorder::new();
+        a.set_enabled(true);
+        a.set_flight_namespace(0);
+        let mut b = FlightRecorder::new();
+        b.set_enabled(true);
+        b.set_flight_namespace(1);
+
+        let f0 = a.begin_flight(Some("s3"));
+        assert_eq!(f0, 1, "shard 0 keeps the unsharded numbering");
+        let f1 = b.begin_flight(None);
+        assert_eq!(f1, (1u64 << FLIGHT_SHARD_SHIFT) + 1);
+
+        a.hop(f0, t(0), 0, "udp", HopAction::Sent);
+        a.hop(f0, t(1), 1, "ip.fwd", HopAction::Forwarded);
+        // Crosses into shard 1 (its host index 0 = merged index 2).
+        b.hop(f0, t(3), 0, "udp", HopAction::Delivered);
+        // A shard-1-local flight, interleaved in time with f0's hops.
+        b.hop(f1, t(2), 1, "udp", HopAction::Sent);
+        b.hop(f1, t(4), 0, "udp", HopAction::Delivered);
+
+        let merged = FlightRecorder::merged(vec![a.dump(0, 0), b.dump(1, 2)]);
+        let hops = merged.hops_in_order();
+        let times: Vec<u64> = hops.iter().map(|h| h.at.as_micros()).collect();
+        assert_eq!(times, vec![0, 1000, 2000, 3000, 4000], "time-ordered");
+        assert_eq!(hops[3].host, 2, "host indices offset by the shard base");
+        let js = merged.journeys();
+        assert_eq!(js.len(), 2);
+        assert_eq!(js[0].flight, f0);
+        assert_eq!(js[0].label, Some("s3"));
+        assert_eq!(js[0].outcome(), Outcome::Delivered);
+        assert_eq!(js[0].hops.len(), 3, "cross-shard hops stitched together");
+        assert_eq!(js[1].flight, f1);
     }
 
     #[test]

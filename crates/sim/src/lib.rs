@@ -1,10 +1,14 @@
 //! Deterministic discrete-event simulation engine for MosquitoNet.
 //!
-//! The engine is deliberately single-threaded: every experiment in the paper
-//! ("Supporting Mobility in MosquitoNet", USENIX 1996) measures *timing* —
-//! packet-loss windows, device bring-up latency, registration round-trips —
-//! and a single-threaded virtual clock makes those measurements exactly
-//! reproducible from a seed.
+//! The engine steps each world single-threaded: every experiment in the
+//! paper ("Supporting Mobility in MosquitoNet", USENIX 1996) measures
+//! *timing* — packet-loss windows, device bring-up latency, registration
+//! round-trips — and a single-threaded virtual clock makes those
+//! measurements exactly reproducible from a seed. For multi-core runs the
+//! topology is partitioned into shards, each owning its own [`Sim`], and
+//! the [`shard`] module steps them in parallel under conservative
+//! time-window synchronization with results byte-identical to a
+//! one-thread run.
 //!
 //! The central type is [`Sim`], which owns a user-supplied *world* (the
 //! network state) together with a future-event queue. Events are boxed
@@ -34,13 +38,15 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 mod rng;
+pub mod shard;
 mod stats;
 mod time;
 mod trace;
 
 pub use engine::{EventId, Sim};
 pub use flightrec::{
-    Blackout, CapturedFrame, FlightRecorder, HopAction, HopEvent, Journey, Outcome, NO_FLIGHT,
+    Blackout, CapturedFrame, FlightDump, FlightRecorder, HopAction, HopEvent, Journey, Outcome,
+    NO_FLIGHT,
 };
 pub use json::Json;
 pub use metrics::{
@@ -49,6 +55,7 @@ pub use metrics::{
 };
 pub use profile::Profiler;
 pub use rng::SimRng;
+pub use shard::{run_sharded, shard_seed, ShardEnvelope, ShardWorld};
 pub use stats::{Histogram, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry, TraceKind};

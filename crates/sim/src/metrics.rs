@@ -497,6 +497,63 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// Merges per-shard snapshots into one document. Paths unique to a
+    /// shard (host-scoped metrics, `profile/shard/{id}/…`) carry over
+    /// unchanged; on a path collision counters and gauges sum and
+    /// histograms merge bucket-wise. The result is a `BTreeMap` like any
+    /// other snapshot, so its JSON rendering is byte-stable regardless
+    /// of how many threads produced the parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when colliding paths have different metric kinds or
+    /// histogram bounds — shards of one run share a registration scheme,
+    /// so a mismatch is a wiring bug.
+    pub fn merged(parts: impl IntoIterator<Item = Snapshot>) -> Snapshot {
+        let mut values: BTreeMap<String, MetricValue> = BTreeMap::new();
+        for part in parts {
+            for (name, v) in part.values {
+                match values.entry(name) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(v);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        let merged = match (e.get(), &v) {
+                            (MetricValue::Counter(a), MetricValue::Counter(b)) => {
+                                MetricValue::Counter(a.wrapping_add(*b))
+                            }
+                            (MetricValue::Gauge(a), MetricValue::Gauge(b)) => {
+                                MetricValue::Gauge(a.wrapping_add(*b))
+                            }
+                            (MetricValue::Histogram(a), MetricValue::Histogram(b)) => {
+                                assert_eq!(
+                                    a.bounds_us,
+                                    b.bounds_us,
+                                    "histogram {} bounds differ across shards",
+                                    e.key()
+                                );
+                                MetricValue::Histogram(HistogramSnapshot {
+                                    bounds_us: a.bounds_us.clone(),
+                                    counts: a
+                                        .counts
+                                        .iter()
+                                        .zip(&b.counts)
+                                        .map(|(x, y)| x + y)
+                                        .collect(),
+                                    total: a.total + b.total,
+                                    sum_us: a.sum_us + b.sum_us,
+                                })
+                            }
+                            _ => panic!("metric {} changes kind across shards", e.key()),
+                        };
+                        *e.get_mut() = merged;
+                    }
+                }
+            }
+        }
+        Snapshot { values }
+    }
+
     /// The value of `name`, if present.
     pub fn get(&self, name: &str) -> Option<&MetricValue> {
         self.values.get(name)
@@ -924,6 +981,32 @@ mod tests {
         let before = r.snapshot();
         let delta = r.snapshot().diff(&before);
         assert!(delta.is_empty());
+    }
+
+    #[test]
+    fn merged_snapshots_union_and_sum() {
+        let a = MetricsRegistry::new();
+        a.counter("shard0/ip/tx").add(3);
+        a.counter("pktbuf/arena_resets").add(2);
+        a.gauge("depth").set(1);
+        a.histogram("lat").record(SimDuration::from_micros(75));
+        let b = MetricsRegistry::new();
+        b.counter("shard1/ip/tx").add(5);
+        b.counter("pktbuf/arena_resets").add(4);
+        b.gauge("depth").set(2);
+        b.histogram("lat").record(SimDuration::from_micros(150));
+        let m = Snapshot::merged([a.snapshot(), b.snapshot()]);
+        assert_eq!(m.counter("shard0/ip/tx"), 3);
+        assert_eq!(m.counter("shard1/ip/tx"), 5);
+        assert_eq!(m.counter("pktbuf/arena_resets"), 6);
+        assert_eq!(m.gauge("depth"), 3);
+        let h = m.histogram("lat").expect("merged histogram");
+        assert_eq!(h.total, 2);
+        assert_eq!(h.sum_us, 225);
+        // Order of parts does not change the rendered document when no
+        // collisions exist; with sums it is commutative anyway.
+        let m2 = Snapshot::merged([b.snapshot(), a.snapshot()]);
+        assert_eq!(m.to_json().render(), m2.to_json().render());
     }
 
     #[test]

@@ -93,6 +93,10 @@ impl Cells {
 pub struct Profiler {
     enabled: bool,
     registry: Option<MetricsRegistry>,
+    /// Registration prefix; `None` means the default `profile`. Sharded
+    /// runs use `profile/shard/{id}` so merged snapshots keep every
+    /// shard's cells distinct.
+    prefix: Option<String>,
     tick: Option<Cells>,
     /// One sample per batched engine drain (see [`Profiler::end_batch`]).
     batch: Option<Cells>,
@@ -110,14 +114,29 @@ impl Profiler {
     /// Enables sampling and registers all profile cells (current and
     /// future) under `profile/…` in `registry`.
     pub fn enable(&mut self, registry: &MetricsRegistry) {
+        self.prefix = None;
+        self.enable_at_prefix(registry);
+    }
+
+    /// Like [`Profiler::enable`], but registers under `{prefix}/…`
+    /// instead of `profile/…`. Sharded runs pass `profile/shard/{id}` so
+    /// every shard's cells stay distinct in the merged snapshot.
+    pub fn enable_with_prefix(&mut self, registry: &MetricsRegistry, prefix: impl Into<String>) {
+        self.prefix = Some(prefix.into());
+        self.enable_at_prefix(registry);
+    }
+
+    fn enable_at_prefix(&mut self, registry: &MetricsRegistry) {
         self.enabled = true;
+        let prefix = self.prefix.clone();
+        let prefix = prefix.as_deref().unwrap_or("profile");
         let tick = self.tick.get_or_insert_with(Cells::new);
-        tick.register(registry, "profile/tick");
+        tick.register(registry, &format!("{prefix}/tick"));
         let batch = self.batch.get_or_insert_with(Cells::new);
-        batch.register(registry, "profile/batch");
-        registry.register_counter("profile/batch/events".to_string(), &self.batch_events);
+        batch.register(registry, &format!("{prefix}/batch"));
+        registry.register_counter(format!("{prefix}/batch/events"), &self.batch_events);
         for (name, cells) in &self.modules {
-            cells.register(registry, &format!("profile/module.{name}"));
+            cells.register(registry, &format!("{prefix}/module.{name}"));
         }
         self.registry = Some(registry.clone());
     }
@@ -178,7 +197,8 @@ impl Profiler {
         if !self.modules.contains_key(name) {
             let cells = Cells::new();
             if let Some(reg) = &self.registry {
-                cells.register(reg, &format!("profile/module.{name}"));
+                let prefix = self.prefix.as_deref().unwrap_or("profile");
+                cells.register(reg, &format!("{prefix}/module.{name}"));
             }
             self.modules.insert(name, cells);
         }
@@ -274,6 +294,23 @@ mod tests {
         assert_eq!(snap.counter("profile/batch/calls"), 1);
         assert_eq!(snap.counter("profile/batch/events"), 3);
         assert!(p.to_json().render().contains("\"batch\""));
+    }
+
+    #[cfg(feature = "profile-clock")]
+    #[test]
+    fn prefixed_enable_registers_shard_scoped_cells() {
+        let reg = MetricsRegistry::new();
+        let mut p = Profiler::new();
+        p.enable_with_prefix(&reg, "profile/shard/2");
+        let t0 = p.begin();
+        p.end_batch(t0, 2);
+        let m0 = p.begin();
+        p.end_module("mobile", m0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("profile/shard/2/tick/calls"), 1);
+        assert_eq!(snap.counter("profile/shard/2/batch/events"), 2);
+        assert_eq!(snap.counter("profile/shard/2/module.mobile/calls"), 1);
+        assert_eq!(snap.counter("profile/tick/calls"), 0, "no unscoped cells");
     }
 
     #[cfg(feature = "profile-clock")]

@@ -29,8 +29,18 @@
 //! entry therefore carries the exact counter cell its decision charged
 //! ([`CacheEntry::on_hit`]), bumped on every replay — per-mode totals are
 //! identical whether the cache is hot or cold.
+//!
+//! # Layout
+//!
+//! The table is struct-of-arrays: packed 128-bit keys live in one dense
+//! open-addressed array that probing walks alone, and the fat payloads
+//! (decision + counter handle) sit in a parallel array touched only on a
+//! hit. A lookup — and in particular a *miss*, the path the saturation
+//! profile showed dominated by `HashMap`'s SipHash — is one multiply-mix
+//! of the packed key plus a short linear probe over contiguous `u128`s.
+//! Entries are never removed individually (invalidation is always a
+//! whole-cache flush), so the probe needs no tombstones.
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use mosquitonet_sim::{Counter, MetricCell, MetricsScope};
@@ -81,11 +91,54 @@ impl FastPathStats {
     }
 }
 
+/// Slot sentinel: bit 97 is set in every packed key, so zero can never be
+/// a live key.
+const EMPTY: u128 = 0;
+
+/// Occupancy tag baked into every packed key (above all payload bits).
+const OCCUPIED: u128 = 1 << 97;
+
+/// Initial slot count on first insert (power of two).
+const INITIAL_SLOTS: usize = 64;
+
+/// Losslessly packs a [`CacheKey`] into one 128-bit word:
+/// `[occupied:1][dst:32][src_addr:32][iface:31][src_tag:1][iface_tag:1]`.
+/// Probing compares these words directly — no field-by-field `Eq`.
+fn pack(key: &CacheKey) -> u128 {
+    let (dst, sel, ifc) = key;
+    let dst = u128::from(u32::from(*dst));
+    let (sel_tag, sel_addr) = match sel {
+        SourceSel::Unspecified => (0u128, 0u128),
+        SourceSel::Addr(a) => (1, u128::from(u32::from(*a))),
+    };
+    let (ifc_tag, ifc_idx) = match ifc {
+        None => (0u128, 0u128),
+        Some(IfaceId(i)) => {
+            debug_assert!(*i < (1 << 31), "interface index overflows the packed key");
+            (1, *i as u128)
+        }
+    };
+    OCCUPIED | dst << 65 | sel_addr << 33 | ifc_idx << 2 | sel_tag << 1 | ifc_tag
+}
+
+/// Fibonacci-style multiply mixer over the packed key's halves. Cheap
+/// (two ops) and plenty for keys that differ in real address bits.
+#[inline]
+fn hash(packed: u128) -> u64 {
+    (((packed >> 64) as u64) ^ (packed as u64)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// The per-host decision cache. Lives on `Host` beside the module list;
 /// consulted and filled by `ip::resolve_route`.
 #[derive(Debug, Default)]
 pub struct FastPath {
-    entries: HashMap<CacheKey, CacheEntry>,
+    /// Packed keys, open-addressed with linear probing. Power-of-two
+    /// length; [`EMPTY`] marks free slots.
+    keys: Vec<u128>,
+    /// Payloads, parallel to `keys`; only read on a hit.
+    payloads: Vec<Option<CacheEntry>>,
+    /// Live entry count.
+    live: usize,
     /// The validity token the current entries were resolved under.
     token: u64,
     /// Hit/miss/invalidate counters, bound into the registry per host.
@@ -98,30 +151,66 @@ impl FastPath {
         FastPath::default()
     }
 
+    /// Clears every slot, keeping capacity.
+    fn clear(&mut self) {
+        self.keys.fill(EMPTY);
+        self.payloads.fill(None);
+        self.live = 0;
+    }
+
+    /// Walks the probe chain for `packed`; returns the matching slot or
+    /// the empty slot where it belongs.
+    #[inline]
+    fn slot_of(&self, packed: u128) -> usize {
+        let mask = self.keys.len() - 1;
+        let mut idx = hash(packed) as usize & mask;
+        loop {
+            let k = self.keys[idx];
+            if k == EMPTY || k == packed {
+                return idx;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Doubles the table (or allocates it) and re-probes every live key.
+    fn grow(&mut self) {
+        let new_len = (self.keys.len() * 2).max(INITIAL_SLOTS);
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_len]);
+        let old_payloads = std::mem::replace(&mut self.payloads, vec![None; new_len]);
+        for (k, p) in old_keys.into_iter().zip(old_payloads) {
+            if k != EMPTY {
+                let slot = self.slot_of(k);
+                self.keys[slot] = k;
+                self.payloads[slot] = p;
+            }
+        }
+    }
+
     /// Looks up `key` under validity token `token`. A token change flushes
     /// the cache first. Charges `hit` or `miss`, and on a hit replays the
     /// entry's `on_hit` counter charge.
     pub fn lookup(&mut self, token: u64, key: &CacheKey) -> Option<RouteDecision> {
         if token != self.token {
-            if !self.entries.is_empty() {
-                self.entries.clear();
+            if self.live != 0 {
+                self.clear();
                 self.stats.invalidate.inc();
             }
             self.token = token;
         }
-        match self.entries.get(key) {
-            Some(entry) => {
+        if self.live != 0 {
+            let slot = self.slot_of(pack(key));
+            if self.keys[slot] != EMPTY {
                 self.stats.hit.inc();
+                let entry = self.payloads[slot].as_ref().expect("occupied slot");
                 if let Some(counter) = &entry.on_hit {
                     counter.inc();
                 }
-                Some(entry.decision)
-            }
-            None => {
-                self.stats.miss.inc();
-                None
+                return Some(entry.decision);
             }
         }
+        self.stats.miss.inc();
+        None
     }
 
     /// Memoizes a freshly-resolved decision under `token`. Ignored if the
@@ -138,30 +227,40 @@ impl FastPath {
         if token != self.token {
             return;
         }
-        if self.entries.len() >= MAX_ENTRIES {
-            self.entries.clear();
+        if self.live >= MAX_ENTRIES {
+            self.clear();
             self.stats.invalidate.inc();
         }
-        self.entries.insert(key, CacheEntry { decision, on_hit });
+        // Grow at 3/4 load so probe chains stay short.
+        if self.keys.is_empty() || (self.live + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let packed = pack(&key);
+        let slot = self.slot_of(packed);
+        if self.keys[slot] == EMPTY {
+            self.keys[slot] = packed;
+            self.live += 1;
+        }
+        self.payloads[slot] = Some(CacheEntry { decision, on_hit });
     }
 
     /// Drops every entry (explicit flush; token-based invalidation makes
     /// this rarely necessary).
     pub fn flush(&mut self) {
-        if !self.entries.is_empty() {
-            self.entries.clear();
+        if self.live != 0 {
+            self.clear();
             self.stats.invalidate.inc();
         }
     }
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// True when no decisions are cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 }
 
@@ -244,6 +343,32 @@ mod tests {
         );
         assert_eq!(fp.lookup(7, &forced), None, "forced iface is keyed");
         assert_eq!(fp.lookup(7, &key(1)), Some(decision(0)));
+    }
+
+    #[test]
+    fn soa_table_grows_and_replaces_in_place() {
+        let mut fp = FastPath::new();
+        let k = |i: u32| {
+            (
+                Ipv4Addr::from(0x2416_0000 + i),
+                SourceSel::Unspecified,
+                None,
+            )
+        };
+        // Push well past the initial slot allocation to force rehashes.
+        for i in 0..1000 {
+            fp.lookup(7, &k(i));
+            fp.insert(7, k(i), decision((i % 7) as usize), None);
+        }
+        assert_eq!(fp.len(), 1000);
+        for i in 0..1000 {
+            assert_eq!(fp.lookup(7, &k(i)), Some(decision((i % 7) as usize)));
+        }
+        // Re-inserting an existing key replaces its payload in place.
+        fp.insert(7, k(0), decision(5), None);
+        assert_eq!(fp.len(), 1000);
+        assert_eq!(fp.lookup(7, &k(0)), Some(decision(5)));
+        assert_eq!(fp.stats.invalidate.get(), 0, "growth is not invalidation");
     }
 
     #[test]

@@ -11,8 +11,10 @@ use bytes::BufMut;
 use mosquitonet_link::{
     Attachment, AttachmentKey, EtherType, FaultVerdict, Frame, Lan, FRAME_HEADER_LEN,
 };
-use mosquitonet_sim::{HopAction, MetricCell, Sim, SimDuration, SimTime, TraceKind};
-use mosquitonet_wire::{ArpPacket, Ipv4Packet, MacAddr, PacketBuf, PacketBytes};
+use mosquitonet_sim::{
+    Counter, HopAction, MetricCell, ShardEnvelope, ShardWorld, Sim, SimDuration, SimTime, TraceKind,
+};
+use mosquitonet_wire::{ArpPacket, EnvelopeArena, Ipv4Packet, MacAddr, PacketBuf, PacketBytes};
 
 use crate::arp::ArpAction;
 use crate::host::{Host, HostId};
@@ -34,10 +36,250 @@ pub struct Network {
     attach_map: HashMap<AttachmentKey, (HostId, IfaceId)>,
     attach_keys: HashMap<(HostId, IfaceId), AttachmentKey>,
     next_key: u64,
+    /// Cross-shard plumbing; `None` (the default) keeps the world fully
+    /// unsharded — zero overhead, byte-identical to the classic engine.
+    sharding: Option<Sharding>,
 }
 
 /// A simulation over a [`Network`].
 pub type NetSim = Sim<Network>;
+
+/// A frame crossing a shard boundary: the wire bytes plus enough metadata
+/// to replay delivery on the peer shard's copy of the portal segment.
+#[derive(Debug, Clone)]
+pub struct WireEnvelope {
+    /// Global portal id naming the distributed segment the frame is on.
+    pub portal: u32,
+    /// Destination MAC (repeated so recipients are found without parsing).
+    pub dst: MacAddr,
+    /// Sender MAC (for the receiving segment's self-exclusion rules).
+    pub src: MacAddr,
+    /// Flight-recorder id (already namespaced by the origin shard).
+    pub flight: u64,
+    /// The full wire bytes, frame header included.
+    pub bytes: Vec<u8>,
+}
+
+/// One staged cross-shard transmission, pointing into the bump arena.
+#[derive(Debug)]
+struct Staged {
+    dst_shard: u32,
+    seq: u64,
+    at: SimTime,
+    portal: u32,
+    dst: MacAddr,
+    src: MacAddr,
+    flight: u64,
+    /// Index of the wire bytes in [`Sharding::arena`].
+    index: usize,
+}
+
+/// Per-shard state for a world participating in a sharded run.
+#[derive(Debug, Default)]
+struct Sharding {
+    /// This world's shard id.
+    shard: u32,
+    /// Total shard count in the run.
+    shards: u32,
+    /// Local portal LANs: LAN -> global portal id.
+    portal_of_lan: HashMap<LanId, u32>,
+    /// Global portal id -> the local copy of that segment.
+    lan_of_portal: HashMap<u32, LanId>,
+    /// Which shard owns a unicast MAC attached to a portal segment.
+    /// Unlisted (and broadcast) destinations fan out to every peer.
+    mac_directory: HashMap<MacAddr, u32>,
+    /// Bump arena staging outbound frame bytes; reset at each barrier.
+    arena: EnvelopeArena,
+    staged: Vec<Staged>,
+    next_seq: u64,
+    /// Mirrors the arena's reset count into `pktbuf/arena_resets`.
+    arena_resets: Counter,
+}
+
+impl Network {
+    /// Marks this world as shard `shard` of `shards` in a sharded run.
+    /// Call before adding portals; unsharded worlds never call it.
+    pub fn enable_sharding(&mut self, shard: u32, shards: u32) {
+        assert!(shard < shards, "shard {shard} out of range 0..{shards}");
+        self.sharding = Some(Sharding {
+            shard,
+            shards,
+            ..Sharding::default()
+        });
+    }
+
+    /// This world's shard id, when sharded.
+    pub fn shard_id(&self) -> Option<u32> {
+        self.sharding.as_ref().map(|s| s.shard)
+    }
+
+    /// Registers `lan` as the local copy of the distributed portal
+    /// segment `portal`. Frames transmitted onto it reach local
+    /// attachments normally and are additionally staged as envelopes for
+    /// the peer shards, arriving one trunk delay later. The segment must
+    /// be fixed-delay and lossless (see
+    /// [`backbone_trunk`](mosquitonet_link::presets::backbone_trunk)):
+    /// its minimum latency is the scheduler's lookahead bound.
+    pub fn add_portal(&mut self, lan: LanId, portal: u32) {
+        let min = self.lans[lan.0].min_latency();
+        assert!(
+            min > SimDuration::ZERO,
+            "portal segment {} has zero minimum latency: no lookahead",
+            self.lans[lan.0].name()
+        );
+        let sh = self
+            .sharding
+            .as_mut()
+            .expect("enable_sharding before add_portal");
+        sh.portal_of_lan.insert(lan, portal);
+        sh.lan_of_portal.insert(portal, lan);
+    }
+
+    /// Records that unicast frames for `mac` on a portal segment should
+    /// only be enveloped to `shard` (instead of fanned out to every
+    /// peer). Broadcast and unlisted MACs still reach all shards.
+    pub fn register_portal_mac(&mut self, mac: MacAddr, shard: u32) {
+        let sh = self
+            .sharding
+            .as_mut()
+            .expect("enable_sharding before register_portal_mac");
+        sh.mac_directory.insert(mac, shard);
+    }
+
+    /// How many times the cross-shard staging arena has been recycled.
+    pub fn arena_resets(&self) -> u64 {
+        self.sharding.as_ref().map_or(0, |s| s.arena.resets())
+    }
+}
+
+/// Stages cross-shard copies of a frame transmitted onto a portal
+/// segment. The arrival instant is `tx_time` plus the segment's (fixed)
+/// latency, which the conservative scheduler's lookahead guarantees lies
+/// at or beyond the current window's end.
+fn stage_cross_shard(
+    w: &mut Network,
+    lan: LanId,
+    now: SimTime,
+    tx_delay: SimDuration,
+    dst: MacAddr,
+    src: MacAddr,
+    wire: &PacketBytes,
+) {
+    let trunk = w.lans[lan.0].min_latency();
+    let Some(sh) = w.sharding.as_mut() else {
+        return;
+    };
+    let Some(&portal) = sh.portal_of_lan.get(&lan) else {
+        return;
+    };
+    let me = sh.shard;
+    let targets: Vec<u32> = match sh.mac_directory.get(&dst) {
+        Some(&owner) if owner == me => return, // stays local
+        Some(&owner) => vec![owner],
+        // Broadcast or unknown unicast: every peer judges for itself.
+        None => (0..sh.shards).filter(|&s| s != me).collect(),
+    };
+    if targets.is_empty() {
+        return;
+    }
+    let at = now + tx_delay + trunk;
+    let flight = wire.flight();
+    let index = sh.arena.stage(wire);
+    for dst_shard in targets {
+        let seq = sh.next_seq;
+        sh.next_seq += 1;
+        sh.staged.push(Staged {
+            dst_shard,
+            seq,
+            at,
+            portal,
+            dst,
+            src,
+            flight,
+            index,
+        });
+    }
+}
+
+impl ShardWorld for Network {
+    type Payload = WireEnvelope;
+
+    fn shard_outbox(sim: &mut Sim<Network>) -> Vec<ShardEnvelope<WireEnvelope>> {
+        let w = sim.world_mut();
+        let Some(sh) = w.sharding.as_mut() else {
+            return Vec::new();
+        };
+        let src_shard = sh.shard;
+        let staged = std::mem::take(&mut sh.staged);
+        staged
+            .into_iter()
+            .map(|s| ShardEnvelope {
+                src_shard,
+                dst_shard: s.dst_shard,
+                seq: s.seq,
+                at: s.at,
+                payload: WireEnvelope {
+                    portal: s.portal,
+                    dst: s.dst,
+                    src: s.src,
+                    flight: s.flight,
+                    bytes: sh.arena.get(s.index).to_vec(),
+                },
+            })
+            .collect()
+    }
+
+    fn shard_inject(sim: &mut Sim<Network>, env: ShardEnvelope<WireEnvelope>) {
+        let at = env.at;
+        let WireEnvelope {
+            portal,
+            dst,
+            src,
+            flight,
+            bytes,
+        } = env.payload;
+        let (lan_id, recipients) = {
+            let w = sim.world();
+            let Some(sh) = w.sharding.as_ref() else {
+                return;
+            };
+            let Some(&lan_id) = sh.lan_of_portal.get(&portal) else {
+                debug_assert!(false, "envelope for unknown portal {portal}");
+                return;
+            };
+            // The trunk is lossless and its delay is already baked into
+            // `at`, so delivery needs no medium draws here — and must not
+            // make any: cross-shard traffic never touches this shard's
+            // RNG stream.
+            let lan = &w.lans[lan_id.0];
+            let mut found = Vec::new();
+            for key in lan.recipients(dst, src) {
+                if let Some((h, i)) = w.resolve_attachment(key) {
+                    found.push((h, i));
+                }
+            }
+            (lan_id, found)
+        };
+        if recipients.is_empty() {
+            return;
+        }
+        let bytes = PacketBytes::from_vec(bytes).with_flight(flight);
+        for (h, i) in recipients {
+            let copy = bytes.clone();
+            sim.schedule_at(at, move |sim| deliver_frame(sim, h, i, lan_id, copy));
+        }
+    }
+
+    fn at_barrier(sim: &mut Sim<Network>) {
+        let w = sim.world_mut();
+        if let Some(sh) = w.sharding.as_mut() {
+            if !sh.arena.is_empty() {
+                sh.arena.reset();
+                sh.arena_resets.inc();
+            }
+        }
+    }
+}
 
 impl Network {
     /// Creates an empty world.
@@ -181,6 +423,14 @@ pub fn register_metrics(sim: &mut NetSim) {
         if let Some(plan) = &lan.fault {
             plan.register_metrics(&registry.scope(format!("lan.{}", lan.name())));
         }
+    }
+    // Sharded worlds count staging-arena recycles; merged snapshots sum
+    // the per-shard cells under the one `pktbuf/arena_resets` id.
+    if let Some(sh) = &w.sharding {
+        registry.register(
+            "pktbuf/arena_resets",
+            MetricCell::Counter(sh.arena_resets.clone()),
+        );
     }
 }
 
@@ -630,6 +880,11 @@ pub(crate) fn transmit_wire(
                     deliveries.push((h, i, delay, verdict));
                 }
             }
+            // Portal segments also reach the peer shards' attachments,
+            // one (fixed) trunk delay later, via the barrier exchange.
+            if w.sharding.is_some() {
+                stage_cross_shard(w, lan_id, now, tx_time, dst, src_mac, &wire);
+            }
             Some(Tx {
                 deliveries,
                 lan: lan_id,
@@ -1049,6 +1304,68 @@ mod tests {
             Some(mac_a),
             "gratuitous ARP voided the stale entry across the wire"
         );
+    }
+
+    #[test]
+    fn frames_flow_across_shards_via_portal() {
+        // Two single-host shards joined by a backbone portal: a
+        // gratuitous ARP broadcast from shard 0 must land in shard 1's
+        // ARP cache — and identically at every thread count.
+        use mosquitonet_sim::{run_sharded, SimDuration};
+
+        let addr = Ipv4Addr::new(36, 135, 0, 9);
+        let run = |threads: usize| {
+            let build = |shard: u32| {
+                let mut net = Network::new();
+                net.enable_sharding(shard, 2);
+                let h = net.add_host(if shard == 0 { "a" } else { "b" });
+                let iface = net.hosts[h.0].core.add_iface(presets::wired_ethernet(
+                    "eth0",
+                    MacAddr::from_index(shard + 1),
+                ));
+                let lan = net.add_lan(presets::backbone_trunk("backbone", presets::TRUNK_ONE_WAY));
+                net.attach(h, iface, lan);
+                net.add_portal(lan, 7);
+                let mut sim = Sim::new(net);
+                bring_iface_up(&mut sim, h, iface);
+                if shard == 0 {
+                    sim.schedule_in(SimDuration::from_millis(1), move |sim| {
+                        let mac = MacAddr::from_index(1);
+                        let g = ArpPacket::gratuitous(mac, Ipv4Addr::new(36, 135, 0, 9));
+                        let frame =
+                            Frame::new(MacAddr::BROADCAST, mac, EtherType::Arp, g.to_bytes());
+                        transmit_frame(sim, h, iface, frame, mosquitonet_sim::NO_FLIGHT);
+                    });
+                }
+                sim
+            };
+            let deadline = SimTime::ZERO + SimDuration::from_millis(100);
+            run_sharded(
+                2,
+                threads,
+                presets::TRUNK_ONE_WAY,
+                deadline,
+                build,
+                |_shard, sim: Sim<Network>| {
+                    let w = sim.world();
+                    let learned = w.hosts[0].core.arp[0].lookup(addr);
+                    (learned, w.arena_resets())
+                },
+            )
+        };
+        for threads in [1, 2] {
+            let results = run(threads);
+            assert_eq!(
+                results[1].0,
+                Some(MacAddr::from_index(1)),
+                "broadcast crossed the portal at {threads} thread(s)"
+            );
+            assert_eq!(results[0].0, None, "sender learned nothing");
+            assert!(
+                results[0].1 >= 1,
+                "shard 0 recycled its staging arena at a barrier"
+            );
+        }
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //!
 //! Usage:
 //!   inspect journeys [--dropped] [file-or-experiment]
-//!   inspect blackout [file-or-experiment]
-//!   inspect top-hops [file-or-experiment]
+//!   inspect blackout [--json] [file-or-experiment]
+//!   inspect top-hops [--json] [file-or-experiment]
+//!
+//! `--json` emits a structured `mosquitonet.inspect/v1` document instead
+//! of the plain-text table, so CI can diff machine-readable output.
 //!
 //! The target may be a path to a sidecar file or an experiment-name
 //! prefix (e.g. `c5`), resolved against `MOSQUITONET_METRICS_DIR`
@@ -19,7 +22,11 @@ use mosquitonet_sim::Json;
 use mosquitonet_testbed::report::JOURNEYS_SIDECAR_SCHEMA;
 
 const USAGE: &str =
-    "usage: inspect <journeys [--dropped] | blackout | top-hops> [file-or-experiment]";
+    "usage: inspect <journeys [--dropped] | blackout [--json] | top-hops [--json]> \
+     [file-or-experiment]";
+
+/// Schema tag stamped into every `--json` output document.
+const INSPECT_SCHEMA: &str = "mosquitonet.inspect/v1";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,10 +35,13 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let mut dropped_only = false;
+    let mut json_mode = false;
     let mut target: Option<&str> = None;
     for a in &args[1..] {
         if a == "--dropped" {
             dropped_only = true;
+        } else if a == "--json" {
+            json_mode = true;
         } else if target.is_none() {
             target = Some(a);
         } else {
@@ -41,6 +51,10 @@ fn main() -> ExitCode {
     }
     if dropped_only && cmd != "journeys" {
         eprintln!("--dropped only applies to `journeys`\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    if json_mode && cmd != "blackout" && cmd != "top-hops" {
+        eprintln!("--json only applies to `blackout` and `top-hops`\n{USAGE}");
         return ExitCode::from(2);
     }
     let path = match resolve(target) {
@@ -65,6 +79,8 @@ fn main() -> ExitCode {
         .to_string();
     let out = match cmd.as_str() {
         "journeys" => render_journeys(&experiment, &journeys, dropped_only),
+        "blackout" if json_mode => json_blackout(&experiment, &journeys),
+        "top-hops" if json_mode => json_top_hops(&experiment, &journeys),
         "blackout" => render_blackout(&experiment, &journeys),
         "top-hops" => render_top_hops(&experiment, &journeys),
         other => {
@@ -227,6 +243,33 @@ fn render_blackout(experiment: &str, j: &Json) -> String {
         _ => out.push_str("no blackout recorded\n"),
     }
     out
+}
+
+/// Structured `blackout` output: the sidecar's blackout member (or
+/// `null`) wrapped in a schema-tagged envelope. Pretty-rendered, so CI
+/// diffs it like any other sidecar.
+fn json_blackout(experiment: &str, j: &Json) -> String {
+    let blackout = j.get("blackout").cloned().unwrap_or(Json::Null);
+    let doc = Json::obj([
+        ("schema", Json::from(INSPECT_SCHEMA)),
+        ("command", Json::from("blackout")),
+        ("experiment", Json::from(experiment)),
+        ("blackout", blackout),
+    ]);
+    format!("{}\n", doc.render_pretty().trim_end())
+}
+
+/// Structured `top-hops` output: the sidecar's per-(host, action) hop
+/// counts in their deterministic export order.
+fn json_top_hops(experiment: &str, j: &Json) -> String {
+    let rows = j.get("top_hops").cloned().unwrap_or_else(|| Json::arr([]));
+    let doc = Json::obj([
+        ("schema", Json::from(INSPECT_SCHEMA)),
+        ("command", Json::from("top-hops")),
+        ("experiment", Json::from(experiment)),
+        ("top_hops", rows),
+    ]);
+    format!("{}\n", doc.render_pretty().trim_end())
 }
 
 fn render_top_hops(experiment: &str, j: &Json) -> String {

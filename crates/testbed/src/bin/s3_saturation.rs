@@ -5,10 +5,21 @@
 //! ns/packet, per-hop counter deltas) in a byte-stable
 //! `mosquitonet.bench/v1` sidecar, plus wall-clock Mpps in a separate
 //! `BENCH_s3.json` artifact that is never golden-diffed.
-//! Usage: `s3_saturation [pairs] [burst] [ticks] [seed] [batching(0|1)]`.
+//!
+//! Also runs the *sharded* S3 variant — four campus domains joined by a
+//! backbone trunk, stepped on `threads` worker threads — and writes its
+//! bench / journeys / metrics sidecars. Those three documents are
+//! byte-identical at every thread count, which is exactly what the CI
+//! `s3-smoke` matrix diffs; only the wall rows in `BENCH_s3.json` vary.
+//!
+//! Usage: `s3_saturation [pairs] [burst] [ticks] [seed] [batching(0|1)] [threads]`.
 
 use mosquitonet_sim::Json;
 use mosquitonet_testbed::{experiments, report};
+
+/// Shard count for the sharded variant; 1, 2, and 4 threads all divide
+/// it evenly, so the CI matrix exercises every ownership split.
+const SHARDS: u32 = 4;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -32,6 +43,8 @@ fn main() {
             .unwrap_or(defaults.seed),
         batching: args.next().map(|a| a != "0").unwrap_or(defaults.batching),
     };
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+
     let result = experiments::run_s3(&cfg);
     print!("{}", report::render_s3(&result));
 
@@ -40,13 +53,30 @@ fn main() {
         Err(e) => eprintln!("warning: could not write bench sidecar: {e}"),
     }
 
+    let sharded = experiments::run_s3_sharded(&cfg, SHARDS, threads);
+    print!("{}", report::render_s3_sharded(&sharded));
+    match report::write_bench_sidecar("s3_sharded", &sharded.to_json()) {
+        Ok(path) => eprintln!("bench sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write sharded bench sidecar: {e}"),
+    }
+    match report::write_journeys_sidecar("s3_sharded", &sharded.journeys) {
+        Ok(path) => eprintln!("journeys sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write sharded journeys sidecar: {e}"),
+    }
+    match report::write_metrics_sidecar("s3_sharded", &sharded.metrics) {
+        Ok(path) => eprintln!("metrics sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write sharded metrics sidecar: {e}"),
+    }
+
     // The wall-clock companion: deterministic body plus real elapsed
-    // rates, for the CI `BENCH_s3.json` artifact.
+    // rates, for the CI `BENCH_s3.json` artifact. The `sharded_wall`
+    // entry is the scaling row for this run's thread count.
     let wall = Json::obj([
         ("schema", Json::from("mosquitonet.bench-wall/v1")),
         ("experiment", Json::from("s3_saturation")),
         ("bench", result.to_json()),
         ("wall", result.wall_json()),
+        ("sharded_wall", sharded.wall_json()),
     ]);
     let dir = std::env::var_os("MOSQUITONET_METRICS_DIR")
         .map(std::path::PathBuf::from)

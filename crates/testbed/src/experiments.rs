@@ -12,7 +12,8 @@ use mosquitonet_core::{AddressPlan, RegistrationRequest, SendMode, SwitchPlan, S
 use mosquitonet_dhcp::{DhcpClientModule, ReusePolicy};
 use mosquitonet_link::{presets, FaultKind, FaultPlan, HostFaultEvent, HostFaultPlan};
 use mosquitonet_sim::{
-    CapturedFrame, Histogram, Json, MetricsRegistry, Sim, SimDuration, SimTime, Summary,
+    run_sharded, shard_seed, CapturedFrame, FlightDump, FlightRecorder, Histogram, Json,
+    MetricsRegistry, Sim, SimDuration, SimTime, Snapshot, Summary,
 };
 use mosquitonet_stack::{self as stack, ModuleId, Network, RouteEntry, SendOptions};
 use mosquitonet_wire::{Cidr, IpProto, Ipv4Header, Ipv4Packet, MacAddr};
@@ -2254,6 +2255,461 @@ pub fn run_s3(cfg: &S3Config) -> S3Result {
         .map(|mode| run_s3_mode(mode, cfg).0)
         .collect();
     S3Result { cfg: *cfg, rows }
+}
+
+// ------------------------------------------------------- S3 (sharded)
+
+/// Hosts per shard in the sharded saturation topology (gw, src, dst) —
+/// also the host-index stride for the merged flight-recorder name table.
+const S3_SHARD_HOSTS: u32 = 3;
+
+/// Settle window before the measured senders start: long enough for the
+/// ARP primers to warm every path, including across the backbone.
+const S3_SHARD_PRIME: SimDuration = SimDuration::from_millis(600);
+
+/// The global portal id of the backbone segment.
+const S3_BACKBONE_PORTAL: u32 = 0;
+
+/// Campus subnet of shard `s`: `10.{s}.0.0/24`.
+fn s3_campus_subnet(s: u32) -> Cidr {
+    format!("10.{s}.0.0/24").parse().expect("cidr")
+}
+
+/// Addresses on shard `s`'s campus net: gateway `.1`, source `.2`,
+/// sink `.3`.
+fn s3_campus_addr(s: u32, host: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, s as u8, 0, host)
+}
+
+/// Shard `s`'s gateway address on the shared backbone: `10.99.0.{s+1}`.
+fn s3_backbone_addr(s: u32) -> Ipv4Addr {
+    Ipv4Addr::new(10, 99, 0, s as u8 + 1)
+}
+
+/// Shard `s`'s gateway MAC on the backbone (the portal MAC directory
+/// steers unicast envelopes by it).
+fn s3_backbone_mac(s: u32) -> MacAddr {
+    MacAddr::from_index(s * 16 + 2)
+}
+
+/// What one shard's `finish` hook hands back across the thread
+/// boundary: plain counters, a metrics snapshot, and the shard's
+/// flight-recorder segment — everything the merge needs, nothing that
+/// isn't `Send`.
+struct S3ShardOut {
+    names: Vec<String>,
+    snapshot: Snapshot,
+    dump: FlightDump,
+    sent: u64,
+    delivered: u64,
+    bytes: u64,
+    deliveries: u64,
+    max_batch: u64,
+    first: Option<SimTime>,
+    last: Option<SimTime>,
+    src_output: u64,
+    src_encapsulated: u64,
+    gw_forwarded: u64,
+    gw_decapsulated: u64,
+    events: u64,
+    batches: u64,
+    arena_resets: u64,
+}
+
+/// The sharded S3 result: the aggregated row plus the merged sidecar
+/// documents. Everything except `row.wall_ns` is deterministic and
+/// byte-identical for any `threads` from 1 to `shards`.
+#[derive(Debug)]
+pub struct S3ShardedResult {
+    /// The configuration measured.
+    pub cfg: S3Config,
+    /// Shard count the topology was partitioned into.
+    pub shards: u32,
+    /// Worker threads the run actually used.
+    pub threads: usize,
+    /// Aggregated measurement row (mode key `sharded`).
+    pub row: S3Row,
+    /// Merged flight-recorder journeys document.
+    pub journeys: Json,
+    /// Merged metrics snapshot document.
+    pub metrics: Json,
+    /// Cross-shard staging-arena recycles, summed over shards.
+    pub arena_resets: u64,
+}
+
+impl S3ShardedResult {
+    /// The deterministic bench-sidecar body: parameters, the aggregated
+    /// row, and the envelope-arena counter. Byte-identical for a fixed
+    /// config at every thread count (the CI matrix diffs exactly this).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("pairs", Json::from(self.cfg.pairs)),
+            ("burst", Json::from(self.cfg.burst)),
+            ("ticks", Json::from(self.cfg.ticks)),
+            ("tick_ms", Json::UInt(S3_TICK_MS)),
+            ("payload_len", Json::UInt(S3_PAYLOAD_LEN as u64)),
+            ("seed", Json::UInt(self.cfg.seed)),
+            ("batching", Json::from(self.cfg.batching)),
+            ("shards", Json::from(self.shards)),
+            ("arena_resets", Json::UInt(self.arena_resets)),
+            ("row", self.row.to_json()),
+        ])
+    }
+
+    /// The wall-clock companion (for the `BENCH_s3.json` scaling rows):
+    /// real elapsed time at the thread count this run used.
+    /// Nondeterministic by nature — never diffed against a golden.
+    pub fn wall_json(&self) -> Json {
+        let r = &self.row;
+        let wall_pps = if r.wall_ns > 0 {
+            (r.delivered as u128 * 1_000_000_000 / r.wall_ns as u128) as u64
+        } else {
+            0
+        };
+        Json::obj([
+            ("mode", Json::from(r.mode)),
+            ("shards", Json::from(self.shards)),
+            ("threads", Json::UInt(self.threads as u64)),
+            ("wall_ns", Json::UInt(r.wall_ns)),
+            ("wall_pps", Json::UInt(wall_pps)),
+            (
+                "wall_ns_per_packet",
+                Json::UInt(r.wall_ns.checked_div(r.delivered).unwrap_or(0)),
+            ),
+        ])
+    }
+}
+
+/// Runs the sharded S3 saturation experiment: `shards` single-LAN campus
+/// domains, each with a gateway, a source host, and a sink host, joined
+/// by a fixed-latency backbone portal. Each campus pumps `cfg.pairs`
+/// saturation flows, alternating between its local sink (intra-shard)
+/// and the next campus's sink (cross-shard via the backbone) — the mixed
+/// local/remote split the determinism proptest leans on.
+///
+/// `threads` only chooses how many workers step the shards; every
+/// deterministic output (rows, journeys, metrics) is byte-identical
+/// across thread counts, which `tests/shard_determinism.rs` pins.
+pub fn run_s3_sharded(cfg: &S3Config, shards: u32, threads: usize) -> S3ShardedResult {
+    assert!(shards >= 2, "sharded S3 needs at least two campuses");
+    let deadline = SimTime::ZERO
+        + S3_SHARD_PRIME
+        + SimDuration::from_millis(S3_TICK_MS * cfg.ticks as u64)
+        + S3_DRAIN;
+
+    let build = |s: u32| -> Sim<Network> {
+        let mut net = Network::new();
+        net.enable_sharding(s, shards);
+        let backbone = net.add_lan(presets::backbone_trunk("backbone", presets::TRUNK_ONE_WAY));
+        let campus = net.add_lan(presets::ethernet_lan(format!("campus{s}")));
+        net.add_portal(backbone, S3_BACKBONE_PORTAL);
+        for t in 0..shards {
+            net.register_portal_mac(s3_backbone_mac(t), t);
+        }
+        let base = s * 16;
+
+        // Gateway: campus side + backbone side, forwarding between them.
+        let gw = net.add_host(format!("gw{s}"));
+        let gw_campus_if = net.host_mut(gw).core.add_iface(presets::wired_ethernet(
+            "eth0",
+            MacAddr::from_index(base + 1),
+        ));
+        let gw_bb_if = net
+            .host_mut(gw)
+            .core
+            .add_iface(presets::wired_ethernet("eth1", s3_backbone_mac(s)));
+        {
+            let core = &mut net.host_mut(gw).core;
+            core.forwarding = true;
+            core.iface_mut(gw_campus_if)
+                .add_addr(s3_campus_addr(s, 1), s3_campus_subnet(s));
+            core.iface_mut(gw_bb_if)
+                .add_addr(s3_backbone_addr(s), "10.99.0.0/24".parse().expect("cidr"));
+            core.routes.add(RouteEntry {
+                dest: s3_campus_subnet(s),
+                gateway: None,
+                iface: gw_campus_if,
+                metric: 0,
+            });
+            core.routes.add(RouteEntry {
+                dest: "10.99.0.0/24".parse().expect("cidr"),
+                gateway: None,
+                iface: gw_bb_if,
+                metric: 0,
+            });
+            for t in (0..shards).filter(|&t| t != s) {
+                core.routes.add(RouteEntry {
+                    dest: s3_campus_subnet(t),
+                    gateway: Some(s3_backbone_addr(t)),
+                    iface: gw_bb_if,
+                    metric: 0,
+                });
+            }
+        }
+        net.attach(gw, gw_campus_if, campus);
+        net.attach(gw, gw_bb_if, backbone);
+
+        // Source and sink hosts on the campus net.
+        let leaf = |net: &mut Network, name: String, mac: u32, addr: Ipv4Addr| {
+            let h = net.add_host(name);
+            let ifc = net
+                .host_mut(h)
+                .core
+                .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(mac)));
+            {
+                let core = &mut net.host_mut(h).core;
+                core.iface_mut(ifc).add_addr(addr, s3_campus_subnet(s));
+                core.routes.add(RouteEntry {
+                    dest: s3_campus_subnet(s),
+                    gateway: None,
+                    iface: ifc,
+                    metric: 0,
+                });
+                core.routes.add(RouteEntry {
+                    dest: "0.0.0.0/0".parse().expect("cidr"),
+                    gateway: Some(s3_campus_addr(s, 1)),
+                    iface: ifc,
+                    metric: 0,
+                });
+            }
+            net.attach(h, ifc, campus);
+            (h, ifc)
+        };
+        let (src, src_if) = leaf(&mut net, format!("src{s}"), base + 3, s3_campus_addr(s, 2));
+        let (dst, dst_if) = leaf(&mut net, format!("dst{s}"), base + 4, s3_campus_addr(s, 3));
+
+        let mut sim = Sim::with_seed(net, shard_seed(cfg.seed, s));
+        sim.set_batching(cfg.batching);
+        sim.flights_mut().set_enabled(true);
+        sim.flights_mut().set_flight_namespace(s);
+        if std::env::var_os("MOSQUITONET_PROFILE").is_some() {
+            let reg = sim.metrics().clone();
+            sim.profiler_mut()
+                .enable_with_prefix(&reg, format!("profile/shard/{s}"));
+        }
+        for (h, i) in [
+            (gw, gw_campus_if),
+            (gw, gw_bb_if),
+            (src, src_if),
+            (dst, dst_if),
+        ] {
+            stack::bring_iface_up(&mut sim, h, i);
+        }
+        sim.run();
+        stack::start(&mut sim);
+
+        // Sinks for every pair port: even pairs feed from the local
+        // source, odd pairs from the previous campus across the trunk.
+        for i in 0..cfg.pairs {
+            let port = S3_PORT_BASE + i as u16;
+            stack::add_module(&mut sim, dst, Box::new(SaturationSink::new(port)));
+        }
+        // ARP primers: one throwaway datagram to the local sink and one
+        // to the next campus's sink (the ICMP port-unreachable replies
+        // warm the reverse paths too).
+        let next = (s + 1) % shards;
+        for target in [s3_campus_addr(s, 3), s3_campus_addr(next, 3)] {
+            let primer = SaturationSender::new(
+                (target, S3_PORT_BASE - 1),
+                1,
+                SimDuration::from_millis(1),
+                1,
+            );
+            stack::add_module(&mut sim, src, Box::new(primer));
+        }
+        // The measured senders start after the priming window.
+        let (pairs, burst, ticks) = (cfg.pairs, cfg.burst, cfg.ticks);
+        sim.schedule_at(SimTime::ZERO + S3_SHARD_PRIME, move |sim| {
+            for i in 0..pairs {
+                let target = if i % 2 == 0 {
+                    s3_campus_addr(s, 3)
+                } else {
+                    s3_campus_addr(next, 3)
+                };
+                let mut sender = SaturationSender::new(
+                    (target, S3_PORT_BASE + i as u16),
+                    burst,
+                    SimDuration::from_millis(S3_TICK_MS),
+                    ticks,
+                );
+                sender.payload_len = S3_PAYLOAD_LEN;
+                stack::add_module(sim, src, Box::new(sender));
+            }
+        });
+        sim
+    };
+
+    let finish = |s: u32, mut sim: Sim<Network>| -> S3ShardOut {
+        let events = sim.events_executed();
+        let batches = if cfg.batching {
+            sim.batches_executed()
+        } else {
+            events
+        };
+        let snapshot = sim.metrics().snapshot();
+        let dump = sim.flights().dump(s, s * S3_SHARD_HOSTS);
+        let arena_resets = sim.world().arena_resets();
+        let names: Vec<String> = sim
+            .world()
+            .hosts
+            .iter()
+            .map(|h| h.core.name.clone())
+            .collect();
+        let mut out = S3ShardOut {
+            names,
+            snapshot,
+            dump,
+            sent: 0,
+            delivered: 0,
+            bytes: 0,
+            deliveries: 0,
+            max_batch: 0,
+            first: None,
+            last: None,
+            src_output: 0,
+            src_encapsulated: 0,
+            gw_forwarded: 0,
+            gw_decapsulated: 0,
+            events,
+            batches,
+            arena_resets,
+        };
+        let w = sim.world_mut();
+        for h in 0..w.hosts.len() {
+            let host = &mut w.hosts[h];
+            // Host order per shard is fixed: gw, src, dst.
+            match h {
+                0 => {
+                    out.gw_forwarded += host.core.stats.forwarded.get();
+                    out.gw_decapsulated += host.core.stats.decapsulated.get();
+                }
+                1 => {
+                    out.src_output += host.core.stats.ip_output.get();
+                    out.src_encapsulated += host.core.stats.encapsulated.get();
+                }
+                _ => {}
+            }
+            for m in 0..host.module_count() {
+                let mid = ModuleId(m);
+                if let Some(snd) = host.module_mut::<SaturationSender>(mid) {
+                    // Skip the ARP primers (they target the spare port).
+                    if snd.dst.1 >= S3_PORT_BASE {
+                        out.sent += snd.sent;
+                    }
+                } else if let Some(snk) = host.module_mut::<SaturationSink>(mid) {
+                    out.delivered += snk.datagrams;
+                    out.bytes += snk.bytes;
+                    out.deliveries += snk.deliveries;
+                    out.max_batch = out.max_batch.max(snk.max_batch);
+                    out.first = match (out.first, snk.first_at) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                    out.last = match (out.last, snk.last_at) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        (a, b) => a.or(b),
+                    };
+                }
+            }
+        }
+        out
+    };
+
+    let wall_start = std::time::Instant::now();
+    let outs = run_sharded(
+        shards,
+        threads,
+        presets::TRUNK_ONE_WAY,
+        deadline,
+        build,
+        finish,
+    );
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+
+    // Deterministic merges: metrics snapshots union-and-sum, flight
+    // segments interleave by (time, shard, seq), host names concatenate
+    // in shard order (matching the `host_base` offsets above).
+    let mut names = Vec::new();
+    let mut snapshots = Vec::new();
+    let mut dumps = Vec::new();
+    let (mut sent, mut delivered, mut bytes, mut deliveries, mut max_batch) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let (mut first, mut last): (Option<SimTime>, Option<SimTime>) = (None, None);
+    let (mut src_output, mut src_encapsulated) = (0u64, 0u64);
+    let (mut gw_forwarded, mut gw_decapsulated) = (0u64, 0u64);
+    let (mut events, mut batches, mut arena_resets) = (0u64, 0u64, 0u64);
+    for out in outs {
+        names.extend(out.names);
+        snapshots.push(out.snapshot);
+        dumps.push(out.dump);
+        sent += out.sent;
+        delivered += out.delivered;
+        bytes += out.bytes;
+        deliveries += out.deliveries;
+        max_batch = max_batch.max(out.max_batch);
+        first = match (first, out.first) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        last = match (last, out.last) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        src_output += out.src_output;
+        src_encapsulated += out.src_encapsulated;
+        gw_forwarded += out.gw_forwarded;
+        gw_decapsulated += out.gw_decapsulated;
+        events += out.events;
+        batches += out.batches;
+        arena_resets += out.arena_resets;
+    }
+
+    let span_ns = match (first, last) {
+        (Some(f), Some(l)) if l > f => (l - f).as_nanos(),
+        _ => 0,
+    };
+    let pps = if span_ns > 0 {
+        (delivered as u128 * 1_000_000_000 / span_ns as u128) as u64
+    } else {
+        0
+    };
+    let ns_per_packet = if delivered > 0 && span_ns > 0 {
+        span_ns / delivered
+    } else {
+        0
+    };
+
+    let row = S3Row {
+        mode: "sharded",
+        sent,
+        delivered,
+        bytes,
+        deliveries,
+        max_batch,
+        // The src/gw counters include the two ARP primers per shard —
+        // deterministic, and identical at every thread count.
+        mh_output: src_output,
+        mh_encapsulated: src_encapsulated,
+        ha_forwarded: gw_forwarded,
+        ha_decapsulated: gw_decapsulated,
+        events,
+        batches,
+        span_ns,
+        pps,
+        ns_per_packet,
+        wall_ns,
+    };
+    let journeys = FlightRecorder::merged(dumps).export(&names, None);
+    let metrics = Snapshot::merged(snapshots).to_json();
+    S3ShardedResult {
+        cfg: *cfg,
+        shards,
+        threads,
+        row,
+        journeys,
+        metrics,
+        arena_resets,
+    }
 }
 
 // ---------------------------------------------------------------- C5

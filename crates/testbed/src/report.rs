@@ -630,6 +630,42 @@ pub fn render_s3(r: &crate::experiments::S3Result) -> String {
     out
 }
 
+/// Renders the sharded S3 run: the aggregated row plus the partition
+/// and threading parameters. Everything except the wall columns is
+/// byte-identical across thread counts.
+pub fn render_s3_sharded(r: &crate::experiments::S3ShardedResult) -> String {
+    let mut out = String::new();
+    hr(
+        &mut out,
+        "S3 (sharded) — parallel campus domains over a backbone trunk",
+    );
+    let _ = writeln!(
+        out,
+        "  {} shards x {} pairs, {} datagrams per 10 ms tick x {} ticks, \
+         seed {}, {} thread(s)",
+        r.shards, r.cfg.pairs, r.cfg.burst, r.cfg.ticks, r.cfg.seed, r.threads,
+    );
+    let row = &r.row;
+    let wall_mpps = if row.wall_ns > 0 {
+        row.delivered as f64 * 1_000.0 / row.wall_ns as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "  sent {}  delivered {}  events {}  batches {}  vpps {}  \
+         ns/pkt(v) {}  Mpps(wall) {:.3}",
+        row.sent, row.delivered, row.events, row.batches, row.pps, row.ns_per_packet, wall_mpps,
+    );
+    let _ = writeln!(
+        out,
+        "  envelope-arena resets {}  (cross-shard staging buffers recycled \
+         at barriers)",
+        r.arena_resets,
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

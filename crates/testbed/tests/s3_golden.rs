@@ -13,8 +13,8 @@
 //! ```
 //! and review the diff like any other golden change.
 
-use mosquitonet_testbed::experiments::{run_s3, S3Config};
-use mosquitonet_testbed::report::bench_sidecar;
+use mosquitonet_testbed::experiments::{run_s3, run_s3_sharded, S3Config};
+use mosquitonet_testbed::report::{bench_sidecar, journeys_sidecar, metrics_sidecar};
 
 /// CI's smoke-scale parameters: `s3_saturation 2 8 10 1996`.
 const SMOKE: S3Config = S3Config {
@@ -80,6 +80,59 @@ fn s3_export_matches_golden_and_saturates_cleanly() {
         "S3 bench export drifted from the golden file; if intentional, \
          regenerate with UPDATE_GOLDEN=1"
     );
+}
+
+/// The sharded variant's three sidecars at CI's smoke parameters
+/// (`s3_saturation 2 8 10 1996 1 <threads>`, 4 shards). CI runs the
+/// binary at 1, 2, and 4 worker threads and diffs all of them against
+/// these same goldens, so this test pins single-thread output and the
+/// `shard_determinism` proptest carries the identity to other thread
+/// counts.
+#[test]
+fn s3_sharded_exports_match_goldens_and_saturate_cleanly() {
+    let result = run_s3_sharded(&SMOKE, 4, 1);
+
+    let per_shard = u64::from(SMOKE.pairs) * u64::from(SMOKE.burst) * u64::from(SMOKE.ticks);
+    assert_eq!(
+        result.row.sent,
+        per_shard * 4,
+        "every campus pumps every tick"
+    );
+    assert_eq!(
+        result.row.delivered, result.row.sent,
+        "the drain window must land every queued frame, local and cross-shard"
+    );
+    assert!(
+        result.arena_resets > 0,
+        "cross-shard staging must recycle the envelope arena"
+    );
+
+    for (name, rendered) in [
+        (
+            "s3_sharded.bench.json",
+            bench_sidecar("s3_sharded", &result.to_json()).render_pretty(),
+        ),
+        (
+            "s3_sharded.journeys.json",
+            journeys_sidecar("s3_sharded", &result.journeys).render_pretty(),
+        ),
+        (
+            "s3_sharded.metrics.json",
+            metrics_sidecar("s3_sharded", &result.metrics).render_pretty(),
+        ),
+    ] {
+        let golden_path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::write(&golden_path, &rendered).expect("update golden");
+        }
+        let golden = std::fs::read_to_string(&golden_path)
+            .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+        assert_eq!(
+            rendered, golden,
+            "{name} drifted from the golden file; if intentional, \
+             regenerate with UPDATE_GOLDEN=1"
+        );
+    }
 }
 
 /// Two same-seed runs must produce byte-identical bench sidecars.

@@ -61,6 +61,6 @@ pub use ipv4::{IpProto, Ipv4Header, Ipv4Packet, IPV4_HEADER_LEN};
 pub use lpm::LpmTrie;
 pub use mac::{keyed_mac, AuthTlv, AUTH_TLV_LEN, AUTH_TLV_TYPE};
 pub use pcap::{PcapFrame, PcapReader, PcapWriter};
-pub use pktbuf::{pool_size, PacketBuf, PacketBytes};
+pub use pktbuf::{pool_size, EnvelopeArena, PacketBuf, PacketBytes};
 pub use tcpseg::{TcpFlags, TcpSegment};
 pub use udp::UdpDatagram;

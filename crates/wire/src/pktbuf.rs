@@ -204,6 +204,74 @@ impl BufMut for PacketBuf {
     }
 }
 
+/// A per-window bump arena for cross-shard envelope staging.
+///
+/// The sharded engine stages every frame that crosses a shard boundary
+/// during a synchronization window, then drains the batch at the
+/// barrier. Staging each frame into its own `Vec` would pay one
+/// allocation per crossing; the arena instead bumps all of a window's
+/// frames into one backing vector (grown once, then reused forever) and
+/// hands out `(offset, len)` ranges. [`EnvelopeArena::reset`] at the
+/// barrier rewinds the bump pointer without releasing capacity; the
+/// world mirrors the reset count into the `pktbuf/arena_resets` counter.
+#[derive(Debug, Default)]
+pub struct EnvelopeArena {
+    buf: Vec<u8>,
+    /// `(start, len)` of each staged envelope, in staging order.
+    marks: Vec<(usize, usize)>,
+    resets: u64,
+}
+
+impl EnvelopeArena {
+    /// Creates an empty arena.
+    pub fn new() -> EnvelopeArena {
+        EnvelopeArena::default()
+    }
+
+    /// Copies `bytes` into the arena and returns its staging index
+    /// (dense, starting at 0 after each reset).
+    pub fn stage(&mut self, bytes: &[u8]) -> usize {
+        let start = self.buf.len();
+        self.buf.extend_from_slice(bytes);
+        self.marks.push((start, bytes.len()));
+        self.marks.len() - 1
+    }
+
+    /// The bytes staged at `index`.
+    pub fn get(&self, index: usize) -> &[u8] {
+        let (start, len) = self.marks[index];
+        &self.buf[start..start + len]
+    }
+
+    /// Number of envelopes staged since the last reset.
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+
+    /// Rewinds the bump pointer, keeping the grown capacity for the next
+    /// window, and counts the reset.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.marks.clear();
+        self.resets += 1;
+    }
+
+    /// Barriers survived (i.e. [`EnvelopeArena::reset`] calls).
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Byte capacity currently retained (diagnostics).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+}
+
 /// The shared backing store of a frozen buffer; returns its vector to the
 /// pool when the last [`PacketBytes`] clone drops.
 struct PooledVec {
@@ -377,6 +445,25 @@ mod tests {
         let copy = PacketBytes::from_vec(frozen.to_vec());
         assert_eq!(copy.flight(), 0, "fresh copies start untracked");
         assert_eq!(copy.with_flight(42).flight(), 42);
+    }
+
+    #[test]
+    fn arena_stages_resets_and_keeps_capacity() {
+        let mut a = EnvelopeArena::new();
+        assert!(a.is_empty());
+        let i = a.stage(b"frame-one");
+        let j = a.stage(b"two");
+        assert_eq!((i, j), (0, 1));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(0), b"frame-one");
+        assert_eq!(a.get(1), b"two");
+        let cap = a.capacity();
+        a.reset();
+        assert!(a.is_empty());
+        assert_eq!(a.resets(), 1);
+        assert_eq!(a.capacity(), cap, "reset keeps the grown backing store");
+        assert_eq!(a.stage(b"next-window"), 0, "indices restart per window");
+        assert_eq!(a.get(0), b"next-window");
     }
 
     #[test]
