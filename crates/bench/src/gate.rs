@@ -319,6 +319,40 @@ pub fn run_sharded_saturation(c: &mut Criterion) -> Vec<(String, f64)> {
     results
 }
 
+/// The S2 sharded home-agent fleet registration path, gated as wall
+/// nanoseconds per accepted registration (the id names the user-facing
+/// rate, like the `s3/pps_*` ids, but the stored number is ns/op so the
+/// gate's higher-is-worse comparison applies). Each iteration drives a
+/// tiny two-shard fleet — directory resolution, wrong-shard detours,
+/// batched HA service, standby replication — end to end.
+pub fn run_fleet_registration(c: &mut Criterion) -> Vec<(String, f64)> {
+    use mosquitonet_testbed::experiments::{run_s2, S2Config};
+
+    let cfg = S2Config {
+        shards: 2,
+        mobile_hosts: 50,
+        burst: 2,
+        ticks: 5,
+        seed: 1996,
+        batching: true,
+    };
+    let id = "s2/regs_per_sec";
+    let mut accepted = 0u64;
+    let med = c.bench_function(id, |b| {
+        b.iter(|| {
+            let r = run_s2(black_box(&cfg), 1);
+            accepted = r.row.accepted;
+            r.row.accepted
+        })
+    });
+    if med > 0.0 {
+        assert!(accepted > 0, "fleet fixture must accept registrations");
+        vec![(id.to_string(), med / accepted as f64)]
+    } else {
+        vec![(id.to_string(), 0.0)]
+    }
+}
+
 /// Every gated benchmark, in baseline order.
 pub fn run_all(c: &mut Criterion) -> Vec<(String, f64)> {
     let mut results = run_route_policy(c);
@@ -328,5 +362,6 @@ pub fn run_all(c: &mut Criterion) -> Vec<(String, f64)> {
     results.extend(run_mac(c));
     results.extend(run_flightrec(c));
     results.extend(run_saturation(c));
+    results.extend(run_fleet_registration(c));
     results
 }

@@ -33,6 +33,16 @@
 //! or tunnel to hosts it is not serving — until a mobile host fails over
 //! and registers with it directly, at which point the normal accept path
 //! installs proxy ARP, the tunnel, and the gratuitous ARP takeover.
+//!
+//! # Fleet membership
+//!
+//! In a sharded home-agent fleet (`docs/ha_fleet.md`), each agent is
+//! one shard's active (or standby) and owns only the home addresses the
+//! [`ShardDirectory`] assigns to its shard. A `fleet`-configured agent
+//! denies off-shard registrations with `DeniedUnknownHome` before
+//! touching its table, so no journal ever records a binding another
+//! shard owns — the invariant that keeps per-shard replica streams and
+//! anti-replay floors in lock-step without cross-shard coordination.
 
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
@@ -44,6 +54,7 @@ use mosquitonet_stack::{Effect, IfaceId, Module, ModuleCtx, SocketId, UdpBatchIt
 use mosquitonet_wire::Cidr;
 
 use crate::binding::{BindOutcome, BindingTable};
+use crate::fleet::ShardDirectory;
 use crate::journal::{BindingJournal, JournalRecord};
 use crate::messages::{
     classify, BindingReplica, BindingUpdate, MessageKind, RegistrationReply, RegistrationRequest,
@@ -79,6 +90,13 @@ pub struct HomeAgentConfig {
     /// Replicate every accepted binding mutation to this standby home
     /// agent (its registration port). `None` disables replication.
     pub replicate_to: Option<Ipv4Addr>,
+    /// Fleet membership: this agent's shard id plus the fleet's shard
+    /// directory. When set, registrations for home addresses the
+    /// directory assigns to a *different* shard are denied with
+    /// `DeniedUnknownHome` (and counted), so each shard's journal only
+    /// ever holds bindings it owns. `None` means the paper's standalone
+    /// single-agent deployment.
+    pub fleet: Option<(u16, ShardDirectory)>,
 }
 
 impl HomeAgentConfig {
@@ -95,6 +113,7 @@ impl HomeAgentConfig {
             require_auth: false,
             notify_previous: false,
             replicate_to: None,
+            fleet: None,
         }
     }
 }
@@ -144,6 +163,9 @@ pub struct HomeAgent {
     /// Authenticated registrations denied because the identification did
     /// not advance past the replay window (replayed requests).
     pub auth_replays: Counter,
+    /// Registrations denied because the shard directory assigns the
+    /// home address to a different fleet shard.
+    pub wrong_shard: Counter,
     /// Binding replicas forwarded to the standby.
     pub replicas_sent: Counter,
     /// Binding replicas applied from the primary.
@@ -176,6 +198,7 @@ impl HomeAgent {
             corrupt_requests: Counter::default(),
             auth_failures: Counter::default(),
             auth_replays: Counter::default(),
+            wrong_shard: Counter::default(),
             replicas_sent: Counter::default(),
             replicas_applied: Counter::default(),
             journal_replayed: Counter::default(),
@@ -330,6 +353,22 @@ impl HomeAgent {
         if req.home_agent != self.cfg.addr || !self.cfg.home_subnet.contains(req.home_addr) {
             self.reply(ctx, reply_to, ReplyCode::DeniedUnknownHome, 0, &req);
             return;
+        }
+        // Fleet membership: serve only the home addresses the shard
+        // directory assigns to this shard. Accepting an off-shard
+        // binding would fork it out of the owner's replica stream and
+        // journal, so the denial comes before any table mutation.
+        if let Some((own_shard, directory)) = &self.cfg.fleet {
+            let owner = directory.resolve(req.home_addr);
+            if owner != *own_shard {
+                self.wrong_shard.inc();
+                ctx.fx.trace(format!(
+                    "drop.wrong_shard: {} is owned by fleet shard {owner}",
+                    req.home_addr
+                ));
+                self.reply(ctx, reply_to, ReplyCode::DeniedUnknownHome, 0, &req);
+                return;
+            }
         }
         // Authentication, when configured.
         if self.cfg.require_auth {
@@ -539,6 +578,11 @@ impl Module for HomeAgent {
             ] {
                 reg.register(name, MetricCell::Counter(cell.clone()));
             }
+        }
+        // Same pattern for the fleet counter: only sharded agents have
+        // it, so standalone topologies' metric sets stay byte-identical.
+        if self.cfg.fleet.is_some() {
+            reg.register("wrong_shard", MetricCell::Counter(self.wrong_shard.clone()));
         }
     }
 

@@ -70,6 +70,35 @@ pub struct ReplayStats {
 }
 
 /// The append-only journal.
+///
+/// # Examples
+///
+/// Journal an accepted binding, "crash", and replay — the rebuilt table
+/// holds the binding *and* its anti-replay floor:
+///
+/// ```
+/// use mosquitonet_core::{BindOutcome, BindingJournal, JournalRecord};
+/// use mosquitonet_sim::{SimDuration, SimTime};
+/// use std::net::Ipv4Addr;
+///
+/// let home = Ipv4Addr::new(36, 135, 0, 9);
+/// let care_of = Ipv4Addr::new(36, 8, 0, 42);
+/// let mut journal = BindingJournal::new();
+/// journal.append(JournalRecord::Bind {
+///     home,
+///     care_of,
+///     lifetime: SimDuration::from_secs(300),
+///     ident: 7,
+///     at: SimTime::ZERO,
+/// });
+///
+/// let (mut table, stats) = journal.replay();
+/// assert_eq!(stats.binds, 1);
+/// assert_eq!(table.get(home, SimTime::ZERO).unwrap().care_of, care_of);
+/// // The replay floor survived: a captured ident-7 registration stays dead.
+/// let again = table.bind(home, care_of, SimDuration::from_secs(300), 7, SimTime::ZERO);
+/// assert_eq!(again, BindOutcome::ReplayRejected);
+/// ```
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct BindingJournal {
     records: Vec<JournalRecord>,
@@ -120,6 +149,23 @@ impl BindingJournal {
 /// Applies `records` in order to `table`, accumulating `stats`. Replay is
 /// incremental: applying a prefix and then the remainder is identical to
 /// applying the whole sequence at once.
+///
+/// # Examples
+///
+/// ```
+/// use mosquitonet_core::{replay_into, BindingJournal, BindingTable, JournalRecord, ReplayStats};
+///
+/// let mut journal = BindingJournal::new();
+/// let home = "36.135.0.9".parse().unwrap();
+/// journal.append(JournalRecord::Unbind { home, ident: 3 });
+///
+/// let mut table = BindingTable::new();
+/// let mut stats = ReplayStats::default();
+/// replay_into(&mut table, &mut stats, journal.records());
+/// // Unbinding a host that was never bound applies nothing.
+/// assert_eq!(stats, ReplayStats::default());
+/// assert!(table.is_empty());
+/// ```
 pub fn replay_into(table: &mut BindingTable, stats: &mut ReplayStats, records: &[JournalRecord]) {
     for record in records {
         match *record {

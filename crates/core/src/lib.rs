@@ -29,6 +29,7 @@
 
 mod backoff;
 mod binding;
+mod fleet;
 mod foreign_agent;
 mod home_agent;
 mod journal;
@@ -39,13 +40,15 @@ pub mod timing;
 
 pub use backoff::RetryBackoff;
 pub use binding::{BindOutcome, Binding, BindingTable};
+pub use fleet::{DirectoryEntry, ShardDirectory};
 pub use foreign_agent::{FaMobileHost, ForeignAgent, ForeignAgentConfig, ADVERTISE_INTERVAL};
 pub use home_agent::{HomeAgent, HomeAgentConfig};
 pub use journal::{replay_into, BindingJournal, JournalRecord, ReplayStats};
 pub use messages::{
     classify, keyed_digest, AgentAdvertisement, AuthExtension, BindingReplica, BindingUpdate,
-    MessageKind, RegistrationReply, RegistrationRequest, ReplicaOp, ReplyCode, AUTH_EXT_LEN,
-    IDENT_WIRE_BITS, REGISTRATION_PORT, REPLICA_LEN, REPLY_IDENT_WIRE_BITS, REPLY_LEN, REQUEST_LEN,
+    DirectoryAnnounce, MessageKind, RegistrationReply, RegistrationRequest, ReplicaOp, ReplyCode,
+    AUTH_EXT_LEN, DIRECTORY_ENTRY_LEN, DIRECTORY_HEADER_LEN, IDENT_WIRE_BITS, REGISTRATION_PORT,
+    REPLICA_LEN, REPLY_IDENT_WIRE_BITS, REPLY_LEN, REQUEST_LEN,
 };
 pub use mobile::{
     AddressPlan, AutoSwitchConfig, Candidate, MobileHost, MobileHostConfig, RegistrationTimeline,

@@ -17,6 +17,8 @@ use std::net::Ipv4Addr;
 
 use mosquitonet_wire::{internet_checksum, verify_checksum, AuthTlv, WireError};
 
+use crate::fleet::{DirectoryEntry, ShardDirectory};
+
 /// UDP port for registration traffic (RFC 2002's 434).
 pub const REGISTRATION_PORT: u16 = 434;
 
@@ -527,6 +529,117 @@ impl AgentAdvertisement {
     }
 }
 
+/// Fixed length of a [`DirectoryAnnounce`] header: type, entry count,
+/// and the 16-bit fleet epoch.
+pub const DIRECTORY_HEADER_LEN: usize = 4;
+
+/// Wire length of one [`DirectoryEntry`] in a [`DirectoryAnnounce`]:
+/// 16-bit shard id plus the active and standby IPv4 addresses.
+pub const DIRECTORY_ENTRY_LEN: usize = 10;
+
+/// A shard-directory announcement (type 6): the fleet map of the
+/// sharded home-agent deployment (see `docs/ha_fleet.md`). Carries the
+/// directory epoch and one row per shard — stable shard id plus the
+/// (active, standby) home-agent pair — so mobile hosts and
+/// correspondents can resolve the owning shard of any home address with
+/// [`ShardDirectory::resolve`](crate::ShardDirectory::resolve). Like
+/// every message that changes routing behavior it ends in a 16-bit
+/// Internet checksum over the whole body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DirectoryAnnounce {
+    /// The fleet epoch this map belongs to (bumped on every resize).
+    pub epoch: u16,
+    /// One row per shard, in shard order.
+    pub entries: Vec<DirectoryEntry>,
+}
+
+impl DirectoryAnnounce {
+    /// The announcement for `directory`'s current map.
+    pub fn from_directory(directory: &ShardDirectory) -> DirectoryAnnounce {
+        DirectoryAnnounce {
+            epoch: directory.epoch(),
+            entries: directory.entries().to_vec(),
+        }
+    }
+
+    /// Rebuilds a resolvable [`ShardDirectory`] from the announcement.
+    /// Fails (the directory constructor panics) on duplicate shard ids,
+    /// so parse-then-convert of attacker bytes should check `entries`
+    /// first; returns `None` on an empty map.
+    pub fn to_directory(&self) -> Option<ShardDirectory> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut seen = std::collections::HashSet::new();
+        if !self.entries.iter().all(|e| seen.insert(e.shard)) {
+            return None;
+        }
+        Some(ShardDirectory::new(
+            self.epoch,
+            self.entries.iter().copied(),
+        ))
+    }
+
+    /// Serializes to bytes, appending the 16-bit body checksum.
+    pub fn to_bytes(&self) -> Bytes {
+        assert!(self.entries.len() <= u8::MAX as usize, "directory too wide");
+        let mut buf = BytesMut::with_capacity(
+            DIRECTORY_HEADER_LEN + self.entries.len() * DIRECTORY_ENTRY_LEN + 2,
+        );
+        buf.put_u8(6);
+        buf.put_u8(self.entries.len() as u8);
+        buf.put_u16(self.epoch);
+        for e in &self.entries {
+            buf.put_u16(e.shard);
+            buf.put_slice(&e.active.octets());
+            buf.put_slice(&e.standby.octets());
+        }
+        buf.put_u16(internet_checksum(&buf, 0));
+        buf.freeze()
+    }
+
+    /// Parses from bytes, verifying the trailing body checksum.
+    pub fn parse(buf: &[u8]) -> Result<DirectoryAnnounce, WireError> {
+        if buf.len() < DIRECTORY_HEADER_LEN + 2 {
+            return Err(WireError::Truncated {
+                needed: DIRECTORY_HEADER_LEN + 2,
+                got: buf.len(),
+            });
+        }
+        if buf[0] != 6 {
+            return Err(WireError::UnknownValue {
+                field: "registration type",
+                value: u16::from(buf[0]),
+            });
+        }
+        let count = usize::from(buf[1]);
+        let total = DIRECTORY_HEADER_LEN + count * DIRECTORY_ENTRY_LEN + 2;
+        if buf.len() < total {
+            return Err(WireError::Truncated {
+                needed: total,
+                got: buf.len(),
+            });
+        }
+        if !verify_checksum(&buf[..total], 0) {
+            return Err(WireError::BadChecksum);
+        }
+        let entries = (0..count)
+            .map(|i| {
+                let b = &buf[DIRECTORY_HEADER_LEN + i * DIRECTORY_ENTRY_LEN..];
+                DirectoryEntry {
+                    shard: u16::from_be_bytes([b[0], b[1]]),
+                    active: Ipv4Addr::new(b[2], b[3], b[4], b[5]),
+                    standby: Ipv4Addr::new(b[6], b[7], b[8], b[9]),
+                }
+            })
+            .collect();
+        Ok(DirectoryAnnounce {
+            epoch: u16::from_be_bytes([buf[2], buf[3]]),
+            entries,
+        })
+    }
+}
+
 /// Classifies a registration-port datagram by its type byte.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum MessageKind {
@@ -538,6 +651,8 @@ pub enum MessageKind {
     Update,
     /// A [`BindingReplica`].
     Replica,
+    /// A [`DirectoryAnnounce`].
+    Directory,
     /// An [`AgentAdvertisement`].
     Advertisement,
 }
@@ -549,6 +664,7 @@ pub fn classify(buf: &[u8]) -> Option<MessageKind> {
         3 => Some(MessageKind::Reply),
         4 => Some(MessageKind::Update),
         5 => Some(MessageKind::Replica),
+        6 => Some(MessageKind::Directory),
         16 => Some(MessageKind::Advertisement),
         _ => None,
     }
@@ -740,6 +856,61 @@ mod tests {
             BindingReplica::parse(&bytes),
             Err(WireError::BadChecksum)
         ));
+    }
+
+    fn directory() -> DirectoryAnnounce {
+        DirectoryAnnounce {
+            epoch: 1,
+            entries: (0..2)
+                .map(|s| DirectoryEntry {
+                    shard: s,
+                    active: Ipv4Addr::new(36, 135 + s as u8, 0, 2),
+                    standby: Ipv4Addr::new(36, 135 + s as u8, 0, 3),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn directory_announce_round_trip() {
+        let d = directory();
+        assert_eq!(DirectoryAnnounce::parse(&d.to_bytes()).unwrap(), d);
+        assert_eq!(classify(&d.to_bytes()), Some(MessageKind::Directory));
+        let dir = d.to_directory().expect("valid map");
+        assert_eq!(dir.epoch(), 1);
+        assert_eq!(dir.entries(), d.entries.as_slice());
+        assert_eq!(DirectoryAnnounce::from_directory(&dir), d);
+    }
+
+    #[test]
+    fn corrupt_directory_announce_fails_checksum() {
+        let clean = directory().to_bytes().to_vec();
+        // Every single-bit flip past the type byte is caught by the
+        // checksum or the framing.
+        for byte in 1..clean.len() {
+            for bit in 0..8 {
+                let mut b = clean.clone();
+                b[byte] ^= 1 << bit;
+                assert!(
+                    DirectoryAnnounce::parse(&b).is_err(),
+                    "flip at byte {byte} bit {bit} accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn directory_announce_rejects_duplicate_or_empty_maps() {
+        let mut dup = directory();
+        dup.entries[1].shard = dup.entries[0].shard;
+        assert!(dup.to_directory().is_none(), "duplicate shard ids refused");
+        let empty = DirectoryAnnounce {
+            epoch: 0,
+            entries: Vec::new(),
+        };
+        assert!(empty.to_directory().is_none(), "empty map refused");
+        // But the empty announcement still round-trips on the wire.
+        assert_eq!(DirectoryAnnounce::parse(&empty.to_bytes()).unwrap(), empty);
     }
 
     #[test]

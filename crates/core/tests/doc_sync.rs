@@ -6,8 +6,9 @@
 use std::net::Ipv4Addr;
 
 use mosquitonet_core::{
-    AgentAdvertisement, BindingReplica, BindingUpdate, RegistrationReply, RegistrationRequest,
-    ReplicaOp, ReplyCode, AUTH_EXT_LEN, IDENT_WIRE_BITS, REGISTRATION_PORT, REPLICA_LEN,
+    AgentAdvertisement, BindingReplica, BindingUpdate, DirectoryAnnounce, DirectoryEntry,
+    RegistrationReply, RegistrationRequest, ReplicaOp, ReplyCode, AUTH_EXT_LEN,
+    DIRECTORY_ENTRY_LEN, DIRECTORY_HEADER_LEN, IDENT_WIRE_BITS, REGISTRATION_PORT, REPLICA_LEN,
     REPLY_IDENT_WIRE_BITS, REPLY_LEN, REQUEST_LEN,
 };
 use mosquitonet_wire::{AUTH_TLV_LEN, AUTH_TLV_TYPE};
@@ -137,6 +138,28 @@ fn doc_protocol_sync_examples_match_encoders() {
     .to_bytes();
     assert_eq!(example(&text, "advertisement"), advert.as_ref());
     assert_eq!(advert.len(), 8);
+
+    let directory = DirectoryAnnounce {
+        epoch: 1,
+        entries: vec![
+            DirectoryEntry {
+                shard: 0,
+                active: AGENT,
+                standby: Ipv4Addr::new(36, 135, 0, 3),
+            },
+            DirectoryEntry {
+                shard: 1,
+                active: Ipv4Addr::new(36, 136, 0, 2),
+                standby: Ipv4Addr::new(36, 136, 0, 3),
+            },
+        ],
+    }
+    .to_bytes();
+    assert_eq!(example(&text, "directory"), directory.as_ref());
+    assert_eq!(
+        directory.len(),
+        DIRECTORY_HEADER_LEN + 2 * DIRECTORY_ENTRY_LEN + 2
+    );
 }
 
 #[test]
@@ -171,6 +194,9 @@ fn doc_protocol_sync_tables_state_the_real_constants() {
         // The extension trails the fixed layout.
         format!("| {REQUEST_LEN} | {AUTH_EXT_LEN} | authentication extension (optional, below) |"),
         format!("| {REPLY_LEN} | {AUTH_EXT_LEN} | authentication extension (optional) |"),
+        // The shard-directory announcement.
+        format!("{DIRECTORY_HEADER_LEN}-byte header"),
+        format!("{DIRECTORY_ENTRY_LEN} bytes per entry"),
     ] {
         assert!(
             text.contains(&needed),

@@ -7,8 +7,9 @@ use std::net::Ipv4Addr;
 
 use mosquitonet_core::{
     classify, replay_into, AgentAdvertisement, BindOutcome, BindingJournal, BindingReplica,
-    BindingTable, BindingUpdate, JournalRecord, MobilePolicyTable, RegistrationReply,
-    RegistrationRequest, ReplayStats, ReplyCode, SendMode, IDENT_WIRE_BITS, REPLY_IDENT_WIRE_BITS,
+    BindingTable, BindingUpdate, DirectoryAnnounce, DirectoryEntry, JournalRecord,
+    MobilePolicyTable, RegistrationReply, RegistrationRequest, ReplayStats, ReplyCode, SendMode,
+    ShardDirectory, IDENT_WIRE_BITS, REPLY_IDENT_WIRE_BITS,
 };
 use mosquitonet_sim::{SimDuration, SimTime};
 use mosquitonet_wire::Cidr;
@@ -175,25 +176,42 @@ proptest! {
         let upd = BindingUpdate::parse(&data);
         let adv = AgentAdvertisement::parse(&data);
         let repl = BindingReplica::parse(&data);
+        let dir = DirectoryAnnounce::parse(&data);
         match classify(&data) {
             Some(mosquitonet_core::MessageKind::Request) => {
-                prop_assert!(rep.is_err() && upd.is_err() && adv.is_err() && repl.is_err());
+                prop_assert!(
+                    rep.is_err() && upd.is_err() && adv.is_err() && repl.is_err() && dir.is_err()
+                );
             }
             Some(mosquitonet_core::MessageKind::Reply) => {
-                prop_assert!(req.is_err() && upd.is_err() && adv.is_err() && repl.is_err());
+                prop_assert!(
+                    req.is_err() && upd.is_err() && adv.is_err() && repl.is_err() && dir.is_err()
+                );
             }
             Some(mosquitonet_core::MessageKind::Update) => {
-                prop_assert!(req.is_err() && rep.is_err() && adv.is_err() && repl.is_err());
+                prop_assert!(
+                    req.is_err() && rep.is_err() && adv.is_err() && repl.is_err() && dir.is_err()
+                );
             }
             Some(mosquitonet_core::MessageKind::Advertisement) => {
-                prop_assert!(req.is_err() && rep.is_err() && upd.is_err() && repl.is_err());
+                prop_assert!(
+                    req.is_err() && rep.is_err() && upd.is_err() && repl.is_err() && dir.is_err()
+                );
             }
             Some(mosquitonet_core::MessageKind::Replica) => {
-                prop_assert!(req.is_err() && rep.is_err() && upd.is_err() && adv.is_err());
+                prop_assert!(
+                    req.is_err() && rep.is_err() && upd.is_err() && adv.is_err() && dir.is_err()
+                );
+            }
+            Some(mosquitonet_core::MessageKind::Directory) => {
+                prop_assert!(
+                    req.is_err() && rep.is_err() && upd.is_err() && adv.is_err() && repl.is_err()
+                );
             }
             None => {
                 prop_assert!(
                     req.is_err() && rep.is_err() && upd.is_err() && adv.is_err() && repl.is_err()
+                        && dir.is_err()
                 );
             }
         }
@@ -374,4 +392,121 @@ proptest! {
             "probe {} vs floor {}", probe, max_accepted
         );
     }
+
+    /// Shard-directory resolution is total (every address resolves to a
+    /// live shard) and deterministic, for any fleet size and any epoch.
+    #[test]
+    fn directory_resolution_is_total(
+        shards in 1u16..32,
+        epoch in any::<u16>(),
+        homes in proptest::collection::vec(any::<u32>().prop_map(Ipv4Addr::from), 1..200),
+    ) {
+        let dir = fleet(epoch, shards);
+        for home in homes {
+            let owner = dir.resolve(home);
+            prop_assert!(owner < shards, "resolved to a shard outside the fleet");
+            prop_assert_eq!(dir.resolve(home), owner, "resolution not deterministic");
+            prop_assert_eq!(
+                dir.active_for(home),
+                dir.entry(owner).unwrap().active,
+                "active_for disagrees with resolve"
+            );
+        }
+    }
+
+    /// Resizing the fleet is stable: growing from N to N+1 shards moves an
+    /// address only if it moves *to the new shard*; every other address
+    /// keeps its owner. (Shrinking is the mirror image — checked too.)
+    #[test]
+    fn directory_resize_moves_only_to_or_from_changed_shard(
+        shards in 1u16..24,
+        homes in proptest::collection::vec(any::<u32>().prop_map(Ipv4Addr::from), 1..200),
+    ) {
+        let small = fleet(1, shards);
+        let big = fleet(1, shards + 1);
+        for home in homes {
+            let before = small.resolve(home);
+            let after = big.resolve(home);
+            // Grow: either unchanged, or adopted by the new shard.
+            prop_assert!(
+                after == before || after == shards,
+                "{home}: grow moved {before} -> {after} (new shard is {shards})"
+            );
+            // Shrink (big -> small): only the removed shard's addresses move.
+            if after != shards {
+                prop_assert_eq!(before, after, "{}: shrink reassigned a surviving owner", home);
+            }
+        }
+    }
+
+    /// Per-shard journals never resurrect a foreign binding. Each shard
+    /// journals only registrations the directory assigns to it, so after a
+    /// crash+replay on *both* shards of a pair, no home address appears in
+    /// a table whose shard does not own it — and a captured foreign
+    /// registration replayed at the wrong shard finds no floor to attack
+    /// because it is never applied there at all.
+    #[test]
+    fn replayed_journals_never_resurrect_foreign_bindings(
+        shards in 2u16..16,
+        ops in proptest::collection::vec(
+            (any::<u32>().prop_map(Ipv4Addr::from), 1u64..1_000, 0u64..2_000),
+            1..80,
+        ),
+    ) {
+        let dir = fleet(1, shards);
+        // The two shards under test: wherever the first op's home lives,
+        // and its successor in the fleet.
+        let a = dir.resolve(ops[0].0);
+        let b = (a + 1) % shards;
+        let coa = Ipv4Addr::new(36, 8, 0, 42);
+        let mut journal_a = BindingJournal::new();
+        let mut journal_b = BindingJournal::new();
+        let mut table_a = BindingTable::new();
+        let mut table_b = BindingTable::new();
+        for (home, ident, at_secs) in ops {
+            let owner = dir.resolve(home);
+            let at = SimTime::ZERO + SimDuration::from_secs(at_secs);
+            let life = SimDuration::from_secs(600);
+            // Mirror the fleet home agent: the ownership check runs before
+            // the table is touched, so only the owner journals the bind.
+            let (journal, table) = if owner == a {
+                (&mut journal_a, &mut table_a)
+            } else if owner == b {
+                (&mut journal_b, &mut table_b)
+            } else {
+                continue;
+            };
+            if table.bind(home, coa, life, ident, at) != BindOutcome::ReplayRejected {
+                journal.append(JournalRecord::Bind { home, care_of: coa, lifetime: life, ident, at });
+            }
+        }
+        // Both shards crash and replay independently. Probe before the
+        // earliest possible expiry so every applied bind is still visible.
+        let (replayed_a, _) = journal_a.replay();
+        let (replayed_b, _) = journal_b.replay();
+        let now = SimTime::ZERO;
+        for (table, shard) in [(&replayed_a, a), (&replayed_b, b)] {
+            for (home, _) in table.iter_live(now) {
+                prop_assert_eq!(
+                    dir.resolve(home), shard,
+                    "shard {} resurrected foreign binding {}", shard, home
+                );
+            }
+        }
+    }
+}
+
+/// A directory whose shard `s` pairs live at 10.s.0.2 (active) and
+/// 10.s.0.3 (standby) — the S2 fleet's address plan.
+fn fleet(epoch: u16, shards: u16) -> ShardDirectory {
+    ShardDirectory::new(
+        epoch,
+        (0..shards)
+            .map(|s| DirectoryEntry {
+                shard: s,
+                active: Ipv4Addr::new(10, s as u8, 0, 2),
+                standby: Ipv4Addr::new(10, s as u8, 0, 3),
+            })
+            .collect::<Vec<_>>(),
+    )
 }

@@ -38,10 +38,19 @@ fn main() {
     let (a2, a2_metrics) = experiments::run_a2(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512], seed);
     let a3 = experiments::run_a3(seed);
     let s1 = experiments::run_s1(10_000, seed);
-    let s3 = experiments::run_s3(&experiments::S3Config {
+    let s2 = experiments::run_s2(
+        &experiments::S2Config {
+            seed,
+            ..experiments::S2Config::default()
+        },
+        1,
+    );
+    let s3_cfg = experiments::S3Config {
         seed,
         ..experiments::S3Config::default()
-    });
+    };
+    let s3 = experiments::run_s3(&s3_cfg);
+    let s3_sharded = experiments::run_s3_sharded(&s3_cfg, 4, 1);
 
     print!("{}", report::render_tab1(&tab1));
     println!(
@@ -66,10 +75,12 @@ fn main() {
     print!("{}", report::render_a2(&a2));
     print!("{}", report::render_a3(&a3));
     print!("{}", report::render_s1(&s1));
+    print!("{}", report::render_s2(&s2));
     print!("{}", report::render_s3(&s3));
+    print!("{}", report::render_s3_sharded(&s3_sharded));
 
     // One machine-readable metrics sidecar per experiment.
-    let sidecars: [(&str, &Json); 15] = [
+    let sidecars: [(&str, &Json); 17] = [
         ("tab1", &tab1.metrics),
         ("tab1_far", &tab1_far.metrics),
         ("fig6", &fig6.metrics),
@@ -85,6 +96,8 @@ fn main() {
         ("a2", &a2_metrics),
         ("a3", &a3.metrics),
         ("s1_many_correspondents", &s1.metrics),
+        ("s2_fleet", &s2.metrics),
+        ("s3_sharded", &s3_sharded.metrics),
     ];
     for (name, metrics) in sidecars {
         match report::write_metrics_sidecar(name, metrics) {
@@ -93,10 +106,12 @@ fn main() {
         }
     }
     // The chaos runs additionally export their flight-recorder journeys.
-    let journeys: [(&str, &Json); 3] = [
+    let journeys: [(&str, &Json); 5] = [
         ("c5_ha_crash_recovery", &c5.journeys),
         ("c6_standby_failover", &c6.journeys),
         ("c7_spoofed_registration", &c7.journeys),
+        ("s2_fleet", &s2.journeys),
+        ("s3_sharded", &s3_sharded.journeys),
     ];
     for (name, doc) in journeys {
         match report::write_journeys_sidecar(name, doc) {
@@ -104,11 +119,19 @@ fn main() {
             Err(e) => eprintln!("warning: could not write {name} journeys sidecar: {e}"),
         }
     }
-    // S3's deterministic result goes into a bench sidecar (byte-stable
-    // for a fixed seed; wall-clock rates are deliberately excluded).
-    match report::write_bench_sidecar("s3_saturation", &s3.to_json()) {
-        Ok(path) => eprintln!("bench sidecar: {}", path.display()),
-        Err(e) => eprintln!("warning: could not write s3 bench sidecar: {e}"),
+    // The saturation-class runs' deterministic results go into bench
+    // sidecars (byte-stable for a fixed seed; wall-clock rates are
+    // deliberately excluded).
+    let benches: [(&str, Json); 3] = [
+        ("s2_fleet", s2.to_json()),
+        ("s3_saturation", s3.to_json()),
+        ("s3_sharded", s3_sharded.to_json()),
+    ];
+    for (name, doc) in &benches {
+        match report::write_bench_sidecar(name, doc) {
+            Ok(path) => eprintln!("bench sidecar: {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {name} bench sidecar: {e}"),
+        }
     }
 
     if let Some(path) = json_path {
@@ -130,7 +153,9 @@ fn main() {
             ("a2_metrics", a2_metrics.clone()),
             ("a3", a3.to_json()),
             ("s1", s1.to_json()),
+            ("s2", s2.to_json()),
             ("s3", s3.to_json()),
+            ("s3_sharded", s3_sharded.to_json()),
         ]);
         std::fs::write(&path, all.render_pretty()).expect("write json");
         eprintln!("wrote {path}");

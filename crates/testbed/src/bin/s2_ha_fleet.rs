@@ -1,0 +1,85 @@
+//! Fleet experiment S2: a sharded home-agent fleet — one (active,
+//! standby) pair per LAN domain, joined by a backbone trunk — serving a
+//! 100k+ mobile-host population under Zipf-distributed registration
+//! churn. The binding table is partitioned by the rendezvous shard
+//! directory (docs/ha_fleet.md); a deterministic 1/32 of registrations
+//! are misdirected to a neighbour shard first and pay the wrong-shard
+//! detour.
+//!
+//! Reports aggregate registrations/s, p99 registration latency, and
+//! steady-state protocol bytes per binding — exact virtual-time
+//! quantities in a byte-stable `mosquitonet.bench/v1` sidecar that is
+//! identical at every thread count (the CI `s2-smoke` matrix diffs it).
+//! Wall-clock rates ride along separately in `BENCH_s2.json`.
+//!
+//! Usage: `s2_ha_fleet [shards] [mobile_hosts] [burst] [ticks] [seed] [batching(0|1)] [threads]`.
+
+use mosquitonet_sim::Json;
+use mosquitonet_testbed::{experiments, report};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let defaults = experiments::S2Config::default();
+    let cfg = experiments::S2Config {
+        shards: args
+            .next()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(defaults.shards),
+        mobile_hosts: args
+            .next()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(defaults.mobile_hosts),
+        burst: args
+            .next()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(defaults.burst),
+        ticks: args
+            .next()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(defaults.ticks),
+        seed: args
+            .next()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(defaults.seed),
+        batching: args.next().map(|a| a != "0").unwrap_or(defaults.batching),
+    };
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+
+    let result = experiments::run_s2(&cfg, threads);
+    print!("{}", report::render_s2(&result));
+
+    match report::write_bench_sidecar("s2_fleet", &result.to_json()) {
+        Ok(path) => eprintln!("bench sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench sidecar: {e}"),
+    }
+    match report::write_journeys_sidecar("s2_fleet", &result.journeys) {
+        Ok(path) => eprintln!("journeys sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write journeys sidecar: {e}"),
+    }
+    match report::write_metrics_sidecar("s2_fleet", &result.metrics) {
+        Ok(path) => eprintln!("metrics sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics sidecar: {e}"),
+    }
+
+    // The wall-clock companion: deterministic body plus real elapsed
+    // rates, for the CI `BENCH_s2.json` artifact.
+    let wall = Json::obj([
+        ("schema", Json::from("mosquitonet.bench-wall/v1")),
+        ("experiment", Json::from("s2_ha_fleet")),
+        ("bench", result.to_json()),
+        ("wall", result.wall_json()),
+    ]);
+    let dir = std::env::var_os("MOSQUITONET_METRICS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/metrics"));
+    if let Err(e) = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(dir.join("BENCH_s2.json"), wall.render_pretty()))
+    {
+        eprintln!("warning: could not write BENCH_s2.json: {e}");
+    } else {
+        eprintln!(
+            "wall-clock artifact: {}",
+            dir.join("BENCH_s2.json").display()
+        );
+    }
+}

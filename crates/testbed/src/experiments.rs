@@ -8,7 +8,10 @@
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
-use mosquitonet_core::{AddressPlan, RegistrationRequest, SendMode, SwitchPlan, SwitchStyle};
+use mosquitonet_core::{
+    AddressPlan, DirectoryEntry, HomeAgent, HomeAgentConfig, RegistrationRequest, SendMode,
+    ShardDirectory, SwitchPlan, SwitchStyle, REPLICA_LEN, REPLY_LEN, REQUEST_LEN,
+};
 use mosquitonet_dhcp::{DhcpClientModule, ReusePolicy};
 use mosquitonet_link::{presets, FaultKind, FaultPlan, HostFaultEvent, HostFaultPlan};
 use mosquitonet_sim::{
@@ -24,7 +27,7 @@ use crate::topology::{
     ROUTER_DEPT, ROUTER_RADIO, STANDBY_HA,
 };
 use crate::workload::{
-    BulkSender, BulkSink, RegistrationAttacker, RegistrationStorm, SaturationSender,
+    BulkSender, BulkSink, FleetChurn, RegistrationAttacker, RegistrationStorm, SaturationSender,
     SaturationSink, UdpEchoResponder, UdpEchoSender,
 };
 
@@ -2704,6 +2707,659 @@ pub fn run_s3_sharded(cfg: &S3Config, shards: u32, threads: usize) -> S3ShardedR
     S3ShardedResult {
         cfg: *cfg,
         shards,
+        threads,
+        row,
+        journeys,
+        metrics,
+        arena_resets,
+    }
+}
+
+// --------------------------------------------------- S2 (HA fleet)
+
+/// Hosts per S2 shard (ha, standby, churn) — also the host-index stride
+/// for the merged flight-recorder name table.
+const S2_SHARD_HOSTS: u32 = 3;
+
+/// Virtual gap between churn ticks, milliseconds.
+const S2_TICK_MS: u64 = 10;
+
+/// Settle window before the churn starts (interfaces up, sockets bound).
+const S2_PRIME: SimDuration = SimDuration::from_millis(600);
+
+/// Drain window after the last churn tick: long enough for every queued
+/// registration (the home agent serializes at 1.48 ms each) plus the
+/// wrong-shard detours to complete. Idle virtual time costs no events,
+/// so this is generous by design.
+const S2_DRAIN: SimDuration = SimDuration::from_secs(12);
+
+/// The home network every fleet shard stands in for: one wide prefix,
+/// partitioned across shards by the rendezvous directory rather than by
+/// sub-prefix, so hot spots cannot pin themselves to one shard.
+fn s2_home_prefix() -> Cidr {
+    "36.0.0.0/8".parse().expect("cidr")
+}
+
+/// Home address of global mobile host `i`.
+fn s2_home(i: u32) -> Ipv4Addr {
+    Ipv4Addr::from(u32::from(Ipv4Addr::new(36, 0, 0, 1)) + i)
+}
+
+/// Campus subnet of shard `s`: `10.{s}.0.0/24`.
+fn s2_campus_subnet(s: u32) -> Cidr {
+    format!("10.{s}.0.0/24").parse().expect("cidr")
+}
+
+/// Shard `s`'s active home agent (also the shard's backbone gateway).
+fn s2_active(s: u32) -> Ipv4Addr {
+    Ipv4Addr::new(10, s as u8, 0, 1)
+}
+
+/// Shard `s`'s standby home agent.
+fn s2_standby(s: u32) -> Ipv4Addr {
+    Ipv4Addr::new(10, s as u8, 0, 2)
+}
+
+/// Shard `s`'s churn host (this shard's slice of the MH population).
+fn s2_churn(s: u32) -> Ipv4Addr {
+    Ipv4Addr::new(10, s as u8, 0, 3)
+}
+
+/// Shard `s`'s gateway address on the shared backbone: `10.99.0.{s+1}`.
+fn s2_backbone_addr(s: u32) -> Ipv4Addr {
+    Ipv4Addr::new(10, 99, 0, s as u8 + 1)
+}
+
+/// Shard `s`'s gateway MAC on the backbone (steers portal unicast).
+fn s2_backbone_mac(s: u32) -> MacAddr {
+    MacAddr::from_index(s * 16 + 2)
+}
+
+/// The fleet's shard directory: epoch 1, one (active, standby) pair per
+/// shard. Every host in the experiment derives routing from this one
+/// deterministic table.
+pub fn s2_directory(shards: u32) -> ShardDirectory {
+    ShardDirectory::new(
+        1,
+        (0..shards)
+            .map(|s| DirectoryEntry {
+                shard: s as u16,
+                active: s2_active(s),
+                standby: s2_standby(s),
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Configuration of one S2 fleet run.
+#[derive(Clone, Copy, Debug)]
+pub struct S2Config {
+    /// Home-agent shards (each an active+standby pair in its own domain).
+    pub shards: u32,
+    /// Mobile hosts across the whole fleet (directory-partitioned).
+    pub mobile_hosts: u32,
+    /// Zipf draws per churn tick per shard.
+    pub burst: u32,
+    /// Churn ticks (run length = `ticks` × 10 ms of virtual time).
+    pub ticks: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Whether the engine drains per-tick batches; results must be
+    /// byte-identical either way.
+    pub batching: bool,
+}
+
+impl Default for S2Config {
+    fn default() -> S2Config {
+        S2Config {
+            shards: 16,
+            mobile_hosts: 100_000,
+            burst: 16,
+            ticks: 600,
+            seed: 1996,
+            batching: true,
+        }
+    }
+}
+
+/// The aggregated S2 measurement row. Every field except `wall_ns` is a
+/// deterministic virtual-time quantity; `wall_ns` is real elapsed time
+/// and is excluded from [`S2Row::to_json`] so the sidecar stays
+/// byte-stable.
+#[derive(Debug)]
+pub struct S2Row {
+    /// First-attempt registrations the churn sources sent.
+    pub sent: u64,
+    /// First attempts deliberately misdirected to a neighbour shard.
+    pub misdirected: u64,
+    /// Re-sends to the true owner after a wrong-shard denial.
+    pub redirected: u64,
+    /// Accepted completions observed by the churn sources.
+    pub accepted: u64,
+    /// Terminal denials observed by the churn sources (expected 0).
+    pub denied: u64,
+    /// Requests the active agents processed (replies sent).
+    pub ha_processed: u64,
+    /// Registrations the active agents accepted.
+    pub ha_accepted: u64,
+    /// Wrong-shard denials at the fleet (one per misdirect).
+    pub wrong_shard: u64,
+    /// Binding replicas the actives streamed to their standbys.
+    pub replicas_sent: u64,
+    /// Replicas the standbys applied.
+    pub replicas_applied: u64,
+    /// Live bindings across the active agents at the deadline.
+    pub live_bindings: u64,
+    /// Live bindings across the standby agents (lock-step: must equal
+    /// `live_bindings`).
+    pub standby_bindings: u64,
+    /// Write-ahead journal records across the active agents.
+    pub journal_records: u64,
+    /// Engine events executed, summed over shards.
+    pub events: u64,
+    /// Engine batches drained, summed over shards.
+    pub batches: u64,
+    /// Virtual span from first to last accepted reply, nanoseconds.
+    pub span_ns: u64,
+    /// Accepted registrations per second of virtual time.
+    pub regs_per_sec: u64,
+    /// 99th-percentile registration latency (first send → accepted
+    /// reply, wrong-shard detours included), nanoseconds.
+    pub p99_latency_ns: u64,
+    /// Registration-request bytes on the wire (first sends + redirects).
+    pub request_bytes: u64,
+    /// Registration-reply bytes on the wire.
+    pub reply_bytes: u64,
+    /// Binding-replica bytes on the wire.
+    pub replica_bytes: u64,
+    /// Steady-state protocol bytes per live binding.
+    pub bytes_per_binding: u64,
+    /// Real elapsed nanoseconds; exported only via
+    /// [`S2Result::wall_json`].
+    pub wall_ns: u64,
+}
+
+impl S2Row {
+    /// Renders the deterministic fields (everything but `wall_ns`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("sent", Json::UInt(self.sent)),
+            ("misdirected", Json::UInt(self.misdirected)),
+            ("redirected", Json::UInt(self.redirected)),
+            ("accepted", Json::UInt(self.accepted)),
+            ("denied", Json::UInt(self.denied)),
+            ("ha_processed", Json::UInt(self.ha_processed)),
+            ("ha_accepted", Json::UInt(self.ha_accepted)),
+            ("wrong_shard", Json::UInt(self.wrong_shard)),
+            ("replicas_sent", Json::UInt(self.replicas_sent)),
+            ("replicas_applied", Json::UInt(self.replicas_applied)),
+            ("live_bindings", Json::UInt(self.live_bindings)),
+            ("standby_bindings", Json::UInt(self.standby_bindings)),
+            ("journal_records", Json::UInt(self.journal_records)),
+            ("events", Json::UInt(self.events)),
+            ("batches", Json::UInt(self.batches)),
+            ("span_ns", Json::UInt(self.span_ns)),
+            ("regs_per_sec", Json::UInt(self.regs_per_sec)),
+            ("p99_latency_ns", Json::UInt(self.p99_latency_ns)),
+            ("request_bytes", Json::UInt(self.request_bytes)),
+            ("reply_bytes", Json::UInt(self.reply_bytes)),
+            ("replica_bytes", Json::UInt(self.replica_bytes)),
+            ("bytes_per_binding", Json::UInt(self.bytes_per_binding)),
+        ])
+    }
+}
+
+/// What one S2 shard's `finish` hook hands back across the thread
+/// boundary — plain counters and merge-ready documents, nothing that
+/// isn't `Send`.
+struct S2ShardOut {
+    names: Vec<String>,
+    snapshot: Snapshot,
+    dump: FlightDump,
+    sent: u64,
+    misdirected: u64,
+    redirected: u64,
+    accepted: u64,
+    denied: u64,
+    latencies_ns: Vec<u64>,
+    first_accept: Option<SimTime>,
+    last_accept: Option<SimTime>,
+    ha_processed: u64,
+    ha_accepted: u64,
+    wrong_shard: u64,
+    replicas_sent: u64,
+    replicas_applied: u64,
+    live_bindings: u64,
+    standby_bindings: u64,
+    journal_records: u64,
+    events: u64,
+    batches: u64,
+    arena_resets: u64,
+}
+
+/// The S2 result: the aggregated row plus the merged sidecar documents.
+/// Everything except `row.wall_ns` is deterministic and byte-identical
+/// for any `threads` from 1 to `cfg.shards`.
+#[derive(Debug)]
+pub struct S2Result {
+    /// The configuration measured.
+    pub cfg: S2Config,
+    /// Worker threads the run actually used.
+    pub threads: usize,
+    /// Aggregated measurement row.
+    pub row: S2Row,
+    /// Merged flight-recorder journeys document.
+    pub journeys: Json,
+    /// Merged metrics snapshot document.
+    pub metrics: Json,
+    /// Cross-shard staging-arena recycles, summed over shards.
+    pub arena_resets: u64,
+}
+
+impl S2Result {
+    /// The deterministic bench-sidecar body: parameters, the aggregated
+    /// row, and the envelope-arena counter. Byte-identical for a fixed
+    /// config at every thread count (the CI `s2-smoke` matrix diffs
+    /// exactly this).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("shards", Json::from(self.cfg.shards)),
+            ("mobile_hosts", Json::from(self.cfg.mobile_hosts)),
+            ("burst", Json::from(self.cfg.burst)),
+            ("ticks", Json::from(self.cfg.ticks)),
+            ("tick_ms", Json::UInt(S2_TICK_MS)),
+            ("seed", Json::UInt(self.cfg.seed)),
+            ("batching", Json::from(self.cfg.batching)),
+            ("arena_resets", Json::UInt(self.arena_resets)),
+            ("row", self.row.to_json()),
+        ])
+    }
+
+    /// The wall-clock companion (for the `BENCH_s2.json` artifact).
+    /// Nondeterministic by nature — never diffed against a golden.
+    pub fn wall_json(&self) -> Json {
+        let r = &self.row;
+        let wall_regs_per_sec = if r.wall_ns > 0 {
+            (r.accepted as u128 * 1_000_000_000 / r.wall_ns as u128) as u64
+        } else {
+            0
+        };
+        Json::obj([
+            ("shards", Json::from(self.cfg.shards)),
+            ("threads", Json::UInt(self.threads as u64)),
+            ("wall_ns", Json::UInt(r.wall_ns)),
+            ("wall_regs_per_sec", Json::UInt(wall_regs_per_sec)),
+        ])
+    }
+}
+
+/// Runs the S2 sharded home-agent fleet experiment: `cfg.shards` LAN
+/// domains joined by a backbone trunk, each holding one (active,
+/// standby) home-agent pair and a churn host standing in for the
+/// shard's slice of a `cfg.mobile_hosts`-wide population. The binding
+/// table is partitioned by the rendezvous [`ShardDirectory`]; churn
+/// registrations arrive in Zipf-distributed bursts on the batched
+/// `on_udp_batch` lane, a deterministic 1/32 of them misdirected to a
+/// neighbour shard first (denied `wrong_shard`, then redirected).
+///
+/// `threads` only chooses how many workers step the shards; every
+/// deterministic output is byte-identical across thread counts.
+pub fn run_s2(cfg: &S2Config, threads: usize) -> S2Result {
+    assert!(cfg.shards >= 2, "a fleet needs at least two shards");
+    assert!(cfg.mobile_hosts >= cfg.shards, "every shard needs homes");
+    let deadline = SimTime::ZERO
+        + S2_PRIME
+        + SimDuration::from_millis(S2_TICK_MS * cfg.ticks as u64)
+        + S2_DRAIN;
+    let shards = cfg.shards;
+
+    let build = |s: u32| -> Sim<Network> {
+        let directory = s2_directory(shards);
+        let mut net = Network::new();
+        net.enable_sharding(s, shards);
+        let backbone = net.add_lan(presets::backbone_trunk("backbone", presets::TRUNK_ONE_WAY));
+        let campus = net.add_lan(presets::ethernet_lan(format!("campus{s}")));
+        net.add_portal(backbone, 0);
+        for t in 0..shards {
+            net.register_portal_mac(s2_backbone_mac(t), t);
+        }
+        let base = s * 16;
+
+        // The active home agent doubles as the shard's backbone gateway.
+        let ha = net.add_host(format!("ha{s}"));
+        let ha_campus_if = net.host_mut(ha).core.add_iface(presets::wired_ethernet(
+            "eth0",
+            MacAddr::from_index(base + 1),
+        ));
+        let ha_bb_if = net
+            .host_mut(ha)
+            .core
+            .add_iface(presets::wired_ethernet("eth1", s2_backbone_mac(s)));
+        {
+            let core = &mut net.host_mut(ha).core;
+            core.forwarding = true;
+            core.iface_mut(ha_campus_if)
+                .add_addr(s2_active(s), s2_campus_subnet(s));
+            core.iface_mut(ha_bb_if)
+                .add_addr(s2_backbone_addr(s), "10.99.0.0/24".parse().expect("cidr"));
+            core.routes.add(RouteEntry {
+                dest: s2_campus_subnet(s),
+                gateway: None,
+                iface: ha_campus_if,
+                metric: 0,
+            });
+            core.routes.add(RouteEntry {
+                dest: "10.99.0.0/24".parse().expect("cidr"),
+                gateway: None,
+                iface: ha_bb_if,
+                metric: 0,
+            });
+            for t in (0..shards).filter(|&t| t != s) {
+                core.routes.add(RouteEntry {
+                    dest: s2_campus_subnet(t),
+                    gateway: Some(s2_backbone_addr(t)),
+                    iface: ha_bb_if,
+                    metric: 0,
+                });
+            }
+        }
+        let mut ha_cfg = HomeAgentConfig::new(s2_active(s), ha_campus_if, s2_home_prefix());
+        ha_cfg.replicate_to = Some(s2_standby(s));
+        ha_cfg.fleet = Some((s as u16, directory.clone()));
+        net.host_mut(ha)
+            .add_module(Box::new(HomeAgent::new(ha_cfg)));
+        net.attach(ha, ha_campus_if, campus);
+        net.attach(ha, ha_bb_if, backbone);
+
+        // Standby and churn hosts on the campus net.
+        let leaf = |net: &mut Network, name: String, mac: u32, addr: Ipv4Addr| {
+            let h = net.add_host(name);
+            let ifc = net
+                .host_mut(h)
+                .core
+                .add_iface(presets::wired_ethernet("eth0", MacAddr::from_index(mac)));
+            {
+                let core = &mut net.host_mut(h).core;
+                core.iface_mut(ifc).add_addr(addr, s2_campus_subnet(s));
+                core.routes.add(RouteEntry {
+                    dest: s2_campus_subnet(s),
+                    gateway: None,
+                    iface: ifc,
+                    metric: 0,
+                });
+                core.routes.add(RouteEntry {
+                    dest: Cidr::DEFAULT,
+                    gateway: Some(s2_active(s)),
+                    iface: ifc,
+                    metric: 0,
+                });
+            }
+            net.attach(h, ifc, campus);
+            (h, ifc)
+        };
+        let (sb, sb_if) = leaf(&mut net, format!("sb{s}"), base + 3, s2_standby(s));
+        let mut sb_cfg = HomeAgentConfig::new(s2_standby(s), sb_if, s2_home_prefix());
+        sb_cfg.fleet = Some((s as u16, directory.clone()));
+        net.host_mut(sb)
+            .add_module(Box::new(HomeAgent::new(sb_cfg)));
+        let (churn, churn_if) = leaf(&mut net, format!("churn{s}"), base + 4, s2_churn(s));
+
+        let mut sim = Sim::with_seed(net, shard_seed(cfg.seed, s));
+        sim.set_batching(cfg.batching);
+        sim.flights_mut().set_enabled(true);
+        sim.flights_mut().set_flight_namespace(s);
+        if std::env::var_os("MOSQUITONET_PROFILE").is_some() {
+            let reg = sim.metrics().clone();
+            sim.profiler_mut()
+                .enable_with_prefix(&reg, format!("profile/shard/{s}"));
+        }
+        for (h, i) in [
+            (ha, ha_campus_if),
+            (ha, ha_bb_if),
+            (sb, sb_if),
+            (churn, churn_if),
+        ] {
+            stack::bring_iface_up(&mut sim, h, i);
+        }
+        sim.run();
+        // Warm every ARP path the churn exercises, so the measured window
+        // starts with neighbor discovery already settled (as A2 does).
+        let t0 = sim.now();
+        {
+            let w = sim.world_mut();
+            w.hosts[churn.0].core.arp[churn_if.0].insert(
+                s2_active(s),
+                MacAddr::from_index(base + 1),
+                t0,
+            );
+            w.hosts[ha.0].core.arp[ha_campus_if.0].insert(
+                s2_churn(s),
+                MacAddr::from_index(base + 4),
+                t0,
+            );
+            w.hosts[ha.0].core.arp[ha_campus_if.0].insert(
+                s2_standby(s),
+                MacAddr::from_index(base + 3),
+                t0,
+            );
+            w.hosts[sb.0].core.arp[sb_if.0].insert(s2_active(s), MacAddr::from_index(base + 1), t0);
+            for t in (0..shards).filter(|&t| t != s) {
+                w.hosts[ha.0].core.arp[ha_bb_if.0].insert(
+                    s2_backbone_addr(t),
+                    s2_backbone_mac(t),
+                    t0,
+                );
+            }
+        }
+        stack::start(&mut sim);
+
+        // This shard's slice of the population, in Zipf rank order.
+        let homes: Vec<Ipv4Addr> = (0..cfg.mobile_hosts)
+            .map(s2_home)
+            .filter(|&h| directory.resolve(h) == s as u16)
+            .collect();
+        let next = (s + 1) % shards;
+        let (burst, ticks) = (cfg.burst, cfg.ticks);
+        let churn_seed = shard_seed(cfg.seed, s) ^ 0x5A5A_5A5A_5A5A_5A5A;
+        sim.schedule_at(SimTime::ZERO + S2_PRIME, move |sim| {
+            stack::add_module(
+                sim,
+                churn,
+                Box::new(FleetChurn::new(
+                    s2_active(s),
+                    s2_active(next),
+                    homes,
+                    burst,
+                    SimDuration::from_millis(S2_TICK_MS),
+                    ticks,
+                    churn_seed,
+                )),
+            );
+        });
+        sim
+    };
+
+    let finish = |s: u32, mut sim: Sim<Network>| -> S2ShardOut {
+        let now = sim.now();
+        let events = sim.events_executed();
+        let batches = if cfg.batching {
+            sim.batches_executed()
+        } else {
+            events
+        };
+        let snapshot = sim.metrics().snapshot();
+        let dump = sim.flights().dump(s, s * S2_SHARD_HOSTS);
+        let arena_resets = sim.world().arena_resets();
+        let names: Vec<String> = sim
+            .world()
+            .hosts
+            .iter()
+            .map(|h| h.core.name.clone())
+            .collect();
+        let mut out = S2ShardOut {
+            names,
+            snapshot,
+            dump,
+            sent: 0,
+            misdirected: 0,
+            redirected: 0,
+            accepted: 0,
+            denied: 0,
+            latencies_ns: Vec::new(),
+            first_accept: None,
+            last_accept: None,
+            ha_processed: 0,
+            ha_accepted: 0,
+            wrong_shard: 0,
+            replicas_sent: 0,
+            replicas_applied: 0,
+            live_bindings: 0,
+            standby_bindings: 0,
+            journal_records: 0,
+            events,
+            batches,
+            arena_resets,
+        };
+        let w = sim.world_mut();
+        for h in 0..w.hosts.len() {
+            let host = &mut w.hosts[h];
+            for m in 0..host.module_count() {
+                let mid = ModuleId(m);
+                if let Some(agent) = host.module_mut::<HomeAgent>(mid) {
+                    // Host order per shard is fixed: ha, sb, churn.
+                    if h == 0 {
+                        out.ha_processed += agent.processed.get();
+                        out.ha_accepted += agent.accepted.get();
+                        out.wrong_shard += agent.wrong_shard.get();
+                        out.replicas_sent += agent.replicas_sent.get();
+                        out.live_bindings += agent.bindings.iter_live(now).count() as u64;
+                        out.journal_records += agent.journal.len() as u64;
+                    } else {
+                        out.replicas_applied += agent.replicas_applied.get();
+                        out.standby_bindings += agent.bindings.iter_live(now).count() as u64;
+                    }
+                } else if let Some(churn) = host.module_mut::<FleetChurn>(mid) {
+                    out.sent += churn.sent;
+                    out.misdirected += churn.misdirected;
+                    out.redirected += churn.redirected;
+                    out.accepted += churn.accepted;
+                    out.denied += churn.denied;
+                    out.latencies_ns.append(&mut churn.latencies_ns);
+                    out.first_accept = churn.first_accept;
+                    out.last_accept = churn.last_accept;
+                }
+            }
+        }
+        out
+    };
+
+    let wall_start = std::time::Instant::now();
+    let outs = run_sharded(
+        shards,
+        threads,
+        presets::TRUNK_ONE_WAY,
+        deadline,
+        build,
+        finish,
+    );
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+
+    // Deterministic merges, in shard order.
+    let mut names = Vec::new();
+    let mut snapshots = Vec::new();
+    let mut dumps = Vec::new();
+    let mut latencies = Vec::new();
+    let (mut sent, mut misdirected, mut redirected, mut accepted, mut denied) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let (mut first, mut last): (Option<SimTime>, Option<SimTime>) = (None, None);
+    let (mut ha_processed, mut ha_accepted, mut wrong_shard) = (0u64, 0u64, 0u64);
+    let (mut replicas_sent, mut replicas_applied) = (0u64, 0u64);
+    let (mut live_bindings, mut standby_bindings, mut journal_records) = (0u64, 0u64, 0u64);
+    let (mut events, mut batches, mut arena_resets) = (0u64, 0u64, 0u64);
+    for out in outs {
+        names.extend(out.names);
+        snapshots.push(out.snapshot);
+        dumps.push(out.dump);
+        latencies.extend(out.latencies_ns);
+        sent += out.sent;
+        misdirected += out.misdirected;
+        redirected += out.redirected;
+        accepted += out.accepted;
+        denied += out.denied;
+        first = match (first, out.first_accept) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        last = match (last, out.last_accept) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        ha_processed += out.ha_processed;
+        ha_accepted += out.ha_accepted;
+        wrong_shard += out.wrong_shard;
+        replicas_sent += out.replicas_sent;
+        replicas_applied += out.replicas_applied;
+        live_bindings += out.live_bindings;
+        standby_bindings += out.standby_bindings;
+        journal_records += out.journal_records;
+        events += out.events;
+        batches += out.batches;
+        arena_resets += out.arena_resets;
+    }
+
+    let span_ns = match (first, last) {
+        (Some(f), Some(l)) if l > f => (l - f).as_nanos(),
+        _ => 0,
+    };
+    let regs_per_sec = if span_ns > 0 {
+        (accepted as u128 * 1_000_000_000 / span_ns as u128) as u64
+    } else {
+        0
+    };
+    latencies.sort_unstable();
+    let p99_latency_ns = if latencies.is_empty() {
+        0
+    } else {
+        latencies[(latencies.len() - 1) * 99 / 100]
+    };
+    let request_bytes = (sent + redirected) * REQUEST_LEN as u64;
+    // `ha_processed` already counts the wrong-shard denial replies: the
+    // denying agent is just another shard's active.
+    let reply_bytes = ha_processed * REPLY_LEN as u64;
+    let replica_bytes = replicas_sent * REPLICA_LEN as u64;
+    let bytes_per_binding = (request_bytes + reply_bytes + replica_bytes)
+        .checked_div(live_bindings)
+        .unwrap_or(0);
+
+    let row = S2Row {
+        sent,
+        misdirected,
+        redirected,
+        accepted,
+        denied,
+        ha_processed,
+        ha_accepted,
+        wrong_shard,
+        replicas_sent,
+        replicas_applied,
+        live_bindings,
+        standby_bindings,
+        journal_records,
+        events,
+        batches,
+        span_ns,
+        regs_per_sec,
+        p99_latency_ns,
+        request_bytes,
+        reply_bytes,
+        replica_bytes,
+        bytes_per_binding,
+        wall_ns,
+    };
+    let journeys = FlightRecorder::merged(dumps).export(&names, None);
+    let metrics = Snapshot::merged(snapshots).to_json();
+    S2Result {
+        cfg: *cfg,
         threads,
         row,
         journeys,

@@ -666,6 +666,59 @@ pub fn render_s3_sharded(r: &crate::experiments::S3ShardedResult) -> String {
     out
 }
 
+/// Renders the S2 sharded home-agent fleet run: the aggregated row plus
+/// the partition and threading parameters. Everything except the wall
+/// column is byte-identical across thread counts.
+pub fn render_s2(r: &crate::experiments::S2Result) -> String {
+    let mut out = String::new();
+    hr(
+        &mut out,
+        "S2 — Sharded home-agent fleet under Zipf registration churn",
+    );
+    let _ = writeln!(
+        out,
+        "  {} shards (active+standby pairs) x {} mobile hosts, {} Zipf \
+         draws per 10 ms tick x {} ticks, seed {}, {} thread(s)",
+        r.cfg.shards, r.cfg.mobile_hosts, r.cfg.burst, r.cfg.ticks, r.cfg.seed, r.threads,
+    );
+    let row = &r.row;
+    let _ = writeln!(
+        out,
+        "  sent {}  (misdirected {}  redirected {})  accepted {}  denied {}",
+        row.sent, row.misdirected, row.redirected, row.accepted, row.denied,
+    );
+    let _ = writeln!(
+        out,
+        "  fleet: processed {}  wrong-shard denials {}  replicas {}->{}",
+        row.ha_processed, row.wrong_shard, row.replicas_sent, row.replicas_applied,
+    );
+    let _ = writeln!(
+        out,
+        "  bindings: active {}  standby {} (lock-step)  journal records {}",
+        row.live_bindings, row.standby_bindings, row.journal_records,
+    );
+    let wall_regs = if row.wall_ns > 0 {
+        row.accepted as f64 * 1_000_000_000.0 / row.wall_ns as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "  regs/s {} (virtual)  p99 latency {:.2} ms (virtual)  bytes/binding {}  \
+         regs/s(wall) {:.0}",
+        row.regs_per_sec,
+        row.p99_latency_ns as f64 / 1_000_000.0,
+        row.bytes_per_binding,
+        wall_regs,
+    );
+    let _ = writeln!(
+        out,
+        "  events {}  batches {}  envelope-arena resets {}",
+        row.events, row.batches, r.arena_resets,
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -856,3 +856,271 @@ impl Module for SaturationSink {
         self
     }
 }
+
+/// One in-flight fleet registration: what [`FleetChurn`] needs to finish
+/// (or redirect) the attempt when the reply lands.
+#[derive(Clone, Copy, Debug)]
+struct PendingReg {
+    /// When the *first* attempt was sent — a misdirected attempt keeps
+    /// its original timestamp, so the measured latency charges the full
+    /// wrong-shard round trip.
+    sent_at: SimTime,
+    /// Care-of address the attempt carries.
+    care_of: Ipv4Addr,
+    /// Identification the attempt carries.
+    ident: u64,
+}
+
+/// The S2 fleet-churn generator: stands in for this shard's slice of a
+/// 100k+ mobile-host population, re-registering under a Zipf popularity
+/// law (a few hot commuters move constantly; the long tail barely does).
+///
+/// Every tick it draws `burst` hosts from the Zipf sampler and queues
+/// one registration per distinct host through the batched
+/// `send_udp_burst` lane, so same-tick requests drain through the home
+/// agent's `on_udp_batch` path as one engine batch. A deterministic 1/32
+/// of draws are *misdirected* to a neighbour shard's home agent, which
+/// denies them (`drop.wrong_shard`); the churn module then re-sends to
+/// the true owner, charging the full detour to the measured latency.
+///
+/// Sampling uses an inline SplitMix64 stream over integer fixed-point
+/// Zipf prefix sums — no engine RNG, no floating point — so runs are
+/// byte-identical at every thread count.
+pub struct FleetChurn {
+    /// This shard's active home agent (the owner of every home here).
+    pub home_agent: Ipv4Addr,
+    /// A neighbour shard's active home agent (misdirection target).
+    pub misdirect_to: Ipv4Addr,
+    /// The home addresses this shard owns, Zipf rank order (rank 1 first).
+    pub homes: Vec<Ipv4Addr>,
+    /// Hosts drawn per tick (distinct, non-pending hosts actually send).
+    pub burst: u32,
+    /// Gap between ticks.
+    pub interval: SimDuration,
+    /// Ticks to run.
+    pub ticks: u32,
+    /// Requested binding lifetime, seconds.
+    pub lifetime: u16,
+    /// Registration requests sent (first attempts, not redirects).
+    pub sent: u64,
+    /// First attempts deliberately sent to the wrong shard.
+    pub misdirected: u64,
+    /// Re-sends to the true owner after a wrong-shard denial.
+    pub redirected: u64,
+    /// Accepted completions.
+    pub accepted: u64,
+    /// Attempts that ended in a terminal denial (expected: 0).
+    pub denied: u64,
+    /// Per-completion latency, first send → accepted reply, nanoseconds.
+    pub latencies_ns: Vec<u64>,
+    /// First accepted-reply arrival.
+    pub first_accept: Option<SimTime>,
+    /// Latest accepted-reply arrival.
+    pub last_accept: Option<SimTime>,
+    next_ident: Vec<u64>,
+    pending: HashMap<Ipv4Addr, PendingReg>,
+    /// Zipf prefix sums over `homes` (fixed-point, SCALE/rank weights).
+    prefix: Vec<u64>,
+    rng: u64,
+    ticks_done: u32,
+    sock: Option<SocketId>,
+}
+
+impl FleetChurn {
+    /// Fixed-point scale of the Zipf weights (`SCALE / rank`).
+    const ZIPF_SCALE: u64 = 1 << 32;
+
+    /// Creates a churn source over `homes` (already filtered to the homes
+    /// this shard owns), seeded deterministically by the caller.
+    pub fn new(
+        home_agent: Ipv4Addr,
+        misdirect_to: Ipv4Addr,
+        homes: Vec<Ipv4Addr>,
+        burst: u32,
+        interval: SimDuration,
+        ticks: u32,
+        seed: u64,
+    ) -> FleetChurn {
+        assert!(
+            !homes.is_empty(),
+            "a shard with no homes has nothing to churn"
+        );
+        let mut prefix = Vec::with_capacity(homes.len());
+        let mut total = 0u64;
+        for rank in 1..=homes.len() as u64 {
+            total += Self::ZIPF_SCALE / rank;
+            prefix.push(total);
+        }
+        let next_ident = vec![0; homes.len()];
+        FleetChurn {
+            home_agent,
+            misdirect_to,
+            homes,
+            burst,
+            interval,
+            ticks,
+            lifetime: 300,
+            sent: 0,
+            misdirected: 0,
+            redirected: 0,
+            accepted: 0,
+            denied: 0,
+            latencies_ns: Vec::new(),
+            first_accept: None,
+            last_accept: None,
+            next_ident,
+            pending: HashMap::new(),
+            prefix,
+            rng: seed,
+            ticks_done: 0,
+            sock: None,
+        }
+    }
+
+    /// One SplitMix64 draw from the module's private stream.
+    fn rng_next(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Draws one home index under the Zipf law (binary search over the
+    /// integer prefix sums).
+    fn sample(&mut self) -> usize {
+        let total = *self.prefix.last().expect("non-empty");
+        let x = self.rng_next() % total;
+        self.prefix.partition_point(|&p| p <= x)
+    }
+
+    /// Synthetic care-of address for local host `idx`: alternates with
+    /// the registration's parity, modelling a host hopping between two
+    /// foreign subnets (172.16.0.0/12 — never routed in this topology).
+    fn care_of(idx: usize, ident: u64) -> Ipv4Addr {
+        Ipv4Addr::from(0xAC10_0000u32 + (idx as u32) * 2 + (ident as u32 & 1))
+    }
+
+    fn request_bytes(&self, home: Ipv4Addr, agent: Ipv4Addr, reg: PendingReg) -> Bytes {
+        mosquitonet_core::RegistrationRequest {
+            lifetime: self.lifetime,
+            home_addr: home,
+            home_agent: agent,
+            care_of: reg.care_of,
+            ident: reg.ident,
+            auth: None,
+        }
+        .to_bytes()
+    }
+}
+
+impl Module for FleetChurn {
+    fn name(&self) -> &'static str {
+        "fleet-churn"
+    }
+
+    fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        self.sock = ctx.udp_bind(None, 0);
+        ctx.fx.set_timer(SimDuration::ZERO, TOKEN_SEND);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, _token: u64) {
+        if self.ticks_done >= self.ticks {
+            return;
+        }
+        self.ticks_done += 1;
+        let mut to_owner: Vec<Bytes> = Vec::new();
+        let mut to_wrong: Vec<Bytes> = Vec::new();
+        for _ in 0..self.burst {
+            let idx = self.sample();
+            // A deterministic 1/32 of draws go to the wrong shard first.
+            let misdirect = self.rng_next().is_multiple_of(32);
+            let home = self.homes[idx];
+            if self.pending.contains_key(&home) {
+                // At most one in-flight registration per host (the real
+                // protocol's retry discipline); the draw still consumed
+                // its RNG words, so skips are thread-count-invariant.
+                continue;
+            }
+            self.next_ident[idx] += 1;
+            let reg = PendingReg {
+                sent_at: ctx.now,
+                care_of: Self::care_of(idx, self.next_ident[idx]),
+                ident: self.next_ident[idx],
+            };
+            self.pending.insert(home, reg);
+            self.sent += 1;
+            if misdirect {
+                self.misdirected += 1;
+                to_wrong.push(self.request_bytes(home, self.misdirect_to, reg));
+            } else {
+                to_owner.push(self.request_bytes(home, self.home_agent, reg));
+            }
+        }
+        for (dst, payloads) in [(self.home_agent, to_owner), (self.misdirect_to, to_wrong)] {
+            if payloads.is_empty() {
+                continue;
+            }
+            ctx.fx.send_udp_burst(
+                self.sock.expect("bound"),
+                (dst, mosquitonet_core::REGISTRATION_PORT),
+                payloads,
+                SendOptions {
+                    label: Some("s2"),
+                    ..SendOptions::default()
+                },
+            );
+        }
+        if self.ticks_done < self.ticks {
+            ctx.fx.set_timer(self.interval, TOKEN_SEND);
+        }
+    }
+
+    fn on_udp(
+        &mut self,
+        ctx: &mut ModuleCtx<'_>,
+        _sock: SocketId,
+        src: (Ipv4Addr, u16),
+        _dst: Ipv4Addr,
+        payload: &Bytes,
+    ) {
+        let Ok(reply) = mosquitonet_core::RegistrationReply::parse(payload) else {
+            return;
+        };
+        match reply.code {
+            mosquitonet_core::ReplyCode::Accepted => {
+                if let Some(reg) = self.pending.remove(&reply.home_addr) {
+                    self.accepted += 1;
+                    self.latencies_ns.push((ctx.now - reg.sent_at).as_nanos());
+                    if self.first_accept.is_none() {
+                        self.first_accept = Some(ctx.now);
+                    }
+                    self.last_accept = Some(ctx.now);
+                }
+            }
+            mosquitonet_core::ReplyCode::DeniedUnknownHome if src.0 != self.home_agent => {
+                // The wrong-shard detour bounced; re-send to the owner,
+                // keeping the original timestamp so the latency row pays
+                // for the detour.
+                if let Some(&reg) = self.pending.get(&reply.home_addr) {
+                    self.redirected += 1;
+                    let bytes = self.request_bytes(reply.home_addr, self.home_agent, reg);
+                    ctx.fx.send_udp(
+                        self.sock.expect("bound"),
+                        (self.home_agent, mosquitonet_core::REGISTRATION_PORT),
+                        bytes,
+                    );
+                }
+            }
+            _ => {
+                if self.pending.remove(&reply.home_addr).is_some() {
+                    self.denied += 1;
+                }
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,4 +1,6 @@
-//! Documentation-sync check for drop-reason codes.
+//! Documentation-sync checks: drop-reason codes against
+//! `docs/telemetry.md`, and the experiment roster in `EXPERIMENTS.md`
+//! against the actual binaries and the sidecars they write.
 //!
 //! Drop reasons are stable, greppable tokens: the same `drop.{reason}`
 //! string appears in trace lines, metric names, and flight-recorder hop
@@ -91,4 +93,80 @@ fn every_drop_code_in_source_is_documented_in_telemetry_md() {
         "drop codes used in source but missing from docs/telemetry.md: \
          {missing:?} — every stable drop.{{reason}} code needs a row there"
     );
+}
+
+/// Extracts the string literal of each `write_*_sidecar("name", ...)`
+/// call in a binary's source.
+fn sidecar_names(source: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for kind in ["metrics", "journeys", "bench"] {
+        let call = format!("write_{kind}_sidecar(\"");
+        let mut from = 0;
+        while let Some(pos) = source[from..].find(&call) {
+            let start = from + pos + call.len();
+            let end = start
+                + source[start..]
+                    .find('"')
+                    .expect("unterminated sidecar name");
+            out.insert(source[start..end].to_string());
+            from = end;
+        }
+    }
+    out
+}
+
+/// `EXPERIMENTS.md` is the roster of reproduction artifacts. Two
+/// directions must stay in sync with the code:
+///
+/// 1. every experiment binary under `crates/testbed/src/bin/` (bar the
+///    `all_experiments` driver and the `inspect` debugging CLI) is named
+///    in the document, and every sidecar it writes is mentioned there
+///    too, so a reader can go from the doc to the artifact and back;
+/// 2. every sidecar any standalone binary writes is also written by
+///    `all_experiments`, so the documented "regenerate everything"
+///    command really does produce the full artifact set.
+#[test]
+fn experiments_md_lists_every_binary_and_sidecar() {
+    let root = workspace_root();
+    let doc = std::fs::read_to_string(root.join("EXPERIMENTS.md")).expect("EXPERIMENTS.md");
+    let bin_dir = root.join("crates/testbed/src/bin");
+    // The driver routes its writes through `(name, doc)` arrays rather
+    // than literal `write_*_sidecar("…")` calls, so "does the driver
+    // produce this sidecar" is checked as: the quoted name appears in
+    // its source.
+    let driver =
+        std::fs::read_to_string(bin_dir.join("all_experiments.rs")).expect("all_experiments.rs");
+
+    let mut bins = 0;
+    for entry in std::fs::read_dir(&bin_dir).expect("read bin dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("bin name")
+            .to_string();
+        if name == "all_experiments" || name == "inspect" {
+            continue;
+        }
+        bins += 1;
+        assert!(
+            doc.contains(&format!("`{name}`")),
+            "binary {name} is not listed in EXPERIMENTS.md's artifact roster"
+        );
+        let source = std::fs::read_to_string(&path).expect("read bin source");
+        for sidecar in sidecar_names(&source) {
+            assert!(
+                doc.contains(&format!("`{sidecar}`")),
+                "binary {name} writes sidecar {sidecar:?} but EXPERIMENTS.md \
+                 never mentions it"
+            );
+            assert!(
+                driver.contains(&format!("\"{sidecar}\"")),
+                "binary {name} writes sidecar {sidecar:?} but all_experiments \
+                 does not — the documented regenerate-everything command \
+                 would miss it"
+            );
+        }
+    }
+    assert!(bins >= 16, "scanner must see the experiment binaries");
 }
